@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Shared harness for the figure-reproduction benches.
+ *
+ * Every bench binary does two things:
+ *  1. prints the series its paper figure plots, with a `paper` column
+ *     beside the `measured` column (shape match, not absolute match);
+ *  2. registers google-benchmark timers for the analyzer kernels that
+ *     produce those series.
+ *
+ * The synthetic study is built once per binary. Scale and seed come
+ * from AIWC_BENCH_SCALE / AIWC_BENCH_SEED (defaults 0.15 / 2022 — a
+ * ~19-day slice of the 125-day study, enough for stable medians).
+ */
+
+#ifndef AIWC_BENCH_BENCH_COMMON_HH
+#define AIWC_BENCH_BENCH_COMMON_HH
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "aiwc/common/table.hh"
+#include "aiwc/core/paper_targets.hh"
+#include "aiwc/workload/trace_synthesizer.hh"
+
+namespace aiwc::bench
+{
+
+inline double
+benchScale()
+{
+    if (const char *env = std::getenv("AIWC_BENCH_SCALE"))
+        return std::atof(env);
+    return 0.15;
+}
+
+inline std::uint64_t
+benchSeed()
+{
+    if (const char *env = std::getenv("AIWC_BENCH_SEED"))
+        return std::strtoull(env, nullptr, 10);
+    return 2022;
+}
+
+/** The shared synthetic study (built on first use). */
+inline const workload::SynthesisResult &
+trace()
+{
+    static const workload::SynthesisResult result = [] {
+        workload::SynthesisOptions options;
+        options.scale = benchScale();
+        options.seed = benchSeed();
+        const auto profile = workload::CalibrationProfile::supercloud();
+        return workload::TraceSynthesizer(profile, options).run();
+    }();
+    return result;
+}
+
+inline const core::Dataset &
+dataset()
+{
+    return trace().dataset;
+}
+
+/** Paper-vs-measured comparison table. */
+class Comparison
+{
+  public:
+    explicit Comparison(std::string title)
+        : title_(std::move(title)),
+          table_({"quantity", "paper", "measured"})
+    {
+    }
+
+    void
+    row(const std::string &quantity, double paper_value,
+        double measured, int precision = 1)
+    {
+        table_.addRow({quantity, formatNumber(paper_value, precision),
+                       formatNumber(measured, precision)});
+    }
+
+    void
+    rowText(const std::string &quantity, const std::string &paper_value,
+            const std::string &measured)
+    {
+        table_.addRow({quantity, paper_value, measured});
+    }
+
+    void
+    print(std::ostream &os) const
+    {
+        os << "== " << title_ << " ==\n";
+        table_.print(os);
+        os << '\n';
+    }
+
+  private:
+    std::string title_;
+    TextTable table_;
+};
+
+/** Banner with the synthesis configuration. */
+inline void
+printBanner(std::ostream &os, const char *figure)
+{
+    const auto &result = trace();
+    os << "aiwc reproduction bench: " << figure << "\n"
+       << "synthetic study: scale " << benchScale() << ", seed "
+       << benchSeed() << ", " << result.dataset.size() << " jobs ("
+       << result.dataset.gpuJobs().size() << " GPU jobs >= 30 s), "
+       << result.num_users << " users, " << result.cluster_nodes
+       << " nodes\n\n";
+}
+
+} // namespace aiwc::bench
+
+/**
+ * Bench main: print the figure comparison, then run the registered
+ * google-benchmark timers (suppressible with AIWC_BENCH_SKIP_TIMING).
+ */
+#define AIWC_BENCH_MAIN(figure_name, print_fn)                            \
+    int main(int argc, char **argv)                                      \
+    {                                                                     \
+        ::benchmark::Initialize(&argc, argv);                             \
+        ::aiwc::bench::printBanner(std::cout, figure_name);               \
+        print_fn(std::cout);                                              \
+        if (!std::getenv("AIWC_BENCH_SKIP_TIMING"))                       \
+            ::benchmark::RunSpecifiedBenchmarks();                        \
+        ::benchmark::Shutdown();                                          \
+        return 0;                                                         \
+    }
+
+#endif // AIWC_BENCH_BENCH_COMMON_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 3: run-time CDFs of GPU vs. CPU jobs (a) and queue waits as a
+ * percentage of service time (b). Queue waits are *emergent* from the
+ * Slurm-like scheduler replay — no generator parameter sets them.
+ */
+
+#include "bench_common.hh"
+
+#include "aiwc/core/report_writer.hh"
+#include "aiwc/core/service_time_analyzer.hh"
+
+namespace
+{
+
+using namespace aiwc;
+namespace paper = core::paper;
+
+void
+printFigure(std::ostream &os)
+{
+    const auto report =
+        core::ServiceTimeAnalyzer().analyze(bench::dataset());
+
+    bench::Comparison a("Fig. 3a: run times (minutes)");
+    a.row("GPU p25", paper::gpu_runtime_p25_min,
+          report.gpu_runtime_min.quantile(0.25));
+    a.row("GPU p50", paper::gpu_runtime_p50_min,
+          report.gpu_runtime_min.quantile(0.50));
+    a.row("GPU p75", paper::gpu_runtime_p75_min,
+          report.gpu_runtime_min.quantile(0.75));
+    a.row("CPU p50", paper::cpu_runtime_p50_min,
+          report.cpu_runtime_min.quantile(0.50));
+    a.print(os);
+
+    bench::Comparison b("Fig. 3b: queue waits");
+    b.row("GPU jobs waiting < 1 min (%)",
+          100.0 * paper::gpu_wait_under_1min_frac,
+          100.0 * report.gpuWaitUnder(60.0));
+    b.row("CPU jobs waiting > 1 min (%)",
+          100.0 * paper::cpu_wait_over_1min_frac,
+          100.0 * report.cpuWaitOver(60.0));
+    b.row("GPU median wait (% of service, paper <2)",
+          paper::gpu_wait_service_pct_median_max,
+          report.gpu_wait_pct.quantile(0.5), 2);
+    b.print(os);
+
+    core::ReportWriter(os).print(report);
+}
+
+void
+BM_ServiceTimeAnalysis(benchmark::State &state)
+{
+    const core::ServiceTimeAnalyzer analyzer;
+    for (auto _ : state) {
+        auto report = analyzer.analyze(bench::dataset());
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_ServiceTimeAnalysis)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AIWC_BENCH_MAIN("Fig. 3 (service times)", printFigure)

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Fig. 4: mean GPU resource utilization CDFs (SM, memory bandwidth,
+ * memory size) and PCIe Tx/Rx bandwidth CDFs.
+ */
+
+#include "bench_common.hh"
+
+#include "aiwc/core/report_writer.hh"
+#include "aiwc/core/utilization_analyzer.hh"
+
+namespace
+{
+
+using namespace aiwc;
+namespace paper = core::paper;
+
+void
+printFigure(std::ostream &os)
+{
+    const auto report =
+        core::UtilizationAnalyzer().analyze(bench::dataset());
+
+    bench::Comparison a("Fig. 4a: mean utilization (%)");
+    a.row("SM median", paper::sm_util_median_pct,
+          report.sm_pct.quantile(0.5));
+    a.row("memory BW median", paper::membw_util_median_pct,
+          report.membw_pct.quantile(0.5));
+    a.row("memory size median", paper::memsize_util_median_pct,
+          report.memsize_pct.quantile(0.5));
+    a.row("jobs > 50% SM (%)", 100.0 * paper::sm_over_50_frac,
+          100.0 * report.fractionAbove(Resource::Sm, 50.0));
+    a.row("jobs > 50% memBW (%)", 100.0 * paper::membw_over_50_frac,
+          100.0 * report.fractionAbove(Resource::MemoryBw, 50.0));
+    a.row("jobs > 50% memsize (%)", 100.0 * paper::memsize_over_50_frac,
+          100.0 * report.fractionAbove(Resource::MemorySize, 50.0));
+    a.print(os);
+
+    // Fig. 4b's claim is a *shape*: an approximately uniform (linear)
+    // CDF of PCIe bandwidths. Print decile spacings: a uniform CDF
+    // has equal spacing.
+    bench::Comparison b("Fig. 4b: PCIe bandwidth CDF (deciles, %)");
+    for (int d = 1; d <= 9; d += 2) {
+        const double q = d / 10.0;
+        b.rowText("Tx p" + formatNumber(d * 10, 0), "linear",
+                  formatNumber(report.pcie_tx_pct.quantile(q), 1));
+    }
+    b.print(os);
+
+    core::ReportWriter(os).print(report);
+}
+
+void
+BM_UtilizationAnalysis(benchmark::State &state)
+{
+    const core::UtilizationAnalyzer analyzer;
+    for (auto _ : state) {
+        auto report = analyzer.analyze(bench::dataset());
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_UtilizationAnalysis)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AIWC_BENCH_MAIN("Fig. 4 (resource utilization)", printFigure)

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Fig. 5: SM and memory utilization by submission interface
+ * (map-reduce, batch, interactive, other).
+ */
+
+#include "bench_common.hh"
+
+#include "aiwc/core/report_writer.hh"
+#include "aiwc/core/utilization_analyzer.hh"
+
+namespace
+{
+
+using namespace aiwc;
+namespace paper = core::paper;
+
+void
+printFigure(std::ostream &os)
+{
+    const auto report =
+        core::UtilizationAnalyzer().analyzeByInterface(bench::dataset());
+
+    bench::Comparison mix("Fig. 5: interface population");
+    mix.row("map-reduce (%)", 100.0 * paper::mapreduce_job_frac,
+            100.0 * report.job_fraction[0]);
+    mix.row("batch (%)", 100.0 * paper::batch_job_frac,
+            100.0 * report.job_fraction[1]);
+    mix.row("interactive (%)", 100.0 * paper::interactive_job_frac,
+            100.0 * report.job_fraction[2]);
+    mix.row("other (%)", 100.0 * paper::other_job_frac,
+            100.0 * report.job_fraction[3]);
+    mix.print(os);
+
+    // The figure's claim is an ordering: other > batch >>
+    // interactive ~ map-reduce for both SM and memBW.
+    bench::Comparison order("Fig. 5: median SM by interface (%)");
+    order.rowText("other (highest)", "highest",
+                  formatNumber(report.sm[3].median, 1));
+    order.rowText("batch", "second",
+                  formatNumber(report.sm[1].median, 1));
+    order.rowText("map-reduce (low)", "low",
+                  formatNumber(report.sm[0].median, 1));
+    order.rowText("interactive (low)", "low",
+                  formatNumber(report.sm[2].median, 1));
+    order.print(os);
+
+    core::ReportWriter(os).print(report);
+}
+
+void
+BM_InterfaceBreakdown(benchmark::State &state)
+{
+    const core::UtilizationAnalyzer analyzer;
+    for (auto _ : state) {
+        auto report = analyzer.analyzeByInterface(bench::dataset());
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_InterfaceBreakdown)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AIWC_BENCH_MAIN("Fig. 5 (utilization by job type)", printFigure)

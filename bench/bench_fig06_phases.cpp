@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Fig. 6: active-time fraction CDF (a) and CoV of idle/active interval
+ * lengths (b), over the detailed 100 ms time-series subset.
+ */
+
+#include "bench_common.hh"
+
+#include "aiwc/core/phase_analyzer.hh"
+#include "aiwc/core/report_writer.hh"
+#include "aiwc/telemetry/phase_model.hh"
+
+namespace
+{
+
+using namespace aiwc;
+namespace paper = core::paper;
+
+void
+printFigure(std::ostream &os)
+{
+    const auto report = core::PhaseAnalyzer().analyze(bench::dataset());
+    os << "time-series subset size: " << report.jobs << " jobs\n\n";
+
+    bench::Comparison a("Fig. 6a: active time (% of run)");
+    a.row("p25", paper::active_frac_p25_pct,
+          report.active_fraction_pct.quantile(0.25));
+    a.row("p50", paper::active_frac_p50_pct,
+          report.active_fraction_pct.quantile(0.50));
+    a.row("p75", paper::active_frac_p75_pct,
+          report.active_fraction_pct.quantile(0.75));
+    a.print(os);
+
+    bench::Comparison b("Fig. 6b: interval-length CoV (%)");
+    b.row("idle median", paper::idle_interval_cov_median_pct,
+          report.idle_interval_cov_pct.quantile(0.5), 0);
+    b.row("active median", paper::active_interval_cov_median_pct,
+          report.active_interval_cov_pct.quantile(0.5), 0);
+    b.print(os);
+
+    core::ReportWriter(os).print(report);
+}
+
+void
+BM_PhaseAnalysis(benchmark::State &state)
+{
+    const core::PhaseAnalyzer analyzer;
+    for (auto _ : state) {
+        auto report = analyzer.analyze(bench::dataset());
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_PhaseAnalysis)->Unit(benchmark::kMillisecond);
+
+void
+BM_PhaseGeneration(benchmark::State &state)
+{
+    telemetry::JobProfile profile;
+    profile.active_fraction = 0.84;
+    profile.active_len_median_s = 50.0;
+    Rng rng(1);
+    const telemetry::PhaseModel model(profile);
+    for (auto _ : state) {
+        auto phases =
+            model.generate(static_cast<double>(state.range(0)), rng);
+        benchmark::DoNotOptimize(phases);
+    }
+}
+BENCHMARK(BM_PhaseGeneration)->Arg(1800)->Arg(36000)->Arg(345600);
+
+} // namespace
+
+AIWC_BENCH_MAIN("Fig. 6 (active/idle phases)", printFigure)

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Fig. 7: within-active-phase utilization CoVs (a) and the radar of
+ * single-resource bottleneck fractions (b).
+ */
+
+#include "bench_common.hh"
+
+#include "aiwc/core/bottleneck_analyzer.hh"
+#include "aiwc/core/phase_analyzer.hh"
+#include "aiwc/core/report_writer.hh"
+
+namespace
+{
+
+using namespace aiwc;
+namespace paper = core::paper;
+
+void
+printFigure(std::ostream &os)
+{
+    const auto phases = core::PhaseAnalyzer().analyze(bench::dataset());
+    bench::Comparison a("Fig. 7a: active-phase utilization CoV (%)");
+    a.row("SM median", paper::active_sm_cov_median_pct,
+          phases.active_sm_cov_pct.quantile(0.5));
+    a.row("memBW median", paper::active_membw_cov_median_pct,
+          phases.active_membw_cov_pct.quantile(0.5));
+    a.row("memsize median", paper::active_memsize_cov_median_pct,
+          phases.active_memsize_cov_pct.quantile(0.5));
+    a.row("SM p75 (paper: >=23)", paper::sm_cov_p75_pct,
+          phases.active_sm_cov_pct.quantile(0.75));
+    a.print(os);
+
+    const auto bn = core::BottleneckAnalyzer().analyze(bench::dataset());
+    bench::Comparison b("Fig. 7b: bottlenecked jobs (%)");
+    b.row("SM", 100.0 * paper::sm_bottleneck_frac,
+          100.0 * bn.single_of(Resource::Sm));
+    b.row("memory BW (~0)", 100.0 * paper::membw_bottleneck_frac,
+          100.0 * bn.single_of(Resource::MemoryBw));
+    b.print(os);
+
+    core::ReportWriter writer(os);
+    writer.print(phases);
+    writer.print(bn);
+}
+
+void
+BM_BottleneckAnalysis(benchmark::State &state)
+{
+    const core::BottleneckAnalyzer analyzer;
+    for (auto _ : state) {
+        auto report = analyzer.analyze(bench::dataset());
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_BottleneckAnalysis)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AIWC_BENCH_MAIN("Fig. 7 (variability & bottleneck radar)", printFigure)

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 8: single-resource bottleneck fractions (a) and two-resource
+ * co-bottlenecks (b) — the Rx&SM overlap of data staging coinciding
+ * with compute bursts.
+ */
+
+#include "bench_common.hh"
+
+#include "aiwc/core/bottleneck_analyzer.hh"
+#include "aiwc/core/report_writer.hh"
+
+namespace
+{
+
+using namespace aiwc;
+namespace paper = core::paper;
+
+void
+printFigure(std::ostream &os)
+{
+    const auto report =
+        core::BottleneckAnalyzer().analyze(bench::dataset());
+
+    bench::Comparison a("Fig. 8a: single-resource bottlenecks (%)");
+    a.row("SM", 100.0 * paper::sm_bottleneck_frac,
+          100.0 * report.single_of(Resource::Sm));
+    a.row("memory BW (~0)", 100.0 * paper::membw_bottleneck_frac,
+          100.0 * report.single_of(Resource::MemoryBw));
+    a.print(os);
+
+    bench::Comparison b("Fig. 8b: two-resource bottlenecks (%)");
+    b.row("PCIe Rx & SM", 100.0 * paper::rx_and_sm_bottleneck_frac,
+          100.0 * report.pair_of(Resource::PcieRx, Resource::Sm));
+    double worst_pair = 0.0;
+    for (double p : report.pairs)
+        worst_pair = std::max(worst_pair, p);
+    b.row("max pair (paper: <10%)",
+          100.0 * paper::any_pair_bottleneck_max_frac,
+          100.0 * worst_pair);
+    b.print(os);
+
+    core::ReportWriter(os).print(report);
+}
+
+void
+BM_PairScan(benchmark::State &state)
+{
+    const core::BottleneckAnalyzer analyzer;
+    for (auto _ : state) {
+        auto report = analyzer.analyze(bench::dataset());
+        benchmark::DoNotOptimize(report.pairs);
+    }
+}
+BENCHMARK(BM_PairScan)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AIWC_BENCH_MAIN("Fig. 8 (resource bottlenecks)", printFigure)

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Fig. 9: GPU power draw CDFs (a) and the power-cap what-if (b),
+ * extended with the PowerCapPlanner's over-provisioning throughput
+ * analysis (Sec. III takeaway).
+ */
+
+#include "bench_common.hh"
+
+#include "aiwc/core/power_analyzer.hh"
+#include "aiwc/core/report_writer.hh"
+#include "aiwc/opportunity/power_cap_planner.hh"
+
+namespace
+{
+
+using namespace aiwc;
+namespace paper = core::paper;
+
+void
+printFigure(std::ostream &os)
+{
+    const auto report = core::PowerAnalyzer().analyze(bench::dataset());
+
+    bench::Comparison a("Fig. 9a: power draw (W)");
+    a.row("median average", paper::power_avg_median_w,
+          report.avg_watts.quantile(0.5), 0);
+    a.row("median maximum", paper::power_max_median_w,
+          report.max_watts.quantile(0.5), 0);
+    a.print(os);
+
+    bench::Comparison b("Fig. 9b: 150 W cap impact");
+    b.row("unimpacted (%) (paper: >60)",
+          100.0 * paper::cap150_unimpacted_min_frac,
+          100.0 * report.caps[0].unimpacted);
+    b.row("impacted by avg (%) (paper: <10)",
+          100.0 * paper::cap150_avg_impacted_max_frac,
+          100.0 * report.caps[0].impacted_by_avg);
+    b.print(os);
+
+    core::ReportWriter(os).print(report);
+
+    // Over-provisioning what-if (our quantification of the takeaway).
+    const auto plans =
+        opportunity::PowerCapPlanner().plan(bench::dataset());
+    os << "== over-provisioning what-if ==\n";
+    TextTable t({"cap", "GPUs per budget", "weighted slowdown",
+                 "net throughput gain"});
+    for (const auto &p : plans) {
+        t.addRow({formatNumber(p.cap_watts, 0) + " W",
+                  formatNumber(p.gpu_multiplier, 2) + "x",
+                  formatNumber(p.weighted_slowdown, 3) + "x",
+                  formatPercent(p.throughput_gain)});
+    }
+    t.print(os);
+    os << '\n';
+}
+
+void
+BM_PowerAnalysis(benchmark::State &state)
+{
+    const core::PowerAnalyzer analyzer;
+    for (auto _ : state) {
+        auto report = analyzer.analyze(bench::dataset());
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_PowerAnalysis)->Unit(benchmark::kMillisecond);
+
+void
+BM_CapPlanning(benchmark::State &state)
+{
+    const opportunity::PowerCapPlanner planner;
+    for (auto _ : state) {
+        auto plans = planner.plan(bench::dataset());
+        benchmark::DoNotOptimize(plans);
+    }
+}
+BENCHMARK(BM_CapPlanning)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AIWC_BENCH_MAIN("Fig. 9 (power & power capping)", printFigure)

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Fig. 10: per-user average runtime and utilization CDFs.
+ */
+
+#include "bench_common.hh"
+
+#include "aiwc/core/report_writer.hh"
+#include "aiwc/core/user_behavior_analyzer.hh"
+
+namespace
+{
+
+using namespace aiwc;
+namespace paper = core::paper;
+
+void
+printFigure(std::ostream &os)
+{
+    const auto report =
+        core::UserBehaviorAnalyzer().analyze(bench::dataset());
+
+    bench::Comparison a("Fig. 10: per-user averages");
+    a.row("avg runtime p25 (min)", paper::user_avg_runtime_p25_min,
+          report.avg_runtime_min.quantile(0.25), 0);
+    a.row("avg runtime p50 (min)", paper::user_avg_runtime_p50_min,
+          report.avg_runtime_min.quantile(0.50), 0);
+    a.row("avg runtime p75 (min)", paper::user_avg_runtime_p75_min,
+          report.avg_runtime_min.quantile(0.75), 0);
+    a.row("avg SM median (%)", paper::user_avg_sm_median_pct,
+          report.avg_sm_pct.quantile(0.5));
+    a.row("avg memBW median (%)", paper::user_avg_membw_median_pct,
+          report.avg_membw_pct.quantile(0.5));
+    a.row("avg memsize median (%)", paper::user_avg_memsize_median_pct,
+          report.avg_memsize_pct.quantile(0.5));
+    a.row("users > 20% avg SM (%)", 100.0 * paper::user_sm_over20_frac,
+          100.0 * report.avg_sm_pct.tail(20.0));
+    a.row("users > 20% avg memBW (%)",
+          100.0 * paper::user_membw_over20_frac,
+          100.0 * report.avg_membw_pct.tail(20.0));
+    a.print(os);
+
+    core::ReportWriter(os).print(report);
+}
+
+void
+BM_UserSummaries(benchmark::State &state)
+{
+    const core::UserBehaviorAnalyzer analyzer;
+    for (auto _ : state) {
+        auto summaries = analyzer.summarize(bench::dataset());
+        benchmark::DoNotOptimize(summaries);
+    }
+}
+BENCHMARK(BM_UserSummaries)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AIWC_BENCH_MAIN("Fig. 10 (per-user averages)", printFigure)

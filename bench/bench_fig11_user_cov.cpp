@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fig. 11: within-user variability — the CoV of run times and
+ * utilization across each user's jobs ("jobs from the same user are
+ * not a monolith").
+ */
+
+#include "bench_common.hh"
+
+#include "aiwc/core/report_writer.hh"
+#include "aiwc/core/user_behavior_analyzer.hh"
+
+namespace
+{
+
+using namespace aiwc;
+namespace paper = core::paper;
+
+void
+printFigure(std::ostream &os)
+{
+    const auto report =
+        core::UserBehaviorAnalyzer().analyze(bench::dataset());
+
+    bench::Comparison a("Fig. 11: within-user CoV (%)");
+    a.row("runtime p25", paper::user_runtime_cov_p25_pct,
+          report.runtime_cov_pct.quantile(0.25), 0);
+    a.row("runtime p50", paper::user_runtime_cov_p50_pct,
+          report.runtime_cov_pct.quantile(0.50), 0);
+    a.row("runtime p75", paper::user_runtime_cov_p75_pct,
+          report.runtime_cov_pct.quantile(0.75), 0);
+    a.row("SM util median", paper::user_sm_cov_median_pct,
+          report.sm_cov_pct.quantile(0.5), 0);
+    a.row("memBW util median", paper::user_membw_cov_median_pct,
+          report.membw_cov_pct.quantile(0.5), 0);
+    a.row("memsize util median", paper::user_memsize_cov_median_pct,
+          report.memsize_cov_pct.quantile(0.5), 0);
+    a.print(os);
+
+    bench::Comparison c("Sec. IV: activity concentration");
+    c.row("top 5% users' job share (%)",
+          100.0 * paper::top5pct_user_job_share,
+          100.0 * report.top5_job_share);
+    c.row("top 20% users' job share (%)",
+          100.0 * paper::top20pct_user_job_share,
+          100.0 * report.top20_job_share);
+    c.row("median jobs per user", paper::median_jobs_per_user,
+          report.median_jobs_per_user, 0);
+    c.print(os);
+
+    core::ReportWriter(os).print(report);
+}
+
+void
+BM_UserCovAnalysis(benchmark::State &state)
+{
+    const core::UserBehaviorAnalyzer analyzer;
+    for (auto _ : state) {
+        auto report = analyzer.analyze(bench::dataset());
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_UserCovAnalysis)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AIWC_BENCH_MAIN("Fig. 11 (within-user variability)", printFigure)

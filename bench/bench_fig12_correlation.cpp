@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Fig. 12: Spearman correlation of user activity (#jobs, GPU-hours)
+ * against per-user behaviour features. The paper's finding: expert
+ * users utilize better (high positive rho against average SM/memBW),
+ * but are not more predictable (low rho against the CoVs).
+ */
+
+#include "bench_common.hh"
+
+#include "aiwc/core/correlation_analyzer.hh"
+#include "aiwc/core/report_writer.hh"
+
+namespace
+{
+
+using namespace aiwc;
+namespace paper = core::paper;
+
+void
+printFigure(std::ostream &os)
+{
+    const auto report =
+        core::CorrelationAnalyzer().analyze(bench::dataset());
+
+    const auto rho = [&](core::UserFeature f) {
+        return report.by_jobs.features[static_cast<std::size_t>(f)]
+            .coefficient;
+    };
+    bench::Comparison a("Fig. 12: Spearman rho vs #jobs");
+    a.rowText("avg SM util",
+              "high (+" + formatNumber(paper::activity_vs_avg_util_rho_min,
+                                       1) + " or more)",
+              formatNumber(rho(core::UserFeature::AvgSm), 2));
+    a.rowText("avg mem util", "high positive",
+              formatNumber(rho(core::UserFeature::AvgMembw), 2));
+    a.rowText("CoV SM util",
+              "low (< " + formatNumber(paper::activity_vs_cov_rho_max, 1) +
+                  ")",
+              formatNumber(rho(core::UserFeature::CovSm), 2));
+    a.rowText("CoV mem util", "low",
+              formatNumber(rho(core::UserFeature::CovMembw), 2));
+    a.print(os);
+
+    core::ReportWriter(os).print(report);
+}
+
+void
+BM_SpearmanTable(benchmark::State &state)
+{
+    const core::CorrelationAnalyzer analyzer;
+    for (auto _ : state) {
+        auto report = analyzer.analyze(bench::dataset());
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_SpearmanTable)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AIWC_BENCH_MAIN("Fig. 12 (activity/behaviour correlation)", printFigure)

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Fig. 13 / Sec. V: job-size distribution, GPU-hour shares by size,
+ * user multi-GPU reach, and per-size queue waits.
+ */
+
+#include "bench_common.hh"
+
+#include "aiwc/core/multi_gpu_analyzer.hh"
+#include "aiwc/core/report_writer.hh"
+
+namespace
+{
+
+using namespace aiwc;
+namespace paper = core::paper;
+
+void
+printFigure(std::ostream &os)
+{
+    const auto report = core::MultiGpuAnalyzer().analyze(bench::dataset());
+
+    bench::Comparison a("Fig. 13a: job-count shares (%)");
+    a.row("1 GPU", 100.0 * paper::single_gpu_job_frac,
+          100.0 * report.job_fraction[0]);
+    a.row("> 2 GPUs", 100.0 * paper::over2_gpu_job_frac,
+          100.0 * (report.job_fraction[2] + report.job_fraction[3]));
+    a.row(">= 9 GPUs (paper: <1)", 100.0 * paper::over8_gpu_job_frac,
+          100.0 * report.job_fraction[3]);
+    a.print(os);
+
+    bench::Comparison b("Fig. 13b: GPU-hour shares (%)");
+    b.row("multi-GPU jobs", 100.0 * paper::multi_gpu_hour_share,
+          100.0 * (1.0 - report.hour_fraction[0]));
+    b.print(os);
+
+    bench::Comparison u("Sec. V: user multi-GPU reach (%)");
+    u.row(">= 1 multi-GPU job", 100.0 * paper::users_with_multi_gpu,
+          100.0 * report.users_multi);
+    u.row(">= 3 GPUs", 100.0 * paper::users_with_3plus_gpu,
+          100.0 * report.users_3plus);
+    u.row(">= 9 GPUs", 100.0 * paper::users_with_9plus_gpu,
+          100.0 * report.users_9plus);
+    u.print(os);
+
+    bench::Comparison w("Sec. V: median wait by size (s)");
+    w.row("1 GPU", paper::wait_median_1gpu_s, report.median_wait_s[0]);
+    w.row("2 GPUs", paper::wait_median_multi_s, report.median_wait_s[1]);
+    w.row("3-8 GPUs", paper::wait_median_multi_s,
+          report.median_wait_s[2]);
+    w.print(os);
+
+    core::ReportWriter(os).print(report);
+}
+
+void
+BM_MultiGpuAnalysis(benchmark::State &state)
+{
+    const core::MultiGpuAnalyzer analyzer;
+    for (auto _ : state) {
+        auto report = analyzer.analyze(bench::dataset());
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_MultiGpuAnalysis)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AIWC_BENCH_MAIN("Fig. 13 (multi-GPU jobs)", printFigure)

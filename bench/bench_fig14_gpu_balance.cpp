@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 14: utilization balance across the GPUs of multi-GPU jobs —
+ * bimodal with all GPUs counted (the idle-GPU pathology), uniform
+ * once idle GPUs are removed.
+ */
+
+#include "bench_common.hh"
+
+#include "aiwc/core/multi_gpu_analyzer.hh"
+#include "aiwc/core/report_writer.hh"
+
+namespace
+{
+
+using namespace aiwc;
+namespace paper = core::paper;
+
+void
+printFigure(std::ostream &os)
+{
+    const auto report = core::MultiGpuAnalyzer().analyze(bench::dataset());
+
+    bench::Comparison a("Fig. 14a: SM CoV across all GPUs (%)");
+    a.rowText("~50% of jobs near zero", "<10 at p50",
+              formatNumber(report.sm_cov_all_pct.quantile(0.5), 1));
+    a.rowText("~40% of jobs very high", ">=100 at p75",
+              formatNumber(report.sm_cov_all_pct.quantile(0.75), 1));
+    a.row("jobs with half+ GPUs idle (%)",
+          100.0 * paper::multi_gpu_idle_frac,
+          100.0 * report.idle_gpu_job_fraction);
+    a.print(os);
+
+    bench::Comparison b("Fig. 14b: SM CoV across active GPUs (%)");
+    b.rowText("p75 (paper: low)", "low",
+              formatNumber(report.sm_cov_active_pct.quantile(0.75), 1));
+    b.rowText("p90 (paper: low)", "low",
+              formatNumber(report.sm_cov_active_pct.quantile(0.90), 1));
+    b.print(os);
+
+    core::ReportWriter(os).print(report);
+}
+
+void
+BM_AcrossGpuCov(benchmark::State &state)
+{
+    const core::MultiGpuAnalyzer analyzer;
+    for (auto _ : state) {
+        auto report = analyzer.analyze(bench::dataset());
+        benchmark::DoNotOptimize(report.sm_cov_all_pct);
+    }
+}
+BENCHMARK(BM_AcrossGpuCov)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AIWC_BENCH_MAIN("Fig. 14 (per-GPU balance)", printFigure)

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Fig. 15: the algorithm-development life-cycle — job mix (a) and
+ * GPU-hour mix (b). The paper's headline: ~60% of jobs are mature but
+ * only ~39% of GPU-hours; exploratory/development/IDE burn the rest.
+ */
+
+#include "bench_common.hh"
+
+#include "aiwc/core/lifecycle_analyzer.hh"
+#include "aiwc/core/report_writer.hh"
+
+namespace
+{
+
+using namespace aiwc;
+namespace paper = core::paper;
+
+void
+printFigure(std::ostream &os)
+{
+    const auto report = core::LifecycleAnalyzer().analyze(bench::dataset());
+
+    const auto m = [&](Lifecycle c) {
+        return 100.0 * report.job_mix[static_cast<int>(c)];
+    };
+    const auto h = [&](Lifecycle c) {
+        return 100.0 * report.hour_mix[static_cast<int>(c)];
+    };
+
+    bench::Comparison a("Fig. 15a: job mix (%)");
+    a.row("mature", 100.0 * paper::mature_job_frac,
+          m(Lifecycle::Mature));
+    a.row("exploratory", 100.0 * paper::exploratory_job_frac,
+          m(Lifecycle::Exploratory));
+    a.row("development", 100.0 * paper::development_job_frac,
+          m(Lifecycle::Development));
+    a.row("IDE", 100.0 * paper::ide_job_frac, m(Lifecycle::Ide));
+    a.print(os);
+
+    bench::Comparison b("Fig. 15b: GPU-hour mix (%)");
+    b.row("mature", 100.0 * paper::mature_hour_frac,
+          h(Lifecycle::Mature));
+    b.row("exploratory", 100.0 * paper::exploratory_hour_frac,
+          h(Lifecycle::Exploratory));
+    b.row("IDE", 100.0 * paper::ide_hour_frac, h(Lifecycle::Ide));
+    b.print(os);
+
+    bench::Comparison r("Sec. VI: median runtimes (min)");
+    r.row("mature", paper::mature_runtime_median_min,
+          report.median_runtime_min[static_cast<int>(Lifecycle::Mature)],
+          0);
+    r.row("exploratory", paper::exploratory_runtime_median_min,
+          report.median_runtime_min[static_cast<int>(
+              Lifecycle::Exploratory)],
+          0);
+    r.print(os);
+
+    core::ReportWriter(os).print(report);
+}
+
+void
+BM_LifecycleAnalysis(benchmark::State &state)
+{
+    const core::LifecycleAnalyzer analyzer;
+    for (auto _ : state) {
+        auto report = analyzer.analyze(bench::dataset());
+        benchmark::DoNotOptimize(report);
+    }
+}
+BENCHMARK(BM_LifecycleAnalysis)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AIWC_BENCH_MAIN("Fig. 15 (development life-cycle)", printFigure)

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 16: utilization box plots per lifecycle class — development and
+ * IDE jobs reserve GPUs they barely touch (median SM 0%).
+ */
+
+#include "bench_common.hh"
+
+#include "aiwc/core/lifecycle_analyzer.hh"
+#include "aiwc/core/report_writer.hh"
+
+namespace
+{
+
+using namespace aiwc;
+namespace paper = core::paper;
+
+void
+printFigure(std::ostream &os)
+{
+    const auto report = core::LifecycleAnalyzer().analyze(bench::dataset());
+
+    const auto median = [&](Lifecycle c) {
+        return report.sm_pct[static_cast<int>(c)].median;
+    };
+    bench::Comparison a("Fig. 16: median SM utilization (%)");
+    a.row("mature", paper::mature_sm_median_pct,
+          median(Lifecycle::Mature));
+    a.row("exploratory", paper::exploratory_sm_median_pct,
+          median(Lifecycle::Exploratory));
+    a.row("development", paper::development_sm_median_pct,
+          median(Lifecycle::Development));
+    a.row("IDE", paper::ide_sm_median_pct, median(Lifecycle::Ide));
+    a.rowText("IDE q3 (paper: 0%)", "0",
+              formatNumber(
+                  report.sm_pct[static_cast<int>(Lifecycle::Ide)].q3,
+                  1));
+    a.print(os);
+
+    core::ReportWriter(os).print(report);
+}
+
+void
+BM_ClassBoxStats(benchmark::State &state)
+{
+    const core::LifecycleAnalyzer analyzer;
+    for (auto _ : state) {
+        auto report = analyzer.analyze(bench::dataset());
+        benchmark::DoNotOptimize(report.sm_pct);
+    }
+}
+BENCHMARK(BM_ClassBoxStats)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AIWC_BENCH_MAIN("Fig. 16 (utilization by class)", printFigure)

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fig. 17: per-user lifecycle shares of jobs (a) and GPU-hours (b) —
+ * the paradigm shift: most users spend most of their footprint on
+ * non-mature work.
+ */
+
+#include "bench_common.hh"
+
+#include <algorithm>
+
+#include "aiwc/core/lifecycle_analyzer.hh"
+#include "aiwc/core/report_writer.hh"
+
+namespace
+{
+
+using namespace aiwc;
+namespace paper = core::paper;
+
+void
+printFigure(std::ostream &os)
+{
+    const auto report = core::LifecycleAnalyzer().analyze(bench::dataset());
+
+    bench::Comparison a("Fig. 17 headline statistics (%)");
+    a.row("users with mature job share < 40 (paper: >50)",
+          100.0 * paper::users_mature_share_below_40,
+          100.0 * report.usersWithMatureJobShareBelow(0.40));
+    a.row("users with mature GPU-hour share < 20 (paper: >50)",
+          100.0 * paper::users_mature_hours_below_20,
+          100.0 * report.usersWithMatureHourShareBelow(0.20));
+    a.row("users with non-mature hours > 60 (paper: >25)",
+          100.0 * paper::users_nonmature_hours_over_60,
+          100.0 * report.usersWithNonMatureHoursAbove(0.60));
+    a.print(os);
+
+    // The stacked-area series itself: users sorted by mature share,
+    // deciles of the sorted curve.
+    auto users = report.users;
+    std::sort(users.begin(), users.end(),
+              [](const core::UserClassShares &x,
+                 const core::UserClassShares &y) {
+                  return x.job_share[0] < y.job_share[0];
+              });
+    os << "== Fig. 17a series: mature job share across sorted users ==\n";
+    TextTable t({"user percentile", "mature", "exploratory",
+                 "development", "IDE"});
+    for (int d = 0; d <= 10; ++d) {
+        const auto idx = std::min(
+            users.size() - 1, users.size() * static_cast<std::size_t>(d) /
+                                  10);
+        const auto &u = users[idx];
+        t.addRow({formatNumber(d * 10, 0) + "%",
+                  formatPercent(u.job_share[0]),
+                  formatPercent(u.job_share[1]),
+                  formatPercent(u.job_share[2]),
+                  formatPercent(u.job_share[3])});
+    }
+    t.print(os);
+    os << '\n';
+
+    core::ReportWriter(os).print(report);
+}
+
+void
+BM_UserShareScan(benchmark::State &state)
+{
+    const core::LifecycleAnalyzer analyzer;
+    for (auto _ : state) {
+        auto report = analyzer.analyze(bench::dataset());
+        benchmark::DoNotOptimize(report.users);
+    }
+}
+BENCHMARK(BM_UserShareScan)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+AIWC_BENCH_MAIN("Fig. 17 (per-user lifecycle shares)", printFigure)

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Table I: the Supercloud system specification, reproduced from the
+ * cluster factory, plus construction/allocation micro-benchmarks of
+ * the resource model.
+ */
+
+#include "bench_common.hh"
+
+#include "aiwc/sched/placement.hh"
+#include "aiwc/sim/cluster_factory.hh"
+
+namespace
+{
+
+using namespace aiwc;
+
+void
+printTable(std::ostream &os)
+{
+    const sim::ClusterSpec spec = sim::supercloudSpec();
+    sim::printSpec(spec, os);
+
+    bench::Comparison cmp("Table I cross-check");
+    cmp.row("nodes", 224, spec.nodes, 0);
+    cmp.row("GPUs", 448, spec.totalGpus(), 0);
+    cmp.row("CPU cores", 8960, spec.totalCpuCores(), 0);
+    cmp.row("node RAM (GB)", 384, spec.node.ram_gb, 0);
+    cmp.row("GPU RAM (GB)", 32, spec.node.gpu.memory_gb, 0);
+    cmp.row("GPU TDP (W)", 300, spec.node.gpu.tdp_watts, 0);
+    os << '\n';
+    cmp.print(os);
+}
+
+void
+BM_ClusterConstruction(benchmark::State &state)
+{
+    const auto spec = sim::supercloudSpec();
+    for (auto _ : state) {
+        sim::Cluster cluster(spec);
+        benchmark::DoNotOptimize(cluster.freeGpus());
+    }
+}
+BENCHMARK(BM_ClusterConstruction);
+
+void
+BM_PlacementSearch(benchmark::State &state)
+{
+    sim::Cluster cluster(sim::supercloudSpec());
+    sched::DensePlacement placement;
+    sched::JobRequest req;
+    req.id = 1;
+    req.gpus = static_cast<int>(state.range(0));
+    req.cpu_slots = 4 * req.gpus;
+    req.ram_gb = 16.0 * req.gpus;
+    for (auto _ : state) {
+        auto plan = placement.place(cluster, req);
+        benchmark::DoNotOptimize(plan);
+    }
+}
+BENCHMARK(BM_PlacementSearch)->Arg(1)->Arg(2)->Arg(8)->Arg(32);
+
+void
+BM_AllocateReleaseCycle(benchmark::State &state)
+{
+    sim::Cluster cluster(sim::supercloudSpec());
+    sched::DensePlacement placement;
+    sched::JobRequest req;
+    req.id = 1;
+    req.gpus = 2;
+    req.cpu_slots = 8;
+    req.ram_gb = 32.0;
+    for (auto _ : state) {
+        auto plan = placement.place(cluster, req);
+        placement.commit(cluster, 1, *plan);
+        placement.release(cluster, *plan);
+    }
+}
+BENCHMARK(BM_AllocateReleaseCycle);
+
+} // namespace
+
+AIWC_BENCH_MAIN("Table I (system specification)", printTable)

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Capacity planning: an operator's what-if session. Synthesizes a
+ * study slice, then answers two Sec. VIII questions:
+ *
+ *   1. power capping — how many more GPUs the same power budget
+ *      supports per cap level, and at what slowdown;
+ *   2. a two-tier fleet — how much cheaper the fleet gets when
+ *      exploratory/development/IDE work moves to economy GPUs.
+ *
+ * Usage: capacity_planning [scale] [seed]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "aiwc/common/table.hh"
+#include "aiwc/opportunity/multi_tier_planner.hh"
+#include "aiwc/opportunity/power_cap_planner.hh"
+#include "aiwc/workload/trace_synthesizer.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace aiwc;
+
+    workload::SynthesisOptions options;
+    options.scale = argc > 1 ? std::atof(argv[1]) : 0.08;
+    options.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 7;
+
+    const auto profile = workload::CalibrationProfile::supercloud();
+    std::cout << "synthesizing a " << options.scale
+              << "x Supercloud study...\n";
+    const auto result =
+        workload::TraceSynthesizer(profile, options).run();
+    const auto &dataset = result.dataset;
+    std::cout << dataset.gpuJobs().size() << " GPU jobs, "
+              << static_cast<long>(dataset.totalGpuHours())
+              << " GPU-hours\n\n";
+
+    // --- 1. Power capping ---
+    std::cout << "-- power capping (Fig. 9b extended) --\n";
+    const opportunity::PowerCapPlanner power_planner;
+    TextTable caps({"cap", "GPUs per budget", "unimpacted jobs",
+                    "weighted slowdown", "net throughput gain"});
+    for (const auto &plan : power_planner.plan(
+             dataset, {120.0, 150.0, 180.0, 210.0, 250.0})) {
+        caps.addRow({formatNumber(plan.cap_watts, 0) + " W",
+                     formatNumber(plan.gpu_multiplier, 2) + "x",
+                     formatPercent(plan.unimpacted),
+                     formatNumber(plan.weighted_slowdown, 3) + "x",
+                     formatPercent(plan.throughput_gain)});
+    }
+    caps.print(std::cout);
+
+    // --- 2. Two-tier fleet ---
+    std::cout << "\n-- two-tier fleet (Sec. VIII) --\n";
+    TextTable tiers({"economy speed", "economy cost", "hours shifted",
+                     "shifted slowdown", "fleet cost saving"});
+    for (double speed : {0.4, 0.5, 0.6}) {
+        for (double cost : {0.3, 0.4}) {
+            const opportunity::MultiTierPlanner planner(speed, cost);
+            const auto plan = planner.plan(dataset);
+            tiers.addRow({formatNumber(speed, 1) + "x",
+                          formatNumber(cost, 1) + "x",
+                          formatPercent(plan.shifted_hour_fraction),
+                          formatNumber(plan.mean_shifted_slowdown, 2) +
+                              "x",
+                          formatPercent(plan.cost_saving_fraction)});
+        }
+    }
+    tiers.print(std::cout);
+
+    std::cout << "\nReading: even a 150 W cap leaves most jobs "
+                 "untouched (their average draw is far below it), and "
+                 "shifting non-mature work to slower GPUs costs little "
+                 "runtime because those jobs barely use the GPU.\n";
+    return 0;
+}

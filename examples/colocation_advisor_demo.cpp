@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Co-location advisor: replays a synthesized trace through the greedy
+ * space-sharing matcher (Secs. III & VIII) and reports how many
+ * GPU-hours non-contending sharing would reclaim, across interference
+ * thresholds.
+ *
+ * Usage: colocation_advisor_demo [scale] [seed]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "aiwc/common/table.hh"
+#include "aiwc/opportunity/colocation_advisor.hh"
+#include "aiwc/workload/trace_synthesizer.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace aiwc;
+
+    workload::SynthesisOptions options;
+    options.scale = argc > 1 ? std::atof(argv[1]) : 0.08;
+    options.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+
+    const auto profile = workload::CalibrationProfile::supercloud();
+    const auto result =
+        workload::TraceSynthesizer(profile, options).run();
+    const auto &dataset = result.dataset;
+    std::cout << "trace: " << dataset.gpuJobs().size()
+              << " GPU jobs >= 30 s, "
+              << static_cast<long>(dataset.totalGpuHours())
+              << " GPU-hours\n\n";
+
+    std::cout << "-- interference model spot checks --\n";
+    const opportunity::InterferenceModel model;
+    const auto jobs = dataset.gpuJobsWhere(
+        [](const core::JobRecord &j) { return j.gpus == 1; });
+    if (jobs.size() >= 2) {
+        const auto &a = *jobs[0];
+        const auto &b = *jobs[1];
+        std::cout << "job " << a.id << " (SM "
+                  << formatPercent(a.meanUtilization(Resource::Sm))
+                  << ") + job " << b.id << " (SM "
+                  << formatPercent(b.meanUtilization(Resource::Sm))
+                  << "): fits=" << (model.fits(a, b) ? "yes" : "no")
+                  << ", predicted slowdown "
+                  << formatNumber(model.pairSlowdown(a, b), 3)
+                  << "x\n\n";
+    }
+
+    std::cout << "-- greedy co-location replay --\n";
+    TextTable t({"max slowdown", "paired jobs", "GPU-hours saved",
+                 "mean pair slowdown", "p95 pair slowdown"});
+    for (double threshold : {1.02, 1.05, 1.10, 1.20, 1.50}) {
+        const opportunity::ColocationAdvisor advisor({}, threshold);
+        const auto report = advisor.analyze(dataset);
+        t.addRow({formatNumber(threshold, 2) + "x",
+                  formatPercent(report.paired_job_fraction),
+                  formatPercent(report.gpu_hours_saved_fraction),
+                  formatNumber(report.mean_pair_slowdown, 3) + "x",
+                  formatNumber(report.pair_slowdown.quantile(0.95), 3) +
+                      "x"});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nReading: because most jobs leave most of the GPU "
+                 "idle (Fig. 4), even a strict 5% interference budget "
+                 "pairs a large share of single-GPU jobs and reclaims "
+                 "a double-digit percentage of GPU-hours.\n";
+    return 0;
+}

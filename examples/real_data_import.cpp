@@ -1,0 +1,84 @@
+/**
+ * @file
+ * The bring-your-own-data path: export a study as the per-job summary
+ * CSV (the shape a production Slurm + nvidia-smi pipeline produces),
+ * read it back with the CSV loader, and run the characterization on
+ * the loaded dataset — proving a real export can drive every
+ * fleet-level analysis without the synthesizer.
+ *
+ * Usage: real_data_import [scale] [seed] [csv_path]
+ */
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "aiwc/common/table.hh"
+#include "aiwc/core/csv_loader.hh"
+#include "aiwc/core/lifecycle_analyzer.hh"
+#include "aiwc/core/power_analyzer.hh"
+#include "aiwc/core/service_time_analyzer.hh"
+#include "aiwc/workload/trace_synthesizer.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace aiwc;
+
+    workload::SynthesisOptions options;
+    options.scale = argc > 1 ? std::atof(argv[1]) : 0.03;
+    options.seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 21;
+    const char *path = argc > 3 ? argv[3] : nullptr;
+
+    // Stand-in for "your cluster's export": a synthesized study.
+    const auto profile = workload::CalibrationProfile::supercloud();
+    const auto result =
+        workload::TraceSynthesizer(profile, options).run();
+
+    std::stringstream buffer;
+    result.dataset.writeCsv(buffer);
+    if (path) {
+        std::ofstream file(path);
+        file << buffer.str();
+        std::cout << "wrote " << result.dataset.size() << " rows to "
+                  << path << "\n";
+    }
+    std::cout << "export: " << result.dataset.size() << " rows, "
+              << buffer.str().size() / 1024 << " KiB of CSV\n";
+
+    // The import side: no synthesizer, no profiles — just the CSV.
+    const core::Dataset loaded = core::loadDatasetCsv(buffer);
+    std::cout << "import: " << loaded.size() << " records, "
+              << loaded.uniqueUsers() << " users, "
+              << static_cast<long>(loaded.totalGpuHours())
+              << " GPU-hours\n\n";
+
+    const auto service = core::ServiceTimeAnalyzer().analyze(loaded);
+    const auto lifecycle = core::LifecycleAnalyzer().analyze(loaded);
+    const auto power = core::PowerAnalyzer().analyze(loaded);
+
+    TextTable t({"analysis (on imported CSV)", "value"});
+    t.addRow({"GPU runtime median",
+              formatDuration(service.gpu_runtime_min.quantile(0.5) *
+                             60.0)});
+    t.addRow({"GPU jobs waiting < 1 min",
+              formatPercent(service.gpuWaitUnder(60.0))});
+    t.addRow({"mature job share",
+              formatPercent(
+                  lifecycle.job_mix[static_cast<int>(
+                      Lifecycle::Mature)])});
+    t.addRow({"IDE GPU-hour share",
+              formatPercent(lifecycle.hour_mix[static_cast<int>(
+                  Lifecycle::Ide)])});
+    t.addRow({"median avg power",
+              formatNumber(power.avg_watts.quantile(0.5), 0) + " W"});
+    t.addRow({"unimpacted at 150 W cap",
+              formatPercent(power.caps[0].unimpacted)});
+    t.print(std::cout);
+
+    std::cout << "\nWhat a summary CSV cannot carry: per-GPU balance "
+                 "(Fig. 14) and 100 ms phase statistics (Figs. 6-7a) "
+                 "need the detailed telemetry path.\n";
+    return 0;
+}

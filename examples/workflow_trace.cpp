@@ -1,0 +1,89 @@
+/**
+ * @file
+ * One user's project diary: walks the Fig. 2 development workflow as a
+ * Markov chain, gives every job a class-appropriate shape, samples its
+ * GPU and host telemetry, and prints the resulting timeline — the
+ * micro view behind the fleet-level Figs. 15-17.
+ *
+ * Usage: workflow_trace [jobs] [seed]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "aiwc/common/table.hh"
+#include "aiwc/telemetry/cpu_sampler.hh"
+#include "aiwc/telemetry/sampler.hh"
+#include "aiwc/workload/job_generator.hh"
+#include "aiwc/workload/workflow_model.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace aiwc;
+
+    const auto jobs = static_cast<std::size_t>(
+        argc > 1 ? std::atoi(argv[1]) : 14);
+    Rng rng(argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4);
+
+    const auto profile = workload::CalibrationProfile::supercloud();
+    const workload::JobGenerator generator(profile);
+    const workload::WorkflowModel workflow;
+
+    workload::UserProfile user;
+    user.id = 0;
+    user.util_scale = 1.0;
+    user.runtime_scale = 1.0;
+    user.tier = workload::GpuTier::TwoGpu;
+    user.multi_gpu_prob = 0.2;
+
+    const telemetry::PowerModel power;
+    const telemetry::GpuSampler gpu_sampler(power,
+                                            profile.monitoring);
+    const telemetry::CpuSampler cpu_sampler;
+
+    std::cout << "a " << jobs
+              << "-job project walk through the Fig. 2 workflow\n\n";
+    TextTable t({"#", "stage", "gpus", "runtime", "end", "SM mean",
+                 "host CPU", "power mean"});
+
+    Seconds clock = 0.0;
+    const auto stages = workflow.session(jobs, rng);
+    for (std::size_t i = 0; i < stages.size(); ++i) {
+        const auto job = generator.gpuJob(user, clock,
+                                          static_cast<JobId>(i), rng,
+                                          stages[i]);
+        const double runtime = job.request.observedDuration();
+        const auto tele =
+            gpu_sampler.sampleJob(job.profile, runtime, false);
+
+        telemetry::HostProfile host;
+        host.cpu_slots = job.request.cpu_slots;
+        host.busy_slots_mean = 0.4 * job.request.cpu_slots;
+        host.idle_busy_slots_mean = 0.05 * job.request.cpu_slots;
+        host.seed = 100 + i;
+        const auto host_tele =
+            cpu_sampler.sampleJob(host, &job.profile, runtime);
+
+        t.addRow({formatNumber(static_cast<double>(i), 0),
+                  toString(stages[i]),
+                  formatNumber(job.request.gpus, 0),
+                  formatDuration(runtime),
+                  toString(job.request.observedEnd()),
+                  formatPercent(tele.per_gpu[0].sm.mean()),
+                  formatPercent(host_tele.cpu_util.mean()),
+                  formatNumber(tele.per_gpu[0].power_watts.mean(), 0) +
+                      " W"});
+        // The next job starts after this one plus some think time.
+        clock += runtime + rng.uniform(300.0, 7200.0);
+    }
+    t.print(std::cout);
+
+    const auto pi = workflow.stationary();
+    std::cout << "\nlong-run stage mix of this workflow: mature "
+              << formatPercent(pi[0]) << ", exploratory "
+              << formatPercent(pi[1]) << ", development "
+              << formatPercent(pi[2]) << ", IDE " << formatPercent(pi[3])
+              << " (Fig. 15a: 59.5% / 18% / 19% / 3.5%)\n";
+    return 0;
+}

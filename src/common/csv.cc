@@ -1,0 +1,82 @@
+#include "aiwc/common/csv.hh"
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc
+{
+
+CsvWriter::CsvWriter(std::ostream &os, const std::vector<std::string> &header)
+    : os_(os), columns_(header.size())
+{
+    AIWC_ASSERT(columns_ > 0, "CSV needs at least one column");
+    for (std::size_t i = 0; i < header.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << escape(header[i]);
+    }
+    os_ << '\n';
+}
+
+void
+CsvWriter::writeRow(const std::vector<std::string> &cells)
+{
+    AIWC_ASSERT(cells.size() == columns_, "CSV row width mismatch");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i)
+            os_ << ',';
+        os_ << escape(cells[i]);
+    }
+    os_ << '\n';
+    ++rows_;
+}
+
+std::vector<std::string>
+parseCsvLine(const std::string &line)
+{
+    std::vector<std::string> cells;
+    std::string cell;
+    bool quoted = false;
+    for (std::size_t i = 0; i < line.size(); ++i) {
+        const char ch = line[i];
+        if (quoted) {
+            if (ch == '"') {
+                if (i + 1 < line.size() && line[i + 1] == '"') {
+                    cell += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                cell += ch;
+            }
+        } else if (ch == '"') {
+            quoted = true;
+        } else if (ch == ',') {
+            cells.push_back(std::move(cell));
+            cell.clear();
+        } else if (ch != '\r') {
+            cell += ch;
+        }
+    }
+    cells.push_back(std::move(cell));
+    return cells;
+}
+
+std::string
+CsvWriter::escape(const std::string &cell)
+{
+    const bool needs_quotes =
+        cell.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace aiwc

@@ -1,0 +1,45 @@
+#include "aiwc/common/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aiwc
+{
+
+namespace
+{
+LogLevel global_level = LogLevel::Info;
+}
+
+void
+setLogLevel(LogLevel level)
+{
+    global_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return global_level;
+}
+
+namespace detail
+{
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "[aiwc:%s] %s\n", tag, msg.c_str());
+}
+
+void
+die(const char *tag, const std::string &msg, bool abrt)
+{
+    std::fprintf(stderr, "[aiwc:%s] %s\n", tag, msg.c_str());
+    if (abrt)
+        std::abort();
+    std::exit(1);
+}
+
+} // namespace detail
+} // namespace aiwc

@@ -1,0 +1,79 @@
+#include "aiwc/core/bottleneck_analyzer.hh"
+
+#include <algorithm>
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::core
+{
+
+std::size_t
+BottleneckReport::pairIndex(std::size_t i, std::size_t j)
+{
+    AIWC_ASSERT(i < j && j < bottleneck_resources.size(),
+                "bad bottleneck pair (", i, ",", j, ")");
+    // Row-major upper triangle of a 5x5 matrix without the diagonal.
+    return i * (2 * bottleneck_resources.size() - i - 1) / 2 + (j - i - 1);
+}
+
+namespace
+{
+std::size_t
+positionOf(Resource r)
+{
+    for (std::size_t i = 0; i < bottleneck_resources.size(); ++i)
+        if (bottleneck_resources[i] == r)
+            return i;
+    panic("resource has no bottleneck position");
+}
+} // namespace
+
+double
+BottleneckReport::single_of(Resource r) const
+{
+    return single[positionOf(r)];
+}
+
+double
+BottleneckReport::pair_of(Resource a, Resource b) const
+{
+    auto i = positionOf(a);
+    auto j = positionOf(b);
+    if (i > j)
+        std::swap(i, j);
+    return pairs[pairIndex(i, j)];
+}
+
+BottleneckReport
+BottleneckAnalyzer::analyze(const Dataset &dataset) const
+{
+    BottleneckReport report;
+    const auto jobs = dataset.gpuJobs();
+    report.jobs = jobs.size();
+    if (jobs.empty())
+        return report;
+
+    for (const JobRecord *job : jobs) {
+        std::array<bool, 5> hit{};
+        for (std::size_t i = 0; i < bottleneck_resources.size(); ++i) {
+            hit[i] = job->maxUtilization(bottleneck_resources[i]) >=
+                     threshold_;
+        }
+        for (std::size_t i = 0; i < hit.size(); ++i) {
+            if (!hit[i])
+                continue;
+            report.single[i] += 1.0;
+            for (std::size_t j = i + 1; j < hit.size(); ++j)
+                if (hit[j])
+                    report.pairs[BottleneckReport::pairIndex(i, j)] += 1.0;
+        }
+    }
+    const auto n = static_cast<double>(jobs.size());
+    for (auto &s : report.single)
+        s /= n;
+    for (auto &p : report.pairs)
+        p /= n;
+    return report;
+}
+
+} // namespace aiwc::core

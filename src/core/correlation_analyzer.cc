@@ -1,0 +1,60 @@
+#include "aiwc/core/correlation_analyzer.hh"
+
+namespace aiwc::core
+{
+
+const char *
+toString(UserFeature f)
+{
+    switch (f) {
+      case UserFeature::AvgRuntime: return "avg runtime";
+      case UserFeature::AvgSm: return "avg SM util";
+      case UserFeature::AvgMembw: return "avg mem util";
+      case UserFeature::CovRuntime: return "CoV runtime";
+      case UserFeature::CovSm: return "CoV SM util";
+      case UserFeature::CovMembw: return "CoV mem util";
+    }
+    return "?";
+}
+
+CorrelationReport
+CorrelationAnalyzer::analyze(const Dataset &dataset) const
+{
+    const UserBehaviorAnalyzer behaviour;
+    return analyze(behaviour.summarize(dataset));
+}
+
+CorrelationReport
+CorrelationAnalyzer::analyze(
+    const std::vector<UserSummary> &summaries) const
+{
+    std::vector<double> jobs, hours;
+    std::array<std::vector<double>, num_user_features> features;
+    for (const auto &u : summaries) {
+        if (u.jobs < min_jobs_)
+            continue;
+        jobs.push_back(static_cast<double>(u.jobs));
+        hours.push_back(u.gpu_hours);
+        features[0].push_back(u.avg_runtime_min);
+        features[1].push_back(u.avg_sm_pct);
+        features[2].push_back(u.avg_membw_pct);
+        features[3].push_back(u.runtime_cov_pct);
+        features[4].push_back(u.sm_cov_pct);
+        features[5].push_back(u.membw_cov_pct);
+    }
+
+    CorrelationReport report;
+    report.users = jobs.size();
+    report.by_jobs.activity = "#jobs";
+    report.by_gpu_hours.activity = "GPU-hours";
+    for (int f = 0; f < num_user_features; ++f) {
+        const auto idx = static_cast<std::size_t>(f);
+        report.by_jobs.features[idx] =
+            stats::spearman(jobs, features[idx]);
+        report.by_gpu_hours.features[idx] =
+            stats::spearman(hours, features[idx]);
+    }
+    return report;
+}
+
+} // namespace aiwc::core

@@ -1,0 +1,145 @@
+#include "aiwc/core/csv_loader.hh"
+
+#include <cstdlib>
+#include <string>
+
+#include "aiwc/common/csv.hh"
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::core
+{
+
+Interface
+interfaceFromString(const std::string &name)
+{
+    for (int i = 0; i < num_interfaces; ++i) {
+        const auto iface = static_cast<Interface>(i);
+        if (name == toString(iface))
+            return iface;
+    }
+    fatal("unknown interface name in CSV: '", name, "'");
+}
+
+TerminalState
+terminalFromString(const std::string &name)
+{
+    for (int i = 0; i <= static_cast<int>(TerminalState::NodeFailure);
+         ++i) {
+        const auto state = static_cast<TerminalState>(i);
+        if (name == toString(state))
+            return state;
+    }
+    fatal("unknown terminal state in CSV: '", name, "'");
+}
+
+namespace
+{
+
+/** Column order of Dataset::writeCsv. */
+enum Column : std::size_t
+{
+    kJobId,
+    kUser,
+    kInterface,
+    kTerminal,
+    kSubmit,
+    kStart,
+    kEnd,
+    kGpus,
+    kCpuSlots,
+    kRamGb,
+    kSmMean,
+    kSmMax,
+    kMembwMean,
+    kMembwMax,
+    kMemsizeMean,
+    kMemsizeMax,
+    kPcieTxMean,
+    kPcieRxMean,
+    kPowerMeanW,
+    kPowerMaxW,
+    kColumns,
+};
+
+double
+num(const std::vector<std::string> &cells, Column c)
+{
+    return std::strtod(cells[c].c_str(), nullptr);
+}
+
+/** Rebuild a metric summary from (mean, max); min defaults to 0. */
+stats::RunningSummary
+metric(double mean, double max)
+{
+    // One nominal sample per known statistic; exact mean/max are what
+    // the analyzers consume.
+    const double lo = std::min(0.0, mean);
+    return stats::RunningSummary::fromMoments(2, lo, mean,
+                                              std::max(mean, max));
+}
+
+} // namespace
+
+Dataset
+loadDatasetCsv(std::istream &is)
+{
+    std::string line;
+    if (!std::getline(is, line))
+        fatal("empty CSV: no header");
+    const auto header = parseCsvLine(line);
+    if (header.size() != kColumns || header[0] != "job_id")
+        fatal("unrecognized dataset CSV header (", header.size(),
+              " columns)");
+
+    Dataset dataset;
+    std::size_t line_no = 1;
+    while (std::getline(is, line)) {
+        ++line_no;
+        if (line.empty())
+            continue;
+        const auto cells = parseCsvLine(line);
+        if (cells.size() != kColumns) {
+            warn("skipping CSV line ", line_no, ": expected ",
+                 static_cast<std::size_t>(kColumns), " cells, got ",
+                 cells.size());
+            continue;
+        }
+
+        JobRecord r;
+        r.id = static_cast<JobId>(
+            std::strtoul(cells[kJobId].c_str(), nullptr, 10));
+        r.user = static_cast<UserId>(
+            std::strtoul(cells[kUser].c_str(), nullptr, 10));
+        r.interface = interfaceFromString(cells[kInterface]);
+        r.terminal = terminalFromString(cells[kTerminal]);
+        r.submit_time = num(cells, kSubmit);
+        r.start_time = num(cells, kStart);
+        r.end_time = num(cells, kEnd);
+        r.gpus = static_cast<int>(num(cells, kGpus));
+        r.cpu_slots = static_cast<int>(num(cells, kCpuSlots));
+        r.ram_gb = num(cells, kRamGb);
+
+        if (r.gpus > 0) {
+            // The summary CSV carries the across-GPU average; fan it
+            // back out so meanUtilization()/maxUtilization() agree
+            // with the original values.
+            GpuUsageSummary s;
+            s.sm = metric(num(cells, kSmMean), num(cells, kSmMax));
+            s.membw =
+                metric(num(cells, kMembwMean), num(cells, kMembwMax));
+            s.memsize = metric(num(cells, kMemsizeMean),
+                               num(cells, kMemsizeMax));
+            s.pcie_tx = metric(num(cells, kPcieTxMean),
+                               num(cells, kPcieTxMean));
+            s.pcie_rx = metric(num(cells, kPcieRxMean),
+                               num(cells, kPcieRxMean));
+            s.power_watts = metric(num(cells, kPowerMeanW),
+                                   num(cells, kPowerMaxW));
+            r.per_gpu.assign(static_cast<std::size_t>(r.gpus), s);
+        }
+        dataset.add(std::move(r));
+    }
+    return dataset;
+}
+
+} // namespace aiwc::core

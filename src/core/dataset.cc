@@ -1,0 +1,118 @@
+#include "aiwc/core/dataset.hh"
+
+#include <unordered_set>
+
+#include "aiwc/common/csv.hh"
+#include "aiwc/common/table.hh"
+
+namespace aiwc::core
+{
+
+Dataset::Dataset(std::vector<JobRecord> records)
+    : records_(std::move(records))
+{
+}
+
+void
+Dataset::add(JobRecord record)
+{
+    records_.push_back(std::move(record));
+}
+
+std::vector<const JobRecord *>
+Dataset::gpuJobs(Seconds min_runtime) const
+{
+    std::vector<const JobRecord *> out;
+    out.reserve(records_.size());
+    for (const auto &r : records_)
+        if (r.isGpuJob() && r.runTime() >= min_runtime)
+            out.push_back(&r);
+    return out;
+}
+
+std::vector<const JobRecord *>
+Dataset::cpuJobs() const
+{
+    std::vector<const JobRecord *> out;
+    for (const auto &r : records_)
+        if (!r.isGpuJob())
+            out.push_back(&r);
+    return out;
+}
+
+std::vector<const JobRecord *>
+Dataset::gpuJobsWhere(const std::function<bool(const JobRecord &)> &pred,
+                      Seconds min_runtime) const
+{
+    std::vector<const JobRecord *> out;
+    for (const auto &r : records_)
+        if (r.isGpuJob() && r.runTime() >= min_runtime && pred(r))
+            out.push_back(&r);
+    return out;
+}
+
+std::map<UserId, std::vector<const JobRecord *>>
+Dataset::gpuJobsByUser(Seconds min_runtime) const
+{
+    std::map<UserId, std::vector<const JobRecord *>> out;
+    for (const auto &r : records_)
+        if (r.isGpuJob() && r.runTime() >= min_runtime)
+            out[r.user].push_back(&r);
+    return out;
+}
+
+std::size_t
+Dataset::uniqueUsers() const
+{
+    std::unordered_set<UserId> users;
+    for (const auto &r : records_)
+        users.insert(r.user);
+    return users.size();
+}
+
+double
+Dataset::totalGpuHours(Seconds min_runtime) const
+{
+    double acc = 0.0;
+    for (const auto &r : records_)
+        if (r.isGpuJob() && r.runTime() >= min_runtime)
+            acc += r.gpuHours();
+    return acc;
+}
+
+void
+Dataset::writeCsv(std::ostream &os) const
+{
+    CsvWriter csv(os, {"job_id", "user", "interface", "terminal",
+                       "submit_s", "start_s", "end_s", "gpus",
+                       "cpu_slots", "ram_gb", "sm_mean", "sm_max",
+                       "membw_mean", "membw_max", "memsize_mean",
+                       "memsize_max", "pcie_tx_mean", "pcie_rx_mean",
+                       "power_mean_w", "power_max_w"});
+    for (const auto &r : records_) {
+        csv.writeRow({
+            formatNumber(r.id, 0),
+            formatNumber(r.user, 0),
+            toString(r.interface),
+            toString(r.terminal),
+            formatNumber(r.submit_time, 1),
+            formatNumber(r.start_time, 1),
+            formatNumber(r.end_time, 1),
+            formatNumber(r.gpus, 0),
+            formatNumber(r.cpu_slots, 0),
+            formatNumber(r.ram_gb, 1),
+            formatNumber(r.meanUtilization(Resource::Sm), 4),
+            formatNumber(r.maxUtilization(Resource::Sm), 4),
+            formatNumber(r.meanUtilization(Resource::MemoryBw), 4),
+            formatNumber(r.maxUtilization(Resource::MemoryBw), 4),
+            formatNumber(r.meanUtilization(Resource::MemorySize), 4),
+            formatNumber(r.maxUtilization(Resource::MemorySize), 4),
+            formatNumber(r.meanUtilization(Resource::PcieTx), 4),
+            formatNumber(r.meanUtilization(Resource::PcieRx), 4),
+            formatNumber(r.meanPowerWatts(), 1),
+            formatNumber(r.maxPowerWatts(), 1),
+        });
+    }
+}
+
+} // namespace aiwc::core

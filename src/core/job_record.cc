@@ -1,0 +1,79 @@
+#include "aiwc/core/job_record.hh"
+
+#include <algorithm>
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::core
+{
+
+const stats::RunningSummary &
+GpuUsageSummary::byResource(Resource r) const
+{
+    switch (r) {
+      case Resource::Sm: return sm;
+      case Resource::MemoryBw: return membw;
+      case Resource::MemorySize: return memsize;
+      case Resource::PcieTx: return pcie_tx;
+      case Resource::PcieRx: return pcie_rx;
+      case Resource::Power: return power_watts;
+    }
+    panic("unknown resource");
+}
+
+stats::RunningSummary &
+GpuUsageSummary::byResource(Resource r)
+{
+    return const_cast<stats::RunningSummary &>(
+        static_cast<const GpuUsageSummary &>(*this).byResource(r));
+}
+
+bool
+GpuUsageSummary::idle(double sm_threshold) const
+{
+    return sm.mean() <= sm_threshold && membw.mean() <= sm_threshold;
+}
+
+double
+JobRecord::meanUtilization(Resource r) const
+{
+    if (per_gpu.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (const auto &g : per_gpu)
+        acc += g.byResource(r).mean();
+    return acc / static_cast<double>(per_gpu.size());
+}
+
+double
+JobRecord::maxUtilization(Resource r) const
+{
+    double m = 0.0;
+    for (const auto &g : per_gpu)
+        m = std::max(m, g.byResource(r).max());
+    return m;
+}
+
+double
+JobRecord::meanPowerWatts() const
+{
+    return meanUtilization(Resource::Power);
+}
+
+double
+JobRecord::maxPowerWatts() const
+{
+    return maxUtilization(Resource::Power);
+}
+
+int
+JobRecord::idleGpuCount(double sm_threshold) const
+{
+    int n = 0;
+    for (const auto &g : per_gpu)
+        if (g.idle(sm_threshold))
+            ++n;
+    return n;
+}
+
+} // namespace aiwc::core

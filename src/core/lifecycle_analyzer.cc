@@ -1,0 +1,113 @@
+#include "aiwc/core/lifecycle_analyzer.hh"
+
+#include <map>
+
+namespace aiwc::core
+{
+
+double
+LifecycleReport::usersWithMatureJobShareBelow(double frac) const
+{
+    if (users.empty())
+        return 0.0;
+    std::size_t n = 0;
+    for (const auto &u : users)
+        if (u.job_share[static_cast<std::size_t>(Lifecycle::Mature)] <
+            frac)
+            ++n;
+    return static_cast<double>(n) / static_cast<double>(users.size());
+}
+
+double
+LifecycleReport::usersWithMatureHourShareBelow(double frac) const
+{
+    if (users.empty())
+        return 0.0;
+    std::size_t n = 0;
+    for (const auto &u : users)
+        if (u.hour_share[static_cast<std::size_t>(Lifecycle::Mature)] <
+            frac)
+            ++n;
+    return static_cast<double>(n) / static_cast<double>(users.size());
+}
+
+double
+LifecycleReport::usersWithNonMatureHoursAbove(double frac) const
+{
+    if (users.empty())
+        return 0.0;
+    std::size_t n = 0;
+    for (const auto &u : users) {
+        const double mature =
+            u.hour_share[static_cast<std::size_t>(Lifecycle::Mature)];
+        if (1.0 - mature > frac)
+            ++n;
+    }
+    return static_cast<double>(n) / static_cast<double>(users.size());
+}
+
+LifecycleReport
+LifecycleAnalyzer::analyze(const Dataset &dataset) const
+{
+    LifecycleReport report;
+    const auto jobs = dataset.gpuJobs();
+    if (jobs.empty())
+        return report;
+
+    std::array<double, num_lifecycles> count{};
+    std::array<double, num_lifecycles> hours{};
+    std::array<std::vector<double>, num_lifecycles> runtimes;
+    std::array<std::vector<double>, num_lifecycles> sm, membw, memsize;
+    std::map<UserId, UserClassShares> per_user;
+
+    double total_hours = 0.0;
+    for (const JobRecord *job : jobs) {
+        const Lifecycle c = classifier_.classify(*job);
+        const auto i = static_cast<std::size_t>(c);
+        count[i] += 1.0;
+        hours[i] += job->gpuHours();
+        total_hours += job->gpuHours();
+        runtimes[i].push_back(job->runTime() / 60.0);
+        sm[i].push_back(100.0 * job->meanUtilization(Resource::Sm));
+        membw[i].push_back(100.0 *
+                           job->meanUtilization(Resource::MemoryBw));
+        memsize[i].push_back(100.0 *
+                             job->meanUtilization(Resource::MemorySize));
+
+        auto &u = per_user[job->user];
+        u.user = job->user;
+        ++u.jobs;
+        u.gpu_hours += job->gpuHours();
+        u.job_share[i] += 1.0;
+        u.hour_share[i] += job->gpuHours();
+    }
+
+    const auto n = static_cast<double>(jobs.size());
+    for (int c = 0; c < num_lifecycles; ++c) {
+        const auto i = static_cast<std::size_t>(c);
+        report.job_mix[i] = count[i] / n;
+        report.hour_mix[i] =
+            total_hours > 0.0 ? hours[i] / total_hours : 0.0;
+        report.median_runtime_min[i] =
+            stats::percentile(std::move(runtimes[i]), 0.5);
+        report.sm_pct[i] = stats::BoxStats::from(std::move(sm[i]));
+        report.membw_pct[i] = stats::BoxStats::from(std::move(membw[i]));
+        report.memsize_pct[i] =
+            stats::BoxStats::from(std::move(memsize[i]));
+    }
+
+    report.users.reserve(per_user.size());
+    for (auto &[user, shares] : per_user) {
+        const auto user_jobs = static_cast<double>(shares.jobs);
+        for (auto &s : shares.job_share)
+            s /= user_jobs;
+        if (shares.gpu_hours > 0.0) {
+            for (auto &s : shares.hour_share)
+                s /= shares.gpu_hours;
+        }
+        report.users.push_back(std::move(shares));
+    }
+    return report;
+}
+
+} // namespace aiwc::core

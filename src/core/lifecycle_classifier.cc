@@ -1,0 +1,69 @@
+#include "aiwc/core/lifecycle_classifier.hh"
+
+namespace aiwc::core
+{
+
+Lifecycle
+LifecycleClassifier::classify(const JobRecord &job) const
+{
+    switch (job.terminal) {
+      case TerminalState::Completed:
+        return Lifecycle::Mature;
+      case TerminalState::Cancelled:
+        return Lifecycle::Exploratory;
+      case TerminalState::Failed:
+      case TerminalState::NodeFailure:
+        // Hardware losses are <0.5% of jobs (Sec. II); like the paper,
+        // we fold them into the failed/development bucket.
+        return Lifecycle::Development;
+      case TerminalState::TimedOut:
+        return Lifecycle::Ide;
+    }
+    return Lifecycle::Mature;
+}
+
+std::array<double, num_lifecycles>
+LifecycleClassifier::jobMix(const Dataset &dataset) const
+{
+    std::array<double, num_lifecycles> mix{};
+    const auto jobs = dataset.gpuJobs();
+    if (jobs.empty())
+        return mix;
+    for (const JobRecord *job : jobs)
+        mix[static_cast<std::size_t>(classify(*job))] += 1.0;
+    for (auto &m : mix)
+        m /= static_cast<double>(jobs.size());
+    return mix;
+}
+
+std::array<double, num_lifecycles>
+LifecycleClassifier::gpuHourMix(const Dataset &dataset) const
+{
+    std::array<double, num_lifecycles> mix{};
+    double total = 0.0;
+    for (const JobRecord *job : dataset.gpuJobs()) {
+        const double hours = job->gpuHours();
+        mix[static_cast<std::size_t>(classify(*job))] += hours;
+        total += hours;
+    }
+    if (total > 0.0) {
+        for (auto &m : mix)
+            m /= total;
+    }
+    return mix;
+}
+
+double
+LifecycleClassifier::accuracyAgainstTruth(const Dataset &dataset) const
+{
+    const auto jobs = dataset.gpuJobs();
+    if (jobs.empty())
+        return 1.0;
+    std::size_t agree = 0;
+    for (const JobRecord *job : jobs)
+        if (classify(*job) == job->true_class)
+            ++agree;
+    return static_cast<double>(agree) / static_cast<double>(jobs.size());
+}
+
+} // namespace aiwc::core

@@ -1,0 +1,45 @@
+#include "aiwc/core/phase_analyzer.hh"
+
+#include "aiwc/stats/descriptive.hh"
+
+namespace aiwc::core
+{
+
+PhaseReport
+PhaseAnalyzer::analyze(const Dataset &dataset) const
+{
+    std::vector<double> active_frac, idle_cov, active_cov, sm_cov,
+        membw_cov, memsize_cov;
+
+    for (const JobRecord *job : dataset.gpuJobs()) {
+        if (!job->has_timeseries)
+            continue;
+        const PhaseStats &ps = job->phases;
+        active_frac.push_back(100.0 * ps.active_fraction);
+        if (ps.idle_intervals.size() >= min_intervals_)
+            idle_cov.push_back(stats::covPercent(ps.idle_intervals));
+        if (ps.active_intervals.size() >= min_intervals_)
+            active_cov.push_back(stats::covPercent(ps.active_intervals));
+        if (!ps.active_intervals.empty()) {
+            sm_cov.push_back(ps.active_sm_cov);
+            membw_cov.push_back(ps.active_membw_cov);
+            memsize_cov.push_back(ps.active_memsize_cov);
+        }
+    }
+
+    PhaseReport report;
+    report.jobs = active_frac.size();
+    report.active_fraction_pct =
+        stats::EmpiricalCdf(std::move(active_frac));
+    report.idle_interval_cov_pct = stats::EmpiricalCdf(std::move(idle_cov));
+    report.active_interval_cov_pct =
+        stats::EmpiricalCdf(std::move(active_cov));
+    report.active_sm_cov_pct = stats::EmpiricalCdf(std::move(sm_cov));
+    report.active_membw_cov_pct =
+        stats::EmpiricalCdf(std::move(membw_cov));
+    report.active_memsize_cov_pct =
+        stats::EmpiricalCdf(std::move(memsize_cov));
+    return report;
+}
+
+} // namespace aiwc::core

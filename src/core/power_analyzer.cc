@@ -1,0 +1,30 @@
+#include "aiwc/core/power_analyzer.hh"
+
+namespace aiwc::core
+{
+
+PowerReport
+PowerAnalyzer::analyze(const Dataset &dataset) const
+{
+    std::vector<double> avg, mx;
+    for (const JobRecord *job : dataset.gpuJobs()) {
+        avg.push_back(job->meanPowerWatts());
+        mx.push_back(job->maxPowerWatts());
+    }
+
+    PowerReport report;
+    report.avg_watts = stats::EmpiricalCdf(std::move(avg));
+    report.max_watts = stats::EmpiricalCdf(std::move(mx));
+
+    for (double cap : caps_) {
+        PowerCapImpact impact;
+        impact.cap_watts = cap;
+        impact.unimpacted = report.max_watts.at(cap);
+        impact.impacted_by_max = report.max_watts.tail(cap);
+        impact.impacted_by_avg = report.avg_watts.tail(cap);
+        report.caps.push_back(impact);
+    }
+    return report;
+}
+
+} // namespace aiwc::core

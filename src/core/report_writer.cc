@@ -1,0 +1,324 @@
+#include "aiwc/core/report_writer.hh"
+
+#include "aiwc/common/table.hh"
+
+namespace aiwc::core
+{
+
+namespace
+{
+
+/** One row of quantiles for a CDF, formatted with `precision`. */
+std::vector<std::string>
+quantileRow(const std::string &label, const stats::EmpiricalCdf &cdf,
+            int precision = 1)
+{
+    std::vector<std::string> row{label};
+    for (double q : report_quantiles)
+        row.push_back(formatNumber(cdf.quantile(q), precision));
+    return row;
+}
+
+std::vector<std::string>
+quantileHeader(const std::string &metric)
+{
+    std::vector<std::string> header{metric};
+    for (double q : report_quantiles)
+        header.push_back("p" + formatNumber(q * 100.0, 0));
+    return header;
+}
+
+std::vector<std::string>
+boxRow(const std::string &label, const stats::BoxStats &b)
+{
+    return {label,
+            formatNumber(b.q1, 1),
+            formatNumber(b.median, 1),
+            formatNumber(b.q3, 1),
+            formatNumber(b.whisker_lo, 1),
+            formatNumber(b.whisker_hi, 1),
+            formatNumber(static_cast<double>(b.n), 0)};
+}
+
+} // namespace
+
+void
+ReportWriter::print(const ServiceTimeReport &r) const
+{
+    os_ << "== Fig. 3a: run times (minutes) ==\n";
+    TextTable rt(quantileHeader("jobs"));
+    rt.addRow(quantileRow("GPU", r.gpu_runtime_min));
+    rt.addRow(quantileRow("CPU", r.cpu_runtime_min));
+    rt.print(os_);
+
+    os_ << "== Fig. 3b: queue waits ==\n";
+    TextTable w(quantileHeader("wait (s)"));
+    w.addRow(quantileRow("GPU", r.gpu_wait_s));
+    w.addRow(quantileRow("CPU", r.cpu_wait_s));
+    w.print(os_);
+    TextTable wp(quantileHeader("wait (% of service)"));
+    wp.addRow(quantileRow("GPU", r.gpu_wait_pct, 2));
+    wp.addRow(quantileRow("CPU", r.cpu_wait_pct, 2));
+    wp.print(os_);
+    os_ << "GPU jobs waiting < 1 min: "
+        << formatPercent(r.gpuWaitUnder(60.0)) << "\n"
+        << "CPU jobs waiting > 1 min: "
+        << formatPercent(r.cpuWaitOver(60.0)) << "\n";
+}
+
+void
+ReportWriter::print(const UtilizationReport &r) const
+{
+    os_ << "== Fig. 4: mean GPU resource utilization (%) ==\n";
+    TextTable t(quantileHeader("resource"));
+    t.addRow(quantileRow("SM", r.sm_pct));
+    t.addRow(quantileRow("memory BW", r.membw_pct));
+    t.addRow(quantileRow("memory size", r.memsize_pct));
+    t.addRow(quantileRow("PCIe Tx", r.pcie_tx_pct));
+    t.addRow(quantileRow("PCIe Rx", r.pcie_rx_pct));
+    t.print(os_);
+    os_ << "jobs over 50% mean SM: "
+        << formatPercent(r.fractionAbove(Resource::Sm, 50.0))
+        << ", memory BW: "
+        << formatPercent(r.fractionAbove(Resource::MemoryBw, 50.0))
+        << ", memory size: "
+        << formatPercent(r.fractionAbove(Resource::MemorySize, 50.0))
+        << "\n";
+}
+
+void
+ReportWriter::print(const InterfaceUtilization &r) const
+{
+    os_ << "== Fig. 5: utilization by submission interface (%) ==\n";
+    TextTable t({"interface", "job share", "SM median", "SM q3",
+                 "memBW median", "memBW q3"});
+    for (int i = 0; i < num_interfaces; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        t.addRow({toString(static_cast<Interface>(i)),
+                  formatPercent(r.job_fraction[idx]),
+                  formatNumber(r.sm[idx].median, 1),
+                  formatNumber(r.sm[idx].q3, 1),
+                  formatNumber(r.membw[idx].median, 1),
+                  formatNumber(r.membw[idx].q3, 1)});
+    }
+    t.print(os_);
+}
+
+void
+ReportWriter::print(const PhaseReport &r) const
+{
+    os_ << "== Figs. 6-7a: phase behaviour (" << r.jobs
+        << " time-series jobs) ==\n";
+    TextTable t(quantileHeader("metric"));
+    t.addRow(quantileRow("active time (%)", r.active_fraction_pct));
+    t.addRow(quantileRow("idle interval CoV (%)",
+                         r.idle_interval_cov_pct, 0));
+    t.addRow(quantileRow("active interval CoV (%)",
+                         r.active_interval_cov_pct, 0));
+    t.addRow(quantileRow("active SM CoV (%)", r.active_sm_cov_pct));
+    t.addRow(quantileRow("active memBW CoV (%)", r.active_membw_cov_pct));
+    t.addRow(
+        quantileRow("active memsize CoV (%)", r.active_memsize_cov_pct));
+    t.print(os_);
+}
+
+void
+ReportWriter::print(const BottleneckReport &r) const
+{
+    os_ << "== Figs. 7b/8a: single-resource bottlenecks ==\n";
+    TextTable t({"resource", "jobs bottlenecked"});
+    for (std::size_t i = 0; i < bottleneck_resources.size(); ++i)
+        t.addRow({toString(bottleneck_resources[i]),
+                  formatPercent(r.single[i])});
+    t.print(os_);
+
+    os_ << "== Fig. 8b: two-resource bottlenecks ==\n";
+    TextTable p({"pair", "jobs bottlenecked"});
+    for (std::size_t i = 0; i < bottleneck_resources.size(); ++i) {
+        for (std::size_t j = i + 1; j < bottleneck_resources.size();
+             ++j) {
+            p.addRow({std::string(toString(bottleneck_resources[i])) +
+                          " & " + toString(bottleneck_resources[j]),
+                      formatPercent(
+                          r.pairs[BottleneckReport::pairIndex(i, j)])});
+        }
+    }
+    p.print(os_);
+}
+
+void
+ReportWriter::print(const PowerReport &r) const
+{
+    os_ << "== Fig. 9a: GPU power draw (W) ==\n";
+    TextTable t(quantileHeader("power"));
+    t.addRow(quantileRow("average", r.avg_watts, 0));
+    t.addRow(quantileRow("maximum", r.max_watts, 0));
+    t.print(os_);
+
+    os_ << "== Fig. 9b: power-cap impact ==\n";
+    TextTable c({"cap", "unimpacted", "impacted (max)",
+                 "impacted (avg)"});
+    for (const auto &cap : r.caps) {
+        c.addRow({formatNumber(cap.cap_watts, 0) + " W",
+                  formatPercent(cap.unimpacted),
+                  formatPercent(cap.impacted_by_max),
+                  formatPercent(cap.impacted_by_avg)});
+    }
+    c.print(os_);
+}
+
+void
+ReportWriter::print(const UserBehaviorReport &r) const
+{
+    os_ << "== Fig. 10: per-user averages (" << r.users.size()
+        << " users) ==\n";
+    TextTable a(quantileHeader("average of user's jobs"));
+    a.addRow(quantileRow("runtime (min)", r.avg_runtime_min, 0));
+    a.addRow(quantileRow("SM util (%)", r.avg_sm_pct));
+    a.addRow(quantileRow("memBW util (%)", r.avg_membw_pct));
+    a.addRow(quantileRow("memsize util (%)", r.avg_memsize_pct));
+    a.print(os_);
+
+    os_ << "== Fig. 11: within-user variability ==\n";
+    TextTable v(quantileHeader("CoV across user's jobs (%)"));
+    v.addRow(quantileRow("runtime", r.runtime_cov_pct, 0));
+    v.addRow(quantileRow("SM util", r.sm_cov_pct, 0));
+    v.addRow(quantileRow("memBW util", r.membw_cov_pct, 0));
+    v.addRow(quantileRow("memsize util", r.memsize_cov_pct, 0));
+    v.print(os_);
+
+    os_ << "top 5% of users submit " << formatPercent(r.top5_job_share)
+        << " of jobs; top 20% submit "
+        << formatPercent(r.top20_job_share) << "; median user submits "
+        << formatNumber(r.median_jobs_per_user, 0) << " jobs\n";
+}
+
+void
+ReportWriter::print(const CorrelationReport &r) const
+{
+    os_ << "== Fig. 12: Spearman correlation of user activity vs "
+           "behaviour (" << r.users << " users) ==\n";
+    TextTable t({"feature", "rho(#jobs)", "p", "rho(GPU-hours)", "p"});
+    for (int f = 0; f < num_user_features; ++f) {
+        const auto idx = static_cast<std::size_t>(f);
+        const auto &cj = r.by_jobs.features[idx];
+        const auto &ch = r.by_gpu_hours.features[idx];
+        t.addRow({toString(static_cast<UserFeature>(f)),
+                  formatNumber(cj.coefficient, 2),
+                  formatNumber(cj.p_value, 3),
+                  formatNumber(ch.coefficient, 2),
+                  formatNumber(ch.p_value, 3)});
+    }
+    t.print(os_);
+}
+
+void
+ReportWriter::print(const MultiGpuReport &r) const
+{
+    os_ << "== Fig. 13: job sizes ==\n";
+    TextTable t({"size", "jobs", "GPU-hours", "median wait (s)"});
+    for (int b = 0; b < num_size_buckets; ++b) {
+        const auto i = static_cast<std::size_t>(b);
+        t.addRow({sizeBucketName(b), formatPercent(r.job_fraction[i]),
+                  formatPercent(r.hour_fraction[i]),
+                  formatNumber(r.median_wait_s[i], 1)});
+    }
+    t.print(os_);
+    os_ << "users with >=1 multi-GPU job: "
+        << formatPercent(r.users_multi) << ", >=3 GPUs: "
+        << formatPercent(r.users_3plus) << ", >=9 GPUs: "
+        << formatPercent(r.users_9plus) << "\n"
+        << "multi-GPU jobs with half+ GPUs idle: "
+        << formatPercent(r.idle_gpu_job_fraction) << "\n";
+
+    os_ << "== Fig. 14: utilization CoV across a job's GPUs (%) ==\n";
+    TextTable v(quantileHeader("metric"));
+    v.addRow(quantileRow("SM, all GPUs", r.sm_cov_all_pct, 0));
+    v.addRow(quantileRow("memBW, all GPUs", r.membw_cov_all_pct, 0));
+    v.addRow(quantileRow("memsize, all GPUs", r.memsize_cov_all_pct, 0));
+    v.addRow(quantileRow("SM, active GPUs", r.sm_cov_active_pct, 0));
+    v.addRow(quantileRow("memBW, active GPUs", r.membw_cov_active_pct,
+                         0));
+    v.addRow(quantileRow("memsize, active GPUs",
+                         r.memsize_cov_active_pct, 0));
+    v.print(os_);
+}
+
+void
+ReportWriter::print(const LifecycleReport &r) const
+{
+    os_ << "== Fig. 15: development life-cycle mixes ==\n";
+    TextTable t({"class", "jobs", "GPU-hours", "median runtime (min)"});
+    for (int c = 0; c < num_lifecycles; ++c) {
+        const auto i = static_cast<std::size_t>(c);
+        t.addRow({toString(static_cast<Lifecycle>(c)),
+                  formatPercent(r.job_mix[i]),
+                  formatPercent(r.hour_mix[i]),
+                  formatNumber(r.median_runtime_min[i], 0)});
+    }
+    t.print(os_);
+
+    os_ << "== Fig. 16: utilization by class (%) ==\n";
+    TextTable b({"class / metric", "q1", "median", "q3", "whisker lo",
+                 "whisker hi", "n"});
+    for (int c = 0; c < num_lifecycles; ++c) {
+        const auto i = static_cast<std::size_t>(c);
+        const std::string name = toString(static_cast<Lifecycle>(c));
+        b.addRow(boxRow(name + " SM", r.sm_pct[i]));
+        b.addRow(boxRow(name + " memBW", r.membw_pct[i]));
+        b.addRow(boxRow(name + " memsize", r.memsize_pct[i]));
+    }
+    b.print(os_);
+
+    os_ << "== Fig. 17: per-user class shares ==\n"
+        << "users with mature job share < 40%: "
+        << formatPercent(r.usersWithMatureJobShareBelow(0.40)) << "\n"
+        << "users with mature GPU-hour share < 20%: "
+        << formatPercent(r.usersWithMatureHourShareBelow(0.20)) << "\n"
+        << "users with non-mature GPU-hour share > 60%: "
+        << formatPercent(r.usersWithNonMatureHoursAbove(0.60)) << "\n";
+}
+
+void
+ReportWriter::print(const TimelineReport &r) const
+{
+    os_ << "== Sec. II: fleet load timeline (" << r.bins.size()
+        << " bins of " << formatDuration(r.bin_width) << ") ==\n"
+        << "submission peak-to-mean: "
+        << formatNumber(r.submission_peak_to_mean, 2) << "x, peak GPUs "
+        << "busy: " << formatNumber(r.peak_gpus_busy, 0) << "\n";
+    // A compact sparkline of daily submissions.
+    double max_subs = 0.0;
+    for (const auto &bin : r.bins)
+        max_subs = std::max(max_subs,
+                            static_cast<double>(bin.submissions));
+    if (max_subs > 0.0) {
+        const char *shades = " .:-=+*#%@";
+        std::string strip;
+        for (const auto &bin : r.bins) {
+            const double level =
+                static_cast<double>(bin.submissions) / max_subs;
+            strip += shades[std::min(
+                9, static_cast<int>(level * 10.0))];
+        }
+        os_ << "submissions/bin: [" << strip << "]\n";
+    }
+}
+
+void
+ReportWriter::printFullStudy(const Dataset &dataset) const
+{
+    print(TimelineAnalyzer().analyze(dataset));
+    print(ServiceTimeAnalyzer().analyze(dataset));
+    print(UtilizationAnalyzer().analyze(dataset));
+    print(UtilizationAnalyzer().analyzeByInterface(dataset));
+    print(PhaseAnalyzer().analyze(dataset));
+    print(BottleneckAnalyzer().analyze(dataset));
+    print(PowerAnalyzer().analyze(dataset));
+    print(UserBehaviorAnalyzer().analyze(dataset));
+    print(CorrelationAnalyzer().analyze(dataset));
+    print(MultiGpuAnalyzer().analyze(dataset));
+    print(LifecycleAnalyzer().analyze(dataset));
+}
+
+} // namespace aiwc::core

@@ -1,0 +1,39 @@
+#include "aiwc/core/service_time_analyzer.hh"
+
+namespace aiwc::core
+{
+
+ServiceTimeReport
+ServiceTimeAnalyzer::analyze(const Dataset &dataset) const
+{
+    std::vector<double> gpu_rt, cpu_rt, gpu_wait, cpu_wait, gpu_pct,
+        cpu_pct;
+
+    for (const JobRecord *job : dataset.gpuJobs()) {
+        gpu_rt.push_back(job->runTime() / 60.0);
+        gpu_wait.push_back(job->waitTime());
+        const double service = job->serviceTime();
+        gpu_pct.push_back(service > 0.0
+                              ? 100.0 * job->waitTime() / service
+                              : 0.0);
+    }
+    for (const JobRecord *job : dataset.cpuJobs()) {
+        cpu_rt.push_back(job->runTime() / 60.0);
+        cpu_wait.push_back(job->waitTime());
+        const double service = job->serviceTime();
+        cpu_pct.push_back(service > 0.0
+                              ? 100.0 * job->waitTime() / service
+                              : 0.0);
+    }
+
+    ServiceTimeReport report;
+    report.gpu_runtime_min = stats::EmpiricalCdf(std::move(gpu_rt));
+    report.cpu_runtime_min = stats::EmpiricalCdf(std::move(cpu_rt));
+    report.gpu_wait_s = stats::EmpiricalCdf(std::move(gpu_wait));
+    report.cpu_wait_s = stats::EmpiricalCdf(std::move(cpu_wait));
+    report.gpu_wait_pct = stats::EmpiricalCdf(std::move(gpu_pct));
+    report.cpu_wait_pct = stats::EmpiricalCdf(std::move(cpu_pct));
+    return report;
+}
+
+} // namespace aiwc::core

@@ -1,0 +1,83 @@
+#include "aiwc/core/user_behavior_analyzer.hh"
+
+#include "aiwc/stats/descriptive.hh"
+#include "aiwc/stats/share_curve.hh"
+
+namespace aiwc::core
+{
+
+std::vector<UserSummary>
+UserBehaviorAnalyzer::summarize(const Dataset &dataset) const
+{
+    std::vector<UserSummary> out;
+    for (const auto &[user, jobs] : dataset.gpuJobsByUser()) {
+        UserSummary s;
+        s.user = user;
+        s.jobs = jobs.size();
+
+        std::vector<double> rt, sm, membw, memsize;
+        rt.reserve(jobs.size());
+        for (const JobRecord *job : jobs) {
+            rt.push_back(job->runTime() / 60.0);
+            sm.push_back(100.0 * job->meanUtilization(Resource::Sm));
+            membw.push_back(100.0 *
+                            job->meanUtilization(Resource::MemoryBw));
+            memsize.push_back(100.0 *
+                              job->meanUtilization(Resource::MemorySize));
+            s.gpu_hours += job->gpuHours();
+        }
+        s.avg_runtime_min = stats::mean(rt);
+        s.avg_sm_pct = stats::mean(sm);
+        s.avg_membw_pct = stats::mean(membw);
+        s.avg_memsize_pct = stats::mean(memsize);
+        if (jobs.size() >= min_jobs_for_cov_) {
+            s.runtime_cov_pct = stats::covPercent(rt);
+            s.sm_cov_pct = stats::covPercent(sm);
+            s.membw_cov_pct = stats::covPercent(membw);
+            s.memsize_cov_pct = stats::covPercent(memsize);
+        }
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+UserBehaviorReport
+UserBehaviorAnalyzer::analyze(const Dataset &dataset) const
+{
+    UserBehaviorReport report;
+    report.users = summarize(dataset);
+
+    std::vector<double> avg_rt, avg_sm, avg_membw, avg_memsize;
+    std::vector<double> cov_rt, cov_sm, cov_membw, cov_memsize;
+    std::vector<double> jobs_per_user;
+    for (const auto &u : report.users) {
+        avg_rt.push_back(u.avg_runtime_min);
+        avg_sm.push_back(u.avg_sm_pct);
+        avg_membw.push_back(u.avg_membw_pct);
+        avg_memsize.push_back(u.avg_memsize_pct);
+        jobs_per_user.push_back(static_cast<double>(u.jobs));
+        if (u.jobs >= min_jobs_for_cov_) {
+            cov_rt.push_back(u.runtime_cov_pct);
+            cov_sm.push_back(u.sm_cov_pct);
+            cov_membw.push_back(u.membw_cov_pct);
+            cov_memsize.push_back(u.memsize_cov_pct);
+        }
+    }
+
+    report.avg_runtime_min = stats::EmpiricalCdf(std::move(avg_rt));
+    report.avg_sm_pct = stats::EmpiricalCdf(std::move(avg_sm));
+    report.avg_membw_pct = stats::EmpiricalCdf(std::move(avg_membw));
+    report.avg_memsize_pct = stats::EmpiricalCdf(std::move(avg_memsize));
+    report.runtime_cov_pct = stats::EmpiricalCdf(std::move(cov_rt));
+    report.sm_cov_pct = stats::EmpiricalCdf(std::move(cov_sm));
+    report.membw_cov_pct = stats::EmpiricalCdf(std::move(cov_membw));
+    report.memsize_cov_pct = stats::EmpiricalCdf(std::move(cov_memsize));
+
+    report.top5_job_share = stats::topShare(jobs_per_user, 0.05);
+    report.top20_job_share = stats::topShare(jobs_per_user, 0.20);
+    report.median_jobs_per_user =
+        stats::percentile(jobs_per_user, 0.5);
+    return report;
+}
+
+} // namespace aiwc::core

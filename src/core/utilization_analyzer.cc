@@ -1,0 +1,73 @@
+#include "aiwc/core/utilization_analyzer.hh"
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::core
+{
+
+double
+UtilizationReport::fractionAbove(Resource r, double pct) const
+{
+    return byResource(r).tail(pct);
+}
+
+const stats::EmpiricalCdf &
+UtilizationReport::byResource(Resource r) const
+{
+    switch (r) {
+      case Resource::Sm: return sm_pct;
+      case Resource::MemoryBw: return membw_pct;
+      case Resource::MemorySize: return memsize_pct;
+      case Resource::PcieTx: return pcie_tx_pct;
+      case Resource::PcieRx: return pcie_rx_pct;
+      case Resource::Power: break;
+    }
+    panic("power has no utilization CDF; use PowerAnalyzer");
+}
+
+UtilizationReport
+UtilizationAnalyzer::analyze(const Dataset &dataset) const
+{
+    std::vector<double> sm, membw, memsize, tx, rx;
+    for (const JobRecord *job : dataset.gpuJobs()) {
+        sm.push_back(100.0 * job->meanUtilization(Resource::Sm));
+        membw.push_back(100.0 * job->meanUtilization(Resource::MemoryBw));
+        memsize.push_back(100.0 *
+                          job->meanUtilization(Resource::MemorySize));
+        tx.push_back(100.0 * job->meanUtilization(Resource::PcieTx));
+        rx.push_back(100.0 * job->meanUtilization(Resource::PcieRx));
+    }
+    UtilizationReport report;
+    report.sm_pct = stats::EmpiricalCdf(std::move(sm));
+    report.membw_pct = stats::EmpiricalCdf(std::move(membw));
+    report.memsize_pct = stats::EmpiricalCdf(std::move(memsize));
+    report.pcie_tx_pct = stats::EmpiricalCdf(std::move(tx));
+    report.pcie_rx_pct = stats::EmpiricalCdf(std::move(rx));
+    return report;
+}
+
+InterfaceUtilization
+UtilizationAnalyzer::analyzeByInterface(const Dataset &dataset) const
+{
+    std::array<std::vector<double>, num_interfaces> sm, membw;
+    std::array<double, num_interfaces> counts{};
+    double total = 0.0;
+    for (const JobRecord *job : dataset.gpuJobs()) {
+        const auto i = static_cast<std::size_t>(job->interface);
+        sm[i].push_back(100.0 * job->meanUtilization(Resource::Sm));
+        membw[i].push_back(100.0 *
+                           job->meanUtilization(Resource::MemoryBw));
+        counts[i] += 1.0;
+        total += 1.0;
+    }
+    InterfaceUtilization out;
+    for (int i = 0; i < num_interfaces; ++i) {
+        const auto idx = static_cast<std::size_t>(i);
+        out.sm[idx] = stats::BoxStats::from(std::move(sm[idx]));
+        out.membw[idx] = stats::BoxStats::from(std::move(membw[idx]));
+        out.job_fraction[idx] = total > 0.0 ? counts[idx] / total : 0.0;
+    }
+    return out;
+}
+
+} // namespace aiwc::core

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Minimal CSV emission, so synthesized traces and analyzer output can be
+ * exported to the SciPy/Pandas stack the paper used — making the
+ * library's pipeline cross-checkable against notebook analysis.
+ */
+
+#ifndef AIWC_COMMON_CSV_HH
+#define AIWC_COMMON_CSV_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aiwc
+{
+
+/**
+ * Streaming CSV writer with RFC-4180-style quoting. Rows are written
+ * immediately; the writer holds only the column count for validation.
+ */
+class CsvWriter
+{
+  public:
+    /** Bind to an output stream and emit the header row. */
+    CsvWriter(std::ostream &os, const std::vector<std::string> &header);
+
+    /** Write a row of raw (pre-formatted) cells. */
+    void writeRow(const std::vector<std::string> &cells);
+
+    /** Rows written so far, excluding the header. */
+    std::size_t rowsWritten() const { return rows_; }
+
+    /** Quote a cell if it contains separators, quotes, or newlines. */
+    static std::string escape(const std::string &cell);
+
+  private:
+    std::ostream &os_;
+    std::size_t columns_;
+    std::size_t rows_ = 0;
+};
+
+/**
+ * Split one CSV line into cells, honouring RFC-4180 quoting ("" is an
+ * escaped quote inside a quoted cell). The inverse of
+ * CsvWriter::escape for single-line cells.
+ */
+std::vector<std::string> parseCsvLine(const std::string &line);
+
+} // namespace aiwc
+
+#endif // AIWC_COMMON_CSV_HH

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Status and error reporting in the gem5 tradition: inform() for normal
+ * progress, warn() for suspicious-but-survivable conditions, fatal() for
+ * user errors that end the run, and panic() for internal invariant
+ * violations (aborts).
+ */
+
+#ifndef AIWC_COMMON_LOGGING_HH
+#define AIWC_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace aiwc
+{
+
+/** Verbosity levels for the global logger. */
+enum class LogLevel
+{
+    Silent,  //!< nothing, not even warnings
+    Warn,    //!< warnings only
+    Info,    //!< warnings and informational messages
+};
+
+/** Set the global log level (default: Info). */
+void setLogLevel(LogLevel level);
+
+/** Current global log level. */
+LogLevel logLevel();
+
+namespace detail
+{
+void emit(const char *tag, const std::string &msg);
+[[noreturn]] void die(const char *tag, const std::string &msg, bool abrt);
+
+/** Fold a parameter pack into one string via ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    if constexpr (sizeof...(Args) > 0)
+        (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+} // namespace detail
+
+/** Normal operating message; printed at LogLevel::Info. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Info)
+        detail::emit("info", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Something might be wrong but the run can continue. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    if (logLevel() >= LogLevel::Warn)
+        detail::emit("warn", detail::concat(std::forward<Args>(args)...));
+}
+
+/** Unrecoverable user/configuration error; exits with status 1. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::die("fatal", detail::concat(std::forward<Args>(args)...), false);
+}
+
+/** Internal invariant violation; aborts (core dump / debugger). */
+template <typename... Args>
+[[noreturn]] void
+panic(Args &&...args)
+{
+    detail::die("panic", detail::concat(std::forward<Args>(args)...), true);
+}
+
+/** panic() unless the condition holds. */
+#define AIWC_ASSERT(cond, ...)                                               \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::aiwc::panic("assertion failed: " #cond " ", ##__VA_ARGS__);    \
+    } while (0)
+
+} // namespace aiwc
+
+#endif // AIWC_COMMON_LOGGING_HH

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figs. 7b and 8 analysis: which resources jobs saturate. A job has a
+ * resource bottleneck when its maximum recorded usage of that resource
+ * reaches the limit at any point during the run (Sec. III).
+ */
+
+#ifndef AIWC_CORE_BOTTLENECK_ANALYZER_HH
+#define AIWC_CORE_BOTTLENECK_ANALYZER_HH
+
+#include <array>
+#include <vector>
+
+#include "aiwc/core/dataset.hh"
+
+namespace aiwc::core
+{
+
+/** The five utilization resources that can bottleneck (no power). */
+inline constexpr std::array<Resource, 5> bottleneck_resources = {
+    Resource::Sm, Resource::MemoryBw, Resource::MemorySize,
+    Resource::PcieTx, Resource::PcieRx,
+};
+
+/** Fractions of jobs bottlenecked per resource and per resource pair. */
+struct BottleneckReport
+{
+    /** Fig. 7b / 8a: fraction bottlenecked on each single resource,
+     *  indexed as bottleneck_resources. */
+    std::array<double, 5> single{};
+    /** Fig. 8b: fraction bottlenecked on both resources of each pair,
+     *  upper-triangular (i < j) indexed by pairIndex(). */
+    std::array<double, 10> pairs{};
+    std::size_t jobs = 0;
+
+    /** Index into `pairs` for resources i < j (positions within
+     *  bottleneck_resources). */
+    static std::size_t pairIndex(std::size_t i, std::size_t j);
+
+    double single_of(Resource r) const;
+    double pair_of(Resource a, Resource b) const;
+};
+
+/** Computes the bottleneck report from per-job max summaries. */
+class BottleneckAnalyzer
+{
+  public:
+    /** @param threshold utilization (fraction) counted as saturated. */
+    explicit BottleneckAnalyzer(double threshold = 0.995)
+        : threshold_(threshold) {}
+
+    BottleneckReport analyze(const Dataset &dataset) const;
+
+  private:
+    double threshold_;
+};
+
+} // namespace aiwc::core
+
+#endif // AIWC_CORE_BOTTLENECK_ANALYZER_HH

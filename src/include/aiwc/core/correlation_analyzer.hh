@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fig. 12 analysis: Spearman correlation between a user's activity
+ * (#jobs, GPU-hours) and their behaviour features (average and CoV of
+ * runtime and utilization). The paper's finding: expert users have
+ * higher average utilization (strong positive rho) but are no more
+ * predictable (weak rho against the CoVs).
+ */
+
+#ifndef AIWC_CORE_CORRELATION_ANALYZER_HH
+#define AIWC_CORE_CORRELATION_ANALYZER_HH
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "aiwc/core/user_behavior_analyzer.hh"
+#include "aiwc/stats/correlation.hh"
+
+namespace aiwc::core
+{
+
+/** The per-user behaviour features Fig. 12 correlates against. */
+enum class UserFeature : std::uint8_t
+{
+    AvgRuntime,
+    AvgSm,
+    AvgMembw,
+    CovRuntime,
+    CovSm,
+    CovMembw,
+};
+
+inline constexpr int num_user_features = 6;
+
+const char *toString(UserFeature f);
+
+/** Correlations of one activity measure against all features. */
+struct ActivityCorrelations
+{
+    std::string activity;  //!< "#jobs" or "GPU-hours"
+    std::array<stats::Correlation, num_user_features> features{};
+};
+
+/** The full Fig. 12 table. */
+struct CorrelationReport
+{
+    ActivityCorrelations by_jobs;
+    ActivityCorrelations by_gpu_hours;
+    std::size_t users = 0;
+};
+
+/** Computes Fig. 12 from per-user summaries. */
+class CorrelationAnalyzer
+{
+  public:
+    /** @param min_jobs users with fewer jobs are excluded (CoVs need
+     *  a sample). */
+    explicit CorrelationAnalyzer(std::size_t min_jobs = 3)
+        : min_jobs_(min_jobs) {}
+
+    CorrelationReport analyze(const Dataset &dataset) const;
+    CorrelationReport
+    analyze(const std::vector<UserSummary> &summaries) const;
+
+  private:
+    std::size_t min_jobs_;
+};
+
+} // namespace aiwc::core
+
+#endif // AIWC_CORE_CORRELATION_ANALYZER_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * CSV dataset loading — the drop-in path for real study data.
+ *
+ * Reads the per-job summary format Dataset::writeCsv emits (which
+ * mirrors the fields the paper's merged Slurm + nvidia-smi dataset
+ * carries). What the summary CSV cannot carry is noted explicitly:
+ * per-GPU breakdowns collapse to the across-GPU average, sample
+ * minima default to 0, and time-series phase statistics are absent.
+ * All fleet-level analyses (Figs. 3-5, 8-13, 15-17) work on a loaded
+ * dataset; the phase analyses (Figs. 6-7a) need the detailed subset.
+ */
+
+#ifndef AIWC_CORE_CSV_LOADER_HH
+#define AIWC_CORE_CSV_LOADER_HH
+
+#include <istream>
+
+#include "aiwc/core/dataset.hh"
+
+namespace aiwc::core
+{
+
+/**
+ * Parse a dataset from the writeCsv format.
+ * Throws nothing; calls fatal() on malformed headers, skips (with a
+ * warning) rows with the wrong cell count.
+ */
+Dataset loadDatasetCsv(std::istream &is);
+
+/** Parse an Interface name as written by toString(). */
+Interface interfaceFromString(const std::string &name);
+
+/** Parse a TerminalState name as written by toString(). */
+TerminalState terminalFromString(const std::string &name);
+
+} // namespace aiwc::core
+
+#endif // AIWC_CORE_CSV_LOADER_HH

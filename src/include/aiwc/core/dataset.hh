@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The study dataset: every merged job record plus the filters and
+ * group-bys the analyzers share.
+ *
+ * Mirrors the paper's methodology (Sec. II): the raw dataset holds all
+ * submissions; GPU analysis considers only GPU jobs that ran at least
+ * 30 seconds (74,820 -> 47,120 in the paper).
+ */
+
+#ifndef AIWC_CORE_DATASET_HH
+#define AIWC_CORE_DATASET_HH
+
+#include <functional>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "aiwc/core/job_record.hh"
+
+namespace aiwc::core
+{
+
+/** The collection of job records for one study period. */
+class Dataset
+{
+  public:
+    Dataset() = default;
+    explicit Dataset(std::vector<JobRecord> records);
+
+    void add(JobRecord record);
+
+    const std::vector<JobRecord> &records() const { return records_; }
+    std::size_t size() const { return records_.size(); }
+    bool empty() const { return records_.empty(); }
+
+    /** All GPU jobs with runtime >= min_runtime (the paper's filter). */
+    std::vector<const JobRecord *>
+    gpuJobs(Seconds min_runtime = 30.0) const;
+
+    /** All CPU-only jobs (no runtime filter; used only in Fig. 3). */
+    std::vector<const JobRecord *> cpuJobs() const;
+
+    /** GPU jobs matching a predicate (after the 30 s filter). */
+    std::vector<const JobRecord *>
+    gpuJobsWhere(const std::function<bool(const JobRecord &)> &pred,
+                 Seconds min_runtime = 30.0) const;
+
+    /** Filtered GPU jobs grouped by user, ordered by user id. */
+    std::map<UserId, std::vector<const JobRecord *>>
+    gpuJobsByUser(Seconds min_runtime = 30.0) const;
+
+    /** Number of distinct users across all records. */
+    std::size_t uniqueUsers() const;
+
+    /** Total GPU-hours over filtered GPU jobs. */
+    double totalGpuHours(Seconds min_runtime = 30.0) const;
+
+    /**
+     * Export the per-job summary table as CSV (one row per record),
+     * for cross-checking against a Pandas pipeline.
+     */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    std::vector<JobRecord> records_;
+};
+
+} // namespace aiwc::core
+
+#endif // AIWC_CORE_DATASET_HH

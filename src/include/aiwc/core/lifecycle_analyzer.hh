@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Sec. VI analysis (Figs. 15-17): the resource footprint of the
+ * algorithm-development life-cycle — job and GPU-hour mixes per class,
+ * per-class utilization box plots, and the per-user class shares that
+ * reveal the paradigm shift toward exploratory/development usage.
+ */
+
+#ifndef AIWC_CORE_LIFECYCLE_ANALYZER_HH
+#define AIWC_CORE_LIFECYCLE_ANALYZER_HH
+
+#include <array>
+#include <vector>
+
+#include "aiwc/core/lifecycle_classifier.hh"
+#include "aiwc/stats/descriptive.hh"
+
+namespace aiwc::core
+{
+
+/** One user's share of jobs and GPU-hours per lifecycle class. */
+struct UserClassShares
+{
+    UserId user = invalid_id;
+    std::size_t jobs = 0;
+    double gpu_hours = 0.0;
+    /** Fraction of the user's jobs per class. */
+    std::array<double, num_lifecycles> job_share{};
+    /** Fraction of the user's GPU-hours per class. */
+    std::array<double, num_lifecycles> hour_share{};
+};
+
+/** The full Sec. VI report. */
+struct LifecycleReport
+{
+    /** Fig. 15a/b: fleet-level mixes. */
+    std::array<double, num_lifecycles> job_mix{};
+    std::array<double, num_lifecycles> hour_mix{};
+    /** Median runtime per class, minutes. */
+    std::array<double, num_lifecycles> median_runtime_min{};
+
+    /** Fig. 16: utilization box stats per class (percent). */
+    std::array<stats::BoxStats, num_lifecycles> sm_pct;
+    std::array<stats::BoxStats, num_lifecycles> membw_pct;
+    std::array<stats::BoxStats, num_lifecycles> memsize_pct;
+
+    /** Fig. 17: per-user shares (unsorted; callers sort for plots). */
+    std::vector<UserClassShares> users;
+
+    /** Fraction of users whose mature *job* share is below `frac`. */
+    double usersWithMatureJobShareBelow(double frac) const;
+    /** Fraction of users whose mature *GPU-hour* share is below. */
+    double usersWithMatureHourShareBelow(double frac) const;
+    /** Fraction of users with non-mature GPU-hour share above. */
+    double usersWithNonMatureHoursAbove(double frac) const;
+};
+
+/** Computes Figs. 15-17 using the lifecycle classifier. */
+class LifecycleAnalyzer
+{
+  public:
+    LifecycleReport analyze(const Dataset &dataset) const;
+
+  private:
+    LifecycleClassifier classifier_;
+};
+
+} // namespace aiwc::core
+
+#endif // AIWC_CORE_LIFECYCLE_ANALYZER_HH

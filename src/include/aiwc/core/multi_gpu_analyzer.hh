@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Sec. V analysis (Figs. 13-14): how many jobs and GPU-hours multi-GPU
+ * jobs account for, how many users run them, their queue waits, and
+ * the balance of utilization across a job's GPUs (with and without the
+ * idle-GPU pathology).
+ */
+
+#ifndef AIWC_CORE_MULTI_GPU_ANALYZER_HH
+#define AIWC_CORE_MULTI_GPU_ANALYZER_HH
+
+#include <array>
+
+#include "aiwc/core/dataset.hh"
+#include "aiwc/stats/ecdf.hh"
+
+namespace aiwc::core
+{
+
+/** Size buckets of Fig. 13: 1, 2, 3-8, >= 9 GPUs. */
+inline constexpr int num_size_buckets = 4;
+
+const char *sizeBucketName(int bucket);
+
+/** Map a GPU count to its Fig. 13 bucket. */
+int sizeBucketOf(int gpus);
+
+/** The Fig. 13 / Fig. 14 report. */
+struct MultiGpuReport
+{
+    /** Fraction of jobs per size bucket (Fig. 13a). */
+    std::array<double, num_size_buckets> job_fraction{};
+    /** Fraction of GPU-hours per size bucket (Fig. 13b). */
+    std::array<double, num_size_buckets> hour_fraction{};
+    /** Median queue wait per size bucket, seconds (Sec. V). */
+    std::array<double, num_size_buckets> median_wait_s{};
+
+    /** Fraction of users who ran >= 1 multi-GPU / >=3 / >=9 GPU job. */
+    double users_multi = 0.0;
+    double users_3plus = 0.0;
+    double users_9plus = 0.0;
+
+    /** Fraction of multi-GPU jobs with half or more GPUs idle. */
+    double idle_gpu_job_fraction = 0.0;
+
+    /** Fig. 14a: CoV (%) across all GPUs of a multi-GPU job. */
+    stats::EmpiricalCdf sm_cov_all_pct;
+    stats::EmpiricalCdf membw_cov_all_pct;
+    stats::EmpiricalCdf memsize_cov_all_pct;
+    /** Fig. 14b: same with idle GPUs removed. */
+    stats::EmpiricalCdf sm_cov_active_pct;
+    stats::EmpiricalCdf membw_cov_active_pct;
+    stats::EmpiricalCdf memsize_cov_active_pct;
+};
+
+/** Computes the multi-GPU report over filtered GPU jobs. */
+class MultiGpuAnalyzer
+{
+  public:
+    MultiGpuReport analyze(const Dataset &dataset) const;
+};
+
+} // namespace aiwc::core
+
+#endif // AIWC_CORE_MULTI_GPU_ANALYZER_HH

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Every number the paper publishes, in one place, for the benches
+ * (paper-vs-measured columns) and the calibration tolerance tests.
+ * References are to Li et al., "AI-Enabling Workloads on Large-Scale
+ * GPU-Accelerated System", HPCA 2022.
+ */
+
+#ifndef AIWC_CORE_PAPER_TARGETS_HH
+#define AIWC_CORE_PAPER_TARGETS_HH
+
+namespace aiwc::core::paper
+{
+
+// ---- Sec. II: dataset scale ----
+inline constexpr int users = 191;
+inline constexpr int total_jobs = 74820;
+inline constexpr int gpu_jobs_after_filter = 47120;
+inline constexpr double study_days = 125.0;
+inline constexpr int timeseries_jobs = 2149;
+
+// ---- Fig. 3a: runtime quantiles, minutes ----
+inline constexpr double gpu_runtime_p25_min = 4.0;
+inline constexpr double gpu_runtime_p50_min = 30.0;
+inline constexpr double gpu_runtime_p75_min = 300.0;
+inline constexpr double cpu_runtime_p50_min = 8.0;
+
+// ---- Fig. 3b: queue waits ----
+// >50% of GPU jobs wait <2% of their service time.
+inline constexpr double gpu_wait_service_pct_median_max = 2.0;
+// 70% of GPU jobs wait < 1 minute; 70% of CPU jobs wait > 1 minute.
+inline constexpr double gpu_wait_under_1min_frac = 0.70;
+inline constexpr double cpu_wait_over_1min_frac = 0.70;
+
+// ---- Fig. 4a: mean utilization medians (percent) ----
+inline constexpr double sm_util_median_pct = 16.0;
+inline constexpr double membw_util_median_pct = 2.0;
+inline constexpr double memsize_util_median_pct = 9.0;
+// Fractions of jobs above 50% mean utilization.
+inline constexpr double sm_over_50_frac = 0.20;
+inline constexpr double membw_over_50_frac = 0.04;
+inline constexpr double memsize_over_50_frac = 0.15;
+
+// ---- Fig. 5: interface mix ----
+inline constexpr double mapreduce_job_frac = 0.01;
+inline constexpr double batch_job_frac = 0.30;
+inline constexpr double interactive_job_frac = 0.04;
+inline constexpr double other_job_frac = 0.65;
+
+// ---- Fig. 6: phases (time-series subset) ----
+inline constexpr double active_frac_p25_pct = 14.0;
+inline constexpr double active_frac_p50_pct = 84.0;
+inline constexpr double active_frac_p75_pct = 95.0;
+inline constexpr double idle_interval_cov_median_pct = 126.0;
+inline constexpr double active_interval_cov_median_pct = 169.0;
+
+// ---- Fig. 7a: within-active-phase utilization CoV medians ----
+inline constexpr double active_sm_cov_median_pct = 14.0;
+inline constexpr double active_membw_cov_median_pct = 14.6;
+inline constexpr double active_memsize_cov_median_pct = 8.2;
+// >25% of jobs have SM CoV of 23% or higher.
+inline constexpr double sm_cov_p75_pct = 23.0;
+
+// ---- Figs. 7b / 8: bottleneck fractions ----
+inline constexpr double sm_bottleneck_frac = 0.22;
+inline constexpr double membw_bottleneck_frac = 0.005;
+inline constexpr double rx_and_sm_bottleneck_frac = 0.09;
+inline constexpr double any_pair_bottleneck_max_frac = 0.10;
+
+// ---- Fig. 9: power ----
+inline constexpr double power_avg_median_w = 45.0;
+inline constexpr double power_max_median_w = 87.0;
+inline constexpr double v100_tdp_w = 300.0;
+// At a 150 W cap, >60% of jobs are unimpacted even by their max draw,
+// and <10% are impacted by their average draw.
+inline constexpr double cap150_unimpacted_min_frac = 0.60;
+inline constexpr double cap150_avg_impacted_max_frac = 0.10;
+
+// ---- Fig. 10: per-user averages ----
+inline constexpr double user_avg_runtime_p25_min = 135.0;
+inline constexpr double user_avg_runtime_p50_min = 392.0;
+inline constexpr double user_avg_runtime_p75_min = 823.0;
+inline constexpr double user_avg_sm_median_pct = 10.75;
+inline constexpr double user_avg_membw_median_pct = 1.8;
+inline constexpr double user_avg_memsize_median_pct = 11.2;
+inline constexpr double user_sm_over20_frac = 0.32;
+inline constexpr double user_membw_over20_frac = 0.05;
+
+// ---- Fig. 11: per-user CoVs (percent) ----
+inline constexpr double user_runtime_cov_p25_pct = 86.0;
+inline constexpr double user_runtime_cov_p50_pct = 155.0;
+inline constexpr double user_runtime_cov_p75_pct = 227.0;
+inline constexpr double user_sm_cov_median_pct = 121.0;
+inline constexpr double user_membw_cov_median_pct = 182.0;
+inline constexpr double user_memsize_cov_median_pct = 99.0;
+
+// ---- Fig. 12: Spearman correlations (qualitative bands) ----
+// #jobs / GPU-hours vs average SM & memBW utilization: high positive.
+inline constexpr double activity_vs_avg_util_rho_min = 0.5;
+// #jobs / GPU-hours vs utilization CoV: low (< 0.5).
+inline constexpr double activity_vs_cov_rho_max = 0.5;
+
+// ---- Sec. IV: user concentration ----
+inline constexpr double top5pct_user_job_share = 0.44;
+inline constexpr double top20pct_user_job_share = 0.832;
+inline constexpr double median_jobs_per_user = 36.0;
+
+// ---- Fig. 13 / Sec. V: multi-GPU ----
+inline constexpr double single_gpu_job_frac = 0.84;
+inline constexpr double over2_gpu_job_frac = 0.024;
+inline constexpr double over8_gpu_job_frac = 0.01;   // "<1%"
+inline constexpr double multi_gpu_hour_share = 0.50;
+inline constexpr double users_with_multi_gpu = 0.60;
+inline constexpr double users_with_3plus_gpu = 0.13;
+inline constexpr double users_with_9plus_gpu = 0.052;
+// Median queue waits by size (seconds): 1-GPU 3 s, larger ~1 s.
+inline constexpr double wait_median_1gpu_s = 3.0;
+inline constexpr double wait_median_multi_s = 1.0;
+// ~40% of multi-GPU jobs leave half or more of their GPUs idle.
+inline constexpr double multi_gpu_idle_frac = 0.40;
+
+// ---- Fig. 15: lifecycle mixes ----
+inline constexpr double mature_job_frac = 0.595;
+inline constexpr double exploratory_job_frac = 0.18;
+inline constexpr double development_job_frac = 0.19;
+inline constexpr double ide_job_frac = 0.035;
+inline constexpr double mature_hour_frac = 0.39;
+inline constexpr double exploratory_hour_frac = 0.34;
+inline constexpr double ide_hour_frac = 0.182;
+inline constexpr double mature_runtime_median_min = 36.0;
+inline constexpr double exploratory_runtime_median_min = 62.0;
+
+// ---- Fig. 16: per-class median SM utilization (percent) ----
+inline constexpr double mature_sm_median_pct = 21.0;
+inline constexpr double exploratory_sm_median_pct = 15.0;
+inline constexpr double development_sm_median_pct = 0.0;
+inline constexpr double ide_sm_median_pct = 0.0;
+
+// ---- Fig. 17: per-user lifecycle shares ----
+// >50% of users have a mature-job share below 40%.
+inline constexpr double users_mature_share_below_40 = 0.50;
+// >50% of users have a mature GPU-hour share below 20%.
+inline constexpr double users_mature_hours_below_20 = 0.50;
+// >25% of users spend over 60% of their GPU-hours on
+// exploratory + development + IDE jobs.
+inline constexpr double users_nonmature_hours_over_60 = 0.25;
+
+} // namespace aiwc::core::paper
+
+#endif // AIWC_CORE_PAPER_TARGETS_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figs. 6-7a analysis over the detailed time-series subset: active-time
+ * fractions, the CoV of idle/active interval lengths, and the CoV of
+ * resource utilization during active phases.
+ */
+
+#ifndef AIWC_CORE_PHASE_ANALYZER_HH
+#define AIWC_CORE_PHASE_ANALYZER_HH
+
+#include "aiwc/core/dataset.hh"
+#include "aiwc/stats/ecdf.hh"
+
+namespace aiwc::core
+{
+
+/** The distributions of Figs. 6 and 7a (percent units). */
+struct PhaseReport
+{
+    /** Jobs in the subset that contributed. */
+    std::size_t jobs = 0;
+
+    /** Fig. 6a: % of run time in active phases, one point per job. */
+    stats::EmpiricalCdf active_fraction_pct;
+    /** Fig. 6b: per-job CoV (%) of idle interval lengths. */
+    stats::EmpiricalCdf idle_interval_cov_pct;
+    /** Fig. 6b: per-job CoV (%) of active interval lengths. */
+    stats::EmpiricalCdf active_interval_cov_pct;
+
+    /** Fig. 7a: per-job CoV (%) of utilization during active phases. */
+    stats::EmpiricalCdf active_sm_cov_pct;
+    stats::EmpiricalCdf active_membw_cov_pct;
+    stats::EmpiricalCdf active_memsize_cov_pct;
+};
+
+/**
+ * Computes the phase report. Only jobs with detailed time series
+ * contribute (the paper collected 100 ms telemetry for ~2149 jobs);
+ * interval-CoV entries require at least `min_intervals` intervals so
+ * a CoV is meaningful.
+ */
+class PhaseAnalyzer
+{
+  public:
+    explicit PhaseAnalyzer(std::size_t min_intervals = 3)
+        : min_intervals_(min_intervals) {}
+
+    PhaseReport analyze(const Dataset &dataset) const;
+
+  private:
+    std::size_t min_intervals_;
+};
+
+} // namespace aiwc::core
+
+#endif // AIWC_CORE_PHASE_ANALYZER_HH

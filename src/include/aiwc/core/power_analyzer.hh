@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Fig. 9 analysis: per-job average and maximum GPU power draw, and the
+ * impact of hypothetical power caps (the over-provisioning what-if of
+ * Sec. III).
+ */
+
+#ifndef AIWC_CORE_POWER_ANALYZER_HH
+#define AIWC_CORE_POWER_ANALYZER_HH
+
+#include <vector>
+
+#include "aiwc/core/dataset.hh"
+#include "aiwc/stats/ecdf.hh"
+
+namespace aiwc::core
+{
+
+/** Job-impact classification under one power cap (Fig. 9b). */
+struct PowerCapImpact
+{
+    double cap_watts = 0.0;
+    /** Fraction never exceeding the cap, even at max draw. */
+    double unimpacted = 0.0;
+    /** Fraction whose max draw exceeds the cap (throttled sometimes). */
+    double impacted_by_max = 0.0;
+    /** Fraction whose *average* draw exceeds the cap (throttled
+     *  persistently — real slowdowns). */
+    double impacted_by_avg = 0.0;
+};
+
+/** The distributions and what-ifs of Fig. 9. */
+struct PowerReport
+{
+    stats::EmpiricalCdf avg_watts;  //!< Fig. 9a, average draw per job
+    stats::EmpiricalCdf max_watts;  //!< Fig. 9a, max draw per job
+    std::vector<PowerCapImpact> caps;  //!< Fig. 9b
+};
+
+/** Computes Fig. 9 over the filtered GPU jobs. */
+class PowerAnalyzer
+{
+  public:
+    /** @param caps cap levels to evaluate (paper: 150/200/250 W). */
+    explicit PowerAnalyzer(std::vector<double> caps = {150.0, 200.0,
+                                                       250.0})
+        : caps_(std::move(caps)) {}
+
+    PowerReport analyze(const Dataset &dataset) const;
+
+  private:
+    std::vector<double> caps_;
+};
+
+} // namespace aiwc::core
+
+#endif // AIWC_CORE_POWER_ANALYZER_HH

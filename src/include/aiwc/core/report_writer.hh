@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Text rendering of every analyzer report — the library's equivalent
+ * of the paper's figures. Each printer emits the series the figure
+ * plots, so benches and examples share one presentation.
+ */
+
+#ifndef AIWC_CORE_REPORT_WRITER_HH
+#define AIWC_CORE_REPORT_WRITER_HH
+
+#include <ostream>
+
+#include "aiwc/core/bottleneck_analyzer.hh"
+#include "aiwc/core/correlation_analyzer.hh"
+#include "aiwc/core/lifecycle_analyzer.hh"
+#include "aiwc/core/multi_gpu_analyzer.hh"
+#include "aiwc/core/phase_analyzer.hh"
+#include "aiwc/core/power_analyzer.hh"
+#include "aiwc/core/service_time_analyzer.hh"
+#include "aiwc/core/timeline_analyzer.hh"
+#include "aiwc/core/user_behavior_analyzer.hh"
+#include "aiwc/core/utilization_analyzer.hh"
+
+namespace aiwc::core
+{
+
+/** Quantile levels printed for every CDF table. */
+inline constexpr std::array<double, 5> report_quantiles = {0.10, 0.25,
+                                                           0.50, 0.75,
+                                                           0.90};
+
+/** Renders analyzer reports as aligned text tables. */
+class ReportWriter
+{
+  public:
+    explicit ReportWriter(std::ostream &os) : os_(os) {}
+
+    void print(const ServiceTimeReport &r) const;       // Fig. 3
+    void print(const UtilizationReport &r) const;       // Fig. 4
+    void print(const InterfaceUtilization &r) const;    // Fig. 5
+    void print(const PhaseReport &r) const;             // Figs. 6-7a
+    void print(const BottleneckReport &r) const;        // Figs. 7b-8
+    void print(const PowerReport &r) const;             // Fig. 9
+    void print(const UserBehaviorReport &r) const;      // Figs. 10-11
+    void print(const CorrelationReport &r) const;       // Fig. 12
+    void print(const MultiGpuReport &r) const;          // Figs. 13-14
+    void print(const LifecycleReport &r) const;         // Figs. 15-17
+    void print(const TimelineReport &r) const;          // Sec. II load
+
+    /** Print everything for a dataset (the full study report). */
+    void printFullStudy(const Dataset &dataset) const;
+
+  private:
+    std::ostream &os_;
+};
+
+} // namespace aiwc::core
+
+#endif // AIWC_CORE_REPORT_WRITER_HH

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Fig. 3 analysis: runtime and queue-wait distributions of GPU vs.
+ * CPU jobs, and waits as a percentage of service time.
+ */
+
+#ifndef AIWC_CORE_SERVICE_TIME_ANALYZER_HH
+#define AIWC_CORE_SERVICE_TIME_ANALYZER_HH
+
+#include "aiwc/core/dataset.hh"
+#include "aiwc/stats/ecdf.hh"
+
+namespace aiwc::core
+{
+
+/** The distributions of Fig. 3, minutes and percent units. */
+struct ServiceTimeReport
+{
+    stats::EmpiricalCdf gpu_runtime_min;  //!< runtimes, minutes
+    stats::EmpiricalCdf cpu_runtime_min;
+    stats::EmpiricalCdf gpu_wait_s;       //!< queue waits, seconds
+    stats::EmpiricalCdf cpu_wait_s;
+    stats::EmpiricalCdf gpu_wait_pct;     //!< wait as % of service time
+    stats::EmpiricalCdf cpu_wait_pct;
+
+    /** Fraction of GPU jobs waiting less than the given seconds. */
+    double gpuWaitUnder(double seconds) const
+    {
+        return gpu_wait_s.at(seconds);
+    }
+
+    /** Fraction of CPU jobs waiting more than the given seconds. */
+    double cpuWaitOver(double seconds) const
+    {
+        return 1.0 - cpu_wait_s.at(seconds);
+    }
+};
+
+/** Computes Fig. 3 over the dataset (GPU jobs filtered at 30 s). */
+class ServiceTimeAnalyzer
+{
+  public:
+    ServiceTimeReport analyze(const Dataset &dataset) const;
+};
+
+} // namespace aiwc::core
+
+#endif // AIWC_CORE_SERVICE_TIME_ANALYZER_HH

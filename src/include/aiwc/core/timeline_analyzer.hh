@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Fleet timeline analysis: submissions, GPU demand, and queue waits
+ * over the study period. Makes Sec. II's operational observations
+ * measurable — "usage of the system often increases closer to the
+ * deadlines of popular deep learning conferences" — and gives
+ * operators the load curves behind the per-job figures.
+ */
+
+#ifndef AIWC_CORE_TIMELINE_ANALYZER_HH
+#define AIWC_CORE_TIMELINE_ANALYZER_HH
+
+#include <vector>
+
+#include "aiwc/core/dataset.hh"
+
+namespace aiwc::core
+{
+
+/** One time bin of the fleet timeline. */
+struct TimelineBin
+{
+    Seconds start = 0.0;
+    /** Jobs submitted in this bin. */
+    std::size_t submissions = 0;
+    /** Mean GPUs in use across the bin. */
+    double mean_gpus_busy = 0.0;
+    /** Mean whole nodes held by CPU jobs across the bin. */
+    double mean_cpu_nodes_busy = 0.0;
+};
+
+/** The fleet timeline plus the headline load statistics. */
+struct TimelineReport
+{
+    Seconds bin_width = one_day;
+    std::vector<TimelineBin> bins;
+
+    /** Peak / mean submission rate across bins (burstiness). */
+    double submission_peak_to_mean = 0.0;
+    /** Peak GPUs busy at any bin. */
+    double peak_gpus_busy = 0.0;
+    /**
+     * Deadline surge factor: the highest bin-submission count within
+     * the given windows divided by the median bin outside them.
+     */
+    double deadlineSurge(const std::vector<double> &deadline_days,
+                         double window_days = 10.0) const;
+};
+
+/** Computes the fleet timeline from a dataset. */
+class TimelineAnalyzer
+{
+  public:
+    explicit TimelineAnalyzer(Seconds bin_width = one_day)
+        : bin_width_(bin_width) {}
+
+    TimelineReport analyze(const Dataset &dataset) const;
+
+  private:
+    Seconds bin_width_;
+};
+
+} // namespace aiwc::core
+
+#endif // AIWC_CORE_TIMELINE_ANALYZER_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Sec. IV analysis (Figs. 10-11): per-user averages and within-user
+ * variability of runtime and utilization, plus the activity
+ * concentration ("top 5% of users submit 44% of jobs").
+ */
+
+#ifndef AIWC_CORE_USER_BEHAVIOR_ANALYZER_HH
+#define AIWC_CORE_USER_BEHAVIOR_ANALYZER_HH
+
+#include <vector>
+
+#include "aiwc/core/dataset.hh"
+#include "aiwc/stats/ecdf.hh"
+
+namespace aiwc::core
+{
+
+/** Aggregates of one user's filtered GPU jobs. */
+struct UserSummary
+{
+    UserId user = invalid_id;
+    std::size_t jobs = 0;
+    double gpu_hours = 0.0;
+
+    double avg_runtime_min = 0.0;
+    double avg_sm_pct = 0.0;
+    double avg_membw_pct = 0.0;
+    double avg_memsize_pct = 0.0;
+
+    /** Within-user CoVs, percent (Fig. 11); need >= 2 jobs. */
+    double runtime_cov_pct = 0.0;
+    double sm_cov_pct = 0.0;
+    double membw_cov_pct = 0.0;
+    double memsize_cov_pct = 0.0;
+};
+
+/** The distributions of Figs. 10-11 plus concentration stats. */
+struct UserBehaviorReport
+{
+    std::vector<UserSummary> users;  //!< one entry per active user
+
+    stats::EmpiricalCdf avg_runtime_min;   //!< Fig. 10
+    stats::EmpiricalCdf avg_sm_pct;
+    stats::EmpiricalCdf avg_membw_pct;
+    stats::EmpiricalCdf avg_memsize_pct;
+
+    stats::EmpiricalCdf runtime_cov_pct;   //!< Fig. 11
+    stats::EmpiricalCdf sm_cov_pct;
+    stats::EmpiricalCdf membw_cov_pct;
+    stats::EmpiricalCdf memsize_cov_pct;
+
+    /** Share of jobs submitted by the top 5% / 20% of users. */
+    double top5_job_share = 0.0;
+    double top20_job_share = 0.0;
+    double median_jobs_per_user = 0.0;
+};
+
+/** Computes the per-user report over filtered GPU jobs. */
+class UserBehaviorAnalyzer
+{
+  public:
+    /** @param min_jobs_for_cov users below this skip the CoV CDFs. */
+    explicit UserBehaviorAnalyzer(std::size_t min_jobs_for_cov = 2)
+        : min_jobs_for_cov_(min_jobs_for_cov) {}
+
+    UserBehaviorReport analyze(const Dataset &dataset) const;
+
+    /** Just the per-user summaries (reused by the correlation pass). */
+    std::vector<UserSummary> summarize(const Dataset &dataset) const;
+
+  private:
+    std::size_t min_jobs_for_cov_;
+};
+
+} // namespace aiwc::core
+
+#endif // AIWC_CORE_USER_BEHAVIOR_ANALYZER_HH

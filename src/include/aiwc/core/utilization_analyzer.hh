@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figs. 4-5 analysis: per-job mean GPU resource utilization CDFs, the
+ * PCIe bandwidth CDFs, and utilization broken down by submission
+ * interface.
+ */
+
+#ifndef AIWC_CORE_UTILIZATION_ANALYZER_HH
+#define AIWC_CORE_UTILIZATION_ANALYZER_HH
+
+#include <array>
+
+#include "aiwc/core/dataset.hh"
+#include "aiwc/stats/descriptive.hh"
+#include "aiwc/stats/ecdf.hh"
+
+namespace aiwc::core
+{
+
+/** The distributions of Fig. 4, in percent of capacity. */
+struct UtilizationReport
+{
+    stats::EmpiricalCdf sm_pct;
+    stats::EmpiricalCdf membw_pct;
+    stats::EmpiricalCdf memsize_pct;
+    stats::EmpiricalCdf pcie_tx_pct;
+    stats::EmpiricalCdf pcie_rx_pct;
+
+    /** Fraction of jobs whose mean use of `r` exceeds `pct` percent. */
+    double fractionAbove(Resource r, double pct) const;
+
+    const stats::EmpiricalCdf &byResource(Resource r) const;
+};
+
+/** Fig. 5: per-interface utilization statistics. */
+struct InterfaceUtilization
+{
+    /** Box statistics of mean SM utilization (%) per interface. */
+    std::array<stats::BoxStats, num_interfaces> sm;
+    /** Box statistics of mean memBW utilization (%) per interface. */
+    std::array<stats::BoxStats, num_interfaces> membw;
+    /** Fraction of jobs per interface. */
+    std::array<double, num_interfaces> job_fraction{};
+};
+
+/** Computes Figs. 4-5 over the filtered GPU jobs. */
+class UtilizationAnalyzer
+{
+  public:
+    UtilizationReport analyze(const Dataset &dataset) const;
+    InterfaceUtilization analyzeByInterface(const Dataset &dataset) const;
+};
+
+} // namespace aiwc::core
+
+#endif // AIWC_CORE_UTILIZATION_ANALYZER_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Checkpoint/restart what-if (Sec. VI takeaway): development and IDE
+ * jobs "run until they encounter a failure or timeout", and the paper
+ * calls for "architectural and system support for low-overhead
+ * checkpoint/restart mechanisms" so they do not lose their state.
+ *
+ * This planner quantifies that trade on a dataset: GPU-hours currently
+ * lost to state-destroying endings (crashes, timeouts, node failures),
+ * versus what periodic checkpointing would recover, net of its write
+ * overhead on every job.
+ */
+
+#ifndef AIWC_OPPORTUNITY_CHECKPOINT_PLANNER_HH
+#define AIWC_OPPORTUNITY_CHECKPOINT_PLANNER_HH
+
+#include <vector>
+
+#include "aiwc/core/dataset.hh"
+
+namespace aiwc::opportunity
+{
+
+/** Outcome of one checkpoint policy. */
+struct CheckpointPlan
+{
+    /** Checkpoint every this many seconds. */
+    double interval_s = 1800.0;
+    /** Checkpoint write cost, seconds of GPU time per checkpoint. */
+    double write_cost_s = 20.0;
+
+    /** GPU-hours that end in state-destroying terminations today. */
+    double lost_hours_baseline = 0.0;
+    /** GPU-hours still lost with checkpointing (work since the last
+     *  checkpoint, expectation interval/2 per ending). */
+    double lost_hours_with_ckpt = 0.0;
+    /** GPU-hours spent writing checkpoints across ALL jobs. */
+    double overhead_hours = 0.0;
+    /** (recovered - overhead) / total fleet GPU-hours. */
+    double net_saving_fraction = 0.0;
+};
+
+/** Evaluates checkpoint policies over a dataset. */
+class CheckpointPlanner
+{
+  public:
+    /** True when a job's ending destroys unpersisted state. */
+    static bool losesState(const core::JobRecord &job);
+
+    /** Evaluate one (interval, write cost) policy. */
+    CheckpointPlan evaluate(const core::Dataset &dataset,
+                            double interval_s,
+                            double write_cost_s) const;
+
+    /** Sweep a set of intervals at one write cost. */
+    std::vector<CheckpointPlan>
+    sweep(const core::Dataset &dataset,
+          const std::vector<double> &intervals_s = {600.0, 1800.0,
+                                                    3600.0, 7200.0},
+          double write_cost_s = 20.0) const;
+};
+
+} // namespace aiwc::opportunity
+
+#endif // AIWC_OPPORTUNITY_CHECKPOINT_PLANNER_HH

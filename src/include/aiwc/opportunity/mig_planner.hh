@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Multi-Instance-GPU what-if (Sec. VIII): the paper points to MIG as
+ * the hardware answer to chronic under-utilization, and calls out its
+ * cost — repartitioning needs an idle GPU and takes seconds of manual
+ * intervention.
+ *
+ * This planner sizes each single-GPU job to a slice count (an
+ * A100-style 7-slice GPU), replays the trace packing slices onto
+ * GPUs, and reports the concurrent-GPU demand reduction against the
+ * exclusive-GPU baseline along with the repartitioning churn the
+ * schedule would incur.
+ */
+
+#ifndef AIWC_OPPORTUNITY_MIG_PLANNER_HH
+#define AIWC_OPPORTUNITY_MIG_PLANNER_HH
+
+#include "aiwc/core/dataset.hh"
+
+namespace aiwc::opportunity
+{
+
+/** Outcome of a MIG packing replay. */
+struct MigPlan
+{
+    /** Slices per GPU in the modeled partitioning scheme. */
+    int slices_per_gpu = 7;
+    /** Jobs that took part (single-GPU jobs only). */
+    std::size_t jobs = 0;
+    /** Mean slices a job needed. */
+    double mean_slices = 0.0;
+    /** Fraction of jobs needing the whole GPU (saturators). */
+    double full_gpu_jobs = 0.0;
+    /** Peak concurrent GPUs: exclusive baseline vs. MIG packing. */
+    int peak_gpus_exclusive = 0;
+    int peak_gpus_mig = 0;
+    /** 1 - mig/exclusive: the capacity reclaimed by slicing. */
+    double gpu_demand_reduction = 0.0;
+    /** Allocations landing on an already-occupied GPU: each one is a
+     *  repartition the paper says needs hardware support. */
+    std::size_t repartition_events = 0;
+    /** GPU-seconds lost to reconfiguration at `reconfig_seconds`. */
+    double reconfig_overhead_hours = 0.0;
+};
+
+/** Sizes jobs to slices and replays the packing. */
+class MigPlanner
+{
+  public:
+    /**
+     * @param slices_per_gpu slice granularity (A100: 7).
+     * @param headroom demand multiplier when sizing a slice, so a job
+     *        keeps burst room above its mean utilization.
+     * @param reconfig_seconds cost of one repartitioning event.
+     */
+    MigPlanner(int slices_per_gpu = 7, double headroom = 1.5,
+               double reconfig_seconds = 5.0)
+        : slices_per_gpu_(slices_per_gpu), headroom_(headroom),
+          reconfig_seconds_(reconfig_seconds) {}
+
+    /**
+     * Slices one job needs: driven by the larger of its compute and
+     * memory footprints (with headroom); saturating jobs get the
+     * whole GPU.
+     */
+    int slicesFor(const core::JobRecord &job) const;
+
+    MigPlan plan(const core::Dataset &dataset) const;
+
+  private:
+    int slices_per_gpu_;
+    double headroom_;
+    double reconfig_seconds_;
+};
+
+} // namespace aiwc::opportunity
+
+#endif // AIWC_OPPORTUNITY_MIG_PLANNER_HH

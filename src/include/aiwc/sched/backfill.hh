@@ -1,0 +1,62 @@
+/**
+ * @file
+ * EASY backfill support: when the queue head cannot start, later jobs
+ * may jump ahead as long as they do not delay the head's reservation.
+ *
+ * The window computation works on aggregate GPU and whole-node counts
+ * (the two contended resource classes on Supercloud); the scheduler
+ * still validates an actual placement before starting a backfilled job.
+ */
+
+#ifndef AIWC_SCHED_BACKFILL_HH
+#define AIWC_SCHED_BACKFILL_HH
+
+#include <span>
+
+#include "aiwc/sched/job.hh"
+#include "aiwc/sim/resources.hh"
+
+namespace aiwc::sched
+{
+
+/** Resource footprint and expected completion of a running job. */
+struct RunningFootprint
+{
+    Seconds expected_end = 0.0;  //!< start + requested walltime
+    int gpus = 0;
+    int whole_nodes = 0;  //!< nodes fully claimed (CPU jobs)
+};
+
+/** The head job's reservation, as seen by would-be backfillers. */
+struct BackfillWindow
+{
+    /** Earliest time the head job is expected to be able to start. */
+    Seconds shadow_time = 0.0;
+    /** GPUs free even after the head's reservation at shadow time. */
+    int spare_gpus = 0;
+    /** Whole nodes free even after the head's reservation. */
+    int spare_nodes = 0;
+};
+
+/**
+ * Compute the EASY reservation window for the queue head.
+ *
+ * Walks running jobs in expected-completion order, accumulating freed
+ * resources until the head job fits; the time that happens is the
+ * shadow time, and the surplus beyond the head's demand is the spare
+ * capacity backfillers may use without delaying it.
+ */
+BackfillWindow computeWindow(const sim::Cluster &cluster,
+                             std::span<const RunningFootprint> running,
+                             const JobRequest &head, Seconds now);
+
+/**
+ * True when a candidate may backfill: it either finishes before the
+ * shadow time or fits entirely inside the spare capacity.
+ */
+bool mayBackfill(const BackfillWindow &window, const JobRequest &candidate,
+                 const sim::ClusterSpec &spec, Seconds now);
+
+} // namespace aiwc::sched
+
+#endif // AIWC_SCHED_BACKFILL_HH

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Canned cluster configurations: the Supercloud system of Table I, a
+ * scaled-down variant for fast tests, and the multi-tier fleet the
+ * paper recommends in Sec. VIII.
+ */
+
+#ifndef AIWC_SIM_CLUSTER_FACTORY_HH
+#define AIWC_SIM_CLUSTER_FACTORY_HH
+
+#include <ostream>
+
+#include "aiwc/sim/resources.hh"
+
+namespace aiwc::sim
+{
+
+/** The exact Table-I Supercloud configuration. */
+ClusterSpec supercloudSpec();
+
+/**
+ * A proportionally shrunk Supercloud (same node shape, fewer nodes)
+ * for unit tests and quick examples. @param nodes >= 1.
+ */
+ClusterSpec miniSupercloudSpec(int nodes);
+
+/**
+ * A slower/cheaper "exploration tier" GPU, standing in for the
+ * less-expensive GPUs the multi-tier recommendation would add.
+ * @param relative_speed throughput vs. the V100 (0 < s <= 1).
+ */
+GpuSpec economyGpuSpec(double relative_speed = 0.5);
+
+/** Render the spec as the Table-I style spec sheet. */
+void printSpec(const ClusterSpec &spec, std::ostream &os);
+
+} // namespace aiwc::sim
+
+#endif // AIWC_SIM_CLUSTER_FACTORY_HH

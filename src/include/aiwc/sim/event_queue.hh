@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Discrete-event queue: the heartbeat of the cluster simulator.
+ *
+ * Events carry an owning callback and fire in (time, sequence) order so
+ * simultaneous events execute in scheduling order, which keeps the
+ * whole 125-day replay deterministic.
+ */
+
+#ifndef AIWC_SIM_EVENT_QUEUE_HH
+#define AIWC_SIM_EVENT_QUEUE_HH
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "aiwc/common/types.hh"
+
+namespace aiwc::sim
+{
+
+/** Handle used to cancel a scheduled event. */
+using EventId = std::uint64_t;
+
+/**
+ * A min-heap of timed callbacks with O(1) lazy cancellation: cancelled
+ * ids are remembered and skipped on pop, so cancellation never
+ * restructures the heap (cheap for the scheduler's frequent
+ * timeout-then-finish-early pattern).
+ */
+class EventQueue
+{
+  public:
+    /** Schedule a callback at an absolute time; returns its handle. */
+    EventId schedule(Seconds when, std::function<void()> callback);
+
+    /**
+     * Cancel a previously scheduled event. Cancelling an already-fired
+     * or unknown id is a no-op (returns false).
+     */
+    bool cancel(EventId id);
+
+    /** True when no live events remain. */
+    bool empty() const;
+
+    /** Time of the earliest live event; requires !empty(). */
+    Seconds nextTime() const;
+
+    /**
+     * Pop and run the earliest live event.
+     * @return the time the event fired at.
+     */
+    Seconds popAndRun();
+
+    /** Number of live (uncancelled) events. */
+    std::size_t size() const { return live_; }
+
+  private:
+    struct Entry
+    {
+        Seconds when;
+        std::uint64_t seq;
+        EventId id;
+        // Heap entries are copied around; keep the callback on the
+        // side so moves stay cheap.
+    };
+
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    /** Drop cancelled entries off the top of the heap. */
+    void skipDead() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    mutable std::unordered_set<EventId> cancelled_;
+    std::unordered_map<EventId, std::function<void()>> callbacks_;
+    EventId next_id_ = 1;
+    std::uint64_t next_seq_ = 0;
+    std::size_t live_ = 0;
+};
+
+} // namespace aiwc::sim
+
+#endif // AIWC_SIM_EVENT_QUEUE_HH

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * The cluster resource model: GPUs, nodes, and the cluster itself,
+ * mirroring the Supercloud topology of Table I (224 dual-socket Xeon
+ * 6248 nodes, 2 V100-32GB GPUs each, 384 GB node RAM).
+ *
+ * Allocation state lives here; policy lives in aiwc::sched. A node
+ * hands out CPU hyperthread slots, RAM gigabytes, and whole GPUs; the
+ * Supercloud never co-locates jobs on the same GPU (Sec. III), so GPUs
+ * are exclusive.
+ */
+
+#ifndef AIWC_SIM_RESOURCES_HH
+#define AIWC_SIM_RESOURCES_HH
+
+#include <string>
+#include <vector>
+
+#include "aiwc/common/types.hh"
+
+namespace aiwc::sim
+{
+
+/** Static description of one GPU model. */
+struct GpuSpec
+{
+    std::string model = "V100";
+    double memory_gb = 32.0;
+    double tdp_watts = 300.0;
+    double idle_watts = 25.0;
+    /**
+     * Relative throughput against the V100 baseline — used by the
+     * multi-tier planner when mixing GPU generations (Sec. VIII).
+     */
+    double relative_speed = 1.0;
+};
+
+/** Static description of one node. */
+struct NodeSpec
+{
+    int sockets = 2;
+    int cores_per_socket = 20;
+    int hyperthreads_per_core = 2;
+    double ram_gb = 384.0;
+    int gpus = 2;
+    GpuSpec gpu;
+    double local_ssd_tb = 1.0;
+    double local_hdd_tb = 3.8;
+
+    /** Schedulable CPU slots (hyperthreads). */
+    int cpuSlots() const
+    {
+        return sockets * cores_per_socket * hyperthreads_per_core;
+    }
+};
+
+/** Static description of the whole system (Table I). */
+struct ClusterSpec
+{
+    std::string name = "Supercloud";
+    int nodes = 224;
+    NodeSpec node;
+    double shared_ssd_tb = 873.0;
+    std::string interconnect = "100 Gb/s Omnipath two-layer partial fat-tree";
+    std::string network = "25 Gb/s Ethernet CX-4";
+
+    int totalGpus() const { return nodes * node.gpus; }
+    int totalCpuCores() const
+    {
+        return nodes * node.sockets * node.cores_per_socket;
+    }
+};
+
+/** Runtime allocation state of one GPU. */
+class Gpu
+{
+  public:
+    Gpu(GpuId id, NodeId node, const GpuSpec &spec)
+        : id_(id), node_(node), spec_(&spec) {}
+
+    GpuId id() const { return id_; }
+    NodeId node() const { return node_; }
+    const GpuSpec &spec() const { return *spec_; }
+
+    bool busy() const { return job_ != invalid_id; }
+    JobId job() const { return job_; }
+
+    /** Assign to a job; the GPU must be free. */
+    void assign(JobId job);
+
+    /** Release back to the free pool; the GPU must be busy. */
+    void release();
+
+  private:
+    GpuId id_;
+    NodeId node_;
+    const GpuSpec *spec_;
+    JobId job_ = invalid_id;
+};
+
+/** Runtime allocation state of one node. */
+class Node
+{
+  public:
+    Node(NodeId id, const NodeSpec &spec, GpuId first_gpu_id);
+
+    NodeId id() const { return id_; }
+    const NodeSpec &spec() const { return *spec_; }
+
+    int freeCpuSlots() const { return free_cpu_slots_; }
+    double freeRamGb() const { return free_ram_gb_; }
+    int freeGpus() const;
+
+    const std::vector<Gpu> &gpus() const { return gpus_; }
+    std::vector<Gpu> &gpus() { return gpus_; }
+
+    /** True when the node can host this CPU/RAM request right now. */
+    bool fitsCpu(int cpu_slots, double ram_gb) const;
+
+    /** Claim CPU slots and RAM for a job; must fit. */
+    void allocateCpu(int cpu_slots, double ram_gb);
+
+    /** Return CPU slots and RAM. */
+    void releaseCpu(int cpu_slots, double ram_gb);
+
+    /** Claim `count` free GPUs for a job; returns their global ids. */
+    std::vector<GpuId> allocateGpus(JobId job, int count);
+
+    /** Release one of this node's GPUs by global id. */
+    void releaseGpu(GpuId gpu);
+
+    /** Number of distinct jobs currently holding CPU slots here. */
+    int residentJobs() const { return resident_jobs_; }
+
+  private:
+    NodeId id_;
+    const NodeSpec *spec_;
+    int free_cpu_slots_;
+    double free_ram_gb_;
+    std::vector<Gpu> gpus_;
+    int resident_jobs_ = 0;
+};
+
+/**
+ * The cluster: owns all nodes and exposes capacity queries used by the
+ * scheduler's placement pass.
+ */
+class Cluster
+{
+  public:
+    explicit Cluster(const ClusterSpec &spec);
+
+    const ClusterSpec &spec() const { return spec_; }
+
+    std::size_t numNodes() const { return nodes_.size(); }
+    Node &node(NodeId id);
+    const Node &node(NodeId id) const;
+    std::vector<Node> &nodes() { return nodes_; }
+    const std::vector<Node> &nodes() const { return nodes_; }
+
+    /** Total free GPUs across the cluster. */
+    int freeGpus() const;
+
+    /** Total free CPU slots across the cluster. */
+    int freeCpuSlots() const;
+
+    /** Node owning a global GPU id. */
+    NodeId nodeOfGpu(GpuId gpu) const;
+
+  private:
+    ClusterSpec spec_;
+    std::vector<Node> nodes_;
+};
+
+} // namespace aiwc::sim
+
+#endif // AIWC_SIM_RESOURCES_HH

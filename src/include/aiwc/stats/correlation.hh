@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Rank and linear correlation. Fig. 12 of the paper correlates per-user
+ * activity (#jobs, GPU-hours) with behaviour features using Spearman's
+ * rho and reports statistical significance (p < 0.05); both are
+ * implemented here, with ties handled by average ranks.
+ */
+
+#ifndef AIWC_STATS_CORRELATION_HH
+#define AIWC_STATS_CORRELATION_HH
+
+#include <span>
+#include <vector>
+
+namespace aiwc::stats
+{
+
+/** Result of a correlation test. */
+struct Correlation
+{
+    double coefficient = 0.0;  //!< rho (Spearman) or r (Pearson)
+    double p_value = 1.0;      //!< two-sided, via t approximation
+    std::size_t n = 0;         //!< sample size
+
+    /** True when the correlation is significant at the given alpha. */
+    bool significant(double alpha = 0.05) const { return p_value < alpha; }
+};
+
+/** Pearson linear correlation with a two-sided t-test p-value. */
+Correlation pearson(std::span<const double> x, std::span<const double> y);
+
+/**
+ * Spearman rank correlation: Pearson over average ranks, robust to
+ * monotone transformations — matching scipy.stats.spearmanr.
+ */
+Correlation spearman(std::span<const double> x, std::span<const double> y);
+
+/**
+ * Average ranks of a sample (1-based, ties get the mean of the ranks
+ * they span), exposed for testing and reuse.
+ */
+std::vector<double> averageRanks(std::span<const double> xs);
+
+/**
+ * Two-sided p-value of a t statistic with df degrees of freedom,
+ * computed via the regularized incomplete beta function (continued
+ * fraction expansion, as in Numerical Recipes).
+ */
+double tTestPValue(double t, double df);
+
+} // namespace aiwc::stats
+
+#endif // AIWC_STATS_CORRELATION_HH

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Empirical cumulative distribution functions — the paper's primary
+ * presentation device (Figs. 3, 4, 6, 7, 9, 10, 11, 14 are all CDFs).
+ */
+
+#ifndef AIWC_STATS_ECDF_HH
+#define AIWC_STATS_ECDF_HH
+
+#include <span>
+#include <vector>
+
+namespace aiwc::stats
+{
+
+/**
+ * An empirical CDF over a fixed sample. Construction sorts once; all
+ * queries are O(log n).
+ */
+class EmpiricalCdf
+{
+  public:
+    EmpiricalCdf() = default;
+
+    /** Build from an unsorted sample. */
+    explicit EmpiricalCdf(std::vector<double> sample);
+
+    /** True when no samples were provided. */
+    bool empty() const { return sorted_.empty(); }
+
+    /** Number of samples. */
+    std::size_t size() const { return sorted_.size(); }
+
+    /** F(x): fraction of samples <= x. */
+    double at(double x) const;
+
+    /** Inverse CDF: the q-quantile with linear interpolation. */
+    double quantile(double q) const;
+
+    /** Fraction of samples strictly greater than x (the tail). */
+    double tail(double x) const { return 1.0 - at(x); }
+
+    /** The sorted sample, for plotting/export. */
+    std::span<const double> sorted() const { return sorted_; }
+
+    /**
+     * Evaluate the CDF at evenly spaced quantile levels — the series a
+     * plotted CDF line would carry. @param points number of levels >= 2.
+     */
+    std::vector<std::pair<double, double>> curve(int points = 101) const;
+
+    /**
+     * Two-sample Kolmogorov-Smirnov statistic against another CDF:
+     * the max vertical gap between the two curves. Used by the test
+     * suite to check the generator reproduces paper distributions.
+     */
+    double ksDistance(const EmpiricalCdf &other) const;
+
+  private:
+    std::vector<double> sorted_;
+};
+
+} // namespace aiwc::stats
+
+#endif // AIWC_STATS_ECDF_HH

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fixed-bin histograms, used for the pie/bar breakdowns (Figs. 5, 8,
+ * 13, 15) and for trace export.
+ */
+
+#ifndef AIWC_STATS_HISTOGRAM_HH
+#define AIWC_STATS_HISTOGRAM_HH
+
+#include <cstddef>
+#include <vector>
+
+namespace aiwc::stats
+{
+
+/**
+ * A histogram over [lo, hi) with equal-width bins; samples outside the
+ * range are clamped into the first/last bin so nothing is lost.
+ */
+class Histogram
+{
+  public:
+    /** @param bins number of bins (>= 1); @param lo/hi data range. */
+    Histogram(std::size_t bins, double lo, double hi);
+
+    /** Record one sample. */
+    void add(double x);
+
+    /** Record a sample with a weight (e.g. GPU-hours). */
+    void add(double x, double weight);
+
+    std::size_t bins() const { return counts_.size(); }
+    double binLow(std::size_t i) const;
+    double binHigh(std::size_t i) const;
+
+    /** Total weight in bin i. */
+    double count(std::size_t i) const { return counts_[i]; }
+
+    /** Total weight across all bins. */
+    double total() const { return total_; }
+
+    /** Fraction of total weight in bin i (0 when empty). */
+    double fraction(std::size_t i) const;
+
+    /** Index of the bin holding the most weight. */
+    std::size_t modeBin() const;
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<double> counts_;
+    double total_ = 0.0;
+};
+
+} // namespace aiwc::stats
+
+#endif // AIWC_STATS_HISTOGRAM_HH

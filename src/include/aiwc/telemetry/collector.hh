@@ -1,0 +1,111 @@
+/**
+ * @file
+ * The monitoring data path of Sec. II: prolog-started monitors write
+ * time series to node-local storage (never the shared filesystem, to
+ * avoid overloading the metadata server — one of the paper's
+ * operational lessons), and the Slurm epilog copies the files back to
+ * the central store at job termination.
+ *
+ * This module models that data path so its costs are measurable: peak
+ * per-node spool occupancy, central-store growth, and the volume the
+ * shared filesystem was spared.
+ */
+
+#ifndef AIWC_TELEMETRY_COLLECTOR_HH
+#define AIWC_TELEMETRY_COLLECTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "aiwc/common/types.hh"
+
+namespace aiwc::telemetry
+{
+
+/** Node-local spool files holding in-flight monitoring data. */
+class NodeSpool
+{
+  public:
+    /** Prolog: open a spool stream for (job, node). */
+    void open(JobId job, NodeId node);
+
+    /** Monitor write: append bytes to the (job, node) stream. */
+    void append(JobId job, NodeId node, std::uint64_t bytes);
+
+    /**
+     * Epilog: close the stream and hand its contents off.
+     * @return bytes that were spooled for this (job, node).
+     */
+    std::uint64_t drain(JobId job, NodeId node);
+
+    /** Bytes currently spooled on one node across all jobs. */
+    std::uint64_t nodeOccupancy(NodeId node) const;
+
+    /** Highest occupancy any node ever reached. */
+    std::uint64_t peakNodeOccupancy() const { return peak_; }
+
+    /** Streams currently open. */
+    std::size_t openStreams() const { return streams_.size(); }
+
+  private:
+    struct Key
+    {
+        JobId job;
+        NodeId node;
+        bool operator==(const Key &) const = default;
+    };
+    struct KeyHash
+    {
+        std::size_t
+        operator()(const Key &k) const
+        {
+            return (static_cast<std::size_t>(k.job) << 20) ^ k.node;
+        }
+    };
+
+    std::unordered_map<Key, std::uint64_t, KeyHash> streams_;
+    std::unordered_map<NodeId, std::uint64_t> per_node_;
+    std::uint64_t peak_ = 0;
+};
+
+/**
+ * The epilog-side collector: drains spools into the central store and
+ * keeps the aggregate statistics an operator would watch.
+ */
+class EpilogCollector
+{
+  public:
+    explicit EpilogCollector(NodeSpool &spool) : spool_(&spool) {}
+
+    /** Prolog hook: start monitoring a job on its nodes. */
+    void onProlog(JobId job, const std::vector<NodeId> &nodes);
+
+    /** Monitor output for a job, attributed evenly across its nodes. */
+    void recordSamples(JobId job, std::uint64_t bytes);
+
+    /** Epilog hook: stop monitors and copy spools to central store. */
+    void onEpilog(JobId job);
+
+    /** Total bytes landed in the central store. */
+    std::uint64_t centralStoreBytes() const { return central_bytes_; }
+
+    /** Jobs fully collected. */
+    std::size_t jobsCollected() const { return jobs_collected_; }
+
+    /** Peak node-local spool occupancy seen (capacity planning). */
+    std::uint64_t peakNodeOccupancy() const
+    {
+        return spool_->peakNodeOccupancy();
+    }
+
+  private:
+    NodeSpool *spool_;
+    std::unordered_map<JobId, std::vector<NodeId>> nodes_of_;
+    std::uint64_t central_bytes_ = 0;
+    std::size_t jobs_collected_ = 0;
+};
+
+} // namespace aiwc::telemetry
+
+#endif // AIWC_TELEMETRY_COLLECTOR_HH

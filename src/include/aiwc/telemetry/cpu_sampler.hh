@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The CPU-side monitor of Sec. II: the Slurm prolog also starts a
+ * host-level time series at 10-second intervals on every node of a
+ * job. This sampler synthesizes that series — host CPU utilization and
+ * host RAM occupancy — from a job's shape: GPU jobs keep a few
+ * dataloader/driver cores busy, CPU jobs saturate their whole-node
+ * allocation, and both idle alongside the GPU's idle phases.
+ */
+
+#ifndef AIWC_TELEMETRY_CPU_SAMPLER_HH
+#define AIWC_TELEMETRY_CPU_SAMPLER_HH
+
+#include "aiwc/common/rng.hh"
+#include "aiwc/common/types.hh"
+#include "aiwc/stats/descriptive.hh"
+#include "aiwc/telemetry/job_profile.hh"
+
+namespace aiwc::telemetry
+{
+
+/** Host-side ground truth for one job. */
+struct HostProfile
+{
+    /** Hyperthread slots allocated to the job (its utilization cap). */
+    int cpu_slots = 4;
+    /** Host RAM allocated, GB. */
+    double ram_gb = 16.0;
+    /** Mean busy slots during GPU-active phases (dataloaders, the
+     *  framework main loop); for CPU jobs, the working parallelism. */
+    double busy_slots_mean = 3.0;
+    /** Mean busy slots during GPU-idle phases (setup, I/O waits). */
+    double idle_busy_slots_mean = 1.0;
+    /** Resident-set fraction of the allocation actually touched. */
+    double rss_fraction = 0.6;
+    /** Relative per-sample noise. */
+    double noise_rel = 0.15;
+    std::uint64_t seed = 0;
+};
+
+/** Per-job host-side summary (the Slurm-log CPU columns). */
+struct HostTelemetry
+{
+    /** Busy slots / allocated slots over the run, [0,1]. */
+    stats::RunningSummary cpu_util;
+    /** Resident set / allocated RAM over the run, [0,1]. */
+    stats::RunningSummary rss_util;
+    std::uint64_t samples = 0;
+};
+
+/** Synthesizes the 10 s host series for one job. */
+class CpuSampler
+{
+  public:
+    /** @param interval sampling cadence (paper: 10 s). */
+    explicit CpuSampler(Seconds interval = 10.0) : interval_(interval) {}
+
+    /**
+     * Sample a job's host telemetry.
+     * @param host host-side ground truth.
+     * @param gpu GPU-side profile, used only for its active/idle
+     *        phase structure; pass nullptr for CPU-only jobs (always
+     *        "active").
+     * @param duration run length, seconds.
+     */
+    HostTelemetry sampleJob(const HostProfile &host,
+                            const JobProfile *gpu,
+                            Seconds duration) const;
+
+    Seconds interval() const { return interval_; }
+
+  private:
+    Seconds interval_;
+};
+
+} // namespace aiwc::telemetry
+
+#endif // AIWC_TELEMETRY_CPU_SAMPLER_HH

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Ground-truth telemetry behaviour of one job.
+ *
+ * The workload generator fills this in when a job is created; the
+ * telemetry substrate turns it into nvidia-smi-style samples when the
+ * job runs. Keeping it a plain value type means the generator and the
+ * sampler stay decoupled and a profile can be serialized alongside a
+ * trace.
+ */
+
+#ifndef AIWC_TELEMETRY_JOB_PROFILE_HH
+#define AIWC_TELEMETRY_JOB_PROFILE_HH
+
+#include <cstdint>
+
+#include "aiwc/common/types.hh"
+
+namespace aiwc::telemetry
+{
+
+/** Everything the sampler needs to synthesize a job's GPU telemetry. */
+struct JobProfile
+{
+    int num_gpus = 1;
+    /** GPUs (of num_gpus) that stay idle throughout (Sec. V). */
+    int idle_gpus = 0;
+
+    /** Target fraction of the run spent in active phases. */
+    double active_fraction = 0.8;
+    /** Log-normal active interval: median seconds, ln-space sigma. */
+    double active_len_median_s = 120.0;
+    double active_len_sigma = 1.15;
+    /** Idle interval ln-space sigma (median derived from the target
+     *  active fraction). */
+    double idle_len_sigma = 0.95;
+
+    /** Job-average utilizations in [0,1] during active phases. */
+    double sm_mean = 0.2;
+    double membw_mean = 0.03;
+    double memsize_mean = 0.1;
+
+    /** Phase-to-phase ln-space variability of the phase means. */
+    double phase_jitter_sigma = 0.10;
+    /** Relative within-phase sample noise for SM / memBW. */
+    double sample_noise_rel = 0.08;
+    /** Relative sample noise for memory size (allocations are calm). */
+    double memsize_noise_rel = 0.05;
+
+    /** Mean PCIe utilizations in [0,1] during active phases. */
+    double pcie_tx_mean = 0.2;
+    double pcie_rx_mean = 0.2;
+
+    /** Whether the job saturates each resource at least once. */
+    bool sat_sm = false;
+    bool sat_membw = false;
+    bool sat_memsize = false;
+    bool sat_tx = false;
+    bool sat_rx = false;
+
+    /** Per-job power efficiency jitter (multiplies the load term). */
+    double power_efficiency = 1.0;
+
+    /** Seed of this job's private telemetry random stream. */
+    std::uint64_t telemetry_seed = 0;
+
+    int activeGpus() const { return num_gpus - idle_gpus; }
+};
+
+} // namespace aiwc::telemetry
+
+#endif // AIWC_TELEMETRY_JOB_PROFILE_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The monitoring data-path lesson of Sec. II, executable: "the logging
+ * tools can easily overload the metadata server and shared file
+ * system", which is why the Supercloud writes time series to
+ * node-local storage and copies them back at the epilog.
+ *
+ * This model compares the two designs over a dataset: writing every
+ * sample straight to the shared filesystem (per-sample IOPS and open
+ * streams scale with concurrent jobs) versus spooling locally and
+ * copying once per job at termination (one sequential burst per job).
+ */
+
+#ifndef AIWC_TELEMETRY_MONITORING_LOAD_HH
+#define AIWC_TELEMETRY_MONITORING_LOAD_HH
+
+#include "aiwc/core/dataset.hh"
+#include "aiwc/telemetry/sampler.hh"
+
+namespace aiwc::telemetry
+{
+
+/** Load profile of one monitoring design. */
+struct MonitoringLoad
+{
+    /** Peak concurrently open write streams on the shared FS. */
+    int peak_streams = 0;
+    /** Peak sustained write row rate hitting the shared FS (rows/s). */
+    double peak_rows_per_second = 0.0;
+    /** Total bytes landing on the shared FS. */
+    double total_bytes = 0.0;
+    /** Largest single burst (bytes moved at one job's epilog). */
+    double largest_burst_bytes = 0.0;
+};
+
+/** Side-by-side comparison of the two data paths. */
+struct MonitoringComparison
+{
+    MonitoringLoad direct;   //!< every sample to the shared FS
+    MonitoringLoad spooled;  //!< node-local spool + epilog copy
+    /** peak_rows_per_second reduction factor (direct / spooled streams
+     *  measured as epilog copies per second). */
+    double metadata_relief_factor = 0.0;
+};
+
+/** Evaluates both designs over a dataset's job timeline. */
+class MonitoringLoadModel
+{
+  public:
+    explicit MonitoringLoadModel(const MonitoringParams &params = {})
+        : params_(params) {}
+
+    /** Rows/s one running job emits (GPU @10 Hz/GPU + CPU @0.1 Hz/node). */
+    double rowsPerSecond(const core::JobRecord &job) const;
+
+    MonitoringComparison analyze(const core::Dataset &dataset) const;
+
+  private:
+    MonitoringParams params_;
+};
+
+} // namespace aiwc::telemetry
+
+#endif // AIWC_TELEMETRY_MONITORING_LOAD_HH

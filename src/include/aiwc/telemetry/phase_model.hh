@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Semi-Markov active/idle phase process (Sec. III, Fig. 6): GPU jobs
+ * alternate between irregular active bursts and idle gaps. Interval
+ * lengths are log-normal — heavy-tailed enough that the within-job
+ * interval-length CoV lands near the paper's medians of 169% (active)
+ * and 126% (idle).
+ */
+
+#ifndef AIWC_TELEMETRY_PHASE_MODEL_HH
+#define AIWC_TELEMETRY_PHASE_MODEL_HH
+
+#include <vector>
+
+#include "aiwc/common/rng.hh"
+#include "aiwc/common/types.hh"
+#include "aiwc/telemetry/job_profile.hh"
+
+namespace aiwc::telemetry
+{
+
+/** One phase of a job's run. */
+struct Phase
+{
+    bool active = false;
+    Seconds length = 0.0;
+};
+
+/** Generates a job's phase sequence from its profile. */
+class PhaseModel
+{
+  public:
+    explicit PhaseModel(const JobProfile &profile);
+
+    /**
+     * Produce alternating phases covering exactly `duration` seconds.
+     * The first phase is active with probability equal to the target
+     * active fraction; the last phase is truncated to fit.
+     */
+    std::vector<Phase> generate(Seconds duration, Rng &rng) const;
+
+    /**
+     * Median idle-interval length implied by the target active
+     * fraction (corrected for the differing log-normal means).
+     */
+    double impliedIdleMedian() const;
+
+    /** Realized active fraction of a generated sequence. */
+    static double activeFraction(const std::vector<Phase> &phases);
+
+  private:
+    const JobProfile &profile_;
+    double clamped_af_;
+};
+
+} // namespace aiwc::telemetry
+
+#endif // AIWC_TELEMETRY_PHASE_MODEL_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * V100 power draw model (Fig. 9): an idle floor plus a load term
+ * driven by SM and memory-bandwidth activity. Deliberately simple —
+ * the power-cap analysis depends only on the distribution of per-job
+ * average and maximum draw, which this reproduces.
+ */
+
+#ifndef AIWC_TELEMETRY_POWER_MODEL_HH
+#define AIWC_TELEMETRY_POWER_MODEL_HH
+
+#include "aiwc/common/rng.hh"
+
+namespace aiwc::telemetry
+{
+
+/** Power model parameters; defaults are the tuned V100 values. */
+struct PowerParams
+{
+    double idle_watts = 30.0;
+    double tdp_watts = 300.0;
+    /** Weight of SM utilization in the effective load. */
+    double sm_weight = 0.40;
+    /** Weight of memory-bandwidth utilization. */
+    double membw_weight = 0.11;
+    /** Per-job efficiency jitter (relative stddev). */
+    double efficiency_noise = 0.10;
+    /** Per-sample measurement noise, watts. */
+    double sample_noise_watts = 3.0;
+};
+
+/** Maps utilization samples to instantaneous board power. */
+class PowerModel
+{
+  public:
+    explicit PowerModel(const PowerParams &params = {});
+
+    const PowerParams &params() const { return params_; }
+
+    /**
+     * Instantaneous draw for one sample.
+     * @param sm SM utilization in [0,1].
+     * @param membw memory bandwidth utilization in [0,1].
+     * @param efficiency per-job multiplier on the load term.
+     */
+    double sampleWatts(double sm, double membw, double efficiency,
+                       Rng &rng) const;
+
+    /** Noise-free draw, for tests and analytic checks. */
+    double expectedWatts(double sm, double membw,
+                         double efficiency = 1.0) const;
+
+  private:
+    PowerParams params_;
+};
+
+} // namespace aiwc::telemetry
+
+#endif // AIWC_TELEMETRY_POWER_MODEL_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fixed-stride multi-channel time series, as one nvidia-smi log file:
+ * one row every sampling interval, one column per monitored metric.
+ * Used for the detailed-subset jobs and the example programs; bulk
+ * analysis uses streaming summaries instead (see sampler.hh).
+ */
+
+#ifndef AIWC_TELEMETRY_TIME_SERIES_HH
+#define AIWC_TELEMETRY_TIME_SERIES_HH
+
+#include <array>
+#include <ostream>
+#include <vector>
+
+#include "aiwc/common/types.hh"
+
+namespace aiwc::telemetry
+{
+
+/** One sampled row: every monitored metric at one instant. */
+struct Sample
+{
+    float sm = 0.0f;
+    float membw = 0.0f;
+    float memsize = 0.0f;
+    float pcie_tx = 0.0f;
+    float pcie_rx = 0.0f;
+    float power_watts = 0.0f;
+};
+
+/** A fixed-stride sequence of samples starting at time zero. */
+class TimeSeries
+{
+  public:
+    explicit TimeSeries(Seconds stride) : stride_(stride) {}
+
+    Seconds stride() const { return stride_; }
+    std::size_t size() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+
+    void append(const Sample &s) { samples_.push_back(s); }
+    const Sample &at(std::size_t i) const { return samples_[i]; }
+    Seconds timeOf(std::size_t i) const
+    {
+        return stride_ * static_cast<double>(i);
+    }
+
+    const std::vector<Sample> &samples() const { return samples_; }
+
+    /** Approximate in-memory footprint, bytes (spool accounting). */
+    std::size_t byteSize() const
+    {
+        return samples_.size() * sizeof(Sample);
+    }
+
+    /** Dump as CSV with a time column. */
+    void writeCsv(std::ostream &os) const;
+
+  private:
+    Seconds stride_;
+    std::vector<Sample> samples_;
+};
+
+} // namespace aiwc::telemetry
+
+#endif // AIWC_TELEMETRY_TIME_SERIES_HH

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Non-homogeneous Poisson arrival process: a base rate modulated by a
+ * diurnal cycle, a weekend dip, and conference-deadline surges — the
+ * load dynamics Sec. II reports ("usage of the system often increases
+ * closer to the deadlines of popular deep learning conferences").
+ */
+
+#ifndef AIWC_WORKLOAD_ARRIVAL_PROCESS_HH
+#define AIWC_WORKLOAD_ARRIVAL_PROCESS_HH
+
+#include <vector>
+
+#include "aiwc/common/rng.hh"
+#include "aiwc/workload/calibration.hh"
+
+namespace aiwc::workload
+{
+
+/** Generates submission instants over the study period. */
+class ArrivalProcess
+{
+  public:
+    /**
+     * @param params shape of the load.
+     * @param total_jobs expected arrivals; <= 0 means params.total_jobs.
+     */
+    explicit ArrivalProcess(const ArrivalParams &params,
+                            int total_jobs = 0);
+
+    /** Relative (unitless) load modulation at time t. */
+    double modulationAt(Seconds t) const;
+
+    /** Absolute arrival rate at time t, jobs per second. */
+    double rateAt(Seconds t) const { return base_rate_ * modulationAt(t); }
+
+    /** Peak rate bound used for thinning. */
+    double maxRate() const { return base_rate_ * max_modulation_; }
+
+    /** Sample every arrival instant over [0, study length), sorted. */
+    std::vector<Seconds> generate(Rng &rng) const;
+
+    Seconds studySeconds() const { return params_.study_days * one_day; }
+
+  private:
+    ArrivalParams params_;
+    int total_jobs_;
+    double base_rate_ = 0.0;
+    double max_modulation_ = 1.0;
+};
+
+} // namespace aiwc::workload
+
+#endif // AIWC_WORKLOAD_ARRIVAL_PROCESS_HH

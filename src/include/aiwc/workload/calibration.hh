@@ -1,0 +1,326 @@
+/**
+ * @file
+ * Calibration profile: every paper-published marginal the synthetic
+ * workload must reproduce, expressed as distribution parameters.
+ *
+ * This is the single source of truth for workload synthesis. The
+ * generators (user population, job generator, telemetry models) consume
+ * these parameters; the analyzers never see them — so when a bench
+ * reproduces a figure, the whole generator -> scheduler -> telemetry ->
+ * summarizer -> analyzer pipeline has round-tripped the distribution.
+ *
+ * Parameter values are solved from the paper's published quantiles
+ * where possible (see DESIGN.md Sec. 4) and tuned empirically against
+ * the tolerance tests in tests/workload/ otherwise.
+ */
+
+#ifndef AIWC_WORKLOAD_CALIBRATION_HH
+#define AIWC_WORKLOAD_CALIBRATION_HH
+
+#include <array>
+
+#include "aiwc/common/types.hh"
+#include "aiwc/telemetry/power_model.hh"
+#include "aiwc/telemetry/sampler.hh"
+
+namespace aiwc::workload
+{
+
+/**
+ * Per-lifecycle-class runtime model: a log-normal body (median/sigma in
+ * minutes) plus an "abort" spike of near-instant failures (import
+ * errors, bad configs) that produces the sub-30-second jobs the paper
+ * filters out of GPU analysis.
+ */
+struct RuntimeParams
+{
+    double median_minutes = 30.0;
+    double sigma = 2.0;
+    double abort_prob = 0.0;          //!< chance of a near-instant end
+    double abort_median_seconds = 10.0;
+    double abort_sigma = 1.0;
+};
+
+/**
+ * Per-class mean-utilization model. Each job draws its *average* SM
+ * utilization from a zero-inflated Beta; memory bandwidth follows SM
+ * through a ratio draw (DL workloads are compute-bound, Sec. III);
+ * memory size is an independent Beta (allocations, not activity).
+ */
+struct UtilizationParams
+{
+    double zero_prob = 0.1;     //!< chance the job barely touches the GPU
+    double sm_mean = 0.3;       //!< Beta mean of SM utilization
+    double sm_kappa = 1.6;      //!< Beta concentration
+    double membw_ratio_mean = 0.15;  //!< memBW as a fraction of SM
+    double membw_ratio_kappa = 3.0;
+    double memsize_mean = 0.15;
+    double memsize_kappa = 1.8;
+};
+
+/**
+ * Per-class active/idle phase process (Sec. III, Fig. 6): log-normal
+ * interval lengths (heavy-tailed => the high interval CoVs of Fig. 6b)
+ * and a Beta per-job active-time fraction.
+ */
+struct PhaseParams
+{
+    double active_fraction_mean = 0.8;
+    double active_fraction_kappa = 4.0;
+    double active_len_median_s = 120.0;
+    double active_len_sigma = 1.15;  //!< ln-space; CoV ~ 169%
+    double idle_len_sigma = 0.95;    //!< ln-space; CoV ~ 126%
+};
+
+/**
+ * Probability that a job saturates (hits 100% of) each resource at some
+ * point during its run (Figs. 7b, 8). PCIe-Rx saturation is drawn
+ * first; SM and Tx saturation are conditioned on it to reproduce the
+ * pairwise overlaps of Fig. 8b (data-staging phases coincide with
+ * compute bursts).
+ */
+struct SaturationParams
+{
+    double rx = 0.18;
+    double sm_given_rx = 0.50;      //!< joint Rx&SM ~ 9% (Fig. 8b)
+    double sm_given_no_rx = 0.159;  //!< total SM ~ 22% (Fig. 7b)
+    double tx_given_rx = 0.28;      //!< joint Rx&Tx ~ 5%
+    double tx_given_no_rx = 0.085;
+    double membw = 0.005;           //!< ~0% (Fig. 7b)
+    double memsize = 0.10;
+};
+
+/**
+ * GPU-count distribution of a job, as weights over the size buckets
+ * {1, 2, 4, 8, 16, 32}. Which buckets a given *user* may draw from is
+ * limited by the user's size-tier (Sec. V: only 13% of users ever run
+ * >= 3 GPUs, 5.2% run >= 9).
+ */
+using GpuCountWeights = std::array<double, 6>;
+
+/** The GPU counts each weight bucket maps to. */
+inline constexpr std::array<int, 6> gpu_count_buckets = {1, 2, 4, 8, 16, 32};
+
+/** All per-lifecycle-class parameters. */
+struct ClassParams
+{
+    double job_fraction = 0.25;  //!< share of GPU jobs (Fig. 15a)
+    RuntimeParams runtime;
+    UtilizationParams util;
+    PhaseParams phase;
+    /** Multiplier on runtime per extra GPU: runtime *= gpus^exponent. */
+    double multi_gpu_runtime_exponent = 0.3;
+    /** Multiplier on the user's multi-GPU probability for this class
+     *  (IDE sessions often hold both node GPUs; debug runs rarely). */
+    double multi_gpu_prob_scale = 1.0;
+    /**
+     * Sweep arrays: probability that a submission of this class is an
+     * array of same-instant siblings (hyper-parameter sweeps), and the
+     * log-normal size of the array.
+     */
+    double array_prob = 0.0;
+    double array_median = 6.0;
+    double array_sigma = 0.7;
+    int array_max = 40;
+    /**
+     * Probability that a multi-GPU job of this class leaves half or
+     * more of its GPUs idle (misconfigured ranks, Sec. V Fig. 14).
+     */
+    double idle_gpu_prob = 0.4;
+};
+
+/** Interface mix over {map-reduce, batch, interactive, other} (Fig. 5). */
+using InterfaceWeights = std::array<double, num_interfaces>;
+
+/** User-population shape (Sec. IV). */
+struct UserParams
+{
+    int num_users = 191;
+    /**
+     * Two-component activity model, tuned so the top 5% of users
+     * submit ~44% of the jobs, the top 20% submit ~83%, and the
+     * median user submits ~36 jobs (Sec. IV): a heavy cohort of
+     * steady submitters plus a light long-tail.
+     */
+    double heavy_user_fraction = 0.20;
+    double heavy_median_jobs = 900.0;
+    double heavy_sigma = 0.65;
+    double light_median_jobs = 20.0;
+    double light_sigma = 1.1;
+    /**
+     * Dirichlet concentration for per-user lifecycle mixes. Low values
+     * spread users across the whole simplex (Fig. 17: many users have
+     * almost no mature jobs). Heavy users get `heavy_mix_factor` times
+     * the concentration: production workflows are balanced, casual
+     * users are often single-class — which also keeps the fleet-level
+     * mix (driven by heavy users) stable across seeds.
+     */
+    double class_mix_concentration = 0.22;
+    /**
+     * The concentration grows with user activity:
+     * kappa(u) = class_mix_concentration * (1 + jobs(u) / mix_scale).
+     * A ten-job student is often single-class; a 900-job production
+     * user runs a balanced workflow — and no single user's mix quirk
+     * can swing the fleet-level Fig. 15 shares.
+     */
+    double activity_mix_scale = 8.0;
+    /**
+     * Cohort-specific lifecycle-mix centres. The fleet mix is the
+     * activity-weighted blend (heavy users submit ~83% of jobs), so
+     * heavy_class_mix is solved from the Fig. 15a global mix and the
+     * light cohort's exploration-leaning centre.
+     */
+    std::array<double, num_lifecycles> light_class_mix = {0.35, 0.20,
+                                                          0.33, 0.12};
+    std::array<double, num_lifecycles> heavy_class_mix = {0.645, 0.176,
+                                                          0.161, 0.018};
+    /**
+     * Correlation knobs between user activity and behaviour:
+     * skill_slope couples log-activity to utilization efficiency
+     * (Fig. 12: expert users use GPUs more efficiently) and
+     * runtime_slope couples it (negatively) to job length (heavy
+     * submitters run shorter sweep jobs).
+     */
+    double skill_slope = 0.09;
+    double skill_noise = 0.14;
+    double runtime_scale_sigma = 1.15;
+    double runtime_slope = -0.28;
+    /**
+     * Heavy users get damped trait variance: a single production
+     * user's quirks must not swing fleet-level statistics (they
+     * submit hundreds of jobs each), while the light long-tail keeps
+     * the per-user diversity of Figs. 10-11 and 17.
+     */
+    double heavy_runtime_scale_sigma = 0.5;
+    double heavy_multi_kappa_factor = 10.0;
+    double heavy_membw_trait_factor = 0.25;
+    double heavy_large_model_factor = 0.35;
+    /** Fraction of users who never run multi-GPU jobs (~40%). */
+    double single_gpu_only_users = 0.40;
+    /** Heavy users are production teams: their odds of being
+     *  single-GPU-only shrink by this factor (also keeps the fleet's
+     *  multi-GPU share stable across seeds at small scales). */
+    double heavy_single_only_factor = 0.3;
+    /** Heavy users also hold the larger allocations: their medium and
+     *  large tier quotas scale by this factor, with the light cohort's
+     *  quotas reduced so the Sec. V population totals (7.8% / 5.2%)
+     *  still hold. */
+    double heavy_tier_bias = 2.5;
+    /** Fraction of users whose largest jobs reach 3-8 GPUs. */
+    double medium_tier_users = 0.078;
+    /** Fraction of users whose largest jobs reach >= 9 GPUs. */
+    double large_tier_users = 0.052;
+    /** Mean per-user multi-GPU job probability (among capable users). */
+    double multi_gpu_prob_mean = 0.27;
+    double multi_gpu_prob_kappa = 4.0;
+    /**
+     * Memory-behaviour user traits: a minority of users run
+     * memory-bandwidth-bound codes or near-capacity models, which
+     * keeps the fleet-level memBW/memsize tails (Fig. 4a) without
+     * inflating the *typical* user's averages (Fig. 10).
+     */
+    double membw_intensive_users = 0.08;
+    double membw_intensive_job_prob = 0.50;
+    double membw_casual_job_prob = 0.015;
+    double large_model_users = 0.15;
+    double large_model_job_prob = 0.50;
+    double large_model_casual_prob = 0.03;
+};
+
+/** CPU-only job population (Fig. 3): short runs, whole-node requests. */
+struct CpuJobParams
+{
+    /** Fraction of all jobs that are CPU-only. */
+    double fraction_of_jobs = 0.305;
+    double runtime_median_minutes = 8.0;
+    double runtime_sigma = 2.4;
+    /** Distribution over whole-node counts {1, 2, 4, 8, 16, 32}. */
+    std::array<double, 6> node_count_weights = {0.28, 0.20, 0.20,
+                                                0.16, 0.10, 0.06};
+    /**
+     * Slurm job arrays: a CPU submission expands into a burst of
+     * same-instant sibling jobs with this probability; the burst size
+     * is log-normal. Arrays are what make whole-node demand spiky
+     * enough to produce the multi-minute CPU waits of Fig. 3b.
+     */
+    double array_prob = 0.6;
+    double array_median = 24.0;
+    double array_sigma = 0.9;
+    int array_max = 200;
+};
+
+/** Arrival process modulation (Sec. II: deadline and diurnal load). */
+struct ArrivalParams
+{
+    double study_days = 125.0;
+    /** Total submissions over the study (GPU + CPU). */
+    int total_jobs = 74820;
+    /** Peak-to-trough ratio of the diurnal cycle. */
+    double diurnal_amplitude = 0.55;
+    /** Weekday/weekend load ratio. */
+    double weekend_dip = 0.60;
+    /** Conference-deadline surges: (day, ramp length days, peak gain). */
+    struct Deadline
+    {
+        double day;
+        double ramp_days;
+        double gain;
+    };
+    std::array<Deadline, 2> deadlines = {{{40.0, 10.0, 1.5},
+                                          {100.0, 12.0, 1.8}}};
+};
+
+/**
+ * The full calibration profile. supercloud() returns values tuned to
+ * the paper; tests may build reduced or perturbed profiles (e.g. the
+ * ablation benches switch individual features off).
+ */
+struct CalibrationProfile
+{
+    /** Per-class parameters, indexed by Lifecycle. */
+    std::array<ClassParams, num_lifecycles> classes;
+    /** Interface mix per class, indexed by Lifecycle. */
+    std::array<InterfaceWeights, num_lifecycles> interfaces;
+    /** Per-class GPU-count weights (before user-tier masking). */
+    std::array<GpuCountWeights, num_lifecycles> gpu_counts;
+
+    UserParams users;
+    CpuJobParams cpu_jobs;
+    ArrivalParams arrivals;
+    telemetry::PowerParams power;          //!< Fig. 9 power model
+    telemetry::MonitoringParams monitoring;
+    SaturationParams saturation;
+    /** Per-interface SM/memBW scaling (Fig. 5: map-reduce and
+     *  interactive jobs do mostly data movement and debugging). */
+    InterfaceWeights interface_util_scale = {0.20, 0.80, 0.50, 1.15};
+
+    /** IDE session limits: 12 h or 24 h (Sec. VI). */
+    double ide_short_timeout_hours = 12.0;
+    double ide_long_timeout_hours = 24.0;
+    double ide_long_timeout_prob = 0.75;
+
+    /** Wall-time request = duration x U(this range), non-IDE jobs. */
+    double walltime_factor_lo = 1.5;
+    double walltime_factor_hi = 8.0;
+    /** Hard wall-time ceiling. */
+    double max_walltime_hours = 96.0;
+
+    /** Fraction of jobs lost to hardware (<0.5%, Sec. II). */
+    double node_failure_prob = 0.003;
+
+    /** PCIe mean-utilization range (uniform CDF of Fig. 4b). */
+    double pcie_mean_lo = 0.01;
+    double pcie_mean_hi = 0.85;
+
+    /** Accessors by class. */
+    const ClassParams &forClass(Lifecycle c) const;
+    const InterfaceWeights &interfacesFor(Lifecycle c) const;
+    const GpuCountWeights &gpuCountsFor(Lifecycle c) const;
+
+    /** The tuned Supercloud profile. */
+    static CalibrationProfile supercloud();
+};
+
+} // namespace aiwc::workload
+
+#endif // AIWC_WORKLOAD_CALIBRATION_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Per-job synthesis: turns (user, submit time) into a scheduler
+ * request plus a telemetry ground-truth profile, sampling every
+ * calibrated marginal — lifecycle class, interface, GPU count,
+ * duration, terminal behaviour, utilization, phases, saturation,
+ * and power efficiency.
+ */
+
+#ifndef AIWC_WORKLOAD_JOB_GENERATOR_HH
+#define AIWC_WORKLOAD_JOB_GENERATOR_HH
+
+#include <optional>
+
+#include "aiwc/common/rng.hh"
+#include "aiwc/sched/job.hh"
+#include "aiwc/telemetry/job_profile.hh"
+#include "aiwc/workload/calibration.hh"
+#include "aiwc/workload/user_population.hh"
+
+namespace aiwc::workload
+{
+
+/** A fully specified job: what Slurm sees plus what the GPUs will do. */
+struct GeneratedJob
+{
+    sched::JobRequest request;
+    /** Telemetry ground truth; meaningful only for GPU jobs. */
+    telemetry::JobProfile profile;
+};
+
+/** Samples jobs according to the calibration profile. */
+class JobGenerator
+{
+  public:
+    explicit JobGenerator(const CalibrationProfile &profile);
+
+    /**
+     * Synthesize one GPU job for this user.
+     * @param force_class pin the lifecycle class (array siblings of a
+     *        hyper-parameter sweep share the first job's class).
+     */
+    GeneratedJob gpuJob(const UserProfile &user, Seconds submit, JobId id,
+                        Rng &rng,
+                        std::optional<Lifecycle> force_class = {}) const;
+
+    /** Synthesize one CPU-only job (whole-node request, Fig. 3). */
+    sched::JobRequest cpuJob(const UserProfile &user, Seconds submit,
+                             JobId id, Rng &rng) const;
+
+    /** Draw a lifecycle class from the user's personal mix. */
+    Lifecycle sampleClass(const UserProfile &user, Rng &rng) const;
+
+    /** Draw the submission interface given the lifecycle class. */
+    Interface sampleInterface(Lifecycle c, Rng &rng) const;
+
+    /** Draw a GPU count for (user, class); 1 unless the user rolls
+     *  multi-GPU within their tier. */
+    int sampleGpuCount(const UserProfile &user, Lifecycle c,
+                       Rng &rng) const;
+
+    /**
+     * Monte-Carlo estimate of the probability a job of this class
+     * survives the dataset's 30 s runtime filter, for a user with the
+     * given runtime scale. The synthesizer divides class weights by
+     * the activity-weighted average so the paper's class mix holds
+     * *after* filtering, as published.
+     */
+    double survivalProbability(Lifecycle c, Rng &rng, int trials = 4000,
+                               double runtime_scale = 1.0) const;
+
+    const CalibrationProfile &profile() const { return profile_; }
+
+  private:
+    /** True run length (seconds) before wall-time clamping. */
+    Seconds sampleDuration(const UserProfile &user, Lifecycle c, int gpus,
+                           Rng &rng) const;
+
+    /** Fill the telemetry ground truth for a GPU job. */
+    void fillProfile(telemetry::JobProfile &out, const UserProfile &user,
+                     Lifecycle c, Interface iface, int gpus,
+                     Rng &rng) const;
+
+    const CalibrationProfile &profile_;
+};
+
+} // namespace aiwc::workload
+
+#endif // AIWC_WORKLOAD_JOB_GENERATOR_HH

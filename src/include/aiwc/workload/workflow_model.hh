@@ -1,0 +1,70 @@
+/**
+ * @file
+ * The user workflow of Fig. 2 as a stochastic process: users design in
+ * an IDE session, determine resource requirements with development
+ * runs, optimize hyper-parameters with exploratory sweeps, and
+ * finalize with mature runs — looping back whenever the code evolves.
+ *
+ * Modeled as a first-order Markov chain over the four lifecycle
+ * stages. The default transition matrix is tuned so the chain's
+ * stationary distribution reproduces the fleet-level job mix of
+ * Fig. 15a — i.e. the published mix is consistent with every user
+ * walking this workflow.
+ *
+ * The default trace synthesizer draws classes i.i.d. from per-user
+ * mixes (sufficient for every published marginal); this model adds the
+ * *temporal ordering* for studies that need it (e.g. predicting a
+ * job's class from its predecessor).
+ */
+
+#ifndef AIWC_WORKLOAD_WORKFLOW_MODEL_HH
+#define AIWC_WORKLOAD_WORKFLOW_MODEL_HH
+
+#include <array>
+#include <vector>
+
+#include "aiwc/common/rng.hh"
+#include "aiwc/common/types.hh"
+
+namespace aiwc::workload
+{
+
+/** Row-stochastic transition matrix over Lifecycle states. */
+using WorkflowMatrix =
+    std::array<std::array<double, num_lifecycles>, num_lifecycles>;
+
+/** Markov chain over the Fig. 2 development stages. */
+class WorkflowModel
+{
+  public:
+    /** Build with the tuned default matrix. */
+    WorkflowModel();
+
+    /** Build with a custom matrix; rows must sum to ~1. */
+    explicit WorkflowModel(const WorkflowMatrix &matrix);
+
+    const WorkflowMatrix &matrix() const { return matrix_; }
+
+    /** One transition: the class of the user's next job. */
+    Lifecycle next(Lifecycle current, Rng &rng) const;
+
+    /**
+     * A whole project session: starts in the design stage (IDE) and
+     * walks `jobs` transitions.
+     */
+    std::vector<Lifecycle> session(std::size_t jobs, Rng &rng) const;
+
+    /**
+     * Stationary distribution via power iteration — the long-run job
+     * mix a population of such users produces.
+     */
+    std::array<double, num_lifecycles> stationary(int iterations = 3000)
+        const;
+
+  private:
+    WorkflowMatrix matrix_;
+};
+
+} // namespace aiwc::workload
+
+#endif // AIWC_WORKLOAD_WORKFLOW_MODEL_HH

@@ -1,0 +1,41 @@
+#include "aiwc/sched/job.hh"
+
+namespace aiwc::sched
+{
+
+int
+Allocation::totalGpus() const
+{
+    int n = 0;
+    for (const auto &s : shares)
+        n += static_cast<int>(s.gpus.size());
+    return n;
+}
+
+int
+Allocation::totalCpuSlots() const
+{
+    int n = 0;
+    for (const auto &s : shares)
+        n += s.cpu_slots;
+    return n;
+}
+
+std::vector<GpuId>
+Allocation::allGpus() const
+{
+    std::vector<GpuId> out;
+    for (const auto &s : shares)
+        out.insert(out.end(), s.gpus.begin(), s.gpus.end());
+    return out;
+}
+
+double
+Job::gpuHours() const
+{
+    if (state != JobState::Finished)
+        return 0.0;
+    return static_cast<double>(request.gpus) * runTime() / 3600.0;
+}
+
+} // namespace aiwc::sched

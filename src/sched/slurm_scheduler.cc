@@ -1,0 +1,283 @@
+#include "aiwc/sched/slurm_scheduler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::sched
+{
+
+SlurmScheduler::SlurmScheduler(sim::Simulation &sim, sim::Cluster &cluster,
+                               SchedulerOptions options)
+    : sim_(sim), cluster_(cluster), options_(options)
+{
+}
+
+Job &
+SlurmScheduler::mutableJob(JobId id)
+{
+    const auto it = index_.find(id);
+    AIWC_ASSERT(it != index_.end(), "unknown job id ", id);
+    return jobs_[it->second];
+}
+
+const Job &
+SlurmScheduler::job(JobId id) const
+{
+    const auto it = index_.find(id);
+    AIWC_ASSERT(it != index_.end(), "unknown job id ", id);
+    return jobs_[it->second];
+}
+
+void
+SlurmScheduler::submit(const JobRequest &request)
+{
+    AIWC_ASSERT(request.id != invalid_id, "job needs an id");
+    AIWC_ASSERT(index_.find(request.id) == index_.end(),
+                "duplicate job id ", request.id);
+    AIWC_ASSERT(request.submit_time >= sim_.now(),
+                "job ", request.id, " submitted in the past");
+    AIWC_ASSERT(request.gpus >= 0 && request.cpu_slots > 0,
+                "job ", request.id, " has an empty resource request");
+
+    // Reject requests no machine state can ever satisfy (Slurm does
+    // this at submission); otherwise they would block the queue head
+    // forever.
+    const auto &spec = cluster_.spec();
+    const bool feasible =
+        request.gpus <= spec.totalGpus() &&
+        request.cpu_slots <= spec.nodes * spec.node.cpuSlots() &&
+        request.ram_gb <= spec.nodes * spec.node.ram_gb;
+    if (!feasible) {
+        warn("rejecting job ", request.id,
+             ": request exceeds cluster capacity");
+        return;
+    }
+
+    index_.emplace(request.id, jobs_.size());
+    Job record;
+    record.request = request;
+    jobs_.push_back(std::move(record));
+    ++stats_.submitted;
+
+    const JobId id = request.id;
+    if (request.submit_time > sim_.now()) {
+        sim_.at(request.submit_time, [this, id] { arrive(id); });
+    } else {
+        arrive(id);
+    }
+}
+
+void
+SlurmScheduler::arrive(JobId id)
+{
+    queue_.push_back(id);
+    armFastPass();
+    armBackfillPass();
+}
+
+void
+SlurmScheduler::armFastPass()
+{
+    if (fast_pass_pending_)
+        return;
+    fast_pass_pending_ = true;
+    sim_.after(options_.dispatch_latency, [this] {
+        fast_pass_pending_ = false;
+        schedulePass(/*with_backfill=*/false);
+    });
+}
+
+void
+SlurmScheduler::armBackfillPass()
+{
+    // Watchdog: a queue that outlives the workload by this much means
+    // some request can never be placed — a scheduler bug, not load.
+    if (sim_.now() > options_.wedge_watchdog_days * one_day &&
+        !queue_.empty()) {
+        const Job &head = job(queue_.front());
+        panic("scheduler wedged: queue depth ", queue_.size(),
+              ", running ", running_.size(), ", head job ",
+              head.request.id, " gpus=", head.request.gpus,
+              " slots=", head.request.cpu_slots,
+              " ram=", head.request.ram_gb,
+              " free_gpus=", cluster_.freeGpus(),
+              " free_slots=", cluster_.freeCpuSlots());
+    }
+    if (backfill_pass_pending_ || !options_.backfill)
+        return;
+    backfill_pass_pending_ = true;
+    sim_.after(options_.backfill_interval, [this] {
+        backfill_pass_pending_ = false;
+        schedulePass(/*with_backfill=*/true);
+        // Keep the periodic pass alive while there is work to place.
+        if (!queue_.empty())
+            armBackfillPass();
+    });
+}
+
+double
+SlurmScheduler::decayedUsage(UserId user) const
+{
+    const auto it = usage_.find(user);
+    if (it == usage_.end())
+        return 0.0;
+    auto &account = it->second;
+    const double age = sim_.now() - account.as_of;
+    if (age > 0.0) {
+        account.decayed_gpu_seconds *=
+            std::exp2(-age / options_.fairshare_half_life);
+        account.as_of = sim_.now();
+    }
+    return account.decayed_gpu_seconds;
+}
+
+void
+SlurmScheduler::chargeUsage(UserId user, double gpu_seconds)
+{
+    decayedUsage(user);  // bring the account up to date
+    auto &account = usage_[user];
+    account.decayed_gpu_seconds += gpu_seconds;
+    account.as_of = sim_.now();
+}
+
+Seconds
+SlurmScheduler::priorityKey(const Job &job) const
+{
+    // FCFS by submit time, with multi-GPU seniority: each requested
+    // GPU is worth gpu_priority_boost seconds of queue age.
+    Seconds key =
+        job.request.submit_time -
+        options_.gpu_priority_boost * static_cast<double>(job.request.gpus);
+    if (options_.fairshare) {
+        // Heavy recent consumers age backwards: one decayed GPU-hour
+        // costs fairshare_weight seconds of seniority.
+        key += options_.fairshare_weight *
+               decayedUsage(job.request.user) / 3600.0;
+    }
+    return key;
+}
+
+void
+SlurmScheduler::schedulePass(bool with_backfill)
+{
+    if (queue_.empty())
+        return;
+
+    std::stable_sort(queue_.begin(), queue_.end(),
+                     [this](JobId a, JobId b) {
+                         return priorityKey(job(a)) < priorityKey(job(b));
+                     });
+
+    // Fast path: start queue-head jobs in priority order until the
+    // first one that does not fit.
+    while (!queue_.empty()) {
+        const JobId head = queue_.front();
+        auto plan = placement_.place(cluster_, job(head).request);
+        if (!plan)
+            break;
+        queue_.pop_front();
+        start(head, std::move(*plan), /*via_backfill=*/false);
+    }
+    if (queue_.empty() || !with_backfill)
+        return;
+
+    // EASY backfill around the blocked head.
+    const JobRequest &head = job(queue_.front()).request;
+    std::vector<RunningFootprint> running;
+    running.reserve(running_.size());
+    const int slots_per_node = cluster_.spec().node.cpuSlots();
+    for (JobId id : running_) {
+        const Job &r = job(id);
+        RunningFootprint fp;
+        fp.expected_end = r.start_time + r.request.walltime_limit;
+        fp.gpus = r.request.gpus;
+        if (!r.request.isGpuJob()) {
+            fp.whole_nodes = (r.request.cpu_slots + slots_per_node - 1) /
+                             slots_per_node;
+        }
+        running.push_back(fp);
+    }
+    const BackfillWindow window =
+        computeWindow(cluster_, running, head, sim_.now());
+
+    int scanned = 0;
+    for (auto it = std::next(queue_.begin());
+         it != queue_.end() && scanned < options_.backfill_depth;) {
+        ++scanned;
+        const JobRequest &candidate = job(*it).request;
+        if (!mayBackfill(window, candidate, cluster_.spec(), sim_.now())) {
+            ++it;
+            continue;
+        }
+        auto plan = placement_.place(cluster_, candidate);
+        if (!plan) {
+            ++it;
+            continue;
+        }
+        const JobId id = *it;
+        it = queue_.erase(it);
+        start(id, std::move(*plan), /*via_backfill=*/true);
+    }
+}
+
+void
+SlurmScheduler::start(JobId id, Allocation plan, bool via_backfill)
+{
+    Job &record = mutableJob(id);
+    AIWC_ASSERT(record.state == JobState::Queued,
+                "starting a non-queued job ", id);
+
+    placement_.commit(cluster_, id, plan);
+    record.allocation = std::move(plan);
+    record.state = JobState::Running;
+    record.start_time = sim_.now();
+    record.backfilled = via_backfill;
+    running_.push_back(id);
+    ++stats_.started;
+    if (via_backfill)
+        ++stats_.backfilled;
+
+    // Slurm prolog fires as the job launches: this is where the paper
+    // starts nvidia-smi / CPU time-series collection.
+    if (prolog_)
+        prolog_(record);
+
+    sim_.after(record.request.observedDuration(), [this, id] { finish(id); });
+}
+
+void
+SlurmScheduler::finish(JobId id)
+{
+    Job &record = mutableJob(id);
+    AIWC_ASSERT(record.state == JobState::Running,
+                "finishing a non-running job ", id);
+
+    record.state = JobState::Finished;
+    record.end_time = sim_.now();
+    record.terminal = record.request.observedEnd();
+    placement_.release(cluster_, record.allocation);
+
+    const auto it = std::find(running_.begin(), running_.end(), id);
+    AIWC_ASSERT(it != running_.end(), "finished job not in running set");
+    running_.erase(it);
+
+    ++stats_.finished;
+    stats_.gpu_hours += record.gpuHours();
+    if (options_.fairshare) {
+        chargeUsage(record.request.user,
+                    record.gpuHours() * 3600.0);
+    }
+
+    // Slurm epilog: telemetry is stopped and spooled back here.
+    if (epilog_)
+        epilog_(record);
+
+    if (!queue_.empty()) {
+        armFastPass();
+        armBackfillPass();
+    }
+}
+
+} // namespace aiwc::sched

@@ -1,0 +1,85 @@
+#include "aiwc/sim/cluster_factory.hh"
+
+#include "aiwc/common/logging.hh"
+#include "aiwc/common/table.hh"
+
+namespace aiwc::sim
+{
+
+ClusterSpec
+supercloudSpec()
+{
+    ClusterSpec spec;
+    spec.name = "Supercloud";
+    spec.nodes = 224;
+    spec.node.sockets = 2;
+    spec.node.cores_per_socket = 20;
+    spec.node.hyperthreads_per_core = 2;
+    spec.node.ram_gb = 384.0;
+    spec.node.gpus = 2;
+    spec.node.gpu.model = "Nvidia Volta V100";
+    spec.node.gpu.memory_gb = 32.0;
+    spec.node.gpu.tdp_watts = 300.0;
+    spec.node.gpu.idle_watts = 25.0;
+    spec.node.gpu.relative_speed = 1.0;
+    spec.node.local_ssd_tb = 1.0;
+    spec.node.local_hdd_tb = 3.8;
+    spec.shared_ssd_tb = 873.0;
+    return spec;
+}
+
+ClusterSpec
+miniSupercloudSpec(int nodes)
+{
+    AIWC_ASSERT(nodes >= 1, "mini cluster needs at least one node");
+    ClusterSpec spec = supercloudSpec();
+    spec.name = "MiniSupercloud";
+    spec.nodes = nodes;
+    return spec;
+}
+
+GpuSpec
+economyGpuSpec(double relative_speed)
+{
+    AIWC_ASSERT(relative_speed > 0.0 && relative_speed <= 1.0,
+                "economy tier speed must be in (0, 1]");
+    GpuSpec gpu;
+    gpu.model = "EconomyTier";
+    gpu.memory_gb = 16.0;
+    gpu.tdp_watts = 160.0;
+    gpu.idle_watts = 15.0;
+    gpu.relative_speed = relative_speed;
+    return gpu;
+}
+
+void
+printSpec(const ClusterSpec &spec, std::ostream &os)
+{
+    TextTable table({"Specification", "Value"});
+    table.addRow({"System", spec.name});
+    table.addRow({"Number of Nodes", formatNumber(spec.nodes, 0)});
+    table.addRow({"Number of CPU Cores",
+                  formatNumber(spec.totalCpuCores(), 0)});
+    table.addRow({"CPU sockets x cores x HT",
+                  formatNumber(spec.node.sockets, 0) + " x " +
+                      formatNumber(spec.node.cores_per_socket, 0) + " x " +
+                      formatNumber(spec.node.hyperthreads_per_core, 0)});
+    table.addRow({"Node RAM", formatNumber(spec.node.ram_gb, 0) + " GB"});
+    table.addRow({"Number of GPUs", formatNumber(spec.totalGpus(), 0)});
+    table.addRow({"GPUs per Node", formatNumber(spec.node.gpus, 0)});
+    table.addRow({"GPU Type", spec.node.gpu.model});
+    table.addRow({"GPU RAM",
+                  formatNumber(spec.node.gpu.memory_gb, 0) + " GB"});
+    table.addRow({"GPU TDP",
+                  formatNumber(spec.node.gpu.tdp_watts, 0) + " W"});
+    table.addRow({"Local Storage",
+                  formatNumber(spec.node.local_ssd_tb, 1) + " TB SSD & " +
+                      formatNumber(spec.node.local_hdd_tb, 1) + " TB HDD"});
+    table.addRow({"Shared Storage",
+                  formatNumber(spec.shared_ssd_tb, 0) + " TB SSD"});
+    table.addRow({"Interconnect", spec.interconnect});
+    table.addRow({"Network", spec.network});
+    table.print(os);
+}
+
+} // namespace aiwc::sim

@@ -1,0 +1,74 @@
+#include "aiwc/sim/event_queue.hh"
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::sim
+{
+
+EventId
+EventQueue::schedule(Seconds when, std::function<void()> callback)
+{
+    AIWC_ASSERT(callback, "scheduling a null callback");
+    const EventId id = next_id_++;
+    heap_.push(Entry{when, next_seq_++, id});
+    callbacks_.emplace(id, std::move(callback));
+    ++live_;
+    return id;
+}
+
+bool
+EventQueue::cancel(EventId id)
+{
+    const auto it = callbacks_.find(id);
+    if (it == callbacks_.end())
+        return false;
+    callbacks_.erase(it);
+    cancelled_.insert(id);
+    --live_;
+    return true;
+}
+
+void
+EventQueue::skipDead() const
+{
+    while (!heap_.empty()) {
+        const auto it = cancelled_.find(heap_.top().id);
+        if (it == cancelled_.end())
+            return;
+        cancelled_.erase(it);
+        heap_.pop();
+    }
+}
+
+bool
+EventQueue::empty() const
+{
+    skipDead();
+    return heap_.empty();
+}
+
+Seconds
+EventQueue::nextTime() const
+{
+    skipDead();
+    AIWC_ASSERT(!heap_.empty(), "nextTime() on an empty queue");
+    return heap_.top().when;
+}
+
+Seconds
+EventQueue::popAndRun()
+{
+    skipDead();
+    AIWC_ASSERT(!heap_.empty(), "popAndRun() on an empty queue");
+    const Entry top = heap_.top();
+    heap_.pop();
+    auto it = callbacks_.find(top.id);
+    AIWC_ASSERT(it != callbacks_.end(), "live event without a callback");
+    auto cb = std::move(it->second);
+    callbacks_.erase(it);
+    --live_;
+    cb();
+    return top.when;
+}
+
+} // namespace aiwc::sim

@@ -1,0 +1,169 @@
+#include "aiwc/sim/resources.hh"
+
+#include <algorithm>
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::sim
+{
+
+void
+Gpu::assign(JobId job)
+{
+    AIWC_ASSERT(!busy(), "GPU ", id_, " is already assigned to job ", job_);
+    AIWC_ASSERT(job != invalid_id, "assigning an invalid job id");
+    job_ = job;
+}
+
+void
+Gpu::release()
+{
+    AIWC_ASSERT(busy(), "releasing an idle GPU ", id_);
+    job_ = invalid_id;
+}
+
+Node::Node(NodeId id, const NodeSpec &spec, GpuId first_gpu_id)
+    : id_(id), spec_(&spec), free_cpu_slots_(spec.cpuSlots()),
+      free_ram_gb_(spec.ram_gb)
+{
+    gpus_.reserve(static_cast<std::size_t>(spec.gpus));
+    for (int g = 0; g < spec.gpus; ++g)
+        gpus_.emplace_back(first_gpu_id + static_cast<GpuId>(g), id,
+                           spec.gpu);
+}
+
+int
+Node::freeGpus() const
+{
+    int n = 0;
+    for (const auto &g : gpus_)
+        if (!g.busy())
+            ++n;
+    return n;
+}
+
+bool
+Node::fitsCpu(int cpu_slots, double ram_gb) const
+{
+    // Epsilon absorbs floating-point residue from repeated RAM
+    // allocate/release cycles; without it a whole-node request of
+    // exactly the node's RAM can be rejected forever once free RAM
+    // drifts to 383.999... GB.
+    constexpr double ram_epsilon = 1e-6;
+    return cpu_slots <= free_cpu_slots_ &&
+           ram_gb <= free_ram_gb_ + ram_epsilon;
+}
+
+void
+Node::allocateCpu(int cpu_slots, double ram_gb)
+{
+    AIWC_ASSERT(fitsCpu(cpu_slots, ram_gb),
+                "over-allocating node ", id_, ": ", cpu_slots, " slots / ",
+                ram_gb, " GB requested, ", free_cpu_slots_, " / ",
+                free_ram_gb_, " free");
+    free_cpu_slots_ -= cpu_slots;
+    free_ram_gb_ = std::max(free_ram_gb_ - ram_gb, 0.0);
+    ++resident_jobs_;
+}
+
+void
+Node::releaseCpu(int cpu_slots, double ram_gb)
+{
+    free_cpu_slots_ += cpu_slots;
+    free_ram_gb_ += ram_gb;
+    --resident_jobs_;
+    AIWC_ASSERT(free_cpu_slots_ <= spec_->cpuSlots(),
+                "CPU slot double-release on node ", id_);
+    AIWC_ASSERT(free_ram_gb_ <= spec_->ram_gb + 1e-6,
+                "RAM double-release on node ", id_);
+    AIWC_ASSERT(resident_jobs_ >= 0, "job count underflow on node ", id_);
+    // Snap an empty node back to its exact capacity so accumulated
+    // rounding never leaks into future whole-node placements.
+    if (resident_jobs_ == 0) {
+        free_cpu_slots_ = spec_->cpuSlots();
+        free_ram_gb_ = spec_->ram_gb;
+    }
+}
+
+std::vector<GpuId>
+Node::allocateGpus(JobId job, int count)
+{
+    AIWC_ASSERT(count <= freeGpus(), "not enough free GPUs on node ", id_);
+    std::vector<GpuId> out;
+    out.reserve(static_cast<std::size_t>(count));
+    for (auto &g : gpus_) {
+        if (static_cast<int>(out.size()) == count)
+            break;
+        if (!g.busy()) {
+            g.assign(job);
+            out.push_back(g.id());
+        }
+    }
+    return out;
+}
+
+void
+Node::releaseGpu(GpuId gpu)
+{
+    for (auto &g : gpus_) {
+        if (g.id() == gpu) {
+            g.release();
+            return;
+        }
+    }
+    panic("GPU ", gpu, " does not live on node ", id_);
+}
+
+Cluster::Cluster(const ClusterSpec &spec) : spec_(spec)
+{
+    AIWC_ASSERT(spec.nodes > 0, "cluster needs at least one node");
+    nodes_.reserve(static_cast<std::size_t>(spec.nodes));
+    GpuId next_gpu = 0;
+    for (int n = 0; n < spec.nodes; ++n) {
+        nodes_.emplace_back(static_cast<NodeId>(n), spec_.node, next_gpu);
+        next_gpu += static_cast<GpuId>(spec.node.gpus);
+    }
+}
+
+Node &
+Cluster::node(NodeId id)
+{
+    AIWC_ASSERT(id < nodes_.size(), "node id out of range: ", id);
+    return nodes_[id];
+}
+
+const Node &
+Cluster::node(NodeId id) const
+{
+    AIWC_ASSERT(id < nodes_.size(), "node id out of range: ", id);
+    return nodes_[id];
+}
+
+int
+Cluster::freeGpus() const
+{
+    int n = 0;
+    for (const auto &node : nodes_)
+        n += node.freeGpus();
+    return n;
+}
+
+int
+Cluster::freeCpuSlots() const
+{
+    int n = 0;
+    for (const auto &node : nodes_)
+        n += node.freeCpuSlots();
+    return n;
+}
+
+NodeId
+Cluster::nodeOfGpu(GpuId gpu) const
+{
+    const auto per_node = static_cast<GpuId>(spec_.node.gpus);
+    const auto node = gpu / per_node;
+    AIWC_ASSERT(node < nodes_.size(), "GPU id out of range: ", gpu);
+    return node;
+}
+
+} // namespace aiwc::sim

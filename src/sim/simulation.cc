@@ -1,0 +1,51 @@
+#include "aiwc/sim/simulation.hh"
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::sim
+{
+
+EventId
+Simulation::at(Seconds when, std::function<void()> callback)
+{
+    AIWC_ASSERT(when >= now_, "scheduling into the past: ", when,
+                " < ", now_);
+    return events_.schedule(when, std::move(callback));
+}
+
+EventId
+Simulation::after(Seconds delay, std::function<void()> callback)
+{
+    AIWC_ASSERT(delay >= 0.0, "negative delay: ", delay);
+    return events_.schedule(now_ + delay, std::move(callback));
+}
+
+std::size_t
+Simulation::run()
+{
+    std::size_t fired = 0;
+    while (!events_.empty()) {
+        // Advance the clock BEFORE dispatching, so the callback (and
+        // anything it schedules) sees the event's own time as now().
+        now_ = events_.nextTime();
+        events_.popAndRun();
+        ++fired;
+    }
+    return fired;
+}
+
+std::size_t
+Simulation::runUntil(Seconds horizon)
+{
+    std::size_t fired = 0;
+    while (!events_.empty() && events_.nextTime() <= horizon) {
+        now_ = events_.nextTime();
+        events_.popAndRun();
+        ++fired;
+    }
+    if (now_ < horizon)
+        now_ = horizon;
+    return fired;
+}
+
+} // namespace aiwc::sim

@@ -1,0 +1,177 @@
+#include "aiwc/stats/correlation.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::stats
+{
+
+namespace
+{
+
+/** ln Gamma(x) via the Lanczos approximation. */
+double
+lnGamma(double x)
+{
+    static const double cof[6] = {
+        76.18009172947146, -86.50532032941677, 24.01409824083091,
+        -1.231739572450155, 0.1208650973866179e-2, -0.5395239384953e-5,
+    };
+    double y = x;
+    double tmp = x + 5.5;
+    tmp -= (x + 0.5) * std::log(tmp);
+    double ser = 1.000000000190015;
+    for (double c : cof)
+        ser += c / ++y;
+    return -tmp + std::log(2.5066282746310005 * ser / x);
+}
+
+/** Continued fraction for the incomplete beta function. */
+double
+betacf(double a, double b, double x)
+{
+    constexpr int max_it = 200;
+    constexpr double eps = 3.0e-12;
+    constexpr double fpmin = 1.0e-300;
+
+    const double qab = a + b;
+    const double qap = a + 1.0;
+    const double qam = a - 1.0;
+    double c = 1.0;
+    double d = 1.0 - qab * x / qap;
+    if (std::abs(d) < fpmin)
+        d = fpmin;
+    d = 1.0 / d;
+    double h = d;
+    for (int m = 1; m <= max_it; ++m) {
+        const int m2 = 2 * m;
+        double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if (std::abs(d) < fpmin)
+            d = fpmin;
+        c = 1.0 + aa / c;
+        if (std::abs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        h *= d * c;
+        aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if (std::abs(d) < fpmin)
+            d = fpmin;
+        c = 1.0 + aa / c;
+        if (std::abs(c) < fpmin)
+            c = fpmin;
+        d = 1.0 / d;
+        const double del = d * c;
+        h *= del;
+        if (std::abs(del - 1.0) < eps)
+            break;
+    }
+    return h;
+}
+
+/** Regularized incomplete beta I_x(a, b). */
+double
+incompleteBeta(double a, double b, double x)
+{
+    if (x <= 0.0)
+        return 0.0;
+    if (x >= 1.0)
+        return 1.0;
+    const double bt = std::exp(lnGamma(a + b) - lnGamma(a) - lnGamma(b) +
+                               a * std::log(x) + b * std::log(1.0 - x));
+    if (x < (a + 1.0) / (a + b + 2.0))
+        return bt * betacf(a, b, x) / a;
+    return 1.0 - bt * betacf(b, a, 1.0 - x) / b;
+}
+
+/** Pearson r without the p-value machinery. */
+double
+pearsonR(std::span<const double> x, std::span<const double> y)
+{
+    const auto n = x.size();
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        mx += x[i];
+        my += y[i];
+    }
+    mx /= static_cast<double>(n);
+    my /= static_cast<double>(n);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const double dx = x[i] - mx;
+        const double dy = y[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+} // namespace
+
+double
+tTestPValue(double t, double df)
+{
+    if (df <= 0.0)
+        return 1.0;
+    const double x = df / (df + t * t);
+    return incompleteBeta(df / 2.0, 0.5, x);
+}
+
+std::vector<double>
+averageRanks(std::span<const double> xs)
+{
+    const std::size_t n = xs.size();
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+
+    std::vector<double> ranks(n, 0.0);
+    std::size_t i = 0;
+    while (i < n) {
+        std::size_t j = i;
+        while (j + 1 < n && xs[order[j + 1]] == xs[order[i]])
+            ++j;
+        // Average 1-based rank across the tie group [i, j].
+        const double avg = (static_cast<double>(i) +
+                            static_cast<double>(j)) / 2.0 + 1.0;
+        for (std::size_t k = i; k <= j; ++k)
+            ranks[order[k]] = avg;
+        i = j + 1;
+    }
+    return ranks;
+}
+
+Correlation
+pearson(std::span<const double> x, std::span<const double> y)
+{
+    AIWC_ASSERT(x.size() == y.size(), "correlation input size mismatch");
+    Correlation c;
+    c.n = x.size();
+    if (c.n < 3)
+        return c;
+    c.coefficient = pearsonR(x, y);
+    const double r = std::clamp(c.coefficient, -0.9999999999, 0.9999999999);
+    const double df = static_cast<double>(c.n) - 2.0;
+    const double t = r * std::sqrt(df / (1.0 - r * r));
+    c.p_value = tTestPValue(t, df);
+    return c;
+}
+
+Correlation
+spearman(std::span<const double> x, std::span<const double> y)
+{
+    AIWC_ASSERT(x.size() == y.size(), "correlation input size mismatch");
+    const auto rx = averageRanks(x);
+    const auto ry = averageRanks(y);
+    return pearson(rx, ry);
+}
+
+} // namespace aiwc::stats

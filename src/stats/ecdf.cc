@@ -1,0 +1,60 @@
+#include "aiwc/stats/ecdf.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aiwc/common/logging.hh"
+#include "aiwc/stats/descriptive.hh"
+
+namespace aiwc::stats
+{
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> sample)
+    : sorted_(std::move(sample))
+{
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double
+EmpiricalCdf::at(double x) const
+{
+    if (sorted_.empty())
+        return 0.0;
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) /
+           static_cast<double>(sorted_.size());
+}
+
+double
+EmpiricalCdf::quantile(double q) const
+{
+    return percentileSorted(sorted_, q);
+}
+
+std::vector<std::pair<double, double>>
+EmpiricalCdf::curve(int points) const
+{
+    AIWC_ASSERT(points >= 2, "curve needs at least two points");
+    std::vector<std::pair<double, double>> out;
+    out.reserve(static_cast<std::size_t>(points));
+    for (int i = 0; i < points; ++i) {
+        const double q = static_cast<double>(i) / (points - 1);
+        out.emplace_back(quantile(q), q);
+    }
+    return out;
+}
+
+double
+EmpiricalCdf::ksDistance(const EmpiricalCdf &other) const
+{
+    if (empty() || other.empty())
+        return empty() == other.empty() ? 0.0 : 1.0;
+    double d = 0.0;
+    for (double x : sorted_)
+        d = std::max(d, std::abs(at(x) - other.at(x)));
+    for (double x : other.sorted_)
+        d = std::max(d, std::abs(at(x) - other.at(x)));
+    return d;
+}
+
+} // namespace aiwc::stats

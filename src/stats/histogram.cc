@@ -1,0 +1,59 @@
+#include "aiwc/stats/histogram.hh"
+
+#include <algorithm>
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::stats
+{
+
+Histogram::Histogram(std::size_t bins, double lo, double hi)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0.0)
+{
+    AIWC_ASSERT(bins >= 1, "histogram needs at least one bin");
+    AIWC_ASSERT(hi > lo, "histogram range is empty");
+}
+
+void
+Histogram::add(double x)
+{
+    add(x, 1.0);
+}
+
+void
+Histogram::add(double x, double weight)
+{
+    auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+    idx = std::clamp<std::ptrdiff_t>(
+        idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    counts_[static_cast<std::size_t>(idx)] += weight;
+    total_ += weight;
+}
+
+double
+Histogram::binLow(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::binHigh(std::size_t i) const
+{
+    return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+double
+Histogram::fraction(std::size_t i) const
+{
+    return total_ > 0.0 ? counts_[i] / total_ : 0.0;
+}
+
+std::size_t
+Histogram::modeBin() const
+{
+    return static_cast<std::size_t>(
+        std::max_element(counts_.begin(), counts_.end()) - counts_.begin());
+}
+
+} // namespace aiwc::stats

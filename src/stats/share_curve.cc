@@ -1,0 +1,78 @@
+#include "aiwc/stats/share_curve.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::stats
+{
+
+namespace
+{
+std::vector<double>
+sortedDescending(std::span<const double> xs)
+{
+    std::vector<double> v(xs.begin(), xs.end());
+    std::sort(v.begin(), v.end(), std::greater<>());
+    return v;
+}
+} // namespace
+
+double
+topShare(std::span<const double> contributions, double top_fraction)
+{
+    AIWC_ASSERT(top_fraction >= 0.0 && top_fraction <= 1.0,
+                "top fraction out of [0,1]");
+    if (contributions.empty())
+        return 0.0;
+    const auto v = sortedDescending(contributions);
+    double total = 0.0;
+    for (double x : v)
+        total += x;
+    if (total <= 0.0)
+        return 0.0;
+    const auto k = static_cast<std::size_t>(
+        std::ceil(top_fraction * static_cast<double>(v.size())));
+    double head = 0.0;
+    for (std::size_t i = 0; i < k; ++i)
+        head += v[i];
+    return head / total;
+}
+
+std::vector<double>
+shareCurve(std::span<const double> contributions)
+{
+    const auto v = sortedDescending(contributions);
+    double total = 0.0;
+    for (double x : v)
+        total += x;
+    std::vector<double> curve;
+    curve.reserve(v.size());
+    double acc = 0.0;
+    for (double x : v) {
+        acc += x;
+        curve.push_back(total > 0.0 ? acc / total : 0.0);
+    }
+    return curve;
+}
+
+double
+gini(std::span<const double> contributions)
+{
+    if (contributions.size() < 2)
+        return 0.0;
+    std::vector<double> v(contributions.begin(), contributions.end());
+    std::sort(v.begin(), v.end());
+    const auto n = static_cast<double>(v.size());
+    double cum = 0.0, weighted = 0.0;
+    for (std::size_t i = 0; i < v.size(); ++i) {
+        cum += v[i];
+        weighted += static_cast<double>(i + 1) * v[i];
+    }
+    if (cum <= 0.0)
+        return 0.0;
+    return (2.0 * weighted) / (n * cum) - (n + 1.0) / n;
+}
+
+} // namespace aiwc::stats

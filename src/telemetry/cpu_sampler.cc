@@ -1,0 +1,54 @@
+#include "aiwc/telemetry/cpu_sampler.hh"
+
+#include <algorithm>
+
+#include "aiwc/common/logging.hh"
+#include "aiwc/telemetry/phase_model.hh"
+
+namespace aiwc::telemetry
+{
+
+HostTelemetry
+CpuSampler::sampleJob(const HostProfile &host, const JobProfile *gpu,
+                      Seconds duration) const
+{
+    AIWC_ASSERT(duration > 0.0, "host telemetry needs a positive run");
+    AIWC_ASSERT(host.cpu_slots > 0, "job holds no CPU slots");
+
+    Rng rng(host.seed != 0 ? host.seed : 0xc0ffee11u);
+    HostTelemetry out;
+
+    // Phase structure: CPU-only jobs are continuously busy; GPU jobs
+    // inherit the GPU's active/idle alternation (the host follows the
+    // training loop).
+    std::vector<Phase> phases;
+    if (gpu) {
+        phases = PhaseModel(*gpu).generate(duration, rng);
+    } else {
+        phases.push_back(Phase{true, duration});
+    }
+
+    const auto slots = static_cast<double>(host.cpu_slots);
+    for (const auto &phase : phases) {
+        const double busy_mean =
+            phase.active ? host.busy_slots_mean
+                         : host.idle_busy_slots_mean;
+        const auto samples = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(phase.length / interval_));
+        for (std::int64_t i = 0; i < samples; ++i) {
+            const double busy = std::clamp(
+                busy_mean * (1.0 + host.noise_rel * rng.gaussian()),
+                0.0, slots);
+            out.cpu_util.add(busy / slots);
+            const double rss = std::clamp(
+                host.rss_fraction *
+                    (1.0 + 0.3 * host.noise_rel * rng.gaussian()),
+                0.0, 1.0);
+            out.rss_util.add(rss);
+            ++out.samples;
+        }
+    }
+    return out;
+}
+
+} // namespace aiwc::telemetry

@@ -1,0 +1,37 @@
+#include "aiwc/telemetry/power_model.hh"
+
+#include <algorithm>
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::telemetry
+{
+
+PowerModel::PowerModel(const PowerParams &params) : params_(params)
+{
+    AIWC_ASSERT(params.tdp_watts > params.idle_watts,
+                "TDP must exceed idle draw");
+}
+
+double
+PowerModel::expectedWatts(double sm, double membw, double efficiency) const
+{
+    const double load = params_.sm_weight * std::clamp(sm, 0.0, 1.0) +
+                        params_.membw_weight * std::clamp(membw, 0.0, 1.0);
+    const double watts =
+        params_.idle_watts +
+        load * efficiency * (params_.tdp_watts - params_.idle_watts);
+    return std::clamp(watts, 0.0, params_.tdp_watts);
+}
+
+double
+PowerModel::sampleWatts(double sm, double membw, double efficiency,
+                        Rng &rng) const
+{
+    const double base = expectedWatts(sm, membw, efficiency);
+    const double noisy =
+        base + rng.gaussian(0.0, params_.sample_noise_watts);
+    return std::clamp(noisy, 0.8 * params_.idle_watts, params_.tdp_watts);
+}
+
+} // namespace aiwc::telemetry

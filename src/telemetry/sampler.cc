@@ -1,0 +1,156 @@
+#include "aiwc/telemetry/sampler.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aiwc/common/logging.hh"
+#include "aiwc/telemetry/phase_model.hh"
+#include "aiwc/telemetry/utilization_model.hh"
+
+namespace aiwc::telemetry
+{
+
+GpuSampler::GpuSampler(const PowerModel &power,
+                       const MonitoringParams &params)
+    : power_(power), params_(params)
+{
+}
+
+JobTelemetry
+GpuSampler::sampleJob(const JobProfile &profile, Seconds duration,
+                      bool detailed, TimeSeries *series) const
+{
+    AIWC_ASSERT(duration > 0.0, "telemetry needs a positive duration");
+    AIWC_ASSERT(profile.num_gpus >= 1, "telemetry needs at least one GPU");
+    AIWC_ASSERT(profile.idle_gpus >= 0 &&
+                    profile.idle_gpus < profile.num_gpus,
+                "at least one GPU must be active");
+
+    Rng rng(profile.telemetry_seed != 0 ? profile.telemetry_seed
+                                        : 0x51ed2701u);
+    JobTelemetry out;
+    out.detailed = detailed;
+    out.per_gpu.resize(static_cast<std::size_t>(profile.num_gpus));
+
+    // One shared phase sequence: the GPUs of a data-parallel job step
+    // together (Sec. V: active GPUs behave uniformly).
+    const PhaseModel model(profile);
+    const auto phases = model.generate(duration, rng);
+    const UtilizationModel levels(profile);
+
+    const int budget = detailed ? params_.max_timeseries_samples
+                                : params_.max_summary_samples;
+    const Seconds stride = std::max(
+        params_.gpu_interval, duration / static_cast<double>(budget));
+
+    // Streaming CoV inputs for the detailed subset (GPU 0 only).
+    stats::RunningSummary active_sm, active_membw, active_memsize;
+
+    for (int g = 0; g < profile.num_gpus; ++g) {
+        auto &summary = out.per_gpu[static_cast<std::size_t>(g)];
+        const bool gpu_active = g < profile.activeGpus();
+        // Small static imbalance between the active GPUs of a job.
+        const double gpu_scale =
+            gpu_active ? std::clamp(1.0 + 0.03 * rng.gaussian(), 0.8, 1.2)
+                       : 0.0;
+
+        for (const auto &phase : phases) {
+            // Stochastic rounding keeps expected samples proportional
+            // to phase length while bounding total volume.
+            const double exact = phase.length / stride;
+            auto n = static_cast<int>(exact);
+            if (rng.chance(exact - n))
+                ++n;
+            if (detailed && n == 0)
+                n = 1;  // the 100 ms mode never skips a phase
+
+            const bool hot = phase.active && gpu_active;
+            const PhaseLevels lv = hot ? levels.activeLevels(gpu_scale, rng)
+                                       : levels.idleLevels();
+            for (int i = 0; i < n; ++i) {
+                Sample s;
+                if (hot) {
+                    s.sm = static_cast<float>(UtilizationModel::noisySample(
+                        lv.sm, profile.sample_noise_rel, rng));
+                    s.membw =
+                        static_cast<float>(UtilizationModel::noisySample(
+                            lv.membw, profile.sample_noise_rel, rng));
+                    s.memsize =
+                        static_cast<float>(UtilizationModel::noisySample(
+                            lv.memsize, profile.memsize_noise_rel, rng));
+                    s.pcie_tx =
+                        static_cast<float>(UtilizationModel::noisySample(
+                            lv.tx, 0.15, rng));
+                    s.pcie_rx =
+                        static_cast<float>(UtilizationModel::noisySample(
+                            lv.rx, 0.15, rng));
+                } else {
+                    s.memsize = static_cast<float>(
+                        gpu_active
+                            ? UtilizationModel::noisySample(
+                                  lv.memsize, profile.memsize_noise_rel,
+                                  rng)
+                            : 0.0);
+                    s.pcie_tx = static_cast<float>(lv.tx);
+                    s.pcie_rx = static_cast<float>(lv.rx);
+                }
+                s.power_watts = static_cast<float>(power_.sampleWatts(
+                    s.sm, s.membw, profile.power_efficiency, rng));
+
+                summary.sm.add(s.sm);
+                summary.membw.add(s.membw);
+                summary.memsize.add(s.memsize);
+                summary.pcie_tx.add(s.pcie_tx);
+                summary.pcie_rx.add(s.pcie_rx);
+                summary.power_watts.add(s.power_watts);
+                ++out.samples_generated;
+
+                if (g == 0 && hot) {
+                    active_sm.add(s.sm);
+                    active_membw.add(s.membw);
+                    active_memsize.add(s.memsize);
+                }
+                if (g == 0 && series)
+                    series->append(s);
+            }
+        }
+
+        // Saturation bursts (Figs. 7b, 8): inject the single extreme
+        // sample on the first (active) GPU. One sample among
+        // thousands barely moves the mean but pins the max — exactly
+        // the "max reaches the limit at some point" semantics.
+        if (g == 0) {
+            if (profile.sat_sm) {
+                summary.sm.add(1.0);
+                summary.power_watts.add(power_.sampleWatts(
+                    1.0, profile.membw_mean, profile.power_efficiency,
+                    rng));
+            }
+            if (profile.sat_membw)
+                summary.membw.add(1.0);
+            if (profile.sat_memsize)
+                summary.memsize.add(1.0);
+            if (profile.sat_tx)
+                summary.pcie_tx.add(1.0);
+            if (profile.sat_rx)
+                summary.pcie_rx.add(1.0);
+        }
+    }
+
+    if (detailed) {
+        auto &ps = out.phases;
+        ps.active_fraction = PhaseModel::activeFraction(phases);
+        for (const auto &phase : phases) {
+            auto &sink =
+                phase.active ? ps.active_intervals : ps.idle_intervals;
+            if (sink.size() < 20000)
+                sink.push_back(phase.length);
+        }
+        ps.active_sm_cov = active_sm.covPercent();
+        ps.active_membw_cov = active_membw.covPercent();
+        ps.active_memsize_cov = active_memsize.covPercent();
+    }
+    return out;
+}
+
+} // namespace aiwc::telemetry

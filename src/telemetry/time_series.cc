@@ -1,0 +1,28 @@
+#include "aiwc/telemetry/time_series.hh"
+
+#include "aiwc/common/csv.hh"
+#include "aiwc/common/table.hh"
+
+namespace aiwc::telemetry
+{
+
+void
+TimeSeries::writeCsv(std::ostream &os) const
+{
+    CsvWriter csv(os, {"time_s", "sm", "membw", "memsize", "pcie_tx",
+                       "pcie_rx", "power_w"});
+    for (std::size_t i = 0; i < samples_.size(); ++i) {
+        const Sample &s = samples_[i];
+        csv.writeRow({
+            formatNumber(timeOf(i), 3),
+            formatNumber(s.sm, 4),
+            formatNumber(s.membw, 4),
+            formatNumber(s.memsize, 4),
+            formatNumber(s.pcie_tx, 4),
+            formatNumber(s.pcie_rx, 4),
+            formatNumber(s.power_watts, 1),
+        });
+    }
+}
+
+} // namespace aiwc::telemetry

@@ -1,0 +1,57 @@
+#include "aiwc/telemetry/utilization_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aiwc::telemetry
+{
+
+PhaseLevels
+UtilizationModel::activeLevels(double gpu_scale, Rng &rng) const
+{
+    // Natural activity stays below natural_ceiling: sustained 100% is
+    // not how real kernels behave, and keeping ordinary samples under
+    // the bottleneck threshold lets the calibrated saturation flags —
+    // not sampling noise — decide which jobs count as bottlenecked
+    // (Figs. 7b/8).
+    const JobProfile &p = profile_;
+    const double j = p.phase_jitter_sigma;
+    const double factor = std::exp(j * rng.gaussian() - 0.5 * j * j);
+    PhaseLevels lv;
+    lv.sm = std::clamp(p.sm_mean * gpu_scale * factor, 0.0,
+                       natural_ceiling);
+    const double bw_wobble =
+        std::exp(0.5 * j * rng.gaussian() - 0.125 * j * j);
+    lv.membw = std::clamp(p.membw_mean * gpu_scale * factor * bw_wobble,
+                          0.0, natural_ceiling);
+    lv.memsize = std::clamp(p.memsize_mean * (1.0 + 0.03 * rng.gaussian()),
+                            0.0, natural_ceiling);
+    lv.tx = std::clamp(
+        p.pcie_tx_mean * std::exp(0.25 * rng.gaussian() - 0.03125), 0.0,
+        natural_ceiling);
+    lv.rx = std::clamp(
+        p.pcie_rx_mean * std::exp(0.25 * rng.gaussian() - 0.03125), 0.0,
+        natural_ceiling);
+    return lv;
+}
+
+PhaseLevels
+UtilizationModel::idleLevels() const
+{
+    PhaseLevels lv;
+    lv.memsize = 0.85 * profile_.memsize_mean;
+    lv.tx = 0.002;
+    lv.rx = 0.002;
+    return lv;
+}
+
+double
+UtilizationModel::noisySample(double mean, double rel, Rng &rng)
+{
+    if (mean <= 0.0)
+        return 0.0;
+    return std::clamp(mean * (1.0 + rel * rng.gaussian()), 0.0,
+                      natural_ceiling);
+}
+
+} // namespace aiwc::telemetry

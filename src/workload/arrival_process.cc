@@ -1,0 +1,82 @@
+#include "aiwc/workload/arrival_process.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::workload
+{
+
+ArrivalProcess::ArrivalProcess(const ArrivalParams &params, int total_jobs)
+    : params_(params),
+      total_jobs_(total_jobs > 0 ? total_jobs : params.total_jobs)
+{
+    AIWC_ASSERT(params_.study_days > 0.0, "study must span time");
+    AIWC_ASSERT(total_jobs_ > 0, "need at least one arrival");
+
+    // Numerically integrate the modulation so base_rate makes the
+    // expected arrival count equal total_jobs.
+    base_rate_ = 1.0;  // unit rate while integrating modulation
+    const Seconds horizon = studySeconds();
+    const Seconds step = 600.0;
+    double integral = 0.0;
+    max_modulation_ = 0.0;
+    for (Seconds t = 0.5 * step; t < horizon; t += step) {
+        const double m = modulationAt(t);
+        integral += m * step;
+        max_modulation_ = std::max(max_modulation_, m);
+    }
+    base_rate_ = static_cast<double>(total_jobs_) / integral;
+    // Small safety margin: the sampled max may sit between grid points.
+    max_modulation_ *= 1.05;
+}
+
+double
+ArrivalProcess::modulationAt(Seconds t) const
+{
+    const double day = t / one_day;
+
+    // Diurnal: submissions peak in the local afternoon.
+    const double diurnal =
+        1.0 + params_.diurnal_amplitude *
+                  std::sin(2.0 * M_PI * (day - 0.4));
+
+    // Weekly: a weekend dip (days 5 and 6 of each week).
+    const int weekday = static_cast<int>(day) % 7;
+    const double weekly = (weekday >= 5) ? params_.weekend_dip : 1.0;
+
+    // Deadline surges: load ramps up toward each deadline, then sags
+    // briefly after it.
+    double deadline = 1.0;
+    for (const auto &d : params_.deadlines) {
+        if (day <= d.day && day >= d.day - d.ramp_days) {
+            const double x = (day - (d.day - d.ramp_days)) / d.ramp_days;
+            deadline += d.gain * x * x;  // convex ramp to the deadline
+        } else if (day > d.day && day <= d.day + 3.0) {
+            deadline *= 0.85;  // post-deadline lull
+        }
+    }
+    return std::max(diurnal * weekly * deadline, 0.01);
+}
+
+std::vector<Seconds>
+ArrivalProcess::generate(Rng &rng) const
+{
+    // Lewis-Shedler thinning against the constant bound maxRate().
+    std::vector<Seconds> arrivals;
+    arrivals.reserve(static_cast<std::size_t>(total_jobs_ * 1.1));
+    const double bound = maxRate();
+    const Seconds horizon = studySeconds();
+    Seconds t = 0.0;
+    while (true) {
+        t += rng.exponential(bound);
+        if (t >= horizon)
+            break;
+        if (rng.uniform() * bound <= rateAt(t))
+            arrivals.push_back(t);
+    }
+    return arrivals;
+}
+
+} // namespace aiwc::workload

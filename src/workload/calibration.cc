@@ -1,0 +1,129 @@
+#include "aiwc/workload/calibration.hh"
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::workload
+{
+
+const ClassParams &
+CalibrationProfile::forClass(Lifecycle c) const
+{
+    return classes[static_cast<std::size_t>(c)];
+}
+
+const InterfaceWeights &
+CalibrationProfile::interfacesFor(Lifecycle c) const
+{
+    return interfaces[static_cast<std::size_t>(c)];
+}
+
+const GpuCountWeights &
+CalibrationProfile::gpuCountsFor(Lifecycle c) const
+{
+    return gpu_counts[static_cast<std::size_t>(c)];
+}
+
+CalibrationProfile
+CalibrationProfile::supercloud()
+{
+    CalibrationProfile p;
+
+    const auto idx = [](Lifecycle c) { return static_cast<std::size_t>(c); };
+
+    // ---- Lifecycle-class job mix (Fig. 15a): 60 / 18 / 19 / 3.5%. ----
+    ClassParams mature;
+    mature.job_fraction = 0.595;
+    // Median mature runtime is 36 min (Sec. VI); sigma chosen with the
+    // other classes so the overall mixture hits the Fig. 3a quantiles
+    // p25/p50/p75 = 4/30/300 min.
+    mature.runtime = {36.0, 2.0, 0.05, 12.0, 1.0};
+    mature.util = {0.12, 0.46, 2.0, 0.18, 8.0, 0.17, 3.0};
+    mature.phase = {0.84, 4.5, 50.0, 1.75, 1.25};
+    mature.multi_gpu_runtime_exponent = 0.3;
+    mature.multi_gpu_prob_scale = 0.9;
+    mature.idle_gpu_prob = 0.45;
+
+    ClassParams exploratory;
+    exploratory.job_fraction = 0.18;
+    // Median exploratory runtime is 62 min; heavier tail + higher
+    // multi-GPU propensity push its GPU-hour share to ~34% (Fig. 15b).
+    exploratory.runtime = {62.0, 2.25, 0.02, 12.0, 1.0};
+    exploratory.util = {0.14, 0.38, 2.0, 0.18, 8.0, 0.15, 3.0};
+    exploratory.phase = {0.85, 5.0, 50.0, 1.75, 1.25};
+    exploratory.multi_gpu_runtime_exponent = 0.3;
+    exploratory.multi_gpu_prob_scale = 1.3;
+    exploratory.idle_gpu_prob = 0.45;
+    // Hyper-parameter sweeps land as job arrays.
+    exploratory.array_prob = 0.35;
+    exploratory.array_median = 6.0;
+    exploratory.array_sigma = 0.7;
+
+    ClassParams development;
+    development.job_fraction = 0.19;
+    // Debug runs: short, crash-prone (the abort spike also produces the
+    // <30 s jobs the paper filters before GPU analysis).
+    development.runtime = {9.0, 2.4, 0.22, 12.0, 1.2};
+    development.util = {0.55, 0.12, 1.5, 0.14, 8.0, 0.08, 2.5};
+    development.phase = {0.12, 1.6, 40.0, 1.75, 1.25};
+    development.multi_gpu_runtime_exponent = 0.2;
+    development.multi_gpu_prob_scale = 0.6;
+    development.idle_gpu_prob = 0.5;
+
+    ClassParams ide;
+    ide.job_fraction = 0.035;
+    // IDE sessions run until their 12/24 h timeout; the runtime body is
+    // irrelevant (the generator pins duration past the limit) but kept
+    // sane for ablations that disable the timeout behaviour.
+    ide.runtime = {600.0, 1.0, 0.0, 12.0, 1.0};
+    ide.util = {0.78, 0.07, 2.0, 0.14, 8.0, 0.07, 2.5};
+    ide.phase = {0.05, 1.6, 35.0, 1.75, 1.25};
+    ide.multi_gpu_runtime_exponent = 0.0;
+    ide.multi_gpu_prob_scale = 2.0;
+    ide.idle_gpu_prob = 0.5;
+
+    p.classes[idx(Lifecycle::Mature)] = mature;
+    p.classes[idx(Lifecycle::Exploratory)] = exploratory;
+    p.classes[idx(Lifecycle::Development)] = development;
+    p.classes[idx(Lifecycle::Ide)] = ide;
+
+    // ---- Interface mix per class, chosen so the marginals match ----
+    // Fig. 5's population: map-reduce 1%, batch 30%, interactive 4%,
+    // other 65% — and so interactive jobs skew development/IDE.
+    p.interfaces[idx(Lifecycle::Mature)] = {0.012, 0.36, 0.005, 0.623};
+    p.interfaces[idx(Lifecycle::Exploratory)] = {0.005, 0.25, 0.005, 0.74};
+    p.interfaces[idx(Lifecycle::Development)] = {0.010, 0.22, 0.08, 0.69};
+    p.interfaces[idx(Lifecycle::Ide)] = {0.0, 0.02, 0.70, 0.28};
+
+    // ---- GPU-count weights GIVEN the user rolled multi-GPU ----
+    // (bucket 0, "1 GPU", is unused on that path). Overall: 84% of
+    // jobs single-GPU, ~85% of multi-GPU jobs use 2 GPUs (Fig. 13a).
+    p.gpu_counts[idx(Lifecycle::Mature)] = {0, 0.86, 0.08, 0.03,
+                                            0.02, 0.01};
+    p.gpu_counts[idx(Lifecycle::Exploratory)] = {0, 0.78, 0.11, 0.05,
+                                                 0.04, 0.02};
+    p.gpu_counts[idx(Lifecycle::Development)] = {0, 0.92, 0.06, 0.02,
+                                                 0.0, 0.0};
+    p.gpu_counts[idx(Lifecycle::Ide)] = {0, 0.95, 0.05, 0.0, 0.0, 0.0};
+
+    // ---- Users (Sec. IV) ----
+    // Two-component activity: ~20% heavy users carry ~83% of jobs
+    // (within them, the top quarter carries ~53%, reproducing "top 5%
+    // of users submit 44%"), light users have median ~35 jobs.
+    // Values that differ from the header defaults; everything else in
+    // UserParams is already the tuned Supercloud value.
+    p.users.num_users = 191;
+    p.users.skill_slope = 0.28;
+    p.users.skill_noise = 0.10;
+    p.users.single_gpu_only_users = 0.34;
+    p.users.multi_gpu_prob_mean = 0.215;
+
+    // ---- CPU-only jobs (Fig. 3): defaults from the header are the
+    // tuned values (whole-node requests up to 32 nodes, job arrays).
+
+    // Remaining defaults declared in the header are already the tuned
+    // Supercloud values (arrival shape, power model, monitoring
+    // cadence, saturation probabilities, timeout policy).
+    return p;
+}
+
+} // namespace aiwc::workload

@@ -1,0 +1,322 @@
+#include "aiwc/workload/job_generator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aiwc/common/logging.hh"
+#include "aiwc/dist/distributions.hh"
+
+namespace aiwc::workload
+{
+
+namespace
+{
+
+/** Sample an index from unnormalized weights. */
+template <std::size_t N>
+std::size_t
+sampleIndex(const std::array<double, N> &weights, Rng &rng,
+            std::size_t first = 0, std::size_t last = N - 1)
+{
+    double total = 0.0;
+    for (std::size_t i = first; i <= last; ++i)
+        total += weights[i];
+    AIWC_ASSERT(total > 0.0, "weight vector sums to zero");
+    double u = rng.uniform() * total;
+    for (std::size_t i = first; i <= last; ++i) {
+        u -= weights[i];
+        if (u <= 0.0)
+            return i;
+    }
+    return last;
+}
+
+} // namespace
+
+JobGenerator::JobGenerator(const CalibrationProfile &profile)
+    : profile_(profile)
+{
+}
+
+Lifecycle
+JobGenerator::sampleClass(const UserProfile &user, Rng &rng) const
+{
+    return static_cast<Lifecycle>(sampleIndex(user.class_mix, rng));
+}
+
+Interface
+JobGenerator::sampleInterface(Lifecycle c, Rng &rng) const
+{
+    return static_cast<Interface>(
+        sampleIndex(profile_.interfacesFor(c), rng));
+}
+
+int
+JobGenerator::sampleGpuCount(const UserProfile &user, Lifecycle c,
+                             Rng &rng) const
+{
+    const int max_bucket = user.maxBucket();
+    const double multi_prob = std::min(
+        user.multi_gpu_prob * profile_.forClass(c).multi_gpu_prob_scale,
+        1.0);
+    if (max_bucket == 0 || !rng.chance(multi_prob))
+        return 1;
+
+    // Users with a larger tier actually use it: a data-parallel shop
+    // with 8-GPU access runs 4-8 GPU sweeps routinely, not once in a
+    // blue moon. Tier-specific size weights reproduce Fig. 13's tail
+    // (2.4% of jobs above 2 GPUs, <1% at 9+).
+    static constexpr GpuCountWeights medium_weights = {0, 0.55, 0.28,
+                                                       0.17, 0, 0};
+    static constexpr GpuCountWeights large_weights = {0, 0.50, 0.22,
+                                                      0.12, 0.10, 0.06};
+    const GpuCountWeights &weights =
+        user.tier == GpuTier::Large
+            ? large_weights
+            : (user.tier == GpuTier::Medium ? medium_weights
+                                            : profile_.gpuCountsFor(c));
+    double total = 0.0;
+    for (int i = 1; i <= max_bucket; ++i)
+        total += weights[static_cast<std::size_t>(i)];
+    if (total <= 0.0)
+        return 1;  // class never goes multi (within this tier)
+    const std::size_t bucket =
+        sampleIndex(weights, rng, 1, static_cast<std::size_t>(max_bucket));
+    return gpu_count_buckets[bucket];
+}
+
+double
+JobGenerator::survivalProbability(Lifecycle c, Rng &rng, int trials,
+                                  double runtime_scale) const
+{
+    if (c == Lifecycle::Ide)
+        return 1.0;  // IDE sessions always outlive 30 s
+    UserProfile user;
+    user.runtime_scale = runtime_scale;
+    int survived = 0;
+    for (int i = 0; i < trials; ++i)
+        if (sampleDuration(user, c, 1, rng) >= 30.0)
+            ++survived;
+    return std::max(static_cast<double>(survived) / trials, 0.05);
+}
+
+Seconds
+JobGenerator::sampleDuration(const UserProfile &user, Lifecycle c,
+                             int gpus, Rng &rng) const
+{
+    const ClassParams &cp = profile_.forClass(c);
+    const RuntimeParams &rt = cp.runtime;
+
+    if (rng.chance(rt.abort_prob)) {
+        // Near-instant failure (import error, bad config): these are
+        // the <30 s jobs the paper filters out of GPU analysis.
+        const dist::LogNormal abort(rt.abort_median_seconds,
+                                    rt.abort_sigma);
+        return std::clamp(abort.sample(rng), 1.0, 120.0);
+    }
+
+    const double median_s =
+        rt.median_minutes * 60.0 * user.runtime_scale;
+    const dist::LogNormal body(median_s, rt.sigma);
+    double duration = body.sample(rng);
+    // Larger jobs train bigger configurations a bit longer; the
+    // exponent is small enough that the paper's "no significant
+    // difference" observation still holds for the dominant 2-GPU jobs.
+    duration *= std::pow(static_cast<double>(gpus),
+                         cp.multi_gpu_runtime_exponent);
+    const double cap = 0.94 * profile_.max_walltime_hours * one_hour;
+    return std::clamp(duration, 1.0, cap);
+}
+
+void
+JobGenerator::fillProfile(telemetry::JobProfile &out,
+                          const UserProfile &user, Lifecycle c,
+                          Interface iface, int gpus, Rng &rng) const
+{
+    const ClassParams &cp = profile_.forClass(c);
+    const UtilizationParams &up = cp.util;
+    const double iface_scale =
+        profile_.interface_util_scale[static_cast<std::size_t>(iface)];
+    const double scale = user.util_scale * iface_scale;
+
+    out.num_gpus = gpus;
+    out.idle_gpus = 0;
+    if (gpus > 1 && rng.chance(cp.idle_gpu_prob)) {
+        // Half or more of the GPUs sit idle (misconfigured ranks,
+        // Sec. V Fig. 14a): idle count in [ceil(g/2), g-1].
+        const int min_idle = (gpus + 1) / 2;
+        const int span = gpus - min_idle;  // choices: min_idle..gpus-1
+        out.idle_gpus =
+            min_idle + static_cast<int>(rng.below(
+                           static_cast<std::uint64_t>(std::max(span, 1))));
+        out.idle_gpus = std::min(out.idle_gpus, gpus - 1);
+    }
+
+    // Mean utilizations: zero-inflated Beta for SM, ratio-coupled
+    // memory bandwidth, independent Beta for memory size — plus a
+    // memory-intensive subpopulation (Sec. III: "a large portion of
+    // the jobs have close to zero GPU SM utilization [but high]
+    // memory utilization"; also the 4% of jobs above 50% memBW).
+    bool zero_util = false;
+    if (rng.chance(user.membw_intensive_prob)) {
+        out.sm_mean = rng.uniform(0.02, 0.15);
+        out.membw_mean = rng.uniform(0.35, 0.9);
+    } else if (rng.chance(up.zero_prob)) {
+        zero_util = true;
+        out.sm_mean = rng.uniform(0.0, 0.01);
+        out.membw_mean = out.sm_mean * 0.5;
+    } else {
+        const dist::Beta sm = dist::Beta::fromMean(
+            std::clamp(up.sm_mean, 0.01, 0.95), up.sm_kappa);
+        out.sm_mean = std::clamp(sm.sample(rng) * scale, 0.0, 1.0);
+        const dist::Beta ratio = dist::Beta::fromMean(
+            std::clamp(up.membw_ratio_mean, 0.01, 0.95),
+            up.membw_ratio_kappa);
+        out.membw_mean = std::clamp(out.sm_mean * ratio.sample(rng), 0.0,
+                                    1.0);
+    }
+    if (rng.chance(user.large_model_prob)) {
+        // Large-model jobs: the working set nearly fills the 32 GB
+        // V100 (the upper mode behind "15% of jobs above 50% memory
+        // size", Fig. 4a).
+        out.memsize_mean = rng.uniform(0.45, 0.9);
+    } else {
+        const dist::Beta memsize = dist::Beta::fromMean(
+            std::clamp(up.memsize_mean, 0.01, 0.95), up.memsize_kappa);
+        out.memsize_mean = memsize.sample(rng);
+    }
+
+    // Phase process.
+    const PhaseParams &pp = cp.phase;
+    const dist::Beta af = dist::Beta::fromMean(
+        std::clamp(pp.active_fraction_mean, 0.01, 0.99),
+        pp.active_fraction_kappa);
+    out.active_fraction = af.sample(rng);
+    if (zero_util) {
+        // A job that never exercises the GPU is also idle-heavy; its
+        // "active" phases are brief host-driven touches.
+        out.active_fraction *= rng.uniform(0.05, 0.3);
+    }
+    out.active_len_median_s =
+        pp.active_len_median_s * std::exp(0.4 * rng.gaussian());
+    out.active_len_sigma = pp.active_len_sigma * rng.uniform(0.8, 1.2);
+    out.idle_len_sigma = pp.idle_len_sigma * rng.uniform(0.8, 1.2);
+    out.phase_jitter_sigma = rng.uniform(0.12, 0.20);
+    out.sample_noise_rel = rng.uniform(0.05, 0.12);
+    out.memsize_noise_rel = rng.uniform(0.05, 0.11);
+
+    // PCIe means: uniform across jobs (the linear CDF of Fig. 4b).
+    out.pcie_tx_mean = rng.uniform(profile_.pcie_mean_lo,
+                                   profile_.pcie_mean_hi);
+    out.pcie_rx_mean = rng.uniform(profile_.pcie_mean_lo,
+                                   profile_.pcie_mean_hi);
+
+    // Saturation flags, with the Rx-conditioned structure of Fig. 8b.
+    const SaturationParams &sat = profile_.saturation;
+    out.sat_rx = rng.chance(sat.rx);
+    out.sat_sm = rng.chance(out.sat_rx ? sat.sm_given_rx
+                                       : sat.sm_given_no_rx);
+    out.sat_tx = rng.chance(out.sat_rx ? sat.tx_given_rx
+                                       : sat.tx_given_no_rx);
+    out.sat_membw = rng.chance(sat.membw);
+    out.sat_memsize = rng.chance(sat.memsize);
+
+    out.power_efficiency = std::clamp(
+        1.0 + profile_.power.efficiency_noise * rng.gaussian(), 0.6, 1.4);
+    out.telemetry_seed = rng();
+}
+
+GeneratedJob
+JobGenerator::gpuJob(const UserProfile &user, Seconds submit, JobId id,
+                     Rng &rng, std::optional<Lifecycle> force_class) const
+{
+    GeneratedJob job;
+    sched::JobRequest &req = job.request;
+    req.id = id;
+    req.user = user.id;
+    req.submit_time = submit;
+    req.lifecycle = force_class ? *force_class : sampleClass(user, rng);
+    req.interface = sampleInterface(req.lifecycle, rng);
+    req.gpus = sampleGpuCount(user, req.lifecycle, rng);
+
+    if (req.lifecycle == Lifecycle::Ide) {
+        // IDE sessions hold the GPU until their 12 h / 24 h limit
+        // (Sec. VI) — the generator pins the duration past it.
+        const double hours = rng.chance(profile_.ide_long_timeout_prob)
+                                 ? profile_.ide_long_timeout_hours
+                                 : profile_.ide_short_timeout_hours;
+        req.walltime_limit = hours * one_hour;
+        req.duration = req.walltime_limit * 1.01;
+        req.natural_end = TerminalState::TimedOut;
+    } else {
+        req.duration = sampleDuration(user, req.lifecycle, req.gpus, rng);
+        const double factor = rng.uniform(profile_.walltime_factor_lo,
+                                          profile_.walltime_factor_hi);
+        req.walltime_limit =
+            std::min(std::max(req.duration * factor, 10.0 * one_minute),
+                     profile_.max_walltime_hours * one_hour);
+        switch (req.lifecycle) {
+          case Lifecycle::Mature:
+            req.natural_end = TerminalState::Completed;
+            break;
+          case Lifecycle::Exploratory:
+            // Hyper-parameter probes the user kills once the loss
+            // curve disappoints (Sec. VI).
+            req.natural_end = TerminalState::Cancelled;
+            break;
+          case Lifecycle::Development:
+            req.natural_end = TerminalState::Failed;
+            break;
+          case Lifecycle::Ide:
+            break;  // handled above
+        }
+        if (rng.chance(profile_.node_failure_prob)) {
+            req.natural_end = TerminalState::NodeFailure;
+            req.duration *= rng.uniform(0.05, 0.9);
+            req.duration = std::max(req.duration, 1.0);
+        }
+    }
+
+    // GPU jobs request modest CPU resources (Sec. III: this is what
+    // lets them co-locate and dodge the queue).
+    req.cpu_slots = req.gpus * (4 + static_cast<int>(rng.below(13)));
+    req.ram_gb = req.gpus * rng.uniform(8.0, 96.0);
+
+    fillProfile(job.profile, user, req.lifecycle, req.interface, req.gpus,
+                rng);
+    return job;
+}
+
+sched::JobRequest
+JobGenerator::cpuJob(const UserProfile &user, Seconds submit, JobId id,
+                     Rng &rng) const
+{
+    const CpuJobParams &cj = profile_.cpu_jobs;
+    sched::JobRequest req;
+    req.id = id;
+    req.user = user.id;
+    req.submit_time = submit;
+    req.lifecycle = Lifecycle::Mature;  // CPU jobs are outside Fig. 15
+    req.interface = rng.chance(0.8) ? Interface::Batch : Interface::Other;
+    req.gpus = 0;
+
+    const dist::LogNormal body(cj.runtime_median_minutes * 60.0,
+                               cj.runtime_sigma);
+    req.duration = std::clamp(body.sample(rng), 1.0,
+                              0.94 * profile_.max_walltime_hours * one_hour);
+    req.walltime_limit =
+        std::min(std::max(req.duration * rng.uniform(2.0, 10.0),
+                          10.0 * one_minute),
+                 profile_.max_walltime_hours * one_hour);
+    req.natural_end = TerminalState::Completed;
+
+    // Whole nodes: all cores, nearly all memory (Sec. III).
+    static constexpr std::array<int, 6> node_counts = {1, 2, 4, 8, 16, 32};
+    const std::size_t bucket = sampleIndex(cj.node_count_weights, rng);
+    const int nodes = node_counts[bucket];
+    req.cpu_slots = nodes * 80;  // 2 sockets x 20 cores x 2 HT
+    req.ram_gb = nodes * rng.uniform(300.0, 384.0);
+    return req;
+}
+
+} // namespace aiwc::workload

@@ -1,0 +1,98 @@
+#include "aiwc/workload/workflow_model.hh"
+
+#include <cmath>
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::workload
+{
+
+namespace
+{
+
+/**
+ * Default transitions, rows/columns ordered as the Lifecycle enum
+ * (mature, exploratory, development, IDE). Tuned so the stationary
+ * distribution lands within ~0.02 of the Fig. 15a mix
+ * (59.5 / 18 / 19 / 3.5%):
+ *  - mature work mostly continues, occasionally reopens exploration
+ *    or debugging;
+ *  - exploratory sweeps converge to mature runs;
+ *  - development alternates with more development, sweeps, and the
+ *    occasional IDE session;
+ *  - IDE sessions feed development.
+ */
+constexpr WorkflowMatrix default_matrix = {{
+    {0.76, 0.10, 0.12, 0.02},  // mature ->
+    {0.50, 0.37, 0.12, 0.01},  // exploratory ->
+    {0.24, 0.24, 0.47, 0.05},  // development ->
+    {0.00, 0.08, 0.52, 0.40},  // IDE -> (design feeds development)
+}};
+
+} // namespace
+
+WorkflowModel::WorkflowModel() : WorkflowModel(default_matrix)
+{
+}
+
+WorkflowModel::WorkflowModel(const WorkflowMatrix &matrix)
+    : matrix_(matrix)
+{
+    for (const auto &row : matrix_) {
+        double total = 0.0;
+        for (double p : row) {
+            AIWC_ASSERT(p >= 0.0, "negative transition probability");
+            total += p;
+        }
+        AIWC_ASSERT(std::abs(total - 1.0) < 1e-6,
+                    "workflow matrix row does not sum to 1: ", total);
+    }
+}
+
+Lifecycle
+WorkflowModel::next(Lifecycle current, Rng &rng) const
+{
+    const auto &row = matrix_[static_cast<std::size_t>(current)];
+    double u = rng.uniform();
+    for (int c = 0; c < num_lifecycles; ++c) {
+        u -= row[static_cast<std::size_t>(c)];
+        if (u <= 0.0)
+            return static_cast<Lifecycle>(c);
+    }
+    return static_cast<Lifecycle>(num_lifecycles - 1);
+}
+
+std::vector<Lifecycle>
+WorkflowModel::session(std::size_t jobs, Rng &rng) const
+{
+    std::vector<Lifecycle> out;
+    out.reserve(jobs);
+    Lifecycle state = Lifecycle::Ide;  // projects start at design
+    for (std::size_t i = 0; i < jobs; ++i) {
+        out.push_back(state);
+        state = next(state, rng);
+    }
+    return out;
+}
+
+std::array<double, num_lifecycles>
+WorkflowModel::stationary(int iterations) const
+{
+    std::array<double, num_lifecycles> pi{};
+    pi.fill(1.0 / num_lifecycles);
+    for (int it = 0; it < iterations; ++it) {
+        std::array<double, num_lifecycles> nxt{};
+        for (int i = 0; i < num_lifecycles; ++i) {
+            for (int j = 0; j < num_lifecycles; ++j) {
+                nxt[static_cast<std::size_t>(j)] +=
+                    pi[static_cast<std::size_t>(i)] *
+                    matrix_[static_cast<std::size_t>(i)]
+                           [static_cast<std::size_t>(j)];
+            }
+        }
+        pi = nxt;
+    }
+    return pi;
+}
+
+} // namespace aiwc::workload

@@ -1,0 +1,44 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aiwc/common/csv.hh"
+
+namespace aiwc
+{
+namespace
+{
+
+TEST(Csv, WritesHeaderAndRows)
+{
+    std::ostringstream os;
+    CsvWriter csv(os, {"a", "b"});
+    csv.writeRow({"1", "2"});
+    csv.writeRow({"3", "4"});
+    EXPECT_EQ(os.str(), "a,b\n1,2\n3,4\n");
+    EXPECT_EQ(csv.rowsWritten(), 2u);
+}
+
+TEST(Csv, EscapesCommas)
+{
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+}
+
+TEST(Csv, EscapesQuotes)
+{
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, EscapesNewlines)
+{
+    EXPECT_EQ(CsvWriter::escape("two\nlines"), "\"two\nlines\"");
+}
+
+TEST(Csv, PlainCellsPassThrough)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape(""), "");
+}
+
+} // namespace
+} // namespace aiwc

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc
+{
+namespace
+{
+
+TEST(Logging, LevelsGateOutput)
+{
+    const LogLevel original = logLevel();
+    setLogLevel(LogLevel::Silent);
+    EXPECT_EQ(logLevel(), LogLevel::Silent);
+    inform("this should not print");
+    warn("nor this");
+    setLogLevel(LogLevel::Info);
+    EXPECT_EQ(logLevel(), LogLevel::Info);
+    setLogLevel(original);
+}
+
+TEST(Logging, ConcatFoldsMixedTypes)
+{
+    EXPECT_EQ(detail::concat("x=", 42, " y=", 1.5), "x=42 y=1.5");
+    EXPECT_EQ(detail::concat(), "");
+}
+
+using LoggingDeath = ::testing::Test;
+
+TEST(LoggingDeath, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(fatal("bad config ", 7), ::testing::ExitedWithCode(1),
+                "bad config 7");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant broken"), "invariant broken");
+}
+
+TEST(LoggingDeath, AssertMacroFiresOnFalse)
+{
+    EXPECT_DEATH(AIWC_ASSERT(1 == 2, "math failed"),
+                 "assertion failed");
+}
+
+TEST(LoggingDeath, AssertMacroPassesOnTrue)
+{
+    AIWC_ASSERT(2 + 2 == 4, "never fires");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace aiwc

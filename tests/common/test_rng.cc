@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "aiwc/common/rng.hh"
+
+namespace aiwc
+{
+namespace
+{
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a() == b())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double acc = 0.0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += rng.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(x, -3.0);
+        EXPECT_LT(x, 5.0);
+    }
+}
+
+TEST(Rng, BelowStaysBelow)
+{
+    Rng rng(9);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues)
+{
+    Rng rng(10);
+    std::vector<int> seen(5, 0);
+    for (int i = 0; i < 5000; ++i)
+        ++seen[rng.below(5)];
+    for (int count : seen)
+        EXPECT_GT(count, 800);  // ~1000 each
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(5);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+        EXPECT_FALSE(rng.chance(-0.5));
+        EXPECT_TRUE(rng.chance(1.5));
+    }
+}
+
+TEST(Rng, ChanceFrequencyTracksProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        if (rng.chance(0.3))
+            ++hits;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GaussianMomentsMatchStandardNormal)
+{
+    Rng rng(21);
+    constexpr int n = 200000;
+    double sum = 0.0, sum_sq = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double g = rng.gaussian();
+        sum += g;
+        sum_sq += g * g;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 0.02);
+    EXPECT_NEAR(sum_sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, GaussianWithParams)
+{
+    Rng rng(23);
+    constexpr int n = 100000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i)
+        sum += rng.gaussian(10.0, 2.0);
+    EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanIsInverseRate)
+{
+    Rng rng(29);
+    constexpr int n = 200000;
+    double sum = 0.0;
+    for (int i = 0; i < n; ++i) {
+        const double x = rng.exponential(4.0);
+        EXPECT_GE(x, 0.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, 0.25, 0.01);
+}
+
+TEST(Rng, SplitStreamsAreIndependent)
+{
+    Rng parent(42);
+    Rng child = parent.split();
+    // The child must not replay the parent's upcoming sequence.
+    Rng parent_copy(42);
+    Rng child_copy = parent_copy.split();
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        const auto p = parent();
+        const auto c = child();
+        EXPECT_EQ(c, child_copy());  // deterministic
+        if (p == c)
+            ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, SatisfiesUniformRandomBitGenerator)
+{
+    static_assert(Rng::min() == 0);
+    static_assert(Rng::max() == ~0ull);
+    Rng rng(1);
+    [[maybe_unused]] Rng::result_type v = rng();
+}
+
+} // namespace
+} // namespace aiwc

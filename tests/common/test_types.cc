@@ -1,0 +1,60 @@
+#include <gtest/gtest.h>
+
+#include "aiwc/common/types.hh"
+
+namespace aiwc
+{
+namespace
+{
+
+TEST(Types, InterfaceNamesAreDistinct)
+{
+    EXPECT_STREQ(toString(Interface::MapReduce), "map-reduce");
+    EXPECT_STREQ(toString(Interface::Batch), "batch");
+    EXPECT_STREQ(toString(Interface::Interactive), "interactive");
+    EXPECT_STREQ(toString(Interface::Other), "other");
+}
+
+TEST(Types, LifecycleNamesAreDistinct)
+{
+    EXPECT_STREQ(toString(Lifecycle::Mature), "mature");
+    EXPECT_STREQ(toString(Lifecycle::Exploratory), "exploratory");
+    EXPECT_STREQ(toString(Lifecycle::Development), "development");
+    EXPECT_STREQ(toString(Lifecycle::Ide), "IDE");
+}
+
+TEST(Types, TerminalStateNames)
+{
+    EXPECT_STREQ(toString(TerminalState::Completed), "completed");
+    EXPECT_STREQ(toString(TerminalState::Cancelled), "cancelled");
+    EXPECT_STREQ(toString(TerminalState::Failed), "failed");
+    EXPECT_STREQ(toString(TerminalState::TimedOut), "timed-out");
+    EXPECT_STREQ(toString(TerminalState::NodeFailure), "node-failure");
+}
+
+TEST(Types, ResourceNames)
+{
+    EXPECT_STREQ(toString(Resource::Sm), "SM");
+    EXPECT_STREQ(toString(Resource::MemoryBw), "memory-bw");
+    EXPECT_STREQ(toString(Resource::MemorySize), "memory-size");
+    EXPECT_STREQ(toString(Resource::PcieTx), "PCIe-Tx");
+    EXPECT_STREQ(toString(Resource::PcieRx), "PCIe-Rx");
+    EXPECT_STREQ(toString(Resource::Power), "power");
+}
+
+TEST(Types, DurationConstants)
+{
+    EXPECT_DOUBLE_EQ(one_minute, 60.0);
+    EXPECT_DOUBLE_EQ(one_hour, 3600.0);
+    EXPECT_DOUBLE_EQ(one_day, 86400.0);
+}
+
+TEST(Types, EnumCountsMatchEnumerators)
+{
+    EXPECT_EQ(num_interfaces, 4);
+    EXPECT_EQ(num_lifecycles, 4);
+    EXPECT_EQ(num_resources, 6);
+}
+
+} // namespace
+} // namespace aiwc

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Shared builders for hand-crafted JobRecords used across the core
+ * analyzer tests: fully controlled inputs, no generator involved.
+ */
+
+#ifndef AIWC_TESTS_CORE_RECORD_BUILDER_HH
+#define AIWC_TESTS_CORE_RECORD_BUILDER_HH
+
+#include "aiwc/core/dataset.hh"
+
+namespace aiwc::core::testing
+{
+
+/** A GPU summary with the given per-metric (mean, max) pairs. */
+inline GpuUsageSummary
+summaryWith(double sm_mean, double sm_max, double membw_mean = 0.02,
+            double memsize_mean = 0.1, double power_mean = 45.0,
+            double power_max = 90.0)
+{
+    GpuUsageSummary s;
+    // Three samples produce the desired mean and max exactly:
+    // {max, mean - (max - mean), mean} has mean `mean` and max `max`.
+    auto fill = [](stats::RunningSummary &r, double mean, double max) {
+        const double lo = mean - (max - mean);
+        r.add(max);
+        r.add(lo);
+        r.add(mean);
+    };
+    fill(s.sm, sm_mean, sm_max);
+    fill(s.membw, membw_mean, membw_mean * 1.5);
+    fill(s.memsize, memsize_mean, memsize_mean * 1.2);
+    fill(s.pcie_tx, 0.2, 0.4);
+    fill(s.pcie_rx, 0.2, 0.4);
+    fill(s.power_watts, power_mean, power_max);
+    return s;
+}
+
+/** An idle-GPU summary (all zeros). */
+inline GpuUsageSummary
+idleSummary()
+{
+    GpuUsageSummary s;
+    s.sm.add(0.0);
+    s.membw.add(0.0);
+    s.memsize.add(0.0);
+    s.pcie_tx.add(0.0);
+    s.pcie_rx.add(0.0);
+    s.power_watts.add(25.0);
+    return s;
+}
+
+/** A basic finished GPU job record. */
+inline JobRecord
+gpuRecord(JobId id, UserId user, double runtime_s, int gpus = 1,
+          double sm_mean = 0.2, double sm_max = 0.5,
+          TerminalState terminal = TerminalState::Completed)
+{
+    JobRecord r;
+    r.id = id;
+    r.user = user;
+    r.gpus = gpus;
+    r.cpu_slots = 4 * gpus;
+    r.ram_gb = 16.0 * gpus;
+    r.submit_time = 0.0;
+    r.start_time = 10.0;
+    r.end_time = 10.0 + runtime_s;
+    r.walltime_limit = runtime_s * 4.0;
+    r.terminal = terminal;
+    for (int g = 0; g < gpus; ++g)
+        r.per_gpu.push_back(summaryWith(sm_mean, sm_max));
+    return r;
+}
+
+/** A CPU-only record. */
+inline JobRecord
+cpuRecord(JobId id, UserId user, double runtime_s, double wait_s = 120.0)
+{
+    JobRecord r;
+    r.id = id;
+    r.user = user;
+    r.gpus = 0;
+    r.cpu_slots = 80;
+    r.ram_gb = 350.0;
+    r.submit_time = 0.0;
+    r.start_time = wait_s;
+    r.end_time = wait_s + runtime_s;
+    r.walltime_limit = runtime_s * 4.0;
+    return r;
+}
+
+} // namespace aiwc::core::testing
+
+#endif // AIWC_TESTS_CORE_RECORD_BUILDER_HH

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "record_builder.hh"
+
+#include "aiwc/core/bottleneck_analyzer.hh"
+
+namespace aiwc::core
+{
+namespace
+{
+
+using testing::gpuRecord;
+
+JobRecord
+saturatedRecord(JobId id, std::vector<Resource> saturated)
+{
+    JobRecord r = gpuRecord(id, 0, 600.0, 1, 0.2, 0.5);
+    for (Resource res : saturated)
+        r.per_gpu[0].byResource(res).add(1.0);
+    return r;
+}
+
+TEST(BottleneckAnalyzer, SingleResourceFractions)
+{
+    Dataset ds;
+    ds.add(saturatedRecord(1, {Resource::Sm}));
+    ds.add(saturatedRecord(2, {Resource::Sm}));
+    ds.add(saturatedRecord(3, {}));
+    ds.add(saturatedRecord(4, {}));
+    const auto report = BottleneckAnalyzer().analyze(ds);
+    EXPECT_NEAR(report.single_of(Resource::Sm), 0.5, 1e-12);
+    EXPECT_NEAR(report.single_of(Resource::MemoryBw), 0.0, 1e-12);
+    EXPECT_EQ(report.jobs, 4u);
+}
+
+TEST(BottleneckAnalyzer, PairFractions)
+{
+    Dataset ds;
+    ds.add(saturatedRecord(1, {Resource::Sm, Resource::PcieRx}));
+    ds.add(saturatedRecord(2, {Resource::Sm}));
+    ds.add(saturatedRecord(3, {}));
+    ds.add(saturatedRecord(4, {}));
+    const auto report = BottleneckAnalyzer().analyze(ds);
+    EXPECT_NEAR(report.pair_of(Resource::Sm, Resource::PcieRx), 0.25,
+                1e-12);
+    // Argument order must not matter.
+    EXPECT_NEAR(report.pair_of(Resource::PcieRx, Resource::Sm), 0.25,
+                1e-12);
+    EXPECT_NEAR(report.pair_of(Resource::Sm, Resource::MemoryBw), 0.0,
+                1e-12);
+}
+
+TEST(BottleneckAnalyzer, PairIndexIsBijective)
+{
+    // All 10 upper-triangle indices of the 5x5 matrix, each exactly
+    // once.
+    std::array<bool, 10> seen{};
+    for (std::size_t i = 0; i < 5; ++i) {
+        for (std::size_t j = i + 1; j < 5; ++j) {
+            const std::size_t idx = BottleneckReport::pairIndex(i, j);
+            ASSERT_LT(idx, 10u);
+            EXPECT_FALSE(seen[idx]);
+            seen[idx] = true;
+        }
+    }
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(BottleneckAnalyzer, ThresholdConfigurable)
+{
+    Dataset ds;
+    JobRecord r = gpuRecord(1, 0, 600.0, 1, 0.2, 0.9);
+    ds.add(r);
+    EXPECT_NEAR(BottleneckAnalyzer(0.995).analyze(ds).single_of(
+                    Resource::Sm),
+                0.0, 1e-12);
+    EXPECT_NEAR(BottleneckAnalyzer(0.85).analyze(ds).single_of(
+                    Resource::Sm),
+                1.0, 1e-12);
+}
+
+TEST(BottleneckAnalyzer, MultiGpuSaturationOnAnyGpuCounts)
+{
+    Dataset ds;
+    JobRecord r = gpuRecord(1, 0, 600.0, 2, 0.2, 0.5);
+    r.per_gpu[1].sm.add(1.0);  // second GPU saturates
+    ds.add(r);
+    const auto report = BottleneckAnalyzer().analyze(ds);
+    EXPECT_NEAR(report.single_of(Resource::Sm), 1.0, 1e-12);
+}
+
+TEST(BottleneckAnalyzer, EmptyDataset)
+{
+    const auto report = BottleneckAnalyzer().analyze(Dataset{});
+    EXPECT_EQ(report.jobs, 0u);
+    for (double s : report.single)
+        EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+} // namespace
+} // namespace aiwc::core

@@ -1,0 +1,79 @@
+#include <gtest/gtest.h>
+
+#include "record_builder.hh"
+
+#include "aiwc/core/correlation_analyzer.hh"
+
+namespace aiwc::core
+{
+namespace
+{
+
+TEST(CorrelationAnalyzer, DetectsEngineeredCorrelation)
+{
+    // Users with more jobs get strictly higher SM utilization; the
+    // Spearman rho against avg SM must be ~1.
+    std::vector<UserSummary> users;
+    for (int u = 0; u < 30; ++u) {
+        UserSummary s;
+        s.user = static_cast<UserId>(u);
+        s.jobs = static_cast<std::size_t>(5 + u * 3);
+        s.gpu_hours = 10.0 + u;
+        s.avg_sm_pct = 5.0 + u * 1.5;
+        s.avg_membw_pct = 1.0;
+        s.avg_runtime_min = 100.0;
+        s.runtime_cov_pct = 50.0;
+        s.sm_cov_pct = 40.0;
+        s.membw_cov_pct = 30.0;
+        users.push_back(s);
+    }
+    const auto report = CorrelationAnalyzer().analyze(users);
+    EXPECT_EQ(report.users, 30u);
+    const auto sm_idx = static_cast<std::size_t>(UserFeature::AvgSm);
+    EXPECT_NEAR(report.by_jobs.features[sm_idx].coefficient, 1.0, 1e-9);
+    EXPECT_TRUE(report.by_jobs.features[sm_idx].significant());
+    // Constant features have zero correlation.
+    const auto cov_idx = static_cast<std::size_t>(UserFeature::CovSm);
+    EXPECT_NEAR(report.by_jobs.features[cov_idx].coefficient, 0.0,
+                1e-9);
+}
+
+TEST(CorrelationAnalyzer, MinJobsFilterApplies)
+{
+    std::vector<UserSummary> users;
+    for (int u = 0; u < 10; ++u) {
+        UserSummary s;
+        s.user = static_cast<UserId>(u);
+        s.jobs = static_cast<std::size_t>(u < 5 ? 1 : 10);
+        s.gpu_hours = 1.0 + u;
+        users.push_back(s);
+    }
+    const CorrelationAnalyzer analyzer(/*min_jobs=*/3);
+    const auto report = analyzer.analyze(users);
+    EXPECT_EQ(report.users, 5u);
+}
+
+TEST(CorrelationAnalyzer, WorksFromDataset)
+{
+    Dataset ds;
+    JobId id = 0;
+    for (UserId u = 0; u < 8; ++u) {
+        for (int j = 0; j < 4 + static_cast<int>(u); ++j) {
+            ds.add(testing::gpuRecord(id++, u, 600.0 + 60.0 * j, 1,
+                                      0.05 + 0.05 * u, 0.5));
+        }
+    }
+    const auto report = CorrelationAnalyzer().analyze(ds);
+    EXPECT_EQ(report.users, 8u);
+    const auto sm_idx = static_cast<std::size_t>(UserFeature::AvgSm);
+    EXPECT_GT(report.by_jobs.features[sm_idx].coefficient, 0.9);
+}
+
+TEST(CorrelationAnalyzer, FeatureNames)
+{
+    EXPECT_STREQ(toString(UserFeature::AvgRuntime), "avg runtime");
+    EXPECT_STREQ(toString(UserFeature::CovSm), "CoV SM util");
+}
+
+} // namespace
+} // namespace aiwc::core

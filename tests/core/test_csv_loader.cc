@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "record_builder.hh"
+
+#include "aiwc/common/csv.hh"
+#include "aiwc/core/csv_loader.hh"
+
+namespace aiwc::core
+{
+namespace
+{
+
+using testing::cpuRecord;
+using testing::gpuRecord;
+
+Dataset
+originalDataset()
+{
+    Dataset ds;
+    JobRecord a = gpuRecord(1, 0, 3600.0, 2, 0.4, 0.8,
+                            TerminalState::Cancelled);
+    a.interface = Interface::Batch;
+    ds.add(a);
+    ds.add(gpuRecord(2, 1, 600.0, 1, 0.1, 0.2));
+    ds.add(cpuRecord(3, 2, 480.0));
+    return ds;
+}
+
+Dataset
+roundTrip(const Dataset &ds)
+{
+    std::stringstream buffer;
+    ds.writeCsv(buffer);
+    return loadDatasetCsv(buffer);
+}
+
+TEST(CsvLoader, RoundTripPreservesSchedulerFields)
+{
+    const Dataset original = originalDataset();
+    const Dataset loaded = roundTrip(original);
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        const auto &o = original.records()[i];
+        const auto &l = loaded.records()[i];
+        EXPECT_EQ(l.id, o.id);
+        EXPECT_EQ(l.user, o.user);
+        EXPECT_EQ(l.interface, o.interface);
+        EXPECT_EQ(l.terminal, o.terminal);
+        EXPECT_NEAR(l.submit_time, o.submit_time, 0.1);
+        EXPECT_NEAR(l.end_time, o.end_time, 0.1);
+        EXPECT_EQ(l.gpus, o.gpus);
+        EXPECT_EQ(l.cpu_slots, o.cpu_slots);
+    }
+}
+
+TEST(CsvLoader, RoundTripPreservesUtilizationStatistics)
+{
+    const Dataset original = originalDataset();
+    const Dataset loaded = roundTrip(original);
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        const auto &o = original.records()[i];
+        const auto &l = loaded.records()[i];
+        for (Resource r : {Resource::Sm, Resource::MemoryBw,
+                           Resource::MemorySize}) {
+            EXPECT_NEAR(l.meanUtilization(r), o.meanUtilization(r),
+                        1e-3);
+            EXPECT_NEAR(l.maxUtilization(r), o.maxUtilization(r), 1e-3);
+        }
+        EXPECT_NEAR(l.meanPowerWatts(), o.meanPowerWatts(), 0.1);
+        EXPECT_NEAR(l.maxPowerWatts(), o.maxPowerWatts(), 0.1);
+    }
+}
+
+TEST(CsvLoader, CpuJobsLoadWithoutGpuSummaries)
+{
+    const Dataset loaded = roundTrip(originalDataset());
+    const auto cpu = loaded.cpuJobs();
+    ASSERT_EQ(cpu.size(), 1u);
+    EXPECT_TRUE(cpu[0]->per_gpu.empty());
+}
+
+TEST(CsvLoader, SkipsMalformedRows)
+{
+    Dataset ds = originalDataset();
+    std::stringstream buffer;
+    ds.writeCsv(buffer);
+    buffer.clear();
+    buffer.seekp(0, std::ios::end);
+    buffer << "not,a,valid,row\n";
+    const Dataset loaded = loadDatasetCsv(buffer);
+    EXPECT_EQ(loaded.size(), ds.size());  // the junk row is dropped
+}
+
+TEST(CsvLoader, EnumParsersRoundTrip)
+{
+    for (int i = 0; i < num_interfaces; ++i) {
+        const auto iface = static_cast<Interface>(i);
+        EXPECT_EQ(interfaceFromString(toString(iface)), iface);
+    }
+    for (int i = 0; i <= static_cast<int>(TerminalState::NodeFailure);
+         ++i) {
+        const auto state = static_cast<TerminalState>(i);
+        EXPECT_EQ(terminalFromString(toString(state)), state);
+    }
+}
+
+TEST(CsvLoader, ParseCsvLineHandlesQuoting)
+{
+    const auto cells = parseCsvLine("a,\"b,c\",\"say \"\"hi\"\"\",d");
+    ASSERT_EQ(cells.size(), 4u);
+    EXPECT_EQ(cells[0], "a");
+    EXPECT_EQ(cells[1], "b,c");
+    EXPECT_EQ(cells[2], "say \"hi\"");
+    EXPECT_EQ(cells[3], "d");
+}
+
+TEST(CsvLoader, ParseCsvLineEmptyCells)
+{
+    const auto cells = parseCsvLine(",,x,");
+    ASSERT_EQ(cells.size(), 4u);
+    EXPECT_EQ(cells[0], "");
+    EXPECT_EQ(cells[2], "x");
+    EXPECT_EQ(cells[3], "");
+}
+
+TEST(CsvLoader, AnalyzersAgreeAfterRoundTrip)
+{
+    // The headline guarantee: fleet-level analyses are identical on
+    // the loaded dataset.
+    const Dataset original = originalDataset();
+    const Dataset loaded = roundTrip(original);
+    EXPECT_NEAR(loaded.totalGpuHours(), original.totalGpuHours(), 1e-3);
+    EXPECT_EQ(loaded.gpuJobs().size(), original.gpuJobs().size());
+    EXPECT_EQ(loaded.uniqueUsers(), original.uniqueUsers());
+}
+
+} // namespace
+} // namespace aiwc::core

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "record_builder.hh"
+
+namespace aiwc::core
+{
+namespace
+{
+
+using testing::cpuRecord;
+using testing::gpuRecord;
+
+Dataset
+mixedDataset()
+{
+    Dataset ds;
+    ds.add(gpuRecord(1, 0, 3600.0));
+    ds.add(gpuRecord(2, 0, 10.0));   // below the 30 s filter
+    ds.add(gpuRecord(3, 1, 600.0, 2));
+    ds.add(cpuRecord(4, 1, 480.0));
+    ds.add(cpuRecord(5, 2, 5.0));
+    return ds;
+}
+
+TEST(Dataset, ThirtySecondFilterApplies)
+{
+    const Dataset ds = mixedDataset();
+    EXPECT_EQ(ds.size(), 5u);
+    EXPECT_EQ(ds.gpuJobs().size(), 2u);       // job 2 filtered
+    EXPECT_EQ(ds.gpuJobs(0.0).size(), 3u);    // no filter
+    EXPECT_EQ(ds.cpuJobs().size(), 2u);       // CPU jobs unfiltered
+}
+
+TEST(Dataset, PredicateFilter)
+{
+    const Dataset ds = mixedDataset();
+    const auto multi = ds.gpuJobsWhere(
+        [](const JobRecord &r) { return r.gpus >= 2; });
+    ASSERT_EQ(multi.size(), 1u);
+    EXPECT_EQ(multi[0]->id, 3u);
+}
+
+TEST(Dataset, GroupByUser)
+{
+    const Dataset ds = mixedDataset();
+    const auto by_user = ds.gpuJobsByUser();
+    ASSERT_EQ(by_user.size(), 2u);
+    EXPECT_EQ(by_user.at(0).size(), 1u);
+    EXPECT_EQ(by_user.at(1).size(), 1u);
+}
+
+TEST(Dataset, UniqueUsersCountsAllRecords)
+{
+    EXPECT_EQ(mixedDataset().uniqueUsers(), 3u);
+}
+
+TEST(Dataset, TotalGpuHours)
+{
+    const Dataset ds = mixedDataset();
+    // job 1: 1 GPU x 1 h; job 3: 2 GPUs x (600/3600) h.
+    EXPECT_NEAR(ds.totalGpuHours(), 1.0 + 2.0 * 600.0 / 3600.0, 1e-9);
+}
+
+TEST(Dataset, CsvExportContainsEveryRecord)
+{
+    const Dataset ds = mixedDataset();
+    std::ostringstream os;
+    ds.writeCsv(os);
+    const std::string out = os.str();
+    // Header + 5 rows.
+    std::size_t lines = 0;
+    for (char ch : out)
+        if (ch == '\n')
+            ++lines;
+    EXPECT_EQ(lines, 6u);
+    EXPECT_NE(out.find("job_id,user"), std::string::npos);
+}
+
+TEST(Dataset, ConstructFromVector)
+{
+    std::vector<JobRecord> records;
+    records.push_back(gpuRecord(1, 0, 100.0));
+    const Dataset ds(std::move(records));
+    EXPECT_EQ(ds.size(), 1u);
+    EXPECT_FALSE(ds.empty());
+}
+
+} // namespace
+} // namespace aiwc::core

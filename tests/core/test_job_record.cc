@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "record_builder.hh"
+
+namespace aiwc::core
+{
+namespace
+{
+
+using testing::gpuRecord;
+using testing::idleSummary;
+using testing::summaryWith;
+
+TEST(JobRecord, TimingDerivations)
+{
+    const JobRecord r = gpuRecord(1, 0, 3600.0, 2);
+    EXPECT_DOUBLE_EQ(r.runTime(), 3600.0);
+    EXPECT_DOUBLE_EQ(r.waitTime(), 10.0);
+    EXPECT_DOUBLE_EQ(r.serviceTime(), 3610.0);
+    EXPECT_DOUBLE_EQ(r.gpuHours(), 2.0);
+    EXPECT_TRUE(r.isGpuJob());
+}
+
+TEST(JobRecord, MeanUtilizationAveragesAcrossGpus)
+{
+    JobRecord r = gpuRecord(1, 0, 60.0, 1, 0.4, 0.6);
+    r.per_gpu.push_back(summaryWith(0.2, 0.3));
+    r.gpus = 2;
+    EXPECT_NEAR(r.meanUtilization(Resource::Sm), 0.3, 1e-12);
+}
+
+TEST(JobRecord, MaxUtilizationTakesMaxAcrossGpus)
+{
+    JobRecord r = gpuRecord(1, 0, 60.0, 1, 0.4, 0.6);
+    r.per_gpu.push_back(summaryWith(0.2, 0.9));
+    r.gpus = 2;
+    EXPECT_NEAR(r.maxUtilization(Resource::Sm), 0.9, 1e-12);
+}
+
+TEST(JobRecord, CpuJobHasZeroUtilization)
+{
+    const JobRecord r = testing::cpuRecord(1, 0, 60.0);
+    EXPECT_DOUBLE_EQ(r.meanUtilization(Resource::Sm), 0.0);
+    EXPECT_DOUBLE_EQ(r.maxUtilization(Resource::Sm), 0.0);
+    EXPECT_FALSE(r.isGpuJob());
+}
+
+TEST(JobRecord, IdleGpuCount)
+{
+    JobRecord r = gpuRecord(1, 0, 60.0, 1, 0.4, 0.6);
+    r.per_gpu.push_back(idleSummary());
+    r.per_gpu.push_back(idleSummary());
+    r.gpus = 3;
+    EXPECT_EQ(r.idleGpuCount(), 2);
+}
+
+TEST(GpuUsageSummary, ByResourceRoundTrips)
+{
+    GpuUsageSummary s = summaryWith(0.5, 0.8);
+    EXPECT_DOUBLE_EQ(s.byResource(Resource::Sm).mean(), s.sm.mean());
+    EXPECT_DOUBLE_EQ(s.byResource(Resource::Power).max(),
+                     s.power_watts.max());
+    // Mutable access hits the same member.
+    s.byResource(Resource::MemoryBw).add(1.0);
+    EXPECT_DOUBLE_EQ(s.membw.max(), 1.0);
+}
+
+TEST(GpuUsageSummary, IdleDetectionThreshold)
+{
+    EXPECT_TRUE(idleSummary().idle());
+    EXPECT_FALSE(summaryWith(0.3, 0.5).idle());
+}
+
+TEST(JobRecord, PowerAccessors)
+{
+    const JobRecord r = gpuRecord(1, 0, 60.0);
+    EXPECT_NEAR(r.meanPowerWatts(), 45.0, 1e-9);
+    EXPECT_NEAR(r.maxPowerWatts(), 90.0, 1e-9);
+}
+
+} // namespace
+} // namespace aiwc::core

@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "record_builder.hh"
+
+#include "aiwc/core/lifecycle_analyzer.hh"
+
+namespace aiwc::core
+{
+namespace
+{
+
+using testing::gpuRecord;
+
+Dataset
+lifecycleDataset()
+{
+    Dataset ds;
+    JobId id = 0;
+    // User 0: six mature one-hour jobs at decent utilization.
+    for (int i = 0; i < 6; ++i)
+        ds.add(gpuRecord(id++, 0, 3600.0, 1, 0.25, 0.5,
+                         TerminalState::Completed));
+    // User 1: two cancelled (exploratory) two-hour jobs.
+    for (int i = 0; i < 2; ++i)
+        ds.add(gpuRecord(id++, 1, 7200.0, 1, 0.15, 0.4,
+                         TerminalState::Cancelled));
+    // User 2: one failed debug run and one 12 h IDE timeout at ~0%.
+    ds.add(gpuRecord(id++, 2, 300.0, 1, 0.0, 0.01,
+                     TerminalState::Failed));
+    ds.add(gpuRecord(id++, 2, 12.0 * 3600.0, 1, 0.0, 0.01,
+                     TerminalState::TimedOut));
+    return ds;
+}
+
+TEST(LifecycleAnalyzer, JobMix)
+{
+    const auto report = LifecycleAnalyzer().analyze(lifecycleDataset());
+    EXPECT_NEAR(report.job_mix[static_cast<int>(Lifecycle::Mature)],
+                0.6, 1e-12);
+    EXPECT_NEAR(
+        report.job_mix[static_cast<int>(Lifecycle::Exploratory)], 0.2,
+        1e-12);
+    EXPECT_NEAR(
+        report.job_mix[static_cast<int>(Lifecycle::Development)], 0.1,
+        1e-12);
+    EXPECT_NEAR(report.job_mix[static_cast<int>(Lifecycle::Ide)], 0.1,
+                1e-12);
+}
+
+TEST(LifecycleAnalyzer, HourMixWeightsLongJobs)
+{
+    const auto report = LifecycleAnalyzer().analyze(lifecycleDataset());
+    // Hours: mature 6, exploratory 4, development ~0.083, IDE 12.
+    const double total = 6.0 + 4.0 + 300.0 / 3600.0 + 12.0;
+    EXPECT_NEAR(report.hour_mix[static_cast<int>(Lifecycle::Ide)],
+                12.0 / total, 1e-9);
+    EXPECT_NEAR(report.hour_mix[static_cast<int>(Lifecycle::Mature)],
+                6.0 / total, 1e-9);
+}
+
+TEST(LifecycleAnalyzer, MedianRuntimesPerClass)
+{
+    const auto report = LifecycleAnalyzer().analyze(lifecycleDataset());
+    EXPECT_NEAR(
+        report.median_runtime_min[static_cast<int>(Lifecycle::Mature)],
+        60.0, 1e-9);
+    EXPECT_NEAR(report.median_runtime_min[static_cast<int>(
+                    Lifecycle::Exploratory)],
+                120.0, 1e-9);
+    EXPECT_NEAR(report.median_runtime_min[static_cast<int>(
+                    Lifecycle::Ide)],
+                720.0, 1e-9);
+}
+
+TEST(LifecycleAnalyzer, UtilizationBoxesPerClass)
+{
+    const auto report = LifecycleAnalyzer().analyze(lifecycleDataset());
+    EXPECT_NEAR(report.sm_pct[static_cast<int>(Lifecycle::Mature)].median,
+                25.0, 1e-9);
+    EXPECT_NEAR(report.sm_pct[static_cast<int>(Lifecycle::Ide)].median,
+                0.0, 0.5);
+}
+
+TEST(LifecycleAnalyzer, PerUserShares)
+{
+    const auto report = LifecycleAnalyzer().analyze(lifecycleDataset());
+    ASSERT_EQ(report.users.size(), 3u);
+    // User 0 is all-mature.
+    const auto &u0 = report.users[0];
+    EXPECT_NEAR(u0.job_share[static_cast<int>(Lifecycle::Mature)], 1.0,
+                1e-12);
+    // User 2 splits development/IDE, hours dominated by IDE.
+    const auto &u2 = report.users[2];
+    EXPECT_NEAR(u2.job_share[static_cast<int>(Lifecycle::Ide)], 0.5,
+                1e-12);
+    EXPECT_GT(u2.hour_share[static_cast<int>(Lifecycle::Ide)], 0.95);
+}
+
+TEST(LifecycleAnalyzer, UserShareQueries)
+{
+    const auto report = LifecycleAnalyzer().analyze(lifecycleDataset());
+    // Users 1 and 2 have zero mature jobs -> 2/3 below 40%.
+    EXPECT_NEAR(report.usersWithMatureJobShareBelow(0.40), 2.0 / 3.0,
+                1e-12);
+    EXPECT_NEAR(report.usersWithMatureHourShareBelow(0.20), 2.0 / 3.0,
+                1e-12);
+    EXPECT_NEAR(report.usersWithNonMatureHoursAbove(0.60), 2.0 / 3.0,
+                1e-12);
+}
+
+TEST(LifecycleAnalyzer, EmptyDataset)
+{
+    const auto report = LifecycleAnalyzer().analyze(Dataset{});
+    EXPECT_TRUE(report.users.empty());
+    EXPECT_DOUBLE_EQ(report.usersWithMatureJobShareBelow(0.4), 0.0);
+}
+
+} // namespace
+} // namespace aiwc::core

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "record_builder.hh"
+
+#include "aiwc/core/multi_gpu_analyzer.hh"
+
+namespace aiwc::core
+{
+namespace
+{
+
+using testing::gpuRecord;
+using testing::idleSummary;
+using testing::summaryWith;
+
+TEST(SizeBuckets, MappingMatchesFig13)
+{
+    EXPECT_EQ(sizeBucketOf(1), 0);
+    EXPECT_EQ(sizeBucketOf(2), 1);
+    EXPECT_EQ(sizeBucketOf(3), 2);
+    EXPECT_EQ(sizeBucketOf(8), 2);
+    EXPECT_EQ(sizeBucketOf(9), 3);
+    EXPECT_EQ(sizeBucketOf(32), 3);
+}
+
+TEST(MultiGpuAnalyzer, JobAndHourFractions)
+{
+    Dataset ds;
+    ds.add(gpuRecord(1, 0, 3600.0, 1));  // 1 GPU-hour
+    ds.add(gpuRecord(2, 1, 3600.0, 1));
+    ds.add(gpuRecord(3, 2, 3600.0, 2));  // 2 GPU-hours
+    const auto report = MultiGpuAnalyzer().analyze(ds);
+    EXPECT_NEAR(report.job_fraction[0], 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(report.job_fraction[1], 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(report.hour_fraction[0], 0.5, 1e-12);
+    EXPECT_NEAR(report.hour_fraction[1], 0.5, 1e-12);
+}
+
+TEST(MultiGpuAnalyzer, UserReachFractions)
+{
+    Dataset ds;
+    ds.add(gpuRecord(1, 0, 600.0, 1));
+    ds.add(gpuRecord(2, 1, 600.0, 2));
+    ds.add(gpuRecord(3, 2, 600.0, 4));
+    ds.add(gpuRecord(4, 3, 600.0, 16));
+    const auto report = MultiGpuAnalyzer().analyze(ds);
+    EXPECT_NEAR(report.users_multi, 0.75, 1e-12);
+    EXPECT_NEAR(report.users_3plus, 0.5, 1e-12);
+    EXPECT_NEAR(report.users_9plus, 0.25, 1e-12);
+}
+
+TEST(MultiGpuAnalyzer, IdleGpuDetectionAndBimodalCov)
+{
+    Dataset ds;
+    // Balanced 2-GPU job: both GPUs equal -> tiny CoV.
+    ds.add(gpuRecord(1, 0, 600.0, 2, 0.4, 0.6));
+    // Pathological 2-GPU job: one idle GPU -> 100% CoV across all,
+    // zero CoV across active only.
+    JobRecord bad = gpuRecord(2, 0, 600.0, 1, 0.4, 0.6);
+    bad.per_gpu.push_back(idleSummary());
+    bad.gpus = 2;
+    ds.add(bad);
+    const auto report = MultiGpuAnalyzer().analyze(ds);
+    EXPECT_NEAR(report.idle_gpu_job_fraction, 0.5, 1e-12);
+    EXPECT_NEAR(report.sm_cov_all_pct.quantile(1.0), 100.0, 1e-6);
+    EXPECT_NEAR(report.sm_cov_all_pct.quantile(0.0), 0.0, 1e-6);
+    // Active-only CoV collapses for the pathological job (single
+    // active GPU -> CoV 0 by convention).
+    EXPECT_NEAR(report.sm_cov_active_pct.quantile(1.0), 0.0, 1e-6);
+}
+
+TEST(MultiGpuAnalyzer, MedianWaitPerBucket)
+{
+    Dataset ds;
+    JobRecord fast = gpuRecord(1, 0, 600.0, 1);
+    fast.start_time = 3.0;
+    fast.end_time = 603.0;
+    JobRecord slow = gpuRecord(2, 0, 600.0, 2);
+    slow.start_time = 100.0;
+    slow.end_time = 700.0;
+    ds.add(fast);
+    ds.add(slow);
+    const auto report = MultiGpuAnalyzer().analyze(ds);
+    EXPECT_NEAR(report.median_wait_s[0], 3.0, 1e-12);
+    EXPECT_NEAR(report.median_wait_s[1], 100.0, 1e-12);
+}
+
+TEST(MultiGpuAnalyzer, SingleGpuJobsExcludedFromCovCdfs)
+{
+    Dataset ds;
+    ds.add(gpuRecord(1, 0, 600.0, 1));
+    const auto report = MultiGpuAnalyzer().analyze(ds);
+    EXPECT_TRUE(report.sm_cov_all_pct.empty());
+}
+
+TEST(MultiGpuAnalyzer, BucketNames)
+{
+    EXPECT_STREQ(sizeBucketName(0), "1 GPU");
+    EXPECT_STREQ(sizeBucketName(3), ">=9 GPUs");
+}
+
+} // namespace
+} // namespace aiwc::core

@@ -1,0 +1,92 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "record_builder.hh"
+
+#include "aiwc/core/phase_analyzer.hh"
+
+namespace aiwc::core
+{
+namespace
+{
+
+using testing::gpuRecord;
+
+JobRecord
+detailedRecord(JobId id, double active_fraction,
+               std::vector<double> active, std::vector<double> idle)
+{
+    JobRecord r = gpuRecord(id, 0, 600.0);
+    r.has_timeseries = true;
+    r.phases.active_fraction = active_fraction;
+    r.phases.active_intervals = std::move(active);
+    r.phases.idle_intervals = std::move(idle);
+    r.phases.active_sm_cov = 14.0;
+    r.phases.active_membw_cov = 15.0;
+    r.phases.active_memsize_cov = 8.0;
+    return r;
+}
+
+TEST(PhaseAnalyzer, OnlyDetailedJobsContribute)
+{
+    Dataset ds;
+    ds.add(gpuRecord(1, 0, 600.0));  // no time series
+    ds.add(detailedRecord(2, 0.8, {10, 20, 30}, {5, 5, 5}));
+    const auto report = PhaseAnalyzer().analyze(ds);
+    EXPECT_EQ(report.jobs, 1u);
+    EXPECT_EQ(report.active_fraction_pct.size(), 1u);
+}
+
+TEST(PhaseAnalyzer, ActiveFractionAsPercent)
+{
+    Dataset ds;
+    ds.add(detailedRecord(1, 0.84, {10, 20, 30}, {5, 5, 5}));
+    const auto report = PhaseAnalyzer().analyze(ds);
+    EXPECT_NEAR(report.active_fraction_pct.quantile(0.5), 84.0, 1e-9);
+}
+
+TEST(PhaseAnalyzer, IntervalCovComputedFromLengths)
+{
+    Dataset ds;
+    // Active intervals {10, 20, 30}: mean 20, stddev sqrt(200/3).
+    ds.add(detailedRecord(1, 0.5, {10, 20, 30}, {5, 5, 5}));
+    const auto report = PhaseAnalyzer().analyze(ds);
+    const double expected_cov =
+        100.0 * std::sqrt(200.0 / 3.0) / 20.0;
+    EXPECT_NEAR(report.active_interval_cov_pct.quantile(0.5),
+                expected_cov, 1e-9);
+    // Constant idle intervals -> zero CoV.
+    EXPECT_NEAR(report.idle_interval_cov_pct.quantile(0.5), 0.0, 1e-9);
+}
+
+TEST(PhaseAnalyzer, MinIntervalThresholdSkipsSparseJobs)
+{
+    Dataset ds;
+    ds.add(detailedRecord(1, 0.5, {10.0, 20.0}, {5.0}));  // too few
+    const PhaseAnalyzer analyzer(/*min_intervals=*/3);
+    const auto report = analyzer.analyze(ds);
+    EXPECT_EQ(report.jobs, 1u);  // still counts for active fraction
+    EXPECT_TRUE(report.active_interval_cov_pct.empty());
+    EXPECT_TRUE(report.idle_interval_cov_pct.empty());
+}
+
+TEST(PhaseAnalyzer, UtilizationCovsPassThrough)
+{
+    Dataset ds;
+    ds.add(detailedRecord(1, 0.5, {10, 20, 30}, {5, 6, 7}));
+    const auto report = PhaseAnalyzer().analyze(ds);
+    EXPECT_NEAR(report.active_sm_cov_pct.quantile(0.5), 14.0, 1e-9);
+    EXPECT_NEAR(report.active_membw_cov_pct.quantile(0.5), 15.0, 1e-9);
+    EXPECT_NEAR(report.active_memsize_cov_pct.quantile(0.5), 8.0, 1e-9);
+}
+
+TEST(PhaseAnalyzer, EmptyDataset)
+{
+    const auto report = PhaseAnalyzer().analyze(Dataset{});
+    EXPECT_EQ(report.jobs, 0u);
+    EXPECT_TRUE(report.active_fraction_pct.empty());
+}
+
+} // namespace
+} // namespace aiwc::core

@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "record_builder.hh"
+
+#include "aiwc/core/power_analyzer.hh"
+
+namespace aiwc::core
+{
+namespace
+{
+
+JobRecord
+powerRecord(JobId id, double avg_w, double max_w)
+{
+    JobRecord r = testing::gpuRecord(id, 0, 600.0);
+    r.per_gpu[0] = testing::summaryWith(0.2, 0.5, 0.02, 0.1, avg_w,
+                                        max_w);
+    return r;
+}
+
+TEST(PowerAnalyzer, CdfsCapturePerJobDraw)
+{
+    Dataset ds;
+    ds.add(powerRecord(1, 45.0, 87.0));
+    ds.add(powerRecord(2, 100.0, 200.0));
+    const auto report = PowerAnalyzer().analyze(ds);
+    EXPECT_EQ(report.avg_watts.size(), 2u);
+    EXPECT_NEAR(report.avg_watts.quantile(0.0), 45.0, 1e-9);
+    EXPECT_NEAR(report.max_watts.quantile(1.0), 200.0, 1e-9);
+}
+
+TEST(PowerAnalyzer, CapImpactClassification)
+{
+    Dataset ds;
+    ds.add(powerRecord(1, 40.0, 100.0));   // unimpacted at 150
+    ds.add(powerRecord(2, 60.0, 180.0));   // impacted by max only
+    ds.add(powerRecord(3, 170.0, 280.0));  // impacted by avg
+    ds.add(powerRecord(4, 30.0, 80.0));    // unimpacted
+    const PowerAnalyzer analyzer({150.0});
+    const auto report = analyzer.analyze(ds);
+    ASSERT_EQ(report.caps.size(), 1u);
+    const auto &cap = report.caps[0];
+    EXPECT_DOUBLE_EQ(cap.cap_watts, 150.0);
+    EXPECT_NEAR(cap.unimpacted, 0.5, 1e-12);
+    EXPECT_NEAR(cap.impacted_by_max, 0.5, 1e-12);
+    EXPECT_NEAR(cap.impacted_by_avg, 0.25, 1e-12);
+}
+
+TEST(PowerAnalyzer, DefaultCapsAreThePaperLevels)
+{
+    Dataset ds;
+    ds.add(powerRecord(1, 45.0, 87.0));
+    const auto report = PowerAnalyzer().analyze(ds);
+    ASSERT_EQ(report.caps.size(), 3u);
+    EXPECT_DOUBLE_EQ(report.caps[0].cap_watts, 150.0);
+    EXPECT_DOUBLE_EQ(report.caps[1].cap_watts, 200.0);
+    EXPECT_DOUBLE_EQ(report.caps[2].cap_watts, 250.0);
+}
+
+TEST(PowerAnalyzer, UnimpactedMonotoneInCap)
+{
+    Dataset ds;
+    for (int i = 0; i < 20; ++i)
+        ds.add(powerRecord(static_cast<JobId>(i), 20.0 + 10.0 * i,
+                           40.0 + 12.0 * i));
+    const auto report = PowerAnalyzer({100.0, 150.0, 200.0}).analyze(ds);
+    EXPECT_LE(report.caps[0].unimpacted, report.caps[1].unimpacted);
+    EXPECT_LE(report.caps[1].unimpacted, report.caps[2].unimpacted);
+}
+
+} // namespace
+} // namespace aiwc::core

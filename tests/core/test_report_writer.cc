@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "record_builder.hh"
+
+#include "aiwc/core/report_writer.hh"
+
+namespace aiwc::core
+{
+namespace
+{
+
+using testing::cpuRecord;
+using testing::gpuRecord;
+
+Dataset
+smallDataset()
+{
+    Dataset ds;
+    JobId id = 0;
+    for (int i = 0; i < 10; ++i) {
+        JobRecord r = gpuRecord(id++, static_cast<UserId>(i % 3),
+                                600.0 + 100.0 * i, 1 + (i % 2),
+                                0.1 + 0.05 * i, 0.6);
+        r.has_timeseries = (i % 4 == 0);
+        if (r.has_timeseries) {
+            r.phases.active_fraction = 0.8;
+            r.phases.active_intervals = {10, 20, 30, 40};
+            r.phases.idle_intervals = {5, 6, 7};
+            r.phases.active_sm_cov = 14.0;
+        }
+        ds.add(r);
+    }
+    ds.add(cpuRecord(id++, 0, 480.0));
+    return ds;
+}
+
+TEST(ReportWriter, FullStudyMentionsEveryFigure)
+{
+    std::ostringstream os;
+    const ReportWriter writer(os);
+    writer.printFullStudy(smallDataset());
+    const std::string out = os.str();
+    for (const char *needle :
+         {"Fig. 3a", "Fig. 3b", "Fig. 4", "Fig. 5", "Figs. 6-7a",
+          "Figs. 7b/8a", "Fig. 8b", "Fig. 9a", "Fig. 9b", "Fig. 10",
+          "Fig. 11", "Fig. 12", "Fig. 13", "Fig. 14", "Fig. 15",
+          "Fig. 16", "Fig. 17"}) {
+        EXPECT_NE(out.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(ReportWriter, ServiceTimePrinterShowsThresholdLines)
+{
+    std::ostringstream os;
+    const ReportWriter writer(os);
+    writer.print(ServiceTimeAnalyzer().analyze(smallDataset()));
+    EXPECT_NE(os.str().find("GPU jobs waiting < 1 min"),
+              std::string::npos);
+}
+
+TEST(ReportWriter, LifecyclePrinterShowsClassNames)
+{
+    std::ostringstream os;
+    const ReportWriter writer(os);
+    writer.print(LifecycleAnalyzer().analyze(smallDataset()));
+    const std::string out = os.str();
+    EXPECT_NE(out.find("mature"), std::string::npos);
+    EXPECT_NE(out.find("exploratory"), std::string::npos);
+    EXPECT_NE(out.find("IDE"), std::string::npos);
+}
+
+TEST(ReportWriter, EmptyDatasetDoesNotCrash)
+{
+    std::ostringstream os;
+    const ReportWriter writer(os);
+    writer.printFullStudy(Dataset{});
+    EXPECT_FALSE(os.str().empty());
+}
+
+} // namespace
+} // namespace aiwc::core

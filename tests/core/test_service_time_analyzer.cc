@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "record_builder.hh"
+
+#include "aiwc/core/service_time_analyzer.hh"
+
+namespace aiwc::core
+{
+namespace
+{
+
+using testing::cpuRecord;
+using testing::gpuRecord;
+
+TEST(ServiceTimeAnalyzer, SeparatesGpuAndCpuPopulations)
+{
+    Dataset ds;
+    ds.add(gpuRecord(1, 0, 1800.0));  // 30 min
+    ds.add(gpuRecord(2, 0, 3600.0));  // 60 min
+    ds.add(cpuRecord(3, 1, 480.0));   // 8 min
+    const auto report = ServiceTimeAnalyzer().analyze(ds);
+    EXPECT_EQ(report.gpu_runtime_min.size(), 2u);
+    EXPECT_EQ(report.cpu_runtime_min.size(), 1u);
+    EXPECT_DOUBLE_EQ(report.gpu_runtime_min.quantile(0.5), 45.0);
+    EXPECT_DOUBLE_EQ(report.cpu_runtime_min.quantile(0.5), 8.0);
+}
+
+TEST(ServiceTimeAnalyzer, WaitPercentagesOfServiceTime)
+{
+    Dataset ds;
+    JobRecord r = gpuRecord(1, 0, 90.0);
+    r.submit_time = 0.0;
+    r.start_time = 10.0;   // wait 10, run 90 -> service 100
+    r.end_time = 100.0;
+    ds.add(r);
+    const auto report = ServiceTimeAnalyzer().analyze(ds);
+    EXPECT_DOUBLE_EQ(report.gpu_wait_pct.quantile(0.5), 10.0);
+}
+
+TEST(ServiceTimeAnalyzer, WaitThresholdHelpers)
+{
+    Dataset ds;
+    for (int i = 0; i < 7; ++i) {
+        JobRecord r = gpuRecord(static_cast<JobId>(i), 0, 600.0);
+        r.start_time = 5.0;  // under a minute
+        r.end_time = 605.0;
+        ds.add(r);
+    }
+    for (int i = 7; i < 10; ++i) {
+        JobRecord r = gpuRecord(static_cast<JobId>(i), 0, 600.0);
+        r.start_time = 300.0;  // five minutes
+        r.end_time = 900.0;
+        ds.add(r);
+    }
+    ds.add(cpuRecord(20, 1, 600.0, /*wait=*/200.0));
+    ds.add(cpuRecord(21, 1, 600.0, /*wait=*/30.0));
+
+    const auto report = ServiceTimeAnalyzer().analyze(ds);
+    EXPECT_NEAR(report.gpuWaitUnder(60.0), 0.7, 1e-12);
+    EXPECT_NEAR(report.cpuWaitOver(60.0), 0.5, 1e-12);
+}
+
+TEST(ServiceTimeAnalyzer, FilterExcludesShortGpuJobs)
+{
+    Dataset ds;
+    ds.add(gpuRecord(1, 0, 10.0));  // filtered
+    ds.add(gpuRecord(2, 0, 60.0));
+    const auto report = ServiceTimeAnalyzer().analyze(ds);
+    EXPECT_EQ(report.gpu_runtime_min.size(), 1u);
+}
+
+TEST(ServiceTimeAnalyzer, EmptyDataset)
+{
+    const auto report = ServiceTimeAnalyzer().analyze(Dataset{});
+    EXPECT_TRUE(report.gpu_runtime_min.empty());
+    EXPECT_TRUE(report.cpu_wait_s.empty());
+}
+
+} // namespace
+} // namespace aiwc::core

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "record_builder.hh"
+
+#include "aiwc/core/timeline_analyzer.hh"
+
+namespace aiwc::core
+{
+namespace
+{
+
+using testing::cpuRecord;
+using testing::gpuRecord;
+
+JobRecord
+at(JobRecord r, double submit, double start, double end)
+{
+    r.submit_time = submit;
+    r.start_time = start;
+    r.end_time = end;
+    return r;
+}
+
+TEST(TimelineAnalyzer, SubmissionsCountedPerBin)
+{
+    Dataset ds;
+    ds.add(at(gpuRecord(1, 0, 60.0), 0.0, 10.0, 70.0));
+    ds.add(at(gpuRecord(2, 0, 60.0), 100.0, 110.0, 170.0));
+    ds.add(at(gpuRecord(3, 0, 60.0), 100.0, 120.0, 180.0));
+    const TimelineAnalyzer analyzer(/*bin_width=*/100.0);
+    const auto report = analyzer.analyze(ds);
+    ASSERT_GE(report.bins.size(), 2u);
+    EXPECT_EQ(report.bins[0].submissions, 1u);
+    EXPECT_EQ(report.bins[1].submissions, 2u);
+}
+
+TEST(TimelineAnalyzer, GpuBusyTimeSpreadsAcrossBins)
+{
+    Dataset ds;
+    // 2 GPUs busy from t=50 to t=150 over 100 s bins: half of bin 0,
+    // half of bin 1.
+    ds.add(at(gpuRecord(1, 0, 100.0, 2), 50.0, 50.0, 150.0));
+    const TimelineAnalyzer analyzer(100.0);
+    const auto report = analyzer.analyze(ds);
+    EXPECT_NEAR(report.bins[0].mean_gpus_busy, 1.0, 1e-9);
+    EXPECT_NEAR(report.bins[1].mean_gpus_busy, 1.0, 1e-9);
+    EXPECT_NEAR(report.peak_gpus_busy, 1.0, 1e-9);
+}
+
+TEST(TimelineAnalyzer, CpuNodesTrackedSeparately)
+{
+    Dataset ds;
+    JobRecord cpu = cpuRecord(1, 0, 100.0, 0.0);
+    cpu.cpu_slots = 160;  // two whole nodes
+    cpu.start_time = 0.0;
+    cpu.end_time = 100.0;
+    ds.add(cpu);
+    const TimelineAnalyzer analyzer(100.0);
+    const auto report = analyzer.analyze(ds);
+    EXPECT_NEAR(report.bins[0].mean_cpu_nodes_busy, 2.0, 1e-9);
+    EXPECT_NEAR(report.bins[0].mean_gpus_busy, 0.0, 1e-9);
+}
+
+TEST(TimelineAnalyzer, PeakToMeanDetectsBurst)
+{
+    Dataset ds;
+    JobId id = 0;
+    for (int i = 0; i < 10; ++i)
+        ds.add(at(gpuRecord(id++, 0, 50.0), 500.0, 510.0, 560.0));
+    ds.add(at(gpuRecord(id++, 0, 50.0), 100.0, 110.0, 160.0));
+    const TimelineAnalyzer analyzer(100.0);
+    const auto report = analyzer.analyze(ds);
+    EXPECT_GT(report.submission_peak_to_mean, 3.0);
+}
+
+TEST(TimelineAnalyzer, DeadlineSurgeFactor)
+{
+    Dataset ds;
+    JobId id = 0;
+    // Baseline: 2 submissions per day for days 0..19.
+    for (int day = 0; day < 20; ++day) {
+        for (int k = 0; k < 2; ++k) {
+            const double t = day * one_day + k * 1000.0;
+            ds.add(at(gpuRecord(id++, 0, 100.0), t, t + 5.0,
+                      t + 105.0));
+        }
+    }
+    // Surge: 10 submissions on day 15 (a "deadline" at day 16).
+    for (int k = 0; k < 8; ++k) {
+        const double t = 15 * one_day + k * 500.0;
+        ds.add(at(gpuRecord(id++, 0, 100.0), t, t + 5.0, t + 105.0));
+    }
+    const TimelineAnalyzer analyzer(one_day);
+    const auto report = analyzer.analyze(ds);
+    const double surge = report.deadlineSurge({16.0}, 3.0);
+    EXPECT_NEAR(surge, 10.0 / 2.0, 0.5);
+}
+
+TEST(TimelineAnalyzer, EmptyDataset)
+{
+    const auto report = TimelineAnalyzer().analyze(Dataset{});
+    EXPECT_TRUE(report.bins.empty());
+    EXPECT_DOUBLE_EQ(report.deadlineSurge({40.0}), 0.0);
+}
+
+} // namespace
+} // namespace aiwc::core

@@ -1,0 +1,50 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "record_builder.hh"
+
+#include "aiwc/core/report_writer.hh"
+
+namespace aiwc::core
+{
+namespace
+{
+
+TEST(TimelinePrinter, RendersSparklineAndHeadline)
+{
+    Dataset ds;
+    JobId id = 0;
+    for (int day = 0; day < 5; ++day) {
+        for (int k = 0; k <= day; ++k) {  // rising daily load
+            JobRecord r = testing::gpuRecord(id++, 0, 3600.0);
+            r.submit_time = day * one_day + k * 600.0;
+            r.start_time = r.submit_time + 5.0;
+            r.end_time = r.start_time + 3600.0;
+            ds.add(r);
+        }
+    }
+    const auto report = TimelineAnalyzer().analyze(ds);
+    std::ostringstream os;
+    ReportWriter(os).print(report);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("fleet load timeline"), std::string::npos);
+    EXPECT_NE(out.find("submissions/bin"), std::string::npos);
+    EXPECT_NE(out.find("peak-to-mean"), std::string::npos);
+    // The sparkline must end on the densest shade (day 5 is peak).
+    const auto lb = out.find('[');
+    const auto rb = out.find(']');
+    ASSERT_NE(lb, std::string::npos);
+    ASSERT_NE(rb, std::string::npos);
+    EXPECT_EQ(out[rb - 1], '@');
+}
+
+TEST(TimelinePrinter, EmptyTimelineDoesNotCrash)
+{
+    std::ostringstream os;
+    ReportWriter(os).print(TimelineAnalyzer().analyze(Dataset{}));
+    EXPECT_FALSE(os.str().empty());
+}
+
+} // namespace
+} // namespace aiwc::core

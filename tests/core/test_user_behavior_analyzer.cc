@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "record_builder.hh"
+
+#include "aiwc/core/user_behavior_analyzer.hh"
+
+namespace aiwc::core
+{
+namespace
+{
+
+using testing::gpuRecord;
+
+TEST(UserBehaviorAnalyzer, PerUserAverages)
+{
+    Dataset ds;
+    ds.add(gpuRecord(1, 0, 600.0, 1, 0.2, 0.5));   // 10 min
+    ds.add(gpuRecord(2, 0, 1800.0, 1, 0.4, 0.7));  // 30 min
+    ds.add(gpuRecord(3, 1, 3600.0, 1, 0.1, 0.2));
+    const auto report = UserBehaviorAnalyzer().analyze(ds);
+    ASSERT_EQ(report.users.size(), 2u);
+    const auto &u0 = report.users[0];
+    EXPECT_EQ(u0.jobs, 2u);
+    EXPECT_NEAR(u0.avg_runtime_min, 20.0, 1e-9);
+    EXPECT_NEAR(u0.avg_sm_pct, 30.0, 1e-9);
+}
+
+TEST(UserBehaviorAnalyzer, CovRequiresMinimumJobs)
+{
+    Dataset ds;
+    ds.add(gpuRecord(1, 0, 600.0));
+    const auto report = UserBehaviorAnalyzer().analyze(ds);
+    // Single-job user: no CoV entry.
+    EXPECT_TRUE(report.runtime_cov_pct.empty());
+    EXPECT_EQ(report.avg_runtime_min.size(), 1u);
+}
+
+TEST(UserBehaviorAnalyzer, CovIsZeroForIdenticalJobs)
+{
+    Dataset ds;
+    ds.add(gpuRecord(1, 0, 600.0, 1, 0.3, 0.5));
+    ds.add(gpuRecord(2, 0, 600.0, 1, 0.3, 0.5));
+    const auto report = UserBehaviorAnalyzer().analyze(ds);
+    EXPECT_NEAR(report.runtime_cov_pct.quantile(0.5), 0.0, 1e-9);
+    EXPECT_NEAR(report.sm_cov_pct.quantile(0.5), 0.0, 1e-9);
+}
+
+TEST(UserBehaviorAnalyzer, CovCapturesWithinUserVariance)
+{
+    Dataset ds;
+    ds.add(gpuRecord(1, 0, 60.0));
+    ds.add(gpuRecord(2, 0, 6000.0));
+    const auto report = UserBehaviorAnalyzer().analyze(ds);
+    EXPECT_GT(report.runtime_cov_pct.quantile(0.5), 90.0);
+}
+
+TEST(UserBehaviorAnalyzer, ConcentrationStats)
+{
+    Dataset ds;
+    JobId id = 0;
+    // User 0 submits 16 jobs, users 1..4 submit 1 each.
+    for (int i = 0; i < 16; ++i)
+        ds.add(gpuRecord(id++, 0, 600.0));
+    for (UserId u = 1; u <= 4; ++u)
+        ds.add(gpuRecord(id++, u, 600.0));
+    const auto report = UserBehaviorAnalyzer().analyze(ds);
+    // Top 20% of 5 users = 1 user = 16/20 of jobs.
+    EXPECT_NEAR(report.top20_job_share, 0.8, 1e-12);
+    EXPECT_NEAR(report.median_jobs_per_user, 1.0, 1e-12);
+}
+
+TEST(UserBehaviorAnalyzer, GpuHoursAccumulate)
+{
+    Dataset ds;
+    ds.add(gpuRecord(1, 0, 3600.0, 2));
+    ds.add(gpuRecord(2, 0, 1800.0, 1));
+    const auto report = UserBehaviorAnalyzer().summarize(ds);
+    ASSERT_EQ(report.size(), 1u);
+    EXPECT_NEAR(report[0].gpu_hours, 2.5, 1e-9);
+}
+
+} // namespace
+} // namespace aiwc::core

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include "record_builder.hh"
+
+#include "aiwc/core/utilization_analyzer.hh"
+
+namespace aiwc::core
+{
+namespace
+{
+
+using testing::gpuRecord;
+
+TEST(UtilizationAnalyzer, CdfsArePercentages)
+{
+    Dataset ds;
+    ds.add(gpuRecord(1, 0, 600.0, 1, 0.16, 0.5));
+    ds.add(gpuRecord(2, 0, 600.0, 1, 0.50, 0.9));
+    const auto report = UtilizationAnalyzer().analyze(ds);
+    EXPECT_EQ(report.sm_pct.size(), 2u);
+    EXPECT_NEAR(report.sm_pct.quantile(0.0), 16.0, 1e-9);
+    EXPECT_NEAR(report.sm_pct.quantile(1.0), 50.0, 1e-9);
+}
+
+TEST(UtilizationAnalyzer, FractionAboveThreshold)
+{
+    Dataset ds;
+    ds.add(gpuRecord(1, 0, 600.0, 1, 0.60, 0.9));
+    ds.add(gpuRecord(2, 0, 600.0, 1, 0.10, 0.3));
+    ds.add(gpuRecord(3, 0, 600.0, 1, 0.20, 0.4));
+    ds.add(gpuRecord(4, 0, 600.0, 1, 0.70, 0.9));
+    const auto report = UtilizationAnalyzer().analyze(ds);
+    EXPECT_NEAR(report.fractionAbove(Resource::Sm, 50.0), 0.5, 1e-12);
+    EXPECT_NEAR(report.fractionAbove(Resource::Sm, 5.0), 1.0, 1e-12);
+}
+
+TEST(UtilizationAnalyzer, MultiGpuJobsUseAcrossGpuAverage)
+{
+    Dataset ds;
+    JobRecord r = gpuRecord(1, 0, 600.0, 1, 0.8, 0.9);
+    r.per_gpu.push_back(testing::idleSummary());
+    r.gpus = 2;
+    ds.add(r);
+    const auto report = UtilizationAnalyzer().analyze(ds);
+    EXPECT_NEAR(report.sm_pct.quantile(0.5), 40.0, 1e-9);
+}
+
+TEST(UtilizationAnalyzer, ByInterfaceGroupsCorrectly)
+{
+    Dataset ds;
+    JobRecord batch = gpuRecord(1, 0, 600.0, 1, 0.3, 0.6);
+    batch.interface = Interface::Batch;
+    JobRecord inter = gpuRecord(2, 0, 600.0, 1, 0.02, 0.05);
+    inter.interface = Interface::Interactive;
+    ds.add(batch);
+    ds.add(inter);
+    const auto report = UtilizationAnalyzer().analyzeByInterface(ds);
+    const auto bi = static_cast<std::size_t>(Interface::Batch);
+    const auto ii = static_cast<std::size_t>(Interface::Interactive);
+    EXPECT_NEAR(report.sm[bi].median, 30.0, 1e-9);
+    EXPECT_NEAR(report.sm[ii].median, 2.0, 1e-9);
+    EXPECT_NEAR(report.job_fraction[bi], 0.5, 1e-12);
+    EXPECT_NEAR(report.job_fraction[ii], 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(
+        report.job_fraction[static_cast<std::size_t>(
+            Interface::MapReduce)],
+        0.0);
+}
+
+TEST(UtilizationAnalyzer, PcieCdfsPresent)
+{
+    Dataset ds;
+    ds.add(gpuRecord(1, 0, 600.0));
+    const auto report = UtilizationAnalyzer().analyze(ds);
+    EXPECT_EQ(report.pcie_tx_pct.size(), 1u);
+    EXPECT_NEAR(report.pcie_tx_pct.quantile(0.5), 20.0, 1e-9);
+}
+
+} // namespace
+} // namespace aiwc::core

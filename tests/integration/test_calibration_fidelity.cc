@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Calibration fidelity: the whole pipeline (generator -> scheduler ->
+ * telemetry -> analyzers) must land near the paper's published numbers
+ * at a reduced scale. Tolerances are generous — this is a shape guard,
+ * not an exact-match test; EXPERIMENTS.md records the full-scale runs.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aiwc/core/lifecycle_analyzer.hh"
+#include "aiwc/core/multi_gpu_analyzer.hh"
+#include "aiwc/core/paper_targets.hh"
+#include "aiwc/core/power_analyzer.hh"
+#include "aiwc/core/service_time_analyzer.hh"
+#include "aiwc/core/user_behavior_analyzer.hh"
+#include "aiwc/core/utilization_analyzer.hh"
+#include "aiwc/workload/trace_synthesizer.hh"
+
+namespace aiwc
+{
+namespace
+{
+
+const core::Dataset &
+dataset()
+{
+    static const workload::SynthesisResult result = [] {
+        workload::SynthesisOptions options;
+        options.scale = 0.12;
+        options.seed = 1337;
+        const auto profile = workload::CalibrationProfile::supercloud();
+        return workload::TraceSynthesizer(profile, options).run();
+    }();
+    return result.dataset;
+}
+
+namespace paper = core::paper;
+
+TEST(CalibrationFidelity, RuntimeQuantilesNearFig3a)
+{
+    const auto report = core::ServiceTimeAnalyzer().analyze(dataset());
+    // Log-scale tolerance: within ~2x on a four-decade axis.
+    EXPECT_NEAR(std::log(report.gpu_runtime_min.quantile(0.5)),
+                std::log(paper::gpu_runtime_p50_min), std::log(1.8));
+    EXPECT_NEAR(std::log(report.gpu_runtime_min.quantile(0.25)),
+                std::log(paper::gpu_runtime_p25_min), std::log(2.2));
+    EXPECT_NEAR(std::log(report.gpu_runtime_min.quantile(0.75)),
+                std::log(paper::gpu_runtime_p75_min), std::log(2.2));
+    EXPECT_NEAR(std::log(report.cpu_runtime_min.quantile(0.5)),
+                std::log(paper::cpu_runtime_p50_min), std::log(1.8));
+    // CPU jobs run shorter than GPU jobs (the Fig. 3a headline).
+    EXPECT_LT(report.cpu_runtime_min.quantile(0.5),
+              report.gpu_runtime_min.quantile(0.5));
+}
+
+TEST(CalibrationFidelity, QueueWaitShapeNearFig3b)
+{
+    const auto report = core::ServiceTimeAnalyzer().analyze(dataset());
+    // Most GPU jobs wait under a minute; CPU jobs wait far more.
+    EXPECT_GT(report.gpuWaitUnder(60.0), paper::gpu_wait_under_1min_frac);
+    EXPECT_GT(report.cpuWaitOver(60.0), 0.35);
+    EXPECT_GT(report.cpuWaitOver(60.0),
+              1.0 - report.gpuWaitUnder(60.0));
+    // >50% of GPU jobs spend <2% of service time queued.
+    EXPECT_LT(report.gpu_wait_pct.quantile(0.5),
+              paper::gpu_wait_service_pct_median_max);
+}
+
+TEST(CalibrationFidelity, UtilizationMediansNearFig4a)
+{
+    const auto report = core::UtilizationAnalyzer().analyze(dataset());
+    EXPECT_NEAR(report.sm_pct.quantile(0.5), paper::sm_util_median_pct,
+                7.0);
+    EXPECT_NEAR(report.membw_pct.quantile(0.5),
+                paper::membw_util_median_pct, 2.5);
+    EXPECT_NEAR(report.memsize_pct.quantile(0.5),
+                paper::memsize_util_median_pct, 6.5);
+    EXPECT_NEAR(report.fractionAbove(Resource::Sm, 50.0),
+                paper::sm_over_50_frac, 0.08);
+    EXPECT_NEAR(report.fractionAbove(Resource::MemorySize, 50.0),
+                paper::memsize_over_50_frac, 0.10);
+    EXPECT_LT(report.fractionAbove(Resource::MemoryBw, 50.0), 0.10);
+}
+
+TEST(CalibrationFidelity, InterfaceOrderingMatchesFig5)
+{
+    const auto report =
+        core::UtilizationAnalyzer().analyzeByInterface(dataset());
+    const auto sm = [&](Interface i) {
+        return report.sm[static_cast<std::size_t>(i)].median;
+    };
+    // "Other" (deep learning) jobs lead; interactive and map-reduce
+    // barely touch the GPU.
+    EXPECT_GT(sm(Interface::Other), sm(Interface::Interactive));
+    EXPECT_GT(sm(Interface::Batch), sm(Interface::Interactive));
+    EXPECT_LT(sm(Interface::MapReduce), sm(Interface::Batch));
+    // Population fractions.
+    EXPECT_NEAR(report.job_fraction[static_cast<std::size_t>(
+                    Interface::Batch)],
+                paper::batch_job_frac, 0.06);
+    EXPECT_NEAR(report.job_fraction[static_cast<std::size_t>(
+                    Interface::Interactive)],
+                paper::interactive_job_frac, 0.03);
+}
+
+TEST(CalibrationFidelity, LifecycleMixNearFig15)
+{
+    const auto report = core::LifecycleAnalyzer().analyze(dataset());
+    EXPECT_NEAR(report.job_mix[static_cast<int>(Lifecycle::Mature)],
+                paper::mature_job_frac, 0.08);
+    EXPECT_NEAR(
+        report.job_mix[static_cast<int>(Lifecycle::Exploratory)],
+        paper::exploratory_job_frac, 0.07);
+    EXPECT_NEAR(
+        report.job_mix[static_cast<int>(Lifecycle::Development)],
+        paper::development_job_frac, 0.07);
+    EXPECT_NEAR(report.job_mix[static_cast<int>(Lifecycle::Ide)],
+                paper::ide_job_frac, 0.03);
+    // GPU-hour inversion: mature jobs are 60% of jobs but well under
+    // half... of the hours; non-mature classes dominate hours.
+    EXPECT_LT(report.hour_mix[static_cast<int>(Lifecycle::Mature)],
+              0.60);
+    EXPECT_GT(report.hour_mix[static_cast<int>(Lifecycle::Ide)], 0.06);
+}
+
+TEST(CalibrationFidelity, ClassUtilizationOrderingMatchesFig16)
+{
+    const auto report = core::LifecycleAnalyzer().analyze(dataset());
+    const auto median = [&](Lifecycle c) {
+        return report.sm_pct[static_cast<int>(c)].median;
+    };
+    EXPECT_GT(median(Lifecycle::Mature), median(Lifecycle::Development));
+    EXPECT_GT(median(Lifecycle::Exploratory), median(Lifecycle::Ide));
+    EXPECT_LT(median(Lifecycle::Development), 3.0);  // ~0%
+    EXPECT_LT(median(Lifecycle::Ide), 3.0);          // ~0%
+    EXPECT_NEAR(median(Lifecycle::Mature), paper::mature_sm_median_pct,
+                9.0);
+}
+
+TEST(CalibrationFidelity, MultiGpuSharesNearFig13)
+{
+    const auto report = core::MultiGpuAnalyzer().analyze(dataset());
+    EXPECT_NEAR(report.job_fraction[0], paper::single_gpu_job_frac,
+                0.07);
+    const double over2 =
+        report.job_fraction[2] + report.job_fraction[3];
+    EXPECT_LT(over2, 0.08);
+    const double multi_hours = 1.0 - report.hour_fraction[0];
+    EXPECT_NEAR(multi_hours, paper::multi_gpu_hour_share, 0.20);
+}
+
+TEST(CalibrationFidelity, PowerNearFig9)
+{
+    const auto report = core::PowerAnalyzer().analyze(dataset());
+    EXPECT_NEAR(report.avg_watts.quantile(0.5),
+                paper::power_avg_median_w, 15.0);
+    EXPECT_NEAR(report.max_watts.quantile(0.5),
+                paper::power_max_median_w, 30.0);
+    ASSERT_FALSE(report.caps.empty());
+    EXPECT_GT(report.caps[0].unimpacted,
+              paper::cap150_unimpacted_min_frac);
+    EXPECT_LT(report.caps[0].impacted_by_avg,
+              paper::cap150_avg_impacted_max_frac);
+}
+
+TEST(CalibrationFidelity, UserConcentrationNearSec4)
+{
+    const auto report = core::UserBehaviorAnalyzer().analyze(dataset());
+    EXPECT_NEAR(report.top20_job_share, paper::top20pct_user_job_share,
+                0.10);
+    EXPECT_GT(report.top5_job_share, 0.25);
+    EXPECT_LT(report.top5_job_share, 0.70);
+}
+
+} // namespace
+} // namespace aiwc

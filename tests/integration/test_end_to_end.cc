@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "aiwc/core/lifecycle_classifier.hh"
+#include "aiwc/core/report_writer.hh"
+#include "aiwc/workload/trace_synthesizer.hh"
+
+namespace aiwc
+{
+namespace
+{
+
+const workload::SynthesisResult &
+sharedTrace()
+{
+    static const workload::SynthesisResult result = [] {
+        workload::SynthesisOptions options;
+        options.scale = 0.04;
+        options.seed = 20260706;
+        const auto profile = workload::CalibrationProfile::supercloud();
+        return workload::TraceSynthesizer(profile, options).run();
+    }();
+    return result;
+}
+
+TEST(EndToEnd, EveryJobHasConsistentTimes)
+{
+    for (const auto &r : sharedTrace().dataset.records()) {
+        EXPECT_GE(r.waitTime(), 0.0) << "job " << r.id;
+        EXPECT_GT(r.runTime(), 0.0) << "job " << r.id;
+        EXPECT_LE(r.runTime(), r.walltime_limit + 1e-6) << "job " << r.id;
+    }
+}
+
+TEST(EndToEnd, SchedulerConservation)
+{
+    const auto &result = sharedTrace();
+    EXPECT_EQ(result.scheduler_stats.submitted,
+              result.scheduler_stats.finished);
+    EXPECT_EQ(result.scheduler_stats.submitted, result.dataset.size());
+}
+
+TEST(EndToEnd, ClassifierInvertsGeneratorGroundTruth)
+{
+    // The classifier reads only observed terminal behaviour; apart
+    // from rare hardware failures (folded into development) it must
+    // reconstruct the generator's hidden labels.
+    const core::LifecycleClassifier clf;
+    const double accuracy =
+        clf.accuracyAgainstTruth(sharedTrace().dataset);
+    EXPECT_GT(accuracy, 0.99);
+}
+
+TEST(EndToEnd, UtilizationSummariesWithinPhysicalBounds)
+{
+    for (const auto &r : sharedTrace().dataset.records()) {
+        for (const auto &gpu : r.per_gpu) {
+            EXPECT_GE(gpu.sm.min(), 0.0);
+            EXPECT_LE(gpu.sm.max(), 1.0);
+            EXPECT_LE(gpu.membw.max(), 1.0);
+            EXPECT_LE(gpu.memsize.max(), 1.0);
+            EXPECT_LE(gpu.power_watts.max(), 300.0);
+            EXPECT_GE(gpu.power_watts.min(), 0.0);
+            EXPECT_LE(gpu.sm.mean(), gpu.sm.max());
+            EXPECT_GE(gpu.sm.mean(), gpu.sm.min());
+        }
+    }
+}
+
+TEST(EndToEnd, TimedOutJobsRanExactlyTheirLimit)
+{
+    for (const auto &r : sharedTrace().dataset.records()) {
+        if (r.terminal == TerminalState::TimedOut) {
+            EXPECT_NEAR(r.runTime(), r.walltime_limit, 1e-6);
+        }
+    }
+}
+
+TEST(EndToEnd, GpuExclusivityNeverViolated)
+{
+    // With exclusive GPUs, total concurrent GPU demand can never
+    // exceed the cluster's GPU count at any instant. Sweep the busiest
+    // windows via event sorting.
+    const auto &result = sharedTrace();
+    struct Edge
+    {
+        Seconds t;
+        int delta;
+    };
+    std::vector<Edge> edges;
+    for (const auto &r : result.dataset.records()) {
+        if (!r.isGpuJob())
+            continue;
+        edges.push_back({r.start_time, r.gpus});
+        edges.push_back({r.end_time, -r.gpus});
+    }
+    std::sort(edges.begin(), edges.end(), [](const Edge &a, const Edge &b) {
+        if (a.t != b.t)
+            return a.t < b.t;
+        return a.delta < b.delta;  // releases before claims at ties
+    });
+    const int capacity = result.cluster_nodes * 2;
+    int in_use = 0;
+    for (const auto &e : edges) {
+        in_use += e.delta;
+        EXPECT_LE(in_use, capacity);
+        EXPECT_GE(in_use, 0);
+    }
+}
+
+TEST(EndToEnd, ReportWriterHandlesSynthesizedTrace)
+{
+    std::ostringstream os;
+    const core::ReportWriter writer(os);
+    writer.printFullStudy(sharedTrace().dataset);
+    EXPECT_GT(os.str().size(), 2000u);
+}
+
+TEST(EndToEnd, MonitoringAccountingScalesWithRuntime)
+{
+    const auto &result = sharedTrace();
+    // Central store must hold roughly gpu-rows + cpu-rows of data;
+    // just sanity-check the order of magnitude: more than 1 MiB for
+    // thousands of jobs, less than 1 TiB.
+    EXPECT_GT(result.central_store_bytes, 1024u * 1024u);
+    EXPECT_LT(result.central_store_bytes, 1ull << 40);
+}
+
+} // namespace
+} // namespace aiwc

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Seed-stability guards: the variance-control machinery (activity-
+ * coupled mix concentration, damped heavy-user traits, scale
+ * normalization) exists so that fleet-level statistics do not swing
+ * wildly between seeds. These tests lock that property in: across
+ * several seeds at a modest scale, the headline mixes must stay
+ * inside generous bands.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aiwc/core/lifecycle_analyzer.hh"
+#include "aiwc/core/multi_gpu_analyzer.hh"
+#include "aiwc/core/utilization_analyzer.hh"
+#include "aiwc/workload/trace_synthesizer.hh"
+
+namespace aiwc
+{
+namespace
+{
+
+core::Dataset
+traceFor(std::uint64_t seed)
+{
+    workload::SynthesisOptions options;
+    options.scale = 0.06;
+    options.seed = seed;
+    const auto profile = workload::CalibrationProfile::supercloud();
+    return workload::TraceSynthesizer(profile, options).run().dataset;
+}
+
+class SeedStability : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(SeedStability, LifecycleMixStaysInBand)
+{
+    const auto report =
+        core::LifecycleAnalyzer().analyze(traceFor(GetParam()));
+    EXPECT_NEAR(report.job_mix[static_cast<int>(Lifecycle::Mature)],
+                0.595, 0.12);
+    EXPECT_NEAR(
+        report.job_mix[static_cast<int>(Lifecycle::Exploratory)], 0.18,
+        0.10);
+    EXPECT_NEAR(
+        report.job_mix[static_cast<int>(Lifecycle::Development)], 0.19,
+        0.10);
+    EXPECT_NEAR(report.job_mix[static_cast<int>(Lifecycle::Ide)], 0.035,
+                0.05);
+}
+
+TEST_P(SeedStability, SingleGpuShareStaysInBand)
+{
+    const auto report =
+        core::MultiGpuAnalyzer().analyze(traceFor(GetParam()));
+    EXPECT_NEAR(report.job_fraction[0], 0.84, 0.12);
+}
+
+TEST_P(SeedStability, SmMedianStaysInBand)
+{
+    const auto report =
+        core::UtilizationAnalyzer().analyze(traceFor(GetParam()));
+    EXPECT_NEAR(report.sm_pct.quantile(0.5), 14.0, 9.0);
+    EXPECT_NEAR(report.fractionAbove(Resource::Sm, 50.0), 0.20, 0.10);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedStability,
+                         ::testing::Values(101u, 202u, 303u));
+
+} // namespace
+} // namespace aiwc

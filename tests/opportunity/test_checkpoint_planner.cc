@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "../core/record_builder.hh"
+
+#include "aiwc/opportunity/checkpoint_planner.hh"
+
+namespace aiwc::opportunity
+{
+namespace
+{
+
+using core::testing::gpuRecord;
+
+TEST(CheckpointPlanner, StateLossClassification)
+{
+    EXPECT_TRUE(CheckpointPlanner::losesState(gpuRecord(
+        1, 0, 100.0, 1, 0.2, 0.5, TerminalState::Failed)));
+    EXPECT_TRUE(CheckpointPlanner::losesState(gpuRecord(
+        2, 0, 100.0, 1, 0.2, 0.5, TerminalState::TimedOut)));
+    EXPECT_TRUE(CheckpointPlanner::losesState(gpuRecord(
+        3, 0, 100.0, 1, 0.2, 0.5, TerminalState::NodeFailure)));
+    EXPECT_FALSE(CheckpointPlanner::losesState(gpuRecord(
+        4, 0, 100.0, 1, 0.2, 0.5, TerminalState::Completed)));
+    EXPECT_FALSE(CheckpointPlanner::losesState(gpuRecord(
+        5, 0, 100.0, 1, 0.2, 0.5, TerminalState::Cancelled)));
+}
+
+TEST(CheckpointPlanner, BaselineLossEqualsStateLosingHours)
+{
+    core::Dataset ds;
+    ds.add(gpuRecord(1, 0, 3600.0, 1, 0.2, 0.5,
+                     TerminalState::Failed));  // 1 GPU-hour lost
+    ds.add(gpuRecord(2, 0, 3600.0, 1, 0.2, 0.5,
+                     TerminalState::Completed));
+    const auto plan =
+        CheckpointPlanner().evaluate(ds, 1800.0, 0.0);
+    EXPECT_NEAR(plan.lost_hours_baseline, 1.0, 1e-9);
+    // With 30-min checkpoints, only ~15 min is lost.
+    EXPECT_NEAR(plan.lost_hours_with_ckpt, 0.25, 1e-9);
+    EXPECT_DOUBLE_EQ(plan.overhead_hours, 0.0);
+    EXPECT_NEAR(plan.net_saving_fraction, 0.75 / 2.0, 1e-9);
+}
+
+TEST(CheckpointPlanner, OverheadChargedToEveryJob)
+{
+    core::Dataset ds;
+    ds.add(gpuRecord(1, 0, 3600.0, 2, 0.2, 0.5,
+                     TerminalState::Completed));
+    // 2 GPUs x 1 checkpoint x 36 s = 72 GPU-seconds = 0.02 h.
+    const auto plan =
+        CheckpointPlanner().evaluate(ds, 1800.0, 36.0);
+    EXPECT_NEAR(plan.overhead_hours, 0.02, 1e-9);
+    EXPECT_LT(plan.net_saving_fraction, 0.0);  // nothing to recover
+}
+
+TEST(CheckpointPlanner, ShortJobLossCappedByRuntime)
+{
+    core::Dataset ds;
+    ds.add(gpuRecord(1, 0, 120.0, 1, 0.2, 0.5,
+                     TerminalState::Failed));  // 2-min crash
+    const auto plan =
+        CheckpointPlanner().evaluate(ds, 3600.0, 0.0);
+    // interval/2 (30 min) exceeds the runtime: everything is lost,
+    // and checkpointing cannot help this job.
+    EXPECT_NEAR(plan.lost_hours_with_ckpt, plan.lost_hours_baseline,
+                1e-9);
+}
+
+TEST(CheckpointPlanner, SweepTradesResidualAgainstOverhead)
+{
+    core::Dataset ds;
+    for (int i = 0; i < 10; ++i) {
+        ds.add(gpuRecord(static_cast<JobId>(i), 0, 6.0 * 3600.0, 1,
+                         0.2, 0.5,
+                         i < 4 ? TerminalState::TimedOut
+                               : TerminalState::Completed));
+    }
+    const auto plans = CheckpointPlanner().sweep(
+        ds, {600.0, 3600.0, 14400.0}, 20.0);
+    ASSERT_EQ(plans.size(), 3u);
+    // Shorter intervals lose less residual work but write more.
+    EXPECT_LT(plans[0].lost_hours_with_ckpt,
+              plans[2].lost_hours_with_ckpt);
+    EXPECT_GT(plans[0].overhead_hours, plans[2].overhead_hours);
+    // With 40% of hours in timeouts, some policy is clearly positive.
+    bool any_positive = false;
+    for (const auto &p : plans)
+        any_positive = any_positive || p.net_saving_fraction > 0.05;
+    EXPECT_TRUE(any_positive);
+}
+
+TEST(CheckpointPlanner, EmptyDataset)
+{
+    const auto plan =
+        CheckpointPlanner().evaluate(core::Dataset{}, 1800.0, 20.0);
+    EXPECT_DOUBLE_EQ(plan.lost_hours_baseline, 0.0);
+    EXPECT_DOUBLE_EQ(plan.net_saving_fraction, 0.0);
+}
+
+} // namespace
+} // namespace aiwc::opportunity

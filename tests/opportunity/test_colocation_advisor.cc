@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "../core/record_builder.hh"
+
+#include "aiwc/opportunity/colocation_advisor.hh"
+
+namespace aiwc::opportunity
+{
+namespace
+{
+
+core::JobRecord
+utilRecord(JobId id, double sm, double membw, double memsize,
+           double start, double runtime)
+{
+    core::JobRecord r = core::testing::gpuRecord(id, 0, runtime, 1, sm,
+                                                 sm + 0.1);
+    r.per_gpu[0] = core::testing::summaryWith(sm, sm + 0.1, membw,
+                                              memsize);
+    r.start_time = start;
+    r.end_time = start + runtime;
+    r.submit_time = start;
+    return r;
+}
+
+TEST(InterferenceModel, ComplementaryPairIsNearlyFree)
+{
+    const InterferenceModel model;
+    const auto compute = utilRecord(1, 0.6, 0.02, 0.3, 0.0, 100.0);
+    const auto memory = utilRecord(2, 0.05, 0.4, 0.3, 0.0, 100.0);
+    EXPECT_TRUE(model.fits(compute, memory));
+    EXPECT_LT(model.pairSlowdown(compute, memory), 1.05);
+}
+
+TEST(InterferenceModel, ContendingPairIsPenalized)
+{
+    const InterferenceModel model;
+    const auto a = utilRecord(1, 0.8, 0.1, 0.3, 0.0, 100.0);
+    const auto b = utilRecord(2, 0.7, 0.1, 0.3, 0.0, 100.0);
+    // Combined SM = 1.5: slowdown 1 + 2*(0.5) = ~2.
+    EXPECT_GT(model.pairSlowdown(a, b), 1.8);
+}
+
+TEST(InterferenceModel, MemoryCapacityIsAHardConstraint)
+{
+    const InterferenceModel model;
+    const auto a = utilRecord(1, 0.1, 0.02, 0.6, 0.0, 100.0);
+    const auto b = utilRecord(2, 0.1, 0.02, 0.5, 0.0, 100.0);
+    EXPECT_FALSE(model.fits(a, b));  // 1.1 > 0.95
+}
+
+TEST(ColocationAdvisor, PairsOverlappingCompatibleJobs)
+{
+    core::Dataset ds;
+    ds.add(utilRecord(1, 0.2, 0.02, 0.2, 0.0, 3600.0));
+    ds.add(utilRecord(2, 0.2, 0.02, 0.2, 600.0, 3600.0));
+    const auto report = ColocationAdvisor().analyze(ds);
+    EXPECT_EQ(report.gpu_jobs, 2u);
+    EXPECT_NEAR(report.paired_job_fraction, 1.0, 1e-12);
+    EXPECT_GT(report.gpu_hours_saved_fraction, 0.3);
+    EXPECT_GE(report.mean_pair_slowdown, 1.0);
+}
+
+TEST(ColocationAdvisor, NonOverlappingJobsCannotPair)
+{
+    core::Dataset ds;
+    ds.add(utilRecord(1, 0.2, 0.02, 0.2, 0.0, 100.0));
+    ds.add(utilRecord(2, 0.2, 0.02, 0.2, 5000.0, 100.0));
+    const auto report = ColocationAdvisor().analyze(ds);
+    EXPECT_DOUBLE_EQ(report.paired_job_fraction, 0.0);
+    EXPECT_DOUBLE_EQ(report.gpu_hours_saved_fraction, 0.0);
+}
+
+TEST(ColocationAdvisor, HotJobsRejectedByThreshold)
+{
+    core::Dataset ds;
+    ds.add(utilRecord(1, 0.9, 0.1, 0.2, 0.0, 3600.0));
+    ds.add(utilRecord(2, 0.9, 0.1, 0.2, 60.0, 3600.0));
+    const ColocationAdvisor advisor({}, /*max_slowdown=*/1.10);
+    const auto report = advisor.analyze(ds);
+    EXPECT_DOUBLE_EQ(report.paired_job_fraction, 0.0);
+}
+
+TEST(ColocationAdvisor, MultiGpuJobsExcluded)
+{
+    core::Dataset ds;
+    ds.add(core::testing::gpuRecord(1, 0, 3600.0, 2));
+    const auto report = ColocationAdvisor().analyze(ds);
+    EXPECT_EQ(report.gpu_jobs, 0u);
+}
+
+TEST(ColocationAdvisor, SlowdownsStayUnderThreshold)
+{
+    core::Dataset ds;
+    for (int i = 0; i < 40; ++i) {
+        ds.add(utilRecord(static_cast<JobId>(i), 0.05 + 0.01 * (i % 5),
+                          0.02, 0.1, 100.0 * i, 5000.0));
+    }
+    const double threshold = 1.10;
+    const ColocationAdvisor advisor({}, threshold);
+    const auto report = advisor.analyze(ds);
+    EXPECT_GT(report.paired_job_fraction, 0.3);
+    EXPECT_LE(report.pair_slowdown.quantile(1.0), threshold + 1e-9);
+}
+
+} // namespace
+} // namespace aiwc::opportunity

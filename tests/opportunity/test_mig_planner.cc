@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "../core/record_builder.hh"
+
+#include "aiwc/opportunity/mig_planner.hh"
+
+namespace aiwc::opportunity
+{
+namespace
+{
+
+core::JobRecord
+utilJob(JobId id, double sm_mean, double sm_max, double start,
+        double runtime)
+{
+    core::JobRecord r =
+        core::testing::gpuRecord(id, 0, runtime, 1, sm_mean, sm_max);
+    // Keep the memory footprint negligible so the slice count is
+    // driven purely by the SM demand under test.
+    r.per_gpu[0] = core::testing::summaryWith(sm_mean, sm_max, 0.02,
+                                              0.03);
+    r.start_time = start;
+    r.end_time = start + runtime;
+    r.submit_time = start;
+    return r;
+}
+
+TEST(MigPlanner, SlicesScaleWithDemand)
+{
+    const MigPlanner planner(7, 1.5);
+    EXPECT_EQ(planner.slicesFor(utilJob(1, 0.05, 0.1, 0, 100)), 1);
+    EXPECT_EQ(planner.slicesFor(utilJob(2, 0.3, 0.5, 0, 100)), 4);
+    EXPECT_EQ(planner.slicesFor(utilJob(3, 0.9, 0.95, 0, 100)), 7);
+}
+
+TEST(MigPlanner, SaturatorsGetTheWholeGpu)
+{
+    const MigPlanner planner;
+    auto job = utilJob(1, 0.1, 0.2, 0, 100);
+    job.per_gpu[0].sm.add(1.0);  // saturation burst
+    EXPECT_EQ(planner.slicesFor(job), 7);
+}
+
+TEST(MigPlanner, ConcurrentLightJobsShareOneGpu)
+{
+    core::Dataset ds;
+    // Four concurrent jobs, each needing 1 slice: exclusive baseline
+    // needs 4 GPUs, MIG needs 1.
+    for (int i = 0; i < 4; ++i)
+        ds.add(utilJob(static_cast<JobId>(i), 0.05, 0.1, 0.0, 1000.0));
+    const auto plan = MigPlanner().plan(ds);
+    EXPECT_EQ(plan.peak_gpus_exclusive, 4);
+    EXPECT_EQ(plan.peak_gpus_mig, 1);
+    EXPECT_NEAR(plan.gpu_demand_reduction, 0.75, 1e-12);
+    EXPECT_EQ(plan.jobs, 4u);
+}
+
+TEST(MigPlanner, HeavyJobsGainNothing)
+{
+    core::Dataset ds;
+    for (int i = 0; i < 3; ++i)
+        ds.add(utilJob(static_cast<JobId>(i), 0.9, 0.95, 0.0, 1000.0));
+    const auto plan = MigPlanner().plan(ds);
+    EXPECT_EQ(plan.peak_gpus_mig, plan.peak_gpus_exclusive);
+    EXPECT_NEAR(plan.gpu_demand_reduction, 0.0, 1e-12);
+}
+
+TEST(MigPlanner, SequentialJobsNeverOverlap)
+{
+    core::Dataset ds;
+    ds.add(utilJob(1, 0.05, 0.1, 0.0, 100.0));
+    ds.add(utilJob(2, 0.05, 0.1, 200.0, 100.0));
+    const auto plan = MigPlanner().plan(ds);
+    EXPECT_EQ(plan.peak_gpus_exclusive, 1);
+    EXPECT_EQ(plan.peak_gpus_mig, 1);
+}
+
+TEST(MigPlanner, RepartitionEventsCounted)
+{
+    core::Dataset ds;
+    // Second job lands on the first job's GPU -> one repartition.
+    ds.add(utilJob(1, 0.05, 0.1, 0.0, 1000.0));
+    ds.add(utilJob(2, 0.05, 0.1, 100.0, 1000.0));
+    const auto plan = MigPlanner().plan(ds);
+    EXPECT_EQ(plan.repartition_events, 1u);
+    EXPECT_GT(plan.reconfig_overhead_hours, 0.0);
+}
+
+TEST(MigPlanner, MultiGpuJobsExcluded)
+{
+    core::Dataset ds;
+    ds.add(core::testing::gpuRecord(1, 0, 1000.0, 2));
+    const auto plan = MigPlanner().plan(ds);
+    EXPECT_EQ(plan.jobs, 0u);
+}
+
+TEST(MigPlanner, EmptyDataset)
+{
+    const auto plan = MigPlanner().plan(core::Dataset{});
+    EXPECT_EQ(plan.jobs, 0u);
+    EXPECT_DOUBLE_EQ(plan.gpu_demand_reduction, 0.0);
+}
+
+// Property sweep: slice counts are monotone in mean SM utilization.
+class MigMonotone : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(MigMonotone, SlicesMonotoneInDemand)
+{
+    const MigPlanner planner;
+    const double sm = GetParam();
+    const int s1 = planner.slicesFor(utilJob(1, sm, sm + 0.02, 0, 100));
+    const int s2 =
+        planner.slicesFor(utilJob(2, sm + 0.2, sm + 0.22, 0, 100));
+    EXPECT_LE(s1, s2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Demands, MigMonotone,
+                         ::testing::Values(0.05, 0.2, 0.4, 0.6));
+
+} // namespace
+} // namespace aiwc::opportunity

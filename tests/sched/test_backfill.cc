@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "aiwc/sched/backfill.hh"
+#include "aiwc/sim/cluster_factory.hh"
+
+namespace aiwc::sched
+{
+namespace
+{
+
+JobRequest
+gpuRequest(int gpus, Seconds walltime = 3600.0)
+{
+    JobRequest req;
+    req.gpus = gpus;
+    req.cpu_slots = 4;
+    req.walltime_limit = walltime;
+    return req;
+}
+
+TEST(Backfill, HeadFitsNowGivesImmediateShadow)
+{
+    sim::Cluster cluster(sim::miniSupercloudSpec(2));  // 4 GPUs free
+    const BackfillWindow w =
+        computeWindow(cluster, {}, gpuRequest(2), 100.0);
+    EXPECT_DOUBLE_EQ(w.shadow_time, 100.0);
+    EXPECT_EQ(w.spare_gpus, 2);
+}
+
+TEST(Backfill, ShadowWaitsForEarliestSufficientCompletion)
+{
+    sim::Cluster cluster(sim::miniSupercloudSpec(1));  // 2 GPUs
+    // Occupy both GPUs.
+    auto &node = cluster.node(0);
+    node.allocateGpus(1, 2);
+    node.allocateCpu(8, 32.0);
+    std::vector<RunningFootprint> running = {
+        {/*expected_end=*/500.0, /*gpus=*/1, /*whole_nodes=*/0},
+        {/*expected_end=*/900.0, /*gpus=*/1, /*whole_nodes=*/0},
+    };
+    // Head wants both GPUs: shadow is the later completion.
+    const BackfillWindow w =
+        computeWindow(cluster, running, gpuRequest(2), 100.0);
+    EXPECT_DOUBLE_EQ(w.shadow_time, 900.0);
+    EXPECT_EQ(w.spare_gpus, 0);
+
+    // Head wants one GPU: shadow is the earlier completion.
+    const BackfillWindow w1 =
+        computeWindow(cluster, running, gpuRequest(1), 100.0);
+    EXPECT_DOUBLE_EQ(w1.shadow_time, 500.0);
+}
+
+TEST(Backfill, ShortJobMayJumpAhead)
+{
+    BackfillWindow w;
+    w.shadow_time = 1000.0;
+    w.spare_gpus = 0;
+    w.spare_nodes = 0;
+    const auto spec = sim::miniSupercloudSpec(2);
+    EXPECT_TRUE(mayBackfill(w, gpuRequest(1, 800.0), spec, 100.0));
+    EXPECT_FALSE(mayBackfill(w, gpuRequest(1, 1200.0), spec, 100.0));
+}
+
+TEST(Backfill, LongJobMayUseSpareCapacity)
+{
+    BackfillWindow w;
+    w.shadow_time = 1000.0;
+    w.spare_gpus = 2;
+    const auto spec = sim::miniSupercloudSpec(2);
+    // Too long to finish before the shadow, but fits in spare GPUs.
+    EXPECT_TRUE(mayBackfill(w, gpuRequest(2, 99999.0), spec, 100.0));
+    EXPECT_FALSE(mayBackfill(w, gpuRequest(3, 99999.0), spec, 100.0));
+}
+
+TEST(Backfill, CpuCandidateUsesWholeNodeAccounting)
+{
+    BackfillWindow w;
+    w.shadow_time = 1000.0;
+    w.spare_nodes = 1;
+    const auto spec = sim::miniSupercloudSpec(4);
+    JobRequest cpu;
+    cpu.gpus = 0;
+    cpu.cpu_slots = 80;  // one whole node
+    cpu.walltime_limit = 99999.0;
+    EXPECT_TRUE(mayBackfill(w, cpu, spec, 100.0));
+    cpu.cpu_slots = 160;  // two nodes > spare
+    EXPECT_FALSE(mayBackfill(w, cpu, spec, 100.0));
+}
+
+} // namespace
+} // namespace aiwc::sched

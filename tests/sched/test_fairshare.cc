@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fair-share priority: a user who just burned GPU-hours yields queue
+ * position to an idle user, and the advantage decays over time.
+ */
+
+#include <gtest/gtest.h>
+
+#include "aiwc/sched/slurm_scheduler.hh"
+#include "aiwc/sim/cluster_factory.hh"
+
+namespace aiwc::sched
+{
+namespace
+{
+
+JobRequest
+job(JobId id, UserId user, Seconds submit, Seconds duration, int gpus)
+{
+    JobRequest req;
+    req.id = id;
+    req.user = user;
+    req.submit_time = submit;
+    req.duration = duration;
+    req.walltime_limit = duration * 4.0;
+    req.gpus = gpus;
+    req.cpu_slots = 4;
+    req.ram_gb = 8.0;
+    return req;
+}
+
+struct Fixture
+{
+    sim::Cluster cluster;
+    sim::Simulation sim;
+    SlurmScheduler scheduler;
+
+    explicit Fixture(SchedulerOptions options)
+        : cluster(sim::miniSupercloudSpec(1)),
+          scheduler(sim, cluster, options)
+    {
+    }
+};
+
+SchedulerOptions
+fairshareOptions()
+{
+    SchedulerOptions options;
+    options.fairshare = true;
+    options.fairshare_weight = 3600.0;  // strong, for a crisp test
+    options.gpu_priority_boost = 0.0;
+    return options;
+}
+
+TEST(Fairshare, HeavyUserYieldsToLightUser)
+{
+    Fixture f(fairshareOptions());
+    // User 0 burns both GPUs for ~6 GPU-hours first.
+    f.scheduler.submit(job(1, 0, 0.0, 3.0 * 3600.0, 2));
+    // Both users queue one job while the machine is busy; user 0
+    // submitted EARLIER but carries fresh usage.
+    f.scheduler.submit(job(2, 0, 100.0, 600.0, 2));
+    f.scheduler.submit(job(3, 1, 200.0, 600.0, 2));
+    f.sim.run();
+    EXPECT_LT(f.scheduler.job(3).start_time,
+              f.scheduler.job(2).start_time);
+}
+
+TEST(Fairshare, DisabledKeepsFcfsOrder)
+{
+    SchedulerOptions options;
+    options.gpu_priority_boost = 0.0;
+    Fixture f(options);
+    f.scheduler.submit(job(1, 0, 0.0, 3.0 * 3600.0, 2));
+    f.scheduler.submit(job(2, 0, 100.0, 600.0, 2));
+    f.scheduler.submit(job(3, 1, 200.0, 600.0, 2));
+    f.sim.run();
+    EXPECT_LT(f.scheduler.job(2).start_time,
+              f.scheduler.job(3).start_time);
+}
+
+TEST(Fairshare, UsageDecaysOverTime)
+{
+    // After many half-lives, the heavy user's debt is gone and FCFS
+    // order returns.
+    SchedulerOptions options = fairshareOptions();
+    options.fairshare_half_life = 600.0;
+    Fixture f(options);
+    f.scheduler.submit(job(1, 0, 0.0, 3600.0, 2));
+    // A long quiet gap (20 half-lives), then contention again.
+    f.scheduler.submit(job(4, 2, 16000.0, 3600.0, 2));  // occupies GPUs
+    f.scheduler.submit(job(2, 0, 16100.0, 600.0, 2));
+    f.scheduler.submit(job(3, 1, 16200.0, 600.0, 2));
+    f.sim.run();
+    EXPECT_LT(f.scheduler.job(2).start_time,
+              f.scheduler.job(3).start_time);
+}
+
+TEST(Fairshare, StatsUnaffectedByPolicy)
+{
+    Fixture f(fairshareOptions());
+    for (JobId id = 0; id < 20; ++id)
+        f.scheduler.submit(job(id, id % 3, id * 50.0, 300.0, 1));
+    f.sim.run();
+    EXPECT_EQ(f.scheduler.stats().finished, 20u);
+    EXPECT_EQ(f.cluster.freeGpus(), 2);
+}
+
+} // namespace
+} // namespace aiwc::sched

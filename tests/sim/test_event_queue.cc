@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aiwc/sim/event_queue.hh"
+
+namespace aiwc::sim
+{
+namespace
+{
+
+TEST(EventQueue, EmptyByDefault)
+{
+    EventQueue q;
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, SimultaneousEventsFifoByScheduleOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1.0, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, PopReturnsFireTime)
+{
+    EventQueue q;
+    q.schedule(4.5, [] {});
+    EXPECT_DOUBLE_EQ(q.nextTime(), 4.5);
+    EXPECT_DOUBLE_EQ(q.popAndRun(), 4.5);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    EventQueue q;
+    bool fired = false;
+    const EventId id = q.schedule(1.0, [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueue, CancelFiredIdIsNoop)
+{
+    EventQueue q;
+    const EventId id = q.schedule(1.0, [] {});
+    q.popAndRun();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelMiddleKeepsOthers)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1.0, [&] { order.push_back(1); });
+    const EventId mid = q.schedule(2.0, [&] { order.push_back(2); });
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.cancel(mid);
+    EXPECT_EQ(q.size(), 2u);
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, EventsScheduledFromCallbacksRun)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(1.0, [&] {
+        order.push_back(1);
+        q.schedule(2.0, [&] { order.push_back(2); });
+    });
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents)
+{
+    EventQueue q;
+    const EventId a = q.schedule(1.0, [] {});
+    q.schedule(2.0, [] {});
+    EXPECT_EQ(q.size(), 2u);
+    q.cancel(a);
+    EXPECT_EQ(q.size(), 1u);
+    q.popAndRun();
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, ManyEventsStressOrdering)
+{
+    EventQueue q;
+    std::vector<double> times;
+    for (int i = 0; i < 2000; ++i) {
+        const double t = static_cast<double>((i * 7919) % 1000);
+        q.schedule(t, [&times, t] { times.push_back(t); });
+    }
+    while (!q.empty())
+        q.popAndRun();
+    ASSERT_EQ(times.size(), 2000u);
+    for (std::size_t i = 1; i < times.size(); ++i)
+        EXPECT_LE(times[i - 1], times[i]);
+}
+
+} // namespace
+} // namespace aiwc::sim

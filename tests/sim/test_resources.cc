@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "aiwc/sim/cluster_factory.hh"
+#include "aiwc/sim/resources.hh"
+
+namespace aiwc::sim
+{
+namespace
+{
+
+ClusterSpec
+tinySpec(int nodes = 2)
+{
+    return miniSupercloudSpec(nodes);
+}
+
+TEST(NodeSpec, CpuSlotsCountHyperthreads)
+{
+    const NodeSpec spec = supercloudSpec().node;
+    EXPECT_EQ(spec.cpuSlots(), 80);  // 2 x 20 x 2
+}
+
+TEST(Gpu, AssignReleaseCycle)
+{
+    const GpuSpec spec;
+    Gpu gpu(7, 3, spec);
+    EXPECT_FALSE(gpu.busy());
+    gpu.assign(42);
+    EXPECT_TRUE(gpu.busy());
+    EXPECT_EQ(gpu.job(), 42u);
+    gpu.release();
+    EXPECT_FALSE(gpu.busy());
+}
+
+TEST(Node, StartsFullyFree)
+{
+    Cluster cluster(tinySpec());
+    const Node &node = cluster.node(0);
+    EXPECT_EQ(node.freeCpuSlots(), 80);
+    EXPECT_DOUBLE_EQ(node.freeRamGb(), 384.0);
+    EXPECT_EQ(node.freeGpus(), 2);
+    EXPECT_EQ(node.residentJobs(), 0);
+}
+
+TEST(Node, CpuAllocationAccounting)
+{
+    Cluster cluster(tinySpec());
+    Node &node = cluster.node(0);
+    EXPECT_TRUE(node.fitsCpu(40, 100.0));
+    node.allocateCpu(40, 100.0);
+    EXPECT_EQ(node.freeCpuSlots(), 40);
+    EXPECT_DOUBLE_EQ(node.freeRamGb(), 284.0);
+    EXPECT_EQ(node.residentJobs(), 1);
+    EXPECT_FALSE(node.fitsCpu(41, 1.0));
+    EXPECT_FALSE(node.fitsCpu(1, 300.0));
+    node.releaseCpu(40, 100.0);
+    EXPECT_EQ(node.freeCpuSlots(), 80);
+    EXPECT_EQ(node.residentJobs(), 0);
+}
+
+TEST(Node, GpuAllocationReturnsGlobalIds)
+{
+    Cluster cluster(tinySpec());
+    Node &node1 = cluster.node(1);
+    const auto gpus = node1.allocateGpus(9, 2);
+    ASSERT_EQ(gpus.size(), 2u);
+    // Node 1 owns global GPUs 2 and 3.
+    EXPECT_EQ(gpus[0], 2u);
+    EXPECT_EQ(gpus[1], 3u);
+    EXPECT_EQ(node1.freeGpus(), 0);
+    node1.releaseGpu(gpus[0]);
+    EXPECT_EQ(node1.freeGpus(), 1);
+    node1.releaseGpu(gpus[1]);
+    EXPECT_EQ(node1.freeGpus(), 2);
+}
+
+TEST(Cluster, AggregateCapacities)
+{
+    Cluster cluster(tinySpec(3));
+    EXPECT_EQ(cluster.numNodes(), 3u);
+    EXPECT_EQ(cluster.freeGpus(), 6);
+    EXPECT_EQ(cluster.freeCpuSlots(), 240);
+}
+
+TEST(Cluster, NodeOfGpuMapsCorrectly)
+{
+    Cluster cluster(tinySpec(4));
+    EXPECT_EQ(cluster.nodeOfGpu(0), 0u);
+    EXPECT_EQ(cluster.nodeOfGpu(1), 0u);
+    EXPECT_EQ(cluster.nodeOfGpu(2), 1u);
+    EXPECT_EQ(cluster.nodeOfGpu(7), 3u);
+}
+
+TEST(ClusterSpec, SupercloudTotalsMatchTableOne)
+{
+    const ClusterSpec spec = supercloudSpec();
+    EXPECT_EQ(spec.nodes, 224);
+    EXPECT_EQ(spec.totalGpus(), 448);
+    EXPECT_EQ(spec.totalCpuCores(), 8960);
+    EXPECT_DOUBLE_EQ(spec.node.ram_gb, 384.0);
+    EXPECT_DOUBLE_EQ(spec.node.gpu.memory_gb, 32.0);
+    EXPECT_DOUBLE_EQ(spec.node.gpu.tdp_watts, 300.0);
+}
+
+} // namespace
+} // namespace aiwc::sim

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aiwc/sim/simulation.hh"
+
+namespace aiwc::sim
+{
+namespace
+{
+
+TEST(Simulation, ClockStartsAtZero)
+{
+    Simulation sim;
+    EXPECT_DOUBLE_EQ(sim.now(), 0.0);
+}
+
+TEST(Simulation, ClockAdvancesBeforeCallbackRuns)
+{
+    // Regression test: callbacks must observe their own fire time as
+    // now(), not the previous event's time. (This bug once produced
+    // negative queue waits in the scheduler.)
+    Simulation sim;
+    std::vector<Seconds> observed;
+    sim.at(5.0, [&] { observed.push_back(sim.now()); });
+    sim.at(10.0, [&] { observed.push_back(sim.now()); });
+    sim.run();
+    EXPECT_EQ(observed, (std::vector<Seconds>{5.0, 10.0}));
+}
+
+TEST(Simulation, AfterSchedulesRelativeToNow)
+{
+    Simulation sim;
+    Seconds fired_at = -1.0;
+    sim.at(3.0, [&] {
+        sim.after(2.0, [&] { fired_at = sim.now(); });
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(fired_at, 5.0);
+}
+
+TEST(Simulation, RunReturnsEventCount)
+{
+    Simulation sim;
+    sim.at(1.0, [] {});
+    sim.at(2.0, [] {});
+    EXPECT_EQ(sim.run(), 2u);
+}
+
+TEST(Simulation, RunUntilStopsAtHorizon)
+{
+    Simulation sim;
+    int fired = 0;
+    sim.at(1.0, [&] { ++fired; });
+    sim.at(2.0, [&] { ++fired; });
+    sim.at(10.0, [&] { ++fired; });
+    const std::size_t n = sim.runUntil(5.0);
+    EXPECT_EQ(n, 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+    sim.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(Simulation, RunUntilOnEmptyAdvancesClock)
+{
+    Simulation sim;
+    sim.runUntil(42.0);
+    EXPECT_DOUBLE_EQ(sim.now(), 42.0);
+}
+
+TEST(Simulation, CancelScheduledEvent)
+{
+    Simulation sim;
+    bool fired = false;
+    const EventId id = sim.at(1.0, [&] { fired = true; });
+    EXPECT_TRUE(sim.cancel(id));
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, ChainedSelfScheduling)
+{
+    // A classic periodic tick that reschedules itself five times.
+    Simulation sim;
+    int ticks = 0;
+    std::function<void()> tick = [&] {
+        ++ticks;
+        if (ticks < 5)
+            sim.after(10.0, tick);
+    };
+    sim.after(10.0, tick);
+    sim.run();
+    EXPECT_EQ(ticks, 5);
+    EXPECT_DOUBLE_EQ(sim.now(), 50.0);
+}
+
+} // namespace
+} // namespace aiwc::sim

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include "aiwc/stats/histogram.hh"
+
+namespace aiwc::stats
+{
+namespace
+{
+
+TEST(Histogram, BinBoundaries)
+{
+    Histogram h(4, 0.0, 8.0);
+    EXPECT_EQ(h.bins(), 4u);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.binLow(3), 6.0);
+    EXPECT_DOUBLE_EQ(h.binHigh(3), 8.0);
+}
+
+TEST(Histogram, CountsLandInRightBins)
+{
+    Histogram h(4, 0.0, 8.0);
+    h.add(1.0);
+    h.add(3.0);
+    h.add(3.5);
+    h.add(7.9);
+    EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(1), 2.0);
+    EXPECT_DOUBLE_EQ(h.count(2), 0.0);
+    EXPECT_DOUBLE_EQ(h.count(3), 1.0);
+    EXPECT_DOUBLE_EQ(h.total(), 4.0);
+}
+
+TEST(Histogram, OutOfRangeClampsToEdges)
+{
+    Histogram h(2, 0.0, 10.0);
+    h.add(-5.0);
+    h.add(100.0);
+    EXPECT_DOUBLE_EQ(h.count(0), 1.0);
+    EXPECT_DOUBLE_EQ(h.count(1), 1.0);
+}
+
+TEST(Histogram, WeightedAdds)
+{
+    Histogram h(2, 0.0, 2.0);
+    h.add(0.5, 3.0);
+    h.add(1.5, 1.0);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.75);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.25);
+}
+
+TEST(Histogram, FractionOfEmptyIsZero)
+{
+    Histogram h(3, 0.0, 3.0);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.0);
+}
+
+TEST(Histogram, ModeBin)
+{
+    Histogram h(3, 0.0, 3.0);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    EXPECT_EQ(h.modeBin(), 1u);
+}
+
+} // namespace
+} // namespace aiwc::stats

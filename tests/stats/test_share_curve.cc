@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aiwc/stats/share_curve.hh"
+
+namespace aiwc::stats
+{
+namespace
+{
+
+TEST(TopShare, EqualContributionsAreProportional)
+{
+    const std::vector<double> xs(100, 1.0);
+    EXPECT_NEAR(topShare(xs, 0.20), 0.20, 1e-12);
+    EXPECT_NEAR(topShare(xs, 0.05), 0.05, 1e-12);
+}
+
+TEST(TopShare, SingleDominatorTakesAll)
+{
+    std::vector<double> xs(99, 0.0);
+    xs.push_back(100.0);
+    EXPECT_DOUBLE_EQ(topShare(xs, 0.01), 1.0);
+}
+
+TEST(TopShare, RoundsContributorCountUp)
+{
+    // top 30% of 4 contributors = ceil(1.2) = 2 contributors.
+    const std::vector<double> xs = {4.0, 3.0, 2.0, 1.0};
+    EXPECT_DOUBLE_EQ(topShare(xs, 0.30), 0.7);
+}
+
+TEST(TopShare, EmptyAndZeroTotals)
+{
+    const std::vector<double> empty;
+    EXPECT_DOUBLE_EQ(topShare(empty, 0.5), 0.0);
+    const std::vector<double> zeros(5, 0.0);
+    EXPECT_DOUBLE_EQ(topShare(zeros, 0.5), 0.0);
+}
+
+TEST(ShareCurve, MonotoneToOne)
+{
+    const std::vector<double> xs = {5.0, 1.0, 3.0};
+    const auto curve = shareCurve(xs);
+    ASSERT_EQ(curve.size(), 3u);
+    EXPECT_NEAR(curve[0], 5.0 / 9.0, 1e-12);
+    EXPECT_NEAR(curve[1], 8.0 / 9.0, 1e-12);
+    EXPECT_NEAR(curve[2], 1.0, 1e-12);
+    for (std::size_t i = 1; i < curve.size(); ++i)
+        EXPECT_GE(curve[i], curve[i - 1]);
+}
+
+TEST(Gini, EqualDistributionIsZero)
+{
+    const std::vector<double> xs(50, 2.0);
+    EXPECT_NEAR(gini(xs), 0.0, 1e-12);
+}
+
+TEST(Gini, TotalConcentrationApproachesOne)
+{
+    std::vector<double> xs(100, 0.0);
+    xs[0] = 1.0;
+    EXPECT_GT(gini(xs), 0.95);
+}
+
+TEST(Gini, ScaleInvariant)
+{
+    const std::vector<double> xs = {1.0, 2.0, 3.0, 10.0};
+    std::vector<double> scaled;
+    for (double x : xs)
+        scaled.push_back(x * 1000.0);
+    EXPECT_NEAR(gini(xs), gini(scaled), 1e-12);
+}
+
+TEST(Gini, DegenerateInputs)
+{
+    const std::vector<double> empty;
+    const std::vector<double> one = {5.0};
+    EXPECT_DOUBLE_EQ(gini(empty), 0.0);
+    EXPECT_DOUBLE_EQ(gini(one), 0.0);
+}
+
+} // namespace
+} // namespace aiwc::stats

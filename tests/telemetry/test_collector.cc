@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "aiwc/telemetry/collector.hh"
+
+namespace aiwc::telemetry
+{
+namespace
+{
+
+TEST(NodeSpool, OpenAppendDrainCycle)
+{
+    NodeSpool spool;
+    spool.open(1, 0);
+    spool.append(1, 0, 1000);
+    spool.append(1, 0, 500);
+    EXPECT_EQ(spool.nodeOccupancy(0), 1500u);
+    EXPECT_EQ(spool.drain(1, 0), 1500u);
+    EXPECT_EQ(spool.nodeOccupancy(0), 0u);
+    EXPECT_EQ(spool.openStreams(), 0u);
+}
+
+TEST(NodeSpool, TracksPeakOccupancy)
+{
+    NodeSpool spool;
+    spool.open(1, 0);
+    spool.open(2, 0);
+    spool.append(1, 0, 1000);
+    spool.append(2, 0, 2000);
+    spool.drain(1, 0);
+    EXPECT_EQ(spool.peakNodeOccupancy(), 3000u);
+    EXPECT_EQ(spool.nodeOccupancy(0), 2000u);
+    spool.drain(2, 0);
+}
+
+TEST(NodeSpool, NodesAreIndependent)
+{
+    NodeSpool spool;
+    spool.open(1, 0);
+    spool.open(1, 1);
+    spool.append(1, 0, 100);
+    spool.append(1, 1, 200);
+    EXPECT_EQ(spool.nodeOccupancy(0), 100u);
+    EXPECT_EQ(spool.nodeOccupancy(1), 200u);
+}
+
+TEST(EpilogCollector, FullJobLifecycle)
+{
+    NodeSpool spool;
+    EpilogCollector collector(spool);
+    collector.onProlog(5, {0, 1});
+    collector.recordSamples(5, 1001);  // splits 500/501
+    collector.onEpilog(5);
+    EXPECT_EQ(collector.centralStoreBytes(), 1001u);
+    EXPECT_EQ(collector.jobsCollected(), 1u);
+    EXPECT_EQ(spool.openStreams(), 0u);
+}
+
+TEST(EpilogCollector, SplitsBytesAcrossNodes)
+{
+    NodeSpool spool;
+    EpilogCollector collector(spool);
+    collector.onProlog(9, {0, 1, 2});
+    collector.recordSamples(9, 300);
+    EXPECT_EQ(spool.nodeOccupancy(0), 100u);
+    EXPECT_EQ(spool.nodeOccupancy(1), 100u);
+    EXPECT_EQ(spool.nodeOccupancy(2), 100u);
+    collector.onEpilog(9);
+}
+
+TEST(EpilogCollector, ManyConcurrentJobs)
+{
+    NodeSpool spool;
+    EpilogCollector collector(spool);
+    for (JobId j = 0; j < 50; ++j)
+        collector.onProlog(j, {static_cast<NodeId>(j % 4)});
+    for (JobId j = 0; j < 50; ++j)
+        collector.recordSamples(j, 10);
+    for (JobId j = 0; j < 50; ++j)
+        collector.onEpilog(j);
+    EXPECT_EQ(collector.centralStoreBytes(), 500u);
+    EXPECT_EQ(collector.jobsCollected(), 50u);
+    for (NodeId n = 0; n < 4; ++n)
+        EXPECT_EQ(spool.nodeOccupancy(n), 0u);
+}
+
+
+using CollectorDeath = ::testing::Test;
+
+TEST(CollectorDeath, DoubleOpenPanics)
+{
+    NodeSpool spool;
+    spool.open(1, 0);
+    EXPECT_DEATH(spool.open(1, 0), "already open");
+}
+
+TEST(CollectorDeath, AppendWithoutOpenPanics)
+{
+    NodeSpool spool;
+    EXPECT_DEATH(spool.append(9, 0, 10), "unopened");
+}
+
+TEST(CollectorDeath, EpilogWithoutPrologPanics)
+{
+    NodeSpool spool;
+    EpilogCollector collector(spool);
+    EXPECT_DEATH(collector.onEpilog(3), "unmonitored");
+}
+
+} // namespace
+} // namespace aiwc::telemetry

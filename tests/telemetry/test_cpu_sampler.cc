@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include "aiwc/telemetry/cpu_sampler.hh"
+
+namespace aiwc::telemetry
+{
+namespace
+{
+
+HostProfile
+gpuHost()
+{
+    HostProfile h;
+    h.cpu_slots = 8;
+    h.busy_slots_mean = 4.0;
+    h.idle_busy_slots_mean = 0.5;
+    h.rss_fraction = 0.5;
+    h.seed = 11;
+    return h;
+}
+
+TEST(CpuSampler, CpuJobIsContinuouslyBusy)
+{
+    HostProfile h;
+    h.cpu_slots = 80;
+    h.busy_slots_mean = 72.0;
+    h.seed = 3;
+    const CpuSampler sampler;
+    const auto t = sampler.sampleJob(h, nullptr, 3600.0);
+    EXPECT_NEAR(t.cpu_util.mean(), 0.9, 0.03);
+    EXPECT_EQ(t.samples, 360u);
+}
+
+TEST(CpuSampler, GpuJobHostFollowsPhases)
+{
+    JobProfile gpu;
+    gpu.active_fraction = 0.5;
+    gpu.active_len_median_s = 200.0;
+    const CpuSampler sampler;
+    const auto t = sampler.sampleJob(gpuHost(), &gpu, 40000.0);
+    // Mean busy slots ~ 0.5*4 + 0.5*0.5 = 2.25 of 8 slots.
+    EXPECT_NEAR(t.cpu_util.mean(), 2.25 / 8.0, 0.07);
+    // The host clearly alternates: min well below max.
+    EXPECT_LT(t.cpu_util.min(), 0.15);
+    EXPECT_GT(t.cpu_util.max(), 0.4);
+}
+
+TEST(CpuSampler, UtilizationBounded)
+{
+    HostProfile h = gpuHost();
+    h.busy_slots_mean = 100.0;  // wants more than its allocation
+    const CpuSampler sampler;
+    const auto t = sampler.sampleJob(h, nullptr, 600.0);
+    EXPECT_LE(t.cpu_util.max(), 1.0);
+    EXPECT_NEAR(t.cpu_util.mean(), 1.0, 0.01);  // pinned at the cap
+}
+
+TEST(CpuSampler, RssTracksFraction)
+{
+    const CpuSampler sampler;
+    const auto t = sampler.sampleJob(gpuHost(), nullptr, 3600.0);
+    EXPECT_NEAR(t.rss_util.mean(), 0.5, 0.02);
+    EXPECT_LE(t.rss_util.max(), 1.0);
+}
+
+TEST(CpuSampler, SampleCountTracksInterval)
+{
+    const CpuSampler fast(1.0);
+    const CpuSampler slow(60.0);
+    const auto a = fast.sampleJob(gpuHost(), nullptr, 600.0);
+    const auto b = slow.sampleJob(gpuHost(), nullptr, 600.0);
+    EXPECT_EQ(a.samples, 600u);
+    EXPECT_EQ(b.samples, 10u);
+}
+
+TEST(CpuSampler, DeterministicPerSeed)
+{
+    const CpuSampler sampler;
+    const auto a = sampler.sampleJob(gpuHost(), nullptr, 600.0);
+    const auto b = sampler.sampleJob(gpuHost(), nullptr, 600.0);
+    EXPECT_DOUBLE_EQ(a.cpu_util.mean(), b.cpu_util.mean());
+}
+
+} // namespace
+} // namespace aiwc::telemetry

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "../core/record_builder.hh"
+
+#include "aiwc/telemetry/monitoring_load.hh"
+
+namespace aiwc::telemetry
+{
+namespace
+{
+
+using core::testing::cpuRecord;
+using core::testing::gpuRecord;
+
+TEST(MonitoringLoad, RowRateScalesWithGpusAndNodes)
+{
+    const MonitoringLoadModel model;
+    // 1 GPU at 10 Hz + 1 node at 0.1 Hz.
+    const auto one = gpuRecord(1, 0, 600.0, 1);
+    EXPECT_NEAR(model.rowsPerSecond(one), 10.1, 1e-9);
+    // 4 GPUs -> 40 Hz; 16 slots still one node.
+    const auto four = gpuRecord(2, 0, 600.0, 4);
+    EXPECT_NEAR(model.rowsPerSecond(four), 40.1, 1e-9);
+    // CPU job on one whole node: only the 10 s series.
+    const auto cpu = cpuRecord(3, 0, 600.0);
+    EXPECT_NEAR(model.rowsPerSecond(cpu), 0.1, 1e-9);
+}
+
+TEST(MonitoringLoad, DirectPeaksTrackConcurrency)
+{
+    core::Dataset ds;
+    // Two overlapping single-GPU jobs, one disjoint.
+    auto a = gpuRecord(1, 0, 1000.0, 1);
+    auto b = gpuRecord(2, 0, 1000.0, 1);
+    b.start_time = 500.0;
+    b.end_time = 1500.0;
+    auto c = gpuRecord(3, 0, 100.0, 1);
+    c.start_time = 5000.0;
+    c.end_time = 5100.0;
+    ds.add(a);
+    ds.add(b);
+    ds.add(c);
+    const auto cmp = MonitoringLoadModel().analyze(ds);
+    EXPECT_EQ(cmp.direct.peak_streams, 2);
+    EXPECT_NEAR(cmp.direct.peak_rows_per_second, 20.2, 1e-9);
+}
+
+TEST(MonitoringLoad, SpooledMovesSameBytesInBursts)
+{
+    core::Dataset ds;
+    ds.add(gpuRecord(1, 0, 1000.0, 2));
+    const auto cmp = MonitoringLoadModel().analyze(ds);
+    EXPECT_NEAR(cmp.direct.total_bytes, cmp.spooled.total_bytes, 1e-6);
+    EXPECT_GT(cmp.spooled.largest_burst_bytes, 0.0);
+    EXPECT_DOUBLE_EQ(cmp.direct.largest_burst_bytes, 0.0);
+}
+
+TEST(MonitoringLoad, ReliefFactorGrowsWithConcurrency)
+{
+    // Many long concurrent jobs: direct keeps hundreds of streams
+    // open; spooling sees only staggered epilog copies.
+    core::Dataset ds;
+    for (int i = 0; i < 200; ++i) {
+        auto r = gpuRecord(static_cast<JobId>(i), 0, 50000.0, 1);
+        r.start_time = 10.0 * i;
+        r.end_time = 50000.0 + 17.0 * i;  // staggered ends
+        ds.add(r);
+    }
+    const auto cmp = MonitoringLoadModel().analyze(ds);
+    EXPECT_EQ(cmp.direct.peak_streams, 200);
+    EXPECT_LE(cmp.spooled.peak_streams, 2);
+    EXPECT_GT(cmp.metadata_relief_factor, 50.0);
+}
+
+TEST(MonitoringLoad, EmptyDataset)
+{
+    const auto cmp = MonitoringLoadModel().analyze(core::Dataset{});
+    EXPECT_EQ(cmp.direct.peak_streams, 0);
+    EXPECT_DOUBLE_EQ(cmp.direct.total_bytes, 0.0);
+    EXPECT_DOUBLE_EQ(cmp.metadata_relief_factor, 0.0);
+}
+
+} // namespace
+} // namespace aiwc::telemetry

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aiwc/telemetry/phase_model.hh"
+
+namespace aiwc::telemetry
+{
+namespace
+{
+
+JobProfile
+profileWith(double af, double active_median = 60.0)
+{
+    JobProfile p;
+    p.active_fraction = af;
+    p.active_len_median_s = active_median;
+    p.active_len_sigma = 1.0;
+    p.idle_len_sigma = 0.8;
+    return p;
+}
+
+TEST(PhaseModel, CoversExactDuration)
+{
+    const JobProfile p = profileWith(0.7);
+    const PhaseModel model(p);
+    Rng rng(1);
+    const auto phases = model.generate(3600.0, rng);
+    double total = 0.0;
+    for (const auto &ph : phases)
+        total += ph.length;
+    EXPECT_NEAR(total, 3600.0, 1e-9);
+}
+
+TEST(PhaseModel, PhasesAlternate)
+{
+    const JobProfile p = profileWith(0.5);
+    const PhaseModel model(p);
+    Rng rng(2);
+    const auto phases = model.generate(7200.0, rng);
+    for (std::size_t i = 1; i < phases.size(); ++i)
+        EXPECT_NE(phases[i].active, phases[i - 1].active);
+}
+
+TEST(PhaseModel, AllLengthsPositive)
+{
+    const JobProfile p = profileWith(0.8);
+    const PhaseModel model(p);
+    Rng rng(3);
+    for (int rep = 0; rep < 20; ++rep) {
+        const auto phases = model.generate(600.0, rng);
+        ASSERT_FALSE(phases.empty());
+        for (const auto &ph : phases)
+            EXPECT_GT(ph.length, 0.0);
+    }
+}
+
+TEST(PhaseModel, RealizedActiveFractionTracksTarget)
+{
+    // Over many long jobs, the realized active fraction must average
+    // near the target (the idle-median correction at work).
+    for (double af : {0.2, 0.5, 0.84}) {
+        const JobProfile p = profileWith(af);
+        const PhaseModel model(p);
+        Rng rng(4);
+        double acc = 0.0;
+        constexpr int reps = 300;
+        for (int i = 0; i < reps; ++i) {
+            const auto phases = model.generate(40000.0, rng);
+            acc += PhaseModel::activeFraction(phases);
+        }
+        EXPECT_NEAR(acc / reps, af, 0.07) << "af=" << af;
+    }
+}
+
+TEST(PhaseModel, ExtremeFractionsAreClamped)
+{
+    const JobProfile hi = profileWith(1.5);
+    Rng rng(5);
+    const auto phases = PhaseModel(hi).generate(1000.0, rng);
+    // Mostly active, no crash.
+    EXPECT_GT(PhaseModel::activeFraction(phases), 0.5);
+
+    const JobProfile lo = profileWith(-0.2);
+    Rng rng2(6);
+    const auto idle = PhaseModel(lo).generate(1000.0, rng2);
+    EXPECT_LT(PhaseModel::activeFraction(idle), 0.5);
+}
+
+TEST(PhaseModel, ImpliedIdleMedianScalesWithFraction)
+{
+    const PhaseModel hi(profileWith(0.9));
+    const PhaseModel lo(profileWith(0.1));
+    EXPECT_LT(hi.impliedIdleMedian(), lo.impliedIdleMedian());
+}
+
+TEST(PhaseModel, IntervalCovGrowsWithSigma)
+{
+    // The Fig. 6b mechanism: heavier-tailed interval lengths yield a
+    // larger within-job interval CoV.
+    auto cov_for = [](double sigma) {
+        JobProfile p;
+        p.active_fraction = 0.5;
+        p.active_len_median_s = 30.0;
+        p.active_len_sigma = sigma;
+        p.idle_len_sigma = sigma;
+        const PhaseModel model(p);
+        Rng rng(7);
+        double acc = 0.0;
+        int n = 0;
+        for (int i = 0; i < 50; ++i) {
+            const auto phases = model.generate(30000.0, rng);
+            std::vector<double> lens;
+            for (const auto &ph : phases)
+                if (ph.active)
+                    lens.push_back(ph.length);
+            if (lens.size() < 3)
+                continue;
+            double mean = 0.0;
+            for (double l : lens)
+                mean += l;
+            mean /= lens.size();
+            double var = 0.0;
+            for (double l : lens)
+                var += (l - mean) * (l - mean);
+            acc += std::sqrt(var / lens.size()) / mean;
+            ++n;
+        }
+        return acc / n;
+    };
+    EXPECT_LT(cov_for(0.3), cov_for(1.5));
+}
+
+TEST(PhaseModel, ActiveFractionOfEmptyIsZero)
+{
+    EXPECT_DOUBLE_EQ(PhaseModel::activeFraction({}), 0.0);
+}
+
+} // namespace
+} // namespace aiwc::telemetry

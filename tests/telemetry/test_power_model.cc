@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "aiwc/telemetry/power_model.hh"
+
+namespace aiwc::telemetry
+{
+namespace
+{
+
+TEST(PowerModel, IdleDrawAtZeroLoad)
+{
+    const PowerModel model;
+    EXPECT_DOUBLE_EQ(model.expectedWatts(0.0, 0.0),
+                     model.params().idle_watts);
+}
+
+TEST(PowerModel, MonotoneInLoad)
+{
+    const PowerModel model;
+    double prev = 0.0;
+    for (double sm = 0.0; sm <= 1.0; sm += 0.1) {
+        const double w = model.expectedWatts(sm, 0.0);
+        EXPECT_GE(w, prev);
+        prev = w;
+    }
+}
+
+TEST(PowerModel, NeverExceedsTdp)
+{
+    const PowerModel model;
+    Rng rng(1);
+    for (int i = 0; i < 10000; ++i) {
+        const double w = model.sampleWatts(1.0, 1.0, 1.4, rng);
+        EXPECT_LE(w, model.params().tdp_watts);
+        EXPECT_GE(w, 0.8 * model.params().idle_watts);
+    }
+}
+
+TEST(PowerModel, EfficiencyScalesLoadTerm)
+{
+    const PowerModel model;
+    const double idle = model.params().idle_watts;
+    const double at_one = model.expectedWatts(0.5, 0.1, 1.0) - idle;
+    const double at_half = model.expectedWatts(0.5, 0.1, 0.5) - idle;
+    EXPECT_NEAR(at_half, 0.5 * at_one, 1e-9);
+}
+
+TEST(PowerModel, SampleNoiseAveragesOut)
+{
+    const PowerModel model;
+    Rng rng(2);
+    double acc = 0.0;
+    constexpr int n = 50000;
+    for (int i = 0; i < n; ++i)
+        acc += model.sampleWatts(0.3, 0.05, 1.0, rng);
+    EXPECT_NEAR(acc / n, model.expectedWatts(0.3, 0.05), 0.3);
+}
+
+TEST(PowerModel, UtilizationClampedToUnitRange)
+{
+    const PowerModel model;
+    EXPECT_DOUBLE_EQ(model.expectedWatts(2.0, 0.0),
+                     model.expectedWatts(1.0, 0.0));
+    EXPECT_DOUBLE_EQ(model.expectedWatts(-1.0, 0.0),
+                     model.expectedWatts(0.0, 0.0));
+}
+
+TEST(PowerModel, CustomParamsRespected)
+{
+    PowerParams params;
+    params.idle_watts = 10.0;
+    params.tdp_watts = 100.0;
+    params.sm_weight = 1.0;
+    params.membw_weight = 0.0;
+    const PowerModel model(params);
+    EXPECT_DOUBLE_EQ(model.expectedWatts(1.0, 0.0), 100.0);
+    EXPECT_DOUBLE_EQ(model.expectedWatts(0.5, 0.0), 55.0);
+}
+
+} // namespace
+} // namespace aiwc::telemetry

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include "aiwc/telemetry/sampler.hh"
+
+namespace aiwc::telemetry
+{
+namespace
+{
+
+JobProfile
+busyProfile(int gpus = 1, int idle = 0)
+{
+    JobProfile p;
+    p.num_gpus = gpus;
+    p.idle_gpus = idle;
+    p.active_fraction = 0.8;
+    p.active_len_median_s = 30.0;
+    p.sm_mean = 0.4;
+    p.membw_mean = 0.08;
+    p.memsize_mean = 0.2;
+    p.pcie_tx_mean = 0.3;
+    p.pcie_rx_mean = 0.3;
+    p.telemetry_seed = 1234;
+    return p;
+}
+
+const PowerModel power_model;
+const MonitoringParams monitoring;
+
+TEST(Sampler, ProducesOneSummaryPerGpu)
+{
+    const GpuSampler sampler(power_model, monitoring);
+    const auto t = sampler.sampleJob(busyProfile(3, 1), 600.0, false);
+    EXPECT_EQ(t.per_gpu.size(), 3u);
+    EXPECT_GT(t.samples_generated, 0u);
+    EXPECT_FALSE(t.detailed);
+}
+
+TEST(Sampler, MeanSmNearActiveFractionTimesLevel)
+{
+    const GpuSampler sampler(power_model, monitoring);
+    // Average over several jobs to tame per-job realization noise.
+    double acc = 0.0;
+    constexpr int reps = 30;
+    for (int i = 0; i < reps; ++i) {
+        JobProfile p = busyProfile();
+        p.telemetry_seed = 1000 + static_cast<std::uint64_t>(i);
+        const auto t = sampler.sampleJob(p, 20000.0, false);
+        acc += t.per_gpu[0].sm.mean();
+    }
+    EXPECT_NEAR(acc / reps, 0.8 * 0.4, 0.05);
+}
+
+TEST(Sampler, IdleGpusStayQuiet)
+{
+    const GpuSampler sampler(power_model, monitoring);
+    const auto t = sampler.sampleJob(busyProfile(2, 1), 3000.0, false);
+    const auto &active = t.per_gpu[0];
+    const auto &idle = t.per_gpu[1];
+    EXPECT_GT(active.sm.mean(), 0.1);
+    EXPECT_LT(idle.sm.mean(), 0.01);
+    EXPECT_TRUE(idle.idle());
+    EXPECT_FALSE(active.idle());
+}
+
+TEST(Sampler, DeterministicForSameSeed)
+{
+    const GpuSampler sampler(power_model, monitoring);
+    const auto a = sampler.sampleJob(busyProfile(), 500.0, false);
+    const auto b = sampler.sampleJob(busyProfile(), 500.0, false);
+    EXPECT_DOUBLE_EQ(a.per_gpu[0].sm.mean(), b.per_gpu[0].sm.mean());
+    EXPECT_DOUBLE_EQ(a.per_gpu[0].power_watts.max(),
+                     b.per_gpu[0].power_watts.max());
+    EXPECT_EQ(a.samples_generated, b.samples_generated);
+}
+
+TEST(Sampler, SaturationFlagsPinTheMax)
+{
+    JobProfile p = busyProfile();
+    p.sat_sm = true;
+    p.sat_rx = true;
+    const GpuSampler sampler(power_model, monitoring);
+    const auto t = sampler.sampleJob(p, 600.0, false);
+    EXPECT_DOUBLE_EQ(t.per_gpu[0].sm.max(), 1.0);
+    EXPECT_DOUBLE_EQ(t.per_gpu[0].pcie_rx.max(), 1.0);
+    // Unflagged resources stay below the bottleneck threshold.
+    EXPECT_LT(t.per_gpu[0].membw.max(), 0.995);
+    EXPECT_LT(t.per_gpu[0].pcie_tx.max(), 0.995);
+}
+
+TEST(Sampler, WithoutFlagsNoResourceSaturates)
+{
+    const GpuSampler sampler(power_model, monitoring);
+    const auto t = sampler.sampleJob(busyProfile(), 2000.0, false);
+    EXPECT_LT(t.per_gpu[0].sm.max(), 0.995);
+    EXPECT_LT(t.per_gpu[0].memsize.max(), 0.995);
+}
+
+TEST(Sampler, DetailedModeFillsPhaseStats)
+{
+    const GpuSampler sampler(power_model, monitoring);
+    const auto t = sampler.sampleJob(busyProfile(), 2000.0, true);
+    EXPECT_TRUE(t.detailed);
+    EXPECT_GT(t.phases.active_fraction, 0.3);
+    EXPECT_GT(t.phases.active_intervals.size(), 3u);
+    EXPECT_GT(t.phases.idle_intervals.size(), 1u);
+    EXPECT_GT(t.phases.active_sm_cov, 0.0);
+}
+
+TEST(Sampler, SummarySampleVolumeIsBounded)
+{
+    const GpuSampler sampler(power_model, monitoring);
+    // A very long job must not blow past the per-GPU budget by much
+    // (stochastic rounding + one sample per detailed phase only).
+    const auto t =
+        sampler.sampleJob(busyProfile(), 90.0 * 3600.0, false);
+    EXPECT_LT(t.samples_generated,
+              static_cast<std::uint64_t>(
+                  monitoring.max_summary_samples * 3));
+}
+
+TEST(Sampler, TimeSeriesSinkReceivesSamples)
+{
+    const GpuSampler sampler(power_model, monitoring);
+    TimeSeries series(monitoring.gpu_interval);
+    const auto t = sampler.sampleJob(busyProfile(), 60.0, true, &series);
+    EXPECT_GT(series.size(), 100u);  // 60 s at ~10 Hz
+    EXPECT_EQ(series.size(), t.samples_generated);
+    // Power channel present and plausible.
+    EXPECT_GT(series.at(0).power_watts, 0.0f);
+}
+
+TEST(Sampler, PowerTracksActivity)
+{
+    JobProfile hot = busyProfile();
+    hot.sm_mean = 0.9;
+    hot.active_fraction = 0.95;
+    JobProfile cold = busyProfile();
+    cold.sm_mean = 0.01;
+    cold.active_fraction = 0.1;
+    cold.telemetry_seed = 77;
+    const GpuSampler sampler(power_model, monitoring);
+    const auto h = sampler.sampleJob(hot, 2000.0, false);
+    const auto c = sampler.sampleJob(cold, 2000.0, false);
+    EXPECT_GT(h.per_gpu[0].power_watts.mean(),
+              c.per_gpu[0].power_watts.mean() + 30.0);
+}
+
+TEST(Sampler, SpoolBytesAccounting)
+{
+    const GpuSampler sampler(power_model, monitoring);
+    const auto t = sampler.sampleJob(busyProfile(), 100.0, false);
+    EXPECT_EQ(t.spoolBytes(), t.samples_generated * sizeof(Sample));
+}
+
+} // namespace
+} // namespace aiwc::telemetry

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Property sweeps over the telemetry sampler: across the whole
+ * (active fraction x utilization level) grid the generated summaries
+ * must track the analytic expectations the calibration relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "aiwc/telemetry/sampler.hh"
+
+namespace aiwc::telemetry
+{
+namespace
+{
+
+const PowerModel power_model;
+const MonitoringParams monitoring;
+
+using GridPoint = std::tuple<double, double>;  // (af, sm_mean)
+
+class SamplerGrid : public ::testing::TestWithParam<GridPoint>
+{
+};
+
+TEST_P(SamplerGrid, JobMeanTracksActiveFractionTimesLevel)
+{
+    const auto [af, sm] = GetParam();
+    const GpuSampler sampler(power_model, monitoring);
+    double acc_sm = 0.0, acc_af = 0.0;
+    constexpr int reps = 24;
+    for (int i = 0; i < reps; ++i) {
+        JobProfile p;
+        p.active_fraction = af;
+        p.active_len_median_s = 40.0;
+        p.sm_mean = sm;
+        p.membw_mean = 0.3 * sm;
+        p.memsize_mean = 0.15;
+        p.telemetry_seed = 5000 + static_cast<std::uint64_t>(i);
+        const auto t = sampler.sampleJob(p, 30000.0, true);
+        acc_sm += t.per_gpu[0].sm.mean();
+        acc_af += t.phases.active_fraction;
+    }
+    EXPECT_NEAR(acc_af / reps, af, 0.08) << "af=" << af;
+    EXPECT_NEAR(acc_sm / reps, af * sm, 0.05 + 0.1 * af * sm)
+        << "af=" << af << " sm=" << sm;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SamplerGrid,
+    ::testing::Combine(::testing::Values(0.1, 0.5, 0.84, 0.95),
+                       ::testing::Values(0.05, 0.2, 0.5, 0.8)));
+
+class SamplerGpuCount : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(SamplerGpuCount, ActiveGpusBalancedIdleGpusSilent)
+{
+    const int gpus = GetParam();
+    JobProfile p;
+    p.num_gpus = gpus;
+    p.idle_gpus = gpus / 2;
+    p.active_fraction = 0.8;
+    p.active_len_median_s = 40.0;
+    p.sm_mean = 0.4;
+    p.membw_mean = 0.1;
+    p.memsize_mean = 0.2;
+    p.telemetry_seed = 42;
+    const GpuSampler sampler(power_model, monitoring);
+    const auto t = sampler.sampleJob(p, 20000.0, false);
+    ASSERT_EQ(t.per_gpu.size(), static_cast<std::size_t>(gpus));
+
+    // Active GPUs come first, cluster near one another (Fig. 14b).
+    const double ref = t.per_gpu[0].sm.mean();
+    for (int g = 0; g < p.activeGpus(); ++g) {
+        EXPECT_NEAR(t.per_gpu[static_cast<std::size_t>(g)].sm.mean(),
+                    ref, 0.30 * ref)
+            << "gpu " << g;
+    }
+    // Idle GPUs are silent (Fig. 14a's pathology).
+    for (int g = p.activeGpus(); g < gpus; ++g)
+        EXPECT_TRUE(t.per_gpu[static_cast<std::size_t>(g)].idle());
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, SamplerGpuCount,
+                         ::testing::Values(2, 4, 8, 16));
+
+class SamplerDuration : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SamplerDuration, VolumeBoundedAcrossDurations)
+{
+    JobProfile p;
+    p.active_fraction = 0.8;
+    p.active_len_median_s = 50.0;
+    p.sm_mean = 0.3;
+    p.telemetry_seed = 7;
+    const GpuSampler sampler(power_model, monitoring);
+    const auto t = sampler.sampleJob(p, GetParam(), false);
+    EXPECT_GT(t.samples_generated, 0u);
+    EXPECT_LT(t.samples_generated,
+              static_cast<std::uint64_t>(
+                  monitoring.max_summary_samples * 3));
+}
+
+INSTANTIATE_TEST_SUITE_P(Durations, SamplerDuration,
+                         ::testing::Values(35.0, 600.0, 86400.0,
+                                           345600.0));
+
+} // namespace
+} // namespace aiwc::telemetry

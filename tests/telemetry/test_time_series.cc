@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "aiwc/telemetry/time_series.hh"
+
+namespace aiwc::telemetry
+{
+namespace
+{
+
+TEST(TimeSeries, StrideAndTimes)
+{
+    TimeSeries ts(0.1);
+    ts.append({});
+    ts.append({});
+    ts.append({});
+    EXPECT_EQ(ts.size(), 3u);
+    EXPECT_DOUBLE_EQ(ts.timeOf(0), 0.0);
+    EXPECT_NEAR(ts.timeOf(2), 0.2, 1e-12);
+}
+
+TEST(TimeSeries, StoresChannelValues)
+{
+    TimeSeries ts(1.0);
+    Sample s;
+    s.sm = 0.5f;
+    s.power_watts = 120.0f;
+    ts.append(s);
+    EXPECT_FLOAT_EQ(ts.at(0).sm, 0.5f);
+    EXPECT_FLOAT_EQ(ts.at(0).power_watts, 120.0f);
+}
+
+TEST(TimeSeries, ByteSizeTracksSamples)
+{
+    TimeSeries ts(0.1);
+    EXPECT_EQ(ts.byteSize(), 0u);
+    ts.append({});
+    EXPECT_EQ(ts.byteSize(), sizeof(Sample));
+}
+
+TEST(TimeSeries, CsvExportHasHeaderAndRows)
+{
+    TimeSeries ts(0.5);
+    Sample s;
+    s.sm = 0.25f;
+    ts.append(s);
+    ts.append(s);
+    std::ostringstream os;
+    ts.writeCsv(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("time_s,sm,"), std::string::npos);
+    EXPECT_NE(out.find("0.5"), std::string::npos);
+    EXPECT_NE(out.find("0.25"), std::string::npos);
+}
+
+} // namespace
+} // namespace aiwc::telemetry

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "aiwc/workload/arrival_process.hh"
+
+namespace aiwc::workload
+{
+namespace
+{
+
+ArrivalParams
+shortStudy(int jobs = 5000, double days = 14.0)
+{
+    ArrivalParams params;
+    params.study_days = days;
+    params.total_jobs = jobs;
+    return params;
+}
+
+TEST(ArrivalProcess, GeneratesApproximatelyTargetCount)
+{
+    const ArrivalProcess proc(shortStudy(20000, 30.0));
+    Rng rng(1);
+    const auto arrivals = proc.generate(rng);
+    EXPECT_NEAR(static_cast<double>(arrivals.size()), 20000.0, 800.0);
+}
+
+TEST(ArrivalProcess, ArrivalsAreSortedWithinHorizon)
+{
+    const ArrivalProcess proc(shortStudy());
+    Rng rng(2);
+    const auto arrivals = proc.generate(rng);
+    ASSERT_FALSE(arrivals.empty());
+    EXPECT_GE(arrivals.front(), 0.0);
+    EXPECT_LT(arrivals.back(), proc.studySeconds());
+    EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+}
+
+TEST(ArrivalProcess, OverrideCountWins)
+{
+    ArrivalParams params = shortStudy(99999);
+    const ArrivalProcess proc(params, 3000);
+    Rng rng(3);
+    EXPECT_NEAR(static_cast<double>(proc.generate(rng).size()), 3000.0,
+                300.0);
+}
+
+TEST(ArrivalProcess, DiurnalCycleModulatesRate)
+{
+    const ArrivalProcess proc(shortStudy());
+    // Peak afternoon vs. trough: ratio ~ (1+A)/(1-A) with A=0.55.
+    double peak = 0.0, trough = 1e30;
+    for (double h = 0.0; h < 24.0; h += 0.5) {
+        const double m = proc.modulationAt(h * 3600.0);
+        peak = std::max(peak, m);
+        trough = std::min(trough, m);
+    }
+    EXPECT_NEAR(peak / trough, 1.55 / 0.45, 0.3);
+}
+
+TEST(ArrivalProcess, WeekendDipApplies)
+{
+    const ArrivalProcess proc(shortStudy(5000, 14.0));
+    // Same time-of-day on weekday 2 vs weekend day 5.
+    const double weekday = proc.modulationAt(2.4 * one_day);
+    const double weekend = proc.modulationAt(5.4 * one_day);
+    EXPECT_NEAR(weekend / weekday, 0.60, 0.05);
+}
+
+TEST(ArrivalProcess, DeadlineRampBoostsLoad)
+{
+    ArrivalParams params = shortStudy(50000, 125.0);
+    const ArrivalProcess proc(params);
+    // Day 40 is the first deadline; compare to a quiet matched-phase
+    // day (same weekday and hour) far from any deadline.
+    const double at_deadline = proc.modulationAt(39.6 * one_day);
+    const double quiet = proc.modulationAt(18.6 * one_day);
+    EXPECT_GT(at_deadline / quiet, 1.5);
+}
+
+TEST(ArrivalProcess, PostDeadlineLull)
+{
+    const ArrivalProcess proc(shortStudy(50000, 125.0));
+    const double after = proc.modulationAt(41.6 * one_day);
+    const double quiet = proc.modulationAt(20.6 * one_day);
+    EXPECT_LT(after, quiet);
+}
+
+TEST(ArrivalProcess, RateNeverNonPositive)
+{
+    const ArrivalProcess proc(shortStudy());
+    for (double t = 0.0; t < proc.studySeconds(); t += 3600.0)
+        EXPECT_GT(proc.rateAt(t), 0.0);
+}
+
+TEST(ArrivalProcess, MaxRateBoundsObservedRate)
+{
+    const ArrivalProcess proc(shortStudy());
+    for (double t = 0.0; t < proc.studySeconds(); t += 600.0)
+        EXPECT_LE(proc.rateAt(t), proc.maxRate() * 1.0001);
+}
+
+} // namespace
+} // namespace aiwc::workload

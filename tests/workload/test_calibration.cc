@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "aiwc/workload/calibration.hh"
+
+namespace aiwc::workload
+{
+namespace
+{
+
+TEST(Calibration, ClassFractionsSumToOne)
+{
+    const auto p = CalibrationProfile::supercloud();
+    double total = 0.0;
+    for (const auto &c : p.classes)
+        total += c.job_fraction;
+    EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Calibration, ClassFractionsMatchFig15a)
+{
+    const auto p = CalibrationProfile::supercloud();
+    EXPECT_NEAR(p.forClass(Lifecycle::Mature).job_fraction, 0.595, 1e-9);
+    EXPECT_NEAR(p.forClass(Lifecycle::Exploratory).job_fraction, 0.18,
+                1e-9);
+    EXPECT_NEAR(p.forClass(Lifecycle::Development).job_fraction, 0.19,
+                1e-9);
+    EXPECT_NEAR(p.forClass(Lifecycle::Ide).job_fraction, 0.035, 1e-9);
+}
+
+TEST(Calibration, RuntimeMediansMatchSec6)
+{
+    const auto p = CalibrationProfile::supercloud();
+    EXPECT_DOUBLE_EQ(
+        p.forClass(Lifecycle::Mature).runtime.median_minutes, 36.0);
+    EXPECT_DOUBLE_EQ(
+        p.forClass(Lifecycle::Exploratory).runtime.median_minutes, 62.0);
+}
+
+TEST(Calibration, InterfaceMarginalsMatchFig5)
+{
+    // Mixing per-class interface weights by class fraction must give
+    // the published population: ~1% map-reduce, ~30% batch,
+    // ~4% interactive, ~65% other.
+    const auto p = CalibrationProfile::supercloud();
+    std::array<double, num_interfaces> marginal{};
+    for (int c = 0; c < num_lifecycles; ++c) {
+        const auto lc = static_cast<Lifecycle>(c);
+        const auto &weights = p.interfacesFor(lc);
+        const double total =
+            std::accumulate(weights.begin(), weights.end(), 0.0);
+        for (int i = 0; i < num_interfaces; ++i) {
+            marginal[static_cast<std::size_t>(i)] +=
+                p.forClass(lc).job_fraction *
+                weights[static_cast<std::size_t>(i)] / total;
+        }
+    }
+    EXPECT_NEAR(marginal[0], 0.01, 0.005);   // map-reduce
+    EXPECT_NEAR(marginal[1], 0.30, 0.03);    // batch
+    EXPECT_NEAR(marginal[2], 0.04, 0.015);   // interactive
+    EXPECT_NEAR(marginal[3], 0.65, 0.04);    // other
+}
+
+TEST(Calibration, SaturationMarginalsMatchFig7b)
+{
+    const auto &sat = CalibrationProfile::supercloud().saturation;
+    const double sm_total = sat.rx * sat.sm_given_rx +
+                            (1.0 - sat.rx) * sat.sm_given_no_rx;
+    EXPECT_NEAR(sm_total, 0.22, 0.01);                  // Fig. 7b SM
+    EXPECT_NEAR(sat.rx * sat.sm_given_rx, 0.09, 0.01);  // Fig. 8b Rx&SM
+    EXPECT_LT(sat.membw, 0.01);                         // ~0%
+}
+
+TEST(Calibration, UserTierQuotasMatchSec5)
+{
+    const auto &u = CalibrationProfile::supercloud().users;
+    EXPECT_NEAR(u.large_tier_users, 0.052, 1e-9);
+    EXPECT_NEAR(u.medium_tier_users, 0.078, 1e-9);
+    EXPECT_LT(u.single_gpu_only_users + u.medium_tier_users +
+                  u.large_tier_users,
+              1.0);
+}
+
+TEST(Calibration, CohortMixesBlendToGlobal)
+{
+    // heavy_class_mix was solved so that 83% heavy + 17% light job
+    // volume reproduces the global mix; verify the algebra.
+    const auto &u = CalibrationProfile::supercloud().users;
+    const auto p = CalibrationProfile::supercloud();
+    for (int c = 0; c < num_lifecycles; ++c) {
+        const auto i = static_cast<std::size_t>(c);
+        const double blended =
+            0.83 * u.heavy_class_mix[i] + 0.17 * u.light_class_mix[i];
+        EXPECT_NEAR(blended, p.classes[i].job_fraction, 0.02)
+            << toString(static_cast<Lifecycle>(c));
+    }
+}
+
+TEST(Calibration, IdeTimeoutsAreTwelveOrTwentyFourHours)
+{
+    const auto p = CalibrationProfile::supercloud();
+    EXPECT_DOUBLE_EQ(p.ide_short_timeout_hours, 12.0);
+    EXPECT_DOUBLE_EQ(p.ide_long_timeout_hours, 24.0);
+    EXPECT_GT(p.ide_long_timeout_prob, 0.0);
+    EXPECT_LT(p.ide_long_timeout_prob, 1.0);
+}
+
+TEST(Calibration, MonitoringMatchesSec2)
+{
+    const auto p = CalibrationProfile::supercloud();
+    EXPECT_DOUBLE_EQ(p.monitoring.gpu_interval, 0.1);   // 100 ms
+    EXPECT_DOUBLE_EQ(p.monitoring.cpu_interval, 10.0);  // 10 s
+    EXPECT_EQ(p.monitoring.timeseries_jobs, 2149);
+}
+
+TEST(Calibration, DatasetScaleMatchesSec2)
+{
+    const auto p = CalibrationProfile::supercloud();
+    EXPECT_EQ(p.arrivals.total_jobs, 74820);
+    EXPECT_DOUBLE_EQ(p.arrivals.study_days, 125.0);
+    EXPECT_EQ(p.users.num_users, 191);
+}
+
+} // namespace
+} // namespace aiwc::workload

@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "aiwc/stats/descriptive.hh"
+#include "aiwc/workload/job_generator.hh"
+
+namespace aiwc::workload
+{
+namespace
+{
+
+struct Fixture
+{
+    CalibrationProfile profile = CalibrationProfile::supercloud();
+    JobGenerator generator{profile};
+    Rng rng{11};
+
+    UserProfile
+    neutralUser(GpuTier tier = GpuTier::TwoGpu)
+    {
+        UserProfile u;
+        u.id = 0;
+        u.class_mix = {0.595, 0.18, 0.19, 0.035};
+        u.util_scale = 1.0;
+        u.runtime_scale = 1.0;
+        u.tier = tier;
+        u.multi_gpu_prob = tier == GpuTier::SingleOnly ? 0.0 : 0.24;
+        return u;
+    }
+};
+
+TEST(JobGenerator, RequestFieldsArePopulated)
+{
+    Fixture f;
+    const auto job = f.generator.gpuJob(f.neutralUser(), 100.0, 7, f.rng);
+    const auto &req = job.request;
+    EXPECT_EQ(req.id, 7u);
+    EXPECT_EQ(req.user, 0u);
+    EXPECT_DOUBLE_EQ(req.submit_time, 100.0);
+    EXPECT_GE(req.gpus, 1);
+    EXPECT_GT(req.cpu_slots, 0);
+    EXPECT_GT(req.ram_gb, 0.0);
+    EXPECT_GT(req.duration, 0.0);
+    EXPECT_GT(req.walltime_limit, 0.0);
+}
+
+TEST(JobGenerator, ForcedClassIsRespected)
+{
+    Fixture f;
+    for (int i = 0; i < 50; ++i) {
+        const auto job = f.generator.gpuJob(
+            f.neutralUser(), 0.0, static_cast<JobId>(i), f.rng,
+            Lifecycle::Exploratory);
+        EXPECT_EQ(job.request.lifecycle, Lifecycle::Exploratory);
+    }
+}
+
+TEST(JobGenerator, TerminalStateMatchesClass)
+{
+    Fixture f;
+    int failures = 0;
+    for (int i = 0; i < 400; ++i) {
+        const auto mature = f.generator.gpuJob(
+            f.neutralUser(), 0.0, static_cast<JobId>(i), f.rng,
+            Lifecycle::Mature);
+        if (mature.request.natural_end == TerminalState::NodeFailure) {
+            ++failures;  // rare hardware losses are allowed
+            continue;
+        }
+        EXPECT_EQ(mature.request.natural_end, TerminalState::Completed);
+    }
+    // Hardware failures stay rare (<0.5% per Sec. II; allow slack).
+    EXPECT_LT(failures, 10);
+}
+
+TEST(JobGenerator, ExploratoryJobsAreCancelled)
+{
+    Fixture f;
+    const auto job = f.generator.gpuJob(f.neutralUser(), 0.0, 1, f.rng,
+                                        Lifecycle::Exploratory);
+    if (job.request.natural_end != TerminalState::NodeFailure) {
+        EXPECT_EQ(job.request.natural_end, TerminalState::Cancelled);
+    }
+}
+
+TEST(JobGenerator, IdeJobsTimeOutAtTwelveOrTwentyFourHours)
+{
+    Fixture f;
+    for (int i = 0; i < 100; ++i) {
+        const auto job = f.generator.gpuJob(
+            f.neutralUser(), 0.0, static_cast<JobId>(i), f.rng,
+            Lifecycle::Ide);
+        const double limit_h = job.request.walltime_limit / one_hour;
+        EXPECT_TRUE(limit_h == 12.0 || limit_h == 24.0) << limit_h;
+        EXPECT_GT(job.request.duration, job.request.walltime_limit);
+        EXPECT_EQ(job.request.observedEnd(), TerminalState::TimedOut);
+        EXPECT_DOUBLE_EQ(job.request.observedDuration(),
+                         job.request.walltime_limit);
+    }
+}
+
+TEST(JobGenerator, NonIdeJobsNeverTimeOut)
+{
+    Fixture f;
+    for (int i = 0; i < 500; ++i) {
+        const auto job = f.generator.gpuJob(
+            f.neutralUser(), 0.0, static_cast<JobId>(i), f.rng,
+            Lifecycle::Mature);
+        EXPECT_LT(job.request.duration, job.request.walltime_limit);
+    }
+}
+
+TEST(JobGenerator, RuntimeMedianTracksClassCalibration)
+{
+    Fixture f;
+    std::vector<double> durations;
+    for (int i = 0; i < 6000; ++i) {
+        const auto job = f.generator.gpuJob(
+            f.neutralUser(GpuTier::SingleOnly), 0.0,
+            static_cast<JobId>(i), f.rng, Lifecycle::Mature);
+        if (job.request.duration >= 30.0)  // skip the abort spike
+            durations.push_back(job.request.duration / 60.0);
+    }
+    // Median of the filtered body should sit near 36 min.
+    EXPECT_NEAR(stats::percentile(durations, 0.5), 36.0, 8.0);
+}
+
+TEST(JobGenerator, SingleOnlyUsersNeverGetMultiGpu)
+{
+    Fixture f;
+    for (int i = 0; i < 300; ++i) {
+        const auto job = f.generator.gpuJob(
+            f.neutralUser(GpuTier::SingleOnly), 0.0,
+            static_cast<JobId>(i), f.rng);
+        EXPECT_EQ(job.request.gpus, 1);
+    }
+}
+
+TEST(JobGenerator, TwoGpuTierCapsAtTwo)
+{
+    Fixture f;
+    auto user = f.neutralUser(GpuTier::TwoGpu);
+    user.multi_gpu_prob = 1.0;  // force multi on every roll
+    for (int i = 0; i < 200; ++i) {
+        const auto job = f.generator.gpuJob(
+            user, 0.0, static_cast<JobId>(i), f.rng, Lifecycle::Mature);
+        EXPECT_LE(job.request.gpus, 2);
+    }
+}
+
+TEST(JobGenerator, LargeTierReachesNinePlus)
+{
+    Fixture f;
+    auto user = f.neutralUser(GpuTier::Large);
+    user.multi_gpu_prob = 1.0;
+    int big = 0;
+    for (int i = 0; i < 500; ++i) {
+        const auto job = f.generator.gpuJob(
+            user, 0.0, static_cast<JobId>(i), f.rng, Lifecycle::Mature);
+        if (job.request.gpus >= 9)
+            ++big;
+        EXPECT_LE(job.request.gpus, 32);
+    }
+    EXPECT_GT(big, 10);
+}
+
+TEST(JobGenerator, ProfileGpuCountsMatchRequest)
+{
+    Fixture f;
+    auto user = f.neutralUser(GpuTier::Medium);
+    user.multi_gpu_prob = 1.0;
+    for (int i = 0; i < 100; ++i) {
+        const auto job = f.generator.gpuJob(
+            user, 0.0, static_cast<JobId>(i), f.rng);
+        EXPECT_EQ(job.profile.num_gpus, job.request.gpus);
+        EXPECT_LT(job.profile.idle_gpus, job.profile.num_gpus);
+        EXPECT_GE(job.profile.idle_gpus, 0);
+    }
+}
+
+TEST(JobGenerator, IdleGpuInjectionLeavesHalfOrMoreIdle)
+{
+    Fixture f;
+    auto user = f.neutralUser(GpuTier::Large);
+    user.multi_gpu_prob = 1.0;
+    int with_idle = 0, multi = 0;
+    for (int i = 0; i < 2000; ++i) {
+        const auto job = f.generator.gpuJob(
+            user, 0.0, static_cast<JobId>(i), f.rng, Lifecycle::Mature);
+        if (job.request.gpus < 2)
+            continue;
+        ++multi;
+        if (job.profile.idle_gpus > 0) {
+            ++with_idle;
+            EXPECT_GE(2 * job.profile.idle_gpus, job.request.gpus);
+        }
+    }
+    // idle_gpu_prob for mature jobs is 0.45.
+    EXPECT_NEAR(static_cast<double>(with_idle) / multi, 0.45, 0.06);
+}
+
+TEST(JobGenerator, UtilizationMeansAreSane)
+{
+    Fixture f;
+    for (int i = 0; i < 1000; ++i) {
+        const auto job = f.generator.gpuJob(
+            f.neutralUser(), 0.0, static_cast<JobId>(i), f.rng);
+        EXPECT_GE(job.profile.sm_mean, 0.0);
+        EXPECT_LE(job.profile.sm_mean, 1.0);
+        EXPECT_GE(job.profile.membw_mean, 0.0);
+        EXPECT_LE(job.profile.membw_mean, 1.0);
+        EXPECT_GT(job.profile.memsize_mean, 0.0);
+        EXPECT_GE(job.profile.active_fraction, 0.0);
+        EXPECT_LE(job.profile.active_fraction, 1.0);
+    }
+}
+
+TEST(JobGenerator, DevelopmentJobsSkewIdle)
+{
+    Fixture f;
+    double dev_sm = 0.0, mature_sm = 0.0;
+    constexpr int n = 2000;
+    for (int i = 0; i < n; ++i) {
+        dev_sm += f.generator
+                      .gpuJob(f.neutralUser(), 0.0,
+                              static_cast<JobId>(i), f.rng,
+                              Lifecycle::Development)
+                      .profile.sm_mean;
+        mature_sm += f.generator
+                         .gpuJob(f.neutralUser(), 0.0,
+                                 static_cast<JobId>(n + i), f.rng,
+                                 Lifecycle::Mature)
+                         .profile.sm_mean;
+    }
+    EXPECT_LT(dev_sm / n, 0.4 * mature_sm / n);
+}
+
+TEST(JobGenerator, SurvivalProbabilityOrdering)
+{
+    Fixture f;
+    const double dev =
+        f.generator.survivalProbability(Lifecycle::Development, f.rng);
+    const double mature =
+        f.generator.survivalProbability(Lifecycle::Mature, f.rng);
+    const double ide =
+        f.generator.survivalProbability(Lifecycle::Ide, f.rng);
+    EXPECT_LT(dev, mature);  // crash-prone debug runs die young
+    EXPECT_DOUBLE_EQ(ide, 1.0);
+    EXPECT_GT(mature, 0.85);
+}
+
+TEST(JobGenerator, CpuJobsRequestWholeNodes)
+{
+    Fixture f;
+    for (int i = 0; i < 300; ++i) {
+        const auto req = f.generator.cpuJob(f.neutralUser(), 0.0,
+                                            static_cast<JobId>(i), f.rng);
+        EXPECT_EQ(req.gpus, 0);
+        EXPECT_EQ(req.cpu_slots % 80, 0);
+        EXPECT_GE(req.cpu_slots, 80);
+        EXPECT_GT(req.ram_gb, 200.0);
+    }
+}
+
+TEST(JobGenerator, SaturationFlagFrequencies)
+{
+    Fixture f;
+    int sm = 0, rx = 0, rx_and_sm = 0, membw = 0;
+    constexpr int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        const auto job = f.generator.gpuJob(
+            f.neutralUser(), 0.0, static_cast<JobId>(i), f.rng);
+        sm += job.profile.sat_sm;
+        rx += job.profile.sat_rx;
+        rx_and_sm += job.profile.sat_sm && job.profile.sat_rx;
+        membw += job.profile.sat_membw;
+    }
+    EXPECT_NEAR(static_cast<double>(sm) / n, 0.22, 0.02);
+    EXPECT_NEAR(static_cast<double>(rx) / n, 0.18, 0.02);
+    EXPECT_NEAR(static_cast<double>(rx_and_sm) / n, 0.09, 0.015);
+    EXPECT_LT(static_cast<double>(membw) / n, 0.02);
+}
+
+} // namespace
+} // namespace aiwc::workload
