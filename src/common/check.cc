@@ -1,0 +1,85 @@
+#include "aiwc/common/check.hh"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+namespace aiwc
+{
+
+namespace
+{
+
+/**
+ * The installed handler. Plain global, not thread-local: the simulator
+ * is single-threaded by design, and a production handler must be
+ * visible to every thread anyway.
+ */
+CheckFailHandler &
+handlerSlot()
+{
+    static CheckFailHandler handler;
+    return handler;
+}
+
+} // namespace
+
+std::string
+CheckContext::describe() const
+{
+    std::ostringstream os;
+    os << file << ":" << line << ": CHECK failed: " << expression;
+    if (!message.empty())
+        os << " (" << message << ")";
+    return os.str();
+}
+
+CheckFailHandler
+setCheckFailHandler(CheckFailHandler handler)
+{
+    return std::exchange(handlerSlot(), std::move(handler));
+}
+
+ScopedCheckFailHandler::ScopedCheckFailHandler()
+    : ScopedCheckFailHandler(
+          [](const CheckContext &context) -> void {
+              throw ContractViolation(context);
+          })
+{
+}
+
+ScopedCheckFailHandler::ScopedCheckFailHandler(CheckFailHandler handler)
+    : previous_(setCheckFailHandler(std::move(handler)))
+{
+}
+
+ScopedCheckFailHandler::~ScopedCheckFailHandler()
+{
+    setCheckFailHandler(std::move(previous_));
+}
+
+namespace detail
+{
+
+void
+checkFailed(const char *file, int line, const char *expr,
+            std::string message)
+{
+    CheckContext context;
+    context.file = file;
+    context.line = line;
+    context.expression = expr;
+    context.message = std::move(message);
+
+    if (const auto &handler = handlerSlot())
+        handler(context);
+
+    // No handler, or a handler that returned: a violated contract must
+    // not be survivable.
+    std::fprintf(stderr, "[aiwc:check] %s\n", context.describe().c_str());
+    std::abort();
+}
+
+} // namespace detail
+} // namespace aiwc

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Contract checking for the simulator's resource-conservation core.
+ *
+ * The paper's headline results (queue waits, lifecycle mixes, power
+ * what-ifs) are *emergent* from the simulator's accounting mechanics; a
+ * leaked CPU slot or a double-released GPU silently corrupts every
+ * downstream figure without failing a test. AIWC_CHECK makes those
+ * invariants loud:
+ *
+ *  - AIWC_CHECK(cond, ...)       always-on contract; fails the run.
+ *  - AIWC_CHECK_EQ/NE/LT/LE/GT/GE(a, b, ...)  comparisons that print
+ *    both operands on failure.
+ *  - AIWC_DCHECK / AIWC_DCHECK_* same, but compiled out under NDEBUG
+ *    (Release / RelWithDebInfo) so hot paths pay nothing.
+ *
+ * Unlike AIWC_ASSERT (logging.hh), a failed AIWC_CHECK routes through a
+ * process-wide *fail handler* that tests can override to throw instead
+ * of aborting — misuse paths become testable without death tests, and
+ * they stay testable under sanitizers. The default handler aborts, as a
+ * contract violation in production must.
+ */
+
+#ifndef AIWC_COMMON_CHECK_HH
+#define AIWC_COMMON_CHECK_HH
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc
+{
+
+/** Everything known about one failed contract check. */
+struct CheckContext
+{
+    const char *file = "";
+    int line = 0;
+    const char *expression = "";  //!< stringified condition
+    std::string message;          //!< formatted operands + user message
+
+    /** "file:line: CHECK failed: expr (message)". */
+    std::string describe() const;
+};
+
+/**
+ * Handler invoked when a check fails. It must not return normally:
+ * either throw (tests) or terminate the process (production). If a
+ * handler does return, the runtime aborts anyway.
+ */
+using CheckFailHandler = std::function<void(const CheckContext &)>;
+
+/**
+ * Install a process-wide fail handler; pass nullptr to restore the
+ * default (print + abort). @return the previously installed handler.
+ */
+CheckFailHandler setCheckFailHandler(CheckFailHandler handler);
+
+/**
+ * Exception thrown by the scoped test handler below; tests assert on
+ * misuse paths with EXPECT_THROW(..., ContractViolation).
+ */
+class ContractViolation : public std::logic_error
+{
+  public:
+    explicit ContractViolation(const CheckContext &context)
+        : std::logic_error(context.describe()) {}
+};
+
+/**
+ * RAII override of the fail handler, for tests. With no argument the
+ * handler throws ContractViolation; the previous handler is restored on
+ * scope exit.
+ */
+class ScopedCheckFailHandler
+{
+  public:
+    ScopedCheckFailHandler();
+    explicit ScopedCheckFailHandler(CheckFailHandler handler);
+    ~ScopedCheckFailHandler();
+
+    ScopedCheckFailHandler(const ScopedCheckFailHandler &) = delete;
+    ScopedCheckFailHandler &
+    operator=(const ScopedCheckFailHandler &) = delete;
+
+  private:
+    CheckFailHandler previous_;
+};
+
+namespace detail
+{
+
+/**
+ * Dispatch a failed check to the installed handler; aborts if the
+ * handler is absent or returns. May exit by exception (test handlers),
+ * never by returning.
+ */
+[[noreturn]] void checkFailed(const char *file, int line, const char *expr,
+                              std::string message);
+
+} // namespace detail
+
+/** Always-on contract check with a formatted message. */
+#define AIWC_CHECK(cond, ...)                                                \
+    do {                                                                     \
+        if (!(cond))                                                         \
+            ::aiwc::detail::checkFailed(                                     \
+                __FILE__, __LINE__, #cond,                                   \
+                ::aiwc::detail::concat(__VA_ARGS__));                        \
+    } while (0)
+
+/** Shared body of the binary-comparison checks; prints both sides. */
+#define AIWC_CHECK_OP_(a, op, b, ...)                                        \
+    do {                                                                     \
+        const auto &aiwc_lhs_ = (a);                                         \
+        const auto &aiwc_rhs_ = (b);                                         \
+        if (!(aiwc_lhs_ op aiwc_rhs_))                                       \
+            ::aiwc::detail::checkFailed(                                     \
+                __FILE__, __LINE__, #a " " #op " " #b,                       \
+                ::aiwc::detail::concat("(", aiwc_lhs_, " vs ", aiwc_rhs_,    \
+                                       ") ", ##__VA_ARGS__));                \
+    } while (0)
+
+#define AIWC_CHECK_EQ(a, b, ...) AIWC_CHECK_OP_(a, ==, b, ##__VA_ARGS__)
+#define AIWC_CHECK_NE(a, b, ...) AIWC_CHECK_OP_(a, !=, b, ##__VA_ARGS__)
+#define AIWC_CHECK_LT(a, b, ...) AIWC_CHECK_OP_(a, <, b, ##__VA_ARGS__)
+#define AIWC_CHECK_LE(a, b, ...) AIWC_CHECK_OP_(a, <=, b, ##__VA_ARGS__)
+#define AIWC_CHECK_GT(a, b, ...) AIWC_CHECK_OP_(a, >, b, ##__VA_ARGS__)
+#define AIWC_CHECK_GE(a, b, ...) AIWC_CHECK_OP_(a, >=, b, ##__VA_ARGS__)
+
+/**
+ * Debug-only checks: full AIWC_CHECK semantics in Debug builds,
+ * compiled to nothing under NDEBUG. The `if (false)` keeps the
+ * condition type-checked and its operands odr-used (no unused-variable
+ * warnings) while the optimizer removes the dead branch entirely.
+ */
+#ifdef NDEBUG
+#define AIWC_DCHECK_BODY_(stmt)                                              \
+    do {                                                                     \
+        if (false) {                                                         \
+            stmt;                                                            \
+        }                                                                    \
+    } while (0)
+#define AIWC_DCHECK(cond, ...)                                               \
+    AIWC_DCHECK_BODY_(AIWC_CHECK(cond, ##__VA_ARGS__))
+#define AIWC_DCHECK_EQ(a, b, ...)                                            \
+    AIWC_DCHECK_BODY_(AIWC_CHECK_EQ(a, b, ##__VA_ARGS__))
+#define AIWC_DCHECK_NE(a, b, ...)                                            \
+    AIWC_DCHECK_BODY_(AIWC_CHECK_NE(a, b, ##__VA_ARGS__))
+#define AIWC_DCHECK_LT(a, b, ...)                                            \
+    AIWC_DCHECK_BODY_(AIWC_CHECK_LT(a, b, ##__VA_ARGS__))
+#define AIWC_DCHECK_LE(a, b, ...)                                            \
+    AIWC_DCHECK_BODY_(AIWC_CHECK_LE(a, b, ##__VA_ARGS__))
+#define AIWC_DCHECK_GT(a, b, ...)                                            \
+    AIWC_DCHECK_BODY_(AIWC_CHECK_GT(a, b, ##__VA_ARGS__))
+#define AIWC_DCHECK_GE(a, b, ...)                                            \
+    AIWC_DCHECK_BODY_(AIWC_CHECK_GE(a, b, ##__VA_ARGS__))
+#else
+#define AIWC_DCHECK(cond, ...) AIWC_CHECK(cond, ##__VA_ARGS__)
+#define AIWC_DCHECK_EQ(a, b, ...) AIWC_CHECK_EQ(a, b, ##__VA_ARGS__)
+#define AIWC_DCHECK_NE(a, b, ...) AIWC_CHECK_NE(a, b, ##__VA_ARGS__)
+#define AIWC_DCHECK_LT(a, b, ...) AIWC_CHECK_LT(a, b, ##__VA_ARGS__)
+#define AIWC_DCHECK_LE(a, b, ...) AIWC_CHECK_LE(a, b, ##__VA_ARGS__)
+#define AIWC_DCHECK_GT(a, b, ...) AIWC_CHECK_GT(a, b, ##__VA_ARGS__)
+#define AIWC_DCHECK_GE(a, b, ...) AIWC_CHECK_GE(a, b, ##__VA_ARGS__)
+#endif
+
+} // namespace aiwc
+
+#endif // AIWC_COMMON_CHECK_HH

@@ -128,6 +128,18 @@ class SlurmScheduler
 
     const SchedulerStats &stats() const { return stats_; }
 
+    /**
+     * Deep audit of scheduler <-> cluster agreement: every running
+     * job's allocation is exactly backed by cluster state (each
+     * allocated GPU is busy with precisely that job, no busy GPU is
+     * unaccounted for), queued jobs are still Queued, the bookkeeping
+     * counters balance (submitted = queued + running + finished), and
+     * the cluster's own conservation invariants hold. Any violation
+     * fails an AIWC_CHECK. O(jobs + gpus); intended for tests and the
+     * Debug-build end-of-run self-check.
+     */
+    void auditInvariants() const;
+
   private:
     /** Arrival: enqueue and try to schedule. */
     void arrive(JobId id);

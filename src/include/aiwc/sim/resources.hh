@@ -85,11 +85,14 @@ class Gpu
     bool busy() const { return job_ != invalid_id; }
     JobId job() const { return job_; }
 
-    /** Assign to a job; the GPU must be free. */
+    /** Assign to a job; the GPU must be free and the job id valid. */
     void assign(JobId job);
 
     /** Release back to the free pool; the GPU must be busy. */
     void release();
+
+    /** Contract-check this GPU's internal consistency. */
+    void auditInvariants() const;
 
   private:
     GpuId id_;
@@ -132,6 +135,14 @@ class Node
     /** Number of distinct jobs currently holding CPU slots here. */
     int residentJobs() const { return resident_jobs_; }
 
+    /**
+     * Deep audit of this node's conservation invariants: free slots and
+     * RAM within [0, capacity], GPU count and ownership ids intact, and
+     * an empty node (no resident jobs) holding no busy GPUs at exactly
+     * its rated capacity. Any violation fails an AIWC_CHECK.
+     */
+    void auditInvariants() const;
+
   private:
     NodeId id_;
     const NodeSpec *spec_;
@@ -166,6 +177,16 @@ class Cluster
 
     /** Node owning a global GPU id. */
     NodeId nodeOfGpu(GpuId gpu) const;
+
+    /** The GPU with a global id; the id must be in range. */
+    const Gpu &gpu(GpuId id) const;
+
+    /**
+     * Deep audit of cluster-wide conservation: every node's own
+     * invariants, the global GPU id <-> node mapping, and agreement
+     * between per-node free counts and the cluster aggregates.
+     */
+    void auditInvariants() const;
 
   private:
     ClusterSpec spec_;

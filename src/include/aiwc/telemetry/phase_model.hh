@@ -49,7 +49,9 @@ class PhaseModel
     static double activeFraction(const std::vector<Phase> &phases);
 
   private:
-    const JobProfile &profile_;
+    // By value: a reference member would dangle when the model is
+    // built from a temporary profile (caught by ASan).
+    JobProfile profile_;
     double clamped_af_;
 };
 

@@ -13,6 +13,7 @@
 #include <ostream>
 #include <vector>
 
+#include "aiwc/common/check.hh"
 #include "aiwc/common/types.hh"
 
 namespace aiwc::telemetry
@@ -33,14 +34,39 @@ struct Sample
 class TimeSeries
 {
   public:
-    explicit TimeSeries(Seconds stride) : stride_(stride) {}
+    explicit TimeSeries(Seconds stride) : stride_(stride)
+    {
+        AIWC_CHECK_GT(stride, 0.0, "time series needs a positive stride");
+    }
 
     Seconds stride() const { return stride_; }
     std::size_t size() const { return samples_.size(); }
     bool empty() const { return samples_.empty(); }
 
-    void append(const Sample &s) { samples_.push_back(s); }
-    const Sample &at(std::size_t i) const { return samples_[i]; }
+    /**
+     * Append one row. Utilizations and power are physical quantities;
+     * negative values mean an upstream model bug, so Debug builds
+     * reject them here rather than letting them skew every downstream
+     * CoV figure.
+     */
+    void
+    append(const Sample &s)
+    {
+        AIWC_DCHECK_GE(s.sm, 0.0f, "negative SM utilization");
+        AIWC_DCHECK_GE(s.membw, 0.0f, "negative memory bandwidth");
+        AIWC_DCHECK_GE(s.memsize, 0.0f, "negative memory size");
+        AIWC_DCHECK_GE(s.pcie_tx, 0.0f, "negative PCIe TX");
+        AIWC_DCHECK_GE(s.pcie_rx, 0.0f, "negative PCIe RX");
+        AIWC_DCHECK_GE(s.power_watts, 0.0f, "negative power draw");
+        samples_.push_back(s);
+    }
+
+    const Sample &
+    at(std::size_t i) const
+    {
+        AIWC_DCHECK_LT(i, samples_.size(), "sample index out of range");
+        return samples_[i];
+    }
     Seconds timeOf(std::size_t i) const
     {
         return stride_ * static_cast<double>(i);

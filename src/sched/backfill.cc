@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <vector>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/common/check.hh"
 
 namespace aiwc::sched
 {
@@ -31,6 +31,8 @@ computeWindow(const sim::Cluster &cluster,
     BackfillWindow window;
 
     const auto &spec = cluster.spec();
+    AIWC_DCHECK_GE(head.gpus, 0, "head job with negative GPU demand");
+    AIWC_DCHECK_GT(head.cpu_slots, 0, "head job with no CPU demand");
     int free_gpus = cluster.freeGpus();
     int free_nodes = 0;
     for (const auto &node : cluster.nodes())
@@ -40,6 +42,11 @@ computeWindow(const sim::Cluster &cluster,
     const int need_gpus = head.gpus;
     const int need_nodes = wholeNodesFor(head, spec);
 
+    for (const auto &fp : running) {
+        AIWC_DCHECK_GE(fp.gpus, 0, "running footprint with negative GPUs");
+        AIWC_DCHECK_GE(fp.whole_nodes, 0,
+                       "running footprint with negative nodes");
+    }
     std::vector<RunningFootprint> by_end(running.begin(), running.end());
     std::sort(by_end.begin(), by_end.end(),
               [](const RunningFootprint &a, const RunningFootprint &b) {
@@ -66,6 +73,8 @@ bool
 mayBackfill(const BackfillWindow &window, const JobRequest &candidate,
             const sim::ClusterSpec &spec, Seconds now)
 {
+    AIWC_DCHECK_GE(candidate.walltime_limit, 0.0,
+                   "candidate with a negative wall-time limit");
     const Seconds expected_end = now + candidate.walltime_limit;
     if (expected_end <= window.shadow_time)
         return true;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/common/check.hh"
 
 namespace aiwc::sched
 {
@@ -156,20 +156,23 @@ void
 DensePlacement::commit(sim::Cluster &cluster, JobId job,
                        Allocation &plan) const
 {
+    AIWC_CHECK(!plan.empty(), "committing an empty plan for job ", job);
+    AIWC_CHECK_NE(job, invalid_id, "committing a plan for an invalid job");
     for (auto &share : plan.shares) {
         auto &node = cluster.node(share.node);
         node.allocateCpu(share.cpu_slots, share.ram_gb);
         const auto want = static_cast<int>(share.gpus.size());
         if (want > 0)
             share.gpus = node.allocateGpus(job, want);
-        AIWC_ASSERT(static_cast<int>(share.gpus.size()) == want,
-                    "placement plan went stale before commit");
+        AIWC_CHECK_EQ(static_cast<int>(share.gpus.size()), want,
+                      "placement plan went stale before commit");
     }
 }
 
 void
 DensePlacement::release(sim::Cluster &cluster, const Allocation &plan) const
 {
+    AIWC_CHECK(!plan.empty(), "releasing an empty allocation");
     for (const auto &share : plan.shares) {
         auto &node = cluster.node(share.node);
         for (GpuId gpu : share.gpus)

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "aiwc/common/check.hh"
 #include "aiwc/common/logging.hh"
 
 namespace aiwc::sched
@@ -18,7 +19,7 @@ Job &
 SlurmScheduler::mutableJob(JobId id)
 {
     const auto it = index_.find(id);
-    AIWC_ASSERT(it != index_.end(), "unknown job id ", id);
+    AIWC_CHECK(it != index_.end(), "unknown job id ", id);
     return jobs_[it->second];
 }
 
@@ -26,19 +27,19 @@ const Job &
 SlurmScheduler::job(JobId id) const
 {
     const auto it = index_.find(id);
-    AIWC_ASSERT(it != index_.end(), "unknown job id ", id);
+    AIWC_CHECK(it != index_.end(), "unknown job id ", id);
     return jobs_[it->second];
 }
 
 void
 SlurmScheduler::submit(const JobRequest &request)
 {
-    AIWC_ASSERT(request.id != invalid_id, "job needs an id");
-    AIWC_ASSERT(index_.find(request.id) == index_.end(),
+    AIWC_CHECK(request.id != invalid_id, "job needs an id");
+    AIWC_CHECK(index_.find(request.id) == index_.end(),
                 "duplicate job id ", request.id);
-    AIWC_ASSERT(request.submit_time >= sim_.now(),
+    AIWC_CHECK(request.submit_time >= sim_.now(),
                 "job ", request.id, " submitted in the past");
-    AIWC_ASSERT(request.gpus >= 0 && request.cpu_slots > 0,
+    AIWC_CHECK(request.gpus >= 0 && request.cpu_slots > 0,
                 "job ", request.id, " has an empty resource request");
 
     // Reject requests no machine state can ever satisfy (Slurm does
@@ -226,7 +227,7 @@ void
 SlurmScheduler::start(JobId id, Allocation plan, bool via_backfill)
 {
     Job &record = mutableJob(id);
-    AIWC_ASSERT(record.state == JobState::Queued,
+    AIWC_CHECK(record.state == JobState::Queued,
                 "starting a non-queued job ", id);
 
     placement_.commit(cluster_, id, plan);
@@ -251,7 +252,7 @@ void
 SlurmScheduler::finish(JobId id)
 {
     Job &record = mutableJob(id);
-    AIWC_ASSERT(record.state == JobState::Running,
+    AIWC_CHECK(record.state == JobState::Running,
                 "finishing a non-running job ", id);
 
     record.state = JobState::Finished;
@@ -260,7 +261,7 @@ SlurmScheduler::finish(JobId id)
     placement_.release(cluster_, record.allocation);
 
     const auto it = std::find(running_.begin(), running_.end(), id);
-    AIWC_ASSERT(it != running_.end(), "finished job not in running set");
+    AIWC_CHECK(it != running_.end(), "finished job not in running set");
     running_.erase(it);
 
     ++stats_.finished;
@@ -278,6 +279,74 @@ SlurmScheduler::finish(JobId id)
         armFastPass();
         armBackfillPass();
     }
+}
+
+void
+SlurmScheduler::auditInvariants() const
+{
+    cluster_.auditInvariants();
+
+    AIWC_CHECK_EQ(jobs_.size(), stats_.submitted,
+                  "job ledger out of step with the submitted counter");
+    AIWC_CHECK_EQ(stats_.started, running_.size() + stats_.finished,
+                  "started jobs unaccounted for");
+    std::size_t queued_state = 0, running_state = 0, finished_state = 0;
+    for (const Job &record : jobs_) {
+        switch (record.state) {
+          case JobState::Queued: ++queued_state; break;
+          case JobState::Running: ++running_state; break;
+          case JobState::Finished: ++finished_state; break;
+        }
+    }
+    AIWC_CHECK_EQ(running_state, running_.size(),
+                  "Running-state jobs out of step with the running set");
+    AIWC_CHECK_EQ(finished_state, stats_.finished,
+                  "Finished-state jobs out of step with the counter");
+    // Accepted jobs whose arrival event has not fired yet are Queued
+    // but not in the queue deque, so this is an upper bound only.
+    AIWC_CHECK_LE(queue_.size(), queued_state,
+                  "queue deque holds non-Queued jobs");
+
+    for (JobId id : queue_) {
+        const Job &queued = job(id);
+        AIWC_CHECK(queued.state == JobState::Queued,
+                   "queued job ", id, " is not in the Queued state");
+        AIWC_CHECK(queued.allocation.empty(),
+                   "queued job ", id, " already holds an allocation");
+    }
+
+    // Every running job's allocation must be exactly backed by cluster
+    // state; counting the allocated GPUs also catches the converse — a
+    // busy GPU no running job accounts for (a leak).
+    std::size_t allocated_gpus = 0;
+    for (JobId id : running_) {
+        const Job &running_job = job(id);
+        AIWC_CHECK(running_job.state == JobState::Running,
+                   "job ", id, " in the running set is not Running");
+        AIWC_CHECK(!running_job.allocation.empty(),
+                   "running job ", id, " holds no allocation");
+        AIWC_CHECK_GE(running_job.start_time, 0.0,
+                      "running job ", id, " never started");
+        for (const auto &share : running_job.allocation.shares) {
+            const sim::Node &node = cluster_.node(share.node);
+            AIWC_CHECK_GT(node.residentJobs(), 0,
+                          "job ", id, " holds CPU on empty node ",
+                          share.node);
+            for (GpuId gid : share.gpus) {
+                const sim::Gpu &gpu = cluster_.gpu(gid);
+                AIWC_CHECK(gpu.busy(), "GPU ", gid, " allocated to job ",
+                           id, " but idle in the cluster");
+                AIWC_CHECK_EQ(gpu.job(), id,
+                              "GPU ", gid, " backs a different job");
+                AIWC_CHECK_EQ(cluster_.nodeOfGpu(gid), share.node,
+                              "GPU ", gid, " lives off its share's node");
+                ++allocated_gpus;
+            }
+        }
+    }
+    const int busy_gpus = cluster_.spec().totalGpus() - cluster_.freeGpus();
+    AIWC_CHECK_EQ(static_cast<std::size_t>(busy_gpus), allocated_gpus,
+                  "busy GPUs not covered by running allocations (leak)");
 }
 
 } // namespace aiwc::sched

@@ -1,6 +1,8 @@
 #include "aiwc/sim/event_queue.hh"
 
-#include "aiwc/common/logging.hh"
+#include <cmath>
+
+#include "aiwc/common/check.hh"
 
 namespace aiwc::sim
 {
@@ -8,7 +10,11 @@ namespace aiwc::sim
 EventId
 EventQueue::schedule(Seconds when, std::function<void()> callback)
 {
-    AIWC_ASSERT(callback, "scheduling a null callback");
+    AIWC_CHECK(callback, "scheduling a null callback");
+    // A NaN timestamp poisons the heap ordering silently (every
+    // comparison is false), so reject it loudly here.
+    AIWC_CHECK(std::isfinite(when),
+               "scheduling at a non-finite time: ", when);
     const EventId id = next_id_++;
     heap_.push(Entry{when, next_seq_++, id});
     callbacks_.emplace(id, std::move(callback));
@@ -51,7 +57,7 @@ Seconds
 EventQueue::nextTime() const
 {
     skipDead();
-    AIWC_ASSERT(!heap_.empty(), "nextTime() on an empty queue");
+    AIWC_CHECK(!heap_.empty(), "nextTime() on an empty queue");
     return heap_.top().when;
 }
 
@@ -59,11 +65,12 @@ Seconds
 EventQueue::popAndRun()
 {
     skipDead();
-    AIWC_ASSERT(!heap_.empty(), "popAndRun() on an empty queue");
+    AIWC_CHECK(!heap_.empty(), "popAndRun() on an empty queue");
     const Entry top = heap_.top();
     heap_.pop();
     auto it = callbacks_.find(top.id);
-    AIWC_ASSERT(it != callbacks_.end(), "live event without a callback");
+    AIWC_CHECK(it != callbacks_.end(), "live event ", top.id,
+               " without a callback");
     auto cb = std::move(it->second);
     callbacks_.erase(it);
     --live_;

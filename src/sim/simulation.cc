@@ -1,6 +1,8 @@
 #include "aiwc/sim/simulation.hh"
 
-#include "aiwc/common/logging.hh"
+#include <cmath>
+
+#include "aiwc/common/check.hh"
 
 namespace aiwc::sim
 {
@@ -8,15 +10,17 @@ namespace aiwc::sim
 EventId
 Simulation::at(Seconds when, std::function<void()> callback)
 {
-    AIWC_ASSERT(when >= now_, "scheduling into the past: ", when,
-                " < ", now_);
+    AIWC_CHECK(std::isfinite(when),
+               "scheduling at a non-finite time: ", when);
+    AIWC_CHECK_GE(when, now_, "scheduling into the past");
     return events_.schedule(when, std::move(callback));
 }
 
 EventId
 Simulation::after(Seconds delay, std::function<void()> callback)
 {
-    AIWC_ASSERT(delay >= 0.0, "negative delay: ", delay);
+    AIWC_CHECK(std::isfinite(delay), "non-finite delay: ", delay);
+    AIWC_CHECK_GE(delay, 0.0, "negative delay");
     return events_.schedule(now_ + delay, std::move(callback));
 }
 
@@ -27,7 +31,9 @@ Simulation::run()
     while (!events_.empty()) {
         // Advance the clock BEFORE dispatching, so the callback (and
         // anything it schedules) sees the event's own time as now().
-        now_ = events_.nextTime();
+        const Seconds next = events_.nextTime();
+        AIWC_CHECK_GE(next, now_, "event clock moved backwards");
+        now_ = next;
         events_.popAndRun();
         ++fired;
     }
@@ -37,9 +43,12 @@ Simulation::run()
 std::size_t
 Simulation::runUntil(Seconds horizon)
 {
+    AIWC_CHECK(std::isfinite(horizon), "non-finite horizon: ", horizon);
     std::size_t fired = 0;
     while (!events_.empty() && events_.nextTime() <= horizon) {
-        now_ = events_.nextTime();
+        const Seconds next = events_.nextTime();
+        AIWC_CHECK_GE(next, now_, "event clock moved backwards");
+        now_ = next;
         events_.popAndRun();
         ++fired;
     }

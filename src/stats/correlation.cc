@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/common/check.hh"
 
 namespace aiwc::stats
 {
@@ -152,7 +152,7 @@ averageRanks(std::span<const double> xs)
 Correlation
 pearson(std::span<const double> x, std::span<const double> y)
 {
-    AIWC_ASSERT(x.size() == y.size(), "correlation input size mismatch");
+    AIWC_CHECK(x.size() == y.size(), "correlation input size mismatch");
     Correlation c;
     c.n = x.size();
     if (c.n < 3)
@@ -168,7 +168,7 @@ pearson(std::span<const double> x, std::span<const double> y)
 Correlation
 spearman(std::span<const double> x, std::span<const double> y)
 {
-    AIWC_ASSERT(x.size() == y.size(), "correlation input size mismatch");
+    AIWC_CHECK(x.size() == y.size(), "correlation input size mismatch");
     const auto rx = averageRanks(x);
     const auto ry = averageRanks(y);
     return pearson(rx, ry);

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/common/check.hh"
 
 namespace aiwc::stats
 {
@@ -43,7 +43,7 @@ covPercent(std::span<const double> xs)
 double
 percentileSorted(std::span<const double> sorted, double q)
 {
-    AIWC_ASSERT(q >= 0.0 && q <= 1.0, "quantile out of [0,1]: ", q);
+    AIWC_CHECK(q >= 0.0 && q <= 1.0, "quantile out of [0,1]: ", q);
     if (sorted.empty())
         return 0.0;
     if (sorted.size() == 1)
@@ -109,7 +109,7 @@ RunningSummary
 RunningSummary::fromMoments(std::size_t count, double min, double mean,
                             double max, double stddev)
 {
-    AIWC_ASSERT(min <= mean && mean <= max,
+    AIWC_CHECK(min <= mean && mean <= max,
                 "inconsistent moments: min ", min, " mean ", mean,
                 " max ", max);
     RunningSummary s;
@@ -127,6 +127,7 @@ RunningSummary::fromMoments(std::size_t count, double min, double mean,
 void
 RunningSummary::add(double x)
 {
+    AIWC_DCHECK(std::isfinite(x), "non-finite sample: ", x);
     ++n_;
     min_ = std::min(min_, x);
     max_ = std::max(max_, x);

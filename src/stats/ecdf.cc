@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/common/check.hh"
 #include "aiwc/stats/descriptive.hh"
 
 namespace aiwc::stats
@@ -34,7 +34,7 @@ EmpiricalCdf::quantile(double q) const
 std::vector<std::pair<double, double>>
 EmpiricalCdf::curve(int points) const
 {
-    AIWC_ASSERT(points >= 2, "curve needs at least two points");
+    AIWC_CHECK(points >= 2, "curve needs at least two points");
     std::vector<std::pair<double, double>> out;
     out.reserve(static_cast<std::size_t>(points));
     for (int i = 0; i < points; ++i) {

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/common/check.hh"
 
 namespace aiwc::stats
 {
@@ -11,8 +11,8 @@ Histogram::Histogram(std::size_t bins, double lo, double hi)
     : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
       counts_(bins, 0.0)
 {
-    AIWC_ASSERT(bins >= 1, "histogram needs at least one bin");
-    AIWC_ASSERT(hi > lo, "histogram range is empty");
+    AIWC_CHECK(bins >= 1, "histogram needs at least one bin");
+    AIWC_CHECK(hi > lo, "histogram range is empty");
 }
 
 void

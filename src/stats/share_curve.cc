@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/common/check.hh"
 
 namespace aiwc::stats
 {
@@ -22,7 +22,7 @@ sortedDescending(std::span<const double> xs)
 double
 topShare(std::span<const double> contributions, double top_fraction)
 {
-    AIWC_ASSERT(top_fraction >= 0.0 && top_fraction <= 1.0,
+    AIWC_CHECK(top_fraction >= 0.0 && top_fraction <= 1.0,
                 "top fraction out of [0,1]");
     if (contributions.empty())
         return 0.0;

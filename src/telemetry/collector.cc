@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/common/check.hh"
 
 namespace aiwc::telemetry
 {
@@ -11,7 +11,7 @@ void
 NodeSpool::open(JobId job, NodeId node)
 {
     const Key key{job, node};
-    AIWC_ASSERT(streams_.find(key) == streams_.end(),
+    AIWC_CHECK(streams_.find(key) == streams_.end(),
                 "spool stream already open for job ", job, " node ", node);
     streams_.emplace(key, 0);
 }
@@ -21,7 +21,7 @@ NodeSpool::append(JobId job, NodeId node, std::uint64_t bytes)
 {
     const Key key{job, node};
     const auto it = streams_.find(key);
-    AIWC_ASSERT(it != streams_.end(),
+    AIWC_CHECK(it != streams_.end(),
                 "append to unopened spool stream, job ", job);
     it->second += bytes;
     auto &occ = per_node_[node];
@@ -34,12 +34,12 @@ NodeSpool::drain(JobId job, NodeId node)
 {
     const Key key{job, node};
     const auto it = streams_.find(key);
-    AIWC_ASSERT(it != streams_.end(),
+    AIWC_CHECK(it != streams_.end(),
                 "drain of unopened spool stream, job ", job);
     const std::uint64_t bytes = it->second;
     streams_.erase(it);
     auto node_it = per_node_.find(node);
-    AIWC_ASSERT(node_it != per_node_.end() && node_it->second >= bytes,
+    AIWC_CHECK(node_it != per_node_.end() && node_it->second >= bytes,
                 "spool occupancy underflow on node ", node);
     node_it->second -= bytes;
     return bytes;
@@ -55,8 +55,8 @@ NodeSpool::nodeOccupancy(NodeId node) const
 void
 EpilogCollector::onProlog(JobId job, const std::vector<NodeId> &nodes)
 {
-    AIWC_ASSERT(!nodes.empty(), "job ", job, " runs on no nodes");
-    AIWC_ASSERT(nodes_of_.find(job) == nodes_of_.end(),
+    AIWC_CHECK(!nodes.empty(), "job ", job, " runs on no nodes");
+    AIWC_CHECK(nodes_of_.find(job) == nodes_of_.end(),
                 "prolog ran twice for job ", job);
     for (NodeId n : nodes)
         spool_->open(job, n);
@@ -67,7 +67,7 @@ void
 EpilogCollector::recordSamples(JobId job, std::uint64_t bytes)
 {
     const auto it = nodes_of_.find(job);
-    AIWC_ASSERT(it != nodes_of_.end(), "samples for unmonitored job ", job);
+    AIWC_CHECK(it != nodes_of_.end(), "samples for unmonitored job ", job);
     const auto &nodes = it->second;
     const std::uint64_t share = bytes / nodes.size();
     for (std::size_t i = 0; i < nodes.size(); ++i) {
@@ -82,7 +82,7 @@ void
 EpilogCollector::onEpilog(JobId job)
 {
     const auto it = nodes_of_.find(job);
-    AIWC_ASSERT(it != nodes_of_.end(), "epilog for unmonitored job ", job);
+    AIWC_CHECK(it != nodes_of_.end(), "epilog for unmonitored job ", job);
     for (NodeId n : it->second)
         central_bytes_ += spool_->drain(job, n);
     nodes_of_.erase(it);

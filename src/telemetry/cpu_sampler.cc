@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/common/check.hh"
 #include "aiwc/telemetry/phase_model.hh"
 
 namespace aiwc::telemetry
@@ -12,8 +12,8 @@ HostTelemetry
 CpuSampler::sampleJob(const HostProfile &host, const JobProfile *gpu,
                       Seconds duration) const
 {
-    AIWC_ASSERT(duration > 0.0, "host telemetry needs a positive run");
-    AIWC_ASSERT(host.cpu_slots > 0, "job holds no CPU slots");
+    AIWC_CHECK(duration > 0.0, "host telemetry needs a positive run");
+    AIWC_CHECK(host.cpu_slots > 0, "job holds no CPU slots");
 
     Rng rng(host.seed != 0 ? host.seed : 0xc0ffee11u);
     HostTelemetry out;

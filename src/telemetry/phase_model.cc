@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/common/check.hh"
 
 namespace aiwc::telemetry
 {
@@ -30,7 +30,7 @@ PhaseModel::impliedIdleMedian() const
 std::vector<Phase>
 PhaseModel::generate(Seconds duration, Rng &rng) const
 {
-    AIWC_ASSERT(duration > 0.0, "phase generation needs a positive run");
+    AIWC_CHECK(duration > 0.0, "phase generation needs a positive run");
     std::vector<Phase> out;
 
     const double idle_median = impliedIdleMedian();
@@ -52,7 +52,7 @@ PhaseModel::generate(Seconds duration, Rng &rng) const
         t += len;
         active = !active;
     }
-    AIWC_ASSERT(!out.empty(), "empty phase sequence");
+    AIWC_CHECK(!out.empty(), "empty phase sequence");
     return out;
 }
 

@@ -2,14 +2,14 @@
 
 #include <algorithm>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/common/check.hh"
 
 namespace aiwc::telemetry
 {
 
 PowerModel::PowerModel(const PowerParams &params) : params_(params)
 {
-    AIWC_ASSERT(params.tdp_watts > params.idle_watts,
+    AIWC_CHECK(params.tdp_watts > params.idle_watts,
                 "TDP must exceed idle draw");
 }
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/common/check.hh"
 #include "aiwc/telemetry/phase_model.hh"
 #include "aiwc/telemetry/utilization_model.hh"
 
@@ -20,9 +20,9 @@ JobTelemetry
 GpuSampler::sampleJob(const JobProfile &profile, Seconds duration,
                       bool detailed, TimeSeries *series) const
 {
-    AIWC_ASSERT(duration > 0.0, "telemetry needs a positive duration");
-    AIWC_ASSERT(profile.num_gpus >= 1, "telemetry needs at least one GPU");
-    AIWC_ASSERT(profile.idle_gpus >= 0 &&
+    AIWC_CHECK(duration > 0.0, "telemetry needs a positive duration");
+    AIWC_CHECK(profile.num_gpus >= 1, "telemetry needs at least one GPU");
+    AIWC_CHECK(profile.idle_gpus >= 0 &&
                     profile.idle_gpus < profile.num_gpus,
                 "at least one GPU must be active");
 
@@ -97,6 +97,10 @@ GpuSampler::sampleJob(const JobProfile &profile, Seconds duration,
                 s.power_watts = static_cast<float>(power_.sampleWatts(
                     s.sm, s.membw, profile.power_efficiency, rng));
 
+                AIWC_DCHECK_GE(s.sm, 0.0f, "negative SM sample");
+                AIWC_DCHECK_GE(s.membw, 0.0f, "negative membw sample");
+                AIWC_DCHECK_GE(s.memsize, 0.0f, "negative memsize sample");
+                AIWC_DCHECK_GE(s.power_watts, 0.0f, "negative power sample");
                 summary.sm.add(s.sm);
                 summary.membw.add(s.membw);
                 summary.memsize.add(s.memsize);

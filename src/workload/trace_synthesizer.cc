@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "aiwc/common/check.hh"
 #include "aiwc/common/logging.hh"
 #include "aiwc/dist/distributions.hh"
 #include "aiwc/sim/cluster_factory.hh"
@@ -327,6 +328,12 @@ TraceSynthesizer::run() const
         for (const auto &j : jobs)
             scheduler.submit(j.request);
         sim.run();
+        // End-of-run self-check: after the queue drains, every resource
+        // must be back in the free pool and the ledgers must balance.
+        // A leak here would silently skew every downstream figure.
+        scheduler.auditInvariants();
+        AIWC_CHECK_EQ(cluster.freeGpus(), cluster.spec().totalGpus(),
+                      "GPUs leaked by the scheduler replay");
         result.scheduler_stats = scheduler.stats();
     } else {
         for (const auto &j : jobs) {

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "aiwc/common/check.hh"
+
+namespace aiwc
+{
+namespace
+{
+
+TEST(Check, PassingChecksAreSilent)
+{
+    ScopedCheckFailHandler guard;  // would throw if anything fired
+    AIWC_CHECK(2 + 2 == 4, "never fires");
+    AIWC_CHECK_EQ(1, 1);
+    AIWC_CHECK_NE(1, 2);
+    AIWC_CHECK_LT(1, 2);
+    AIWC_CHECK_LE(2, 2);
+    AIWC_CHECK_GT(3, 2);
+    AIWC_CHECK_GE(3, 3);
+    SUCCEED();
+}
+
+TEST(Check, FailingCheckThrowsViaScopedHandler)
+{
+    ScopedCheckFailHandler guard;
+    EXPECT_THROW(AIWC_CHECK(false, "broken"), ContractViolation);
+}
+
+TEST(Check, MessageCarriesExpressionAndOperands)
+{
+    ScopedCheckFailHandler guard;
+    try {
+        const int free_slots = 3;
+        const int capacity = 2;
+        AIWC_CHECK_LE(free_slots, capacity, "leak on node ", 7);
+        FAIL() << "check did not fire";
+    } catch (const ContractViolation &violation) {
+        const std::string what = violation.what();
+        EXPECT_NE(what.find("free_slots <= capacity"), std::string::npos)
+            << what;
+        EXPECT_NE(what.find("(3 vs 2)"), std::string::npos) << what;
+        EXPECT_NE(what.find("leak on node 7"), std::string::npos) << what;
+        EXPECT_NE(what.find("test_check.cc"), std::string::npos) << what;
+    }
+}
+
+TEST(Check, EveryComparisonMacroFires)
+{
+    ScopedCheckFailHandler guard;
+    EXPECT_THROW(AIWC_CHECK_EQ(1, 2), ContractViolation);
+    EXPECT_THROW(AIWC_CHECK_NE(5, 5), ContractViolation);
+    EXPECT_THROW(AIWC_CHECK_LT(2, 2), ContractViolation);
+    EXPECT_THROW(AIWC_CHECK_LE(3, 2), ContractViolation);
+    EXPECT_THROW(AIWC_CHECK_GT(2, 2), ContractViolation);
+    EXPECT_THROW(AIWC_CHECK_GE(1, 2), ContractViolation);
+}
+
+TEST(Check, OperandsEvaluateExactlyOnce)
+{
+    ScopedCheckFailHandler guard;
+    int evaluations = 0;
+    const auto once = [&evaluations] { return ++evaluations; };
+    AIWC_CHECK_GE(once(), 1);
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST(Check, CustomHandlerReceivesContext)
+{
+    CheckContext seen;
+    bool fired = false;
+    {
+        ScopedCheckFailHandler guard(
+            [&](const CheckContext &context) -> void {
+                seen = context;
+                fired = true;
+                throw ContractViolation(context);
+            });
+        EXPECT_THROW(AIWC_CHECK(1 == 0, "ctx test"), ContractViolation);
+    }
+    ASSERT_TRUE(fired);
+    EXPECT_STREQ(seen.expression, "1 == 0");
+    EXPECT_EQ(seen.message, "ctx test");
+    EXPECT_GT(seen.line, 0);
+}
+
+TEST(Check, ScopedHandlerRestoresPrevious)
+{
+    bool outer_fired = false;
+    ScopedCheckFailHandler outer(
+        [&](const CheckContext &context) -> void {
+            outer_fired = true;
+            throw ContractViolation(context);
+        });
+    {
+        ScopedCheckFailHandler inner;  // throwing handler
+        EXPECT_THROW(AIWC_CHECK(false), ContractViolation);
+        EXPECT_FALSE(outer_fired);
+    }
+    EXPECT_THROW(AIWC_CHECK(false), ContractViolation);
+    EXPECT_TRUE(outer_fired);
+}
+
+TEST(Check, SetHandlerReturnsPrevious)
+{
+    auto previous = setCheckFailHandler(nullptr);
+    // The slot held no handler outside test scopes.
+    EXPECT_FALSE(previous);
+    auto installed = setCheckFailHandler(std::move(previous));
+    EXPECT_FALSE(installed);
+}
+
+TEST(Check, DcheckMatchesBuildMode)
+{
+    ScopedCheckFailHandler guard;
+#ifdef NDEBUG
+    // Compiled out: must not evaluate, must not fire.
+    int touched = 0;
+    AIWC_DCHECK(++touched != 0 && false, "compiled out");
+    AIWC_DCHECK_EQ(++touched, 99);
+    EXPECT_EQ(touched, 0);
+#else
+    EXPECT_THROW(AIWC_DCHECK(false, "debug fires"), ContractViolation);
+    EXPECT_THROW(AIWC_DCHECK_EQ(1, 2), ContractViolation);
+    EXPECT_THROW(AIWC_DCHECK_GE(1, 2), ContractViolation);
+#endif
+}
+
+TEST(Check, ContextDescribeFormat)
+{
+    CheckContext context;
+    context.file = "x.cc";
+    context.line = 12;
+    context.expression = "a == b";
+    context.message = "hint";
+    EXPECT_EQ(context.describe(), "x.cc:12: CHECK failed: a == b (hint)");
+    context.message.clear();
+    EXPECT_EQ(context.describe(), "x.cc:12: CHECK failed: a == b");
+}
+
+using CheckDeath = ::testing::Test;
+
+TEST(CheckDeath, DefaultHandlerAborts)
+{
+    EXPECT_DEATH(AIWC_CHECK(false, "production contract"),
+                 "CHECK failed");
+}
+
+} // namespace
+} // namespace aiwc

@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Determinism self-check: the entire pipeline — users, arrivals,
+ * scheduler replay, telemetry — must be a pure function of (profile,
+ * seed). Two runs with the same seed must produce byte-identical
+ * completion records; a different seed must not (guards against the
+ * digest accidentally ignoring the data).
+ *
+ * Any hidden nondeterminism (iteration over an unordered_map feeding
+ * the event order, uninitialised reads, time-of-day seeding) breaks
+ * every figure's reproducibility long before it breaks a unit test;
+ * this harness catches it wholesale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+
+#include "aiwc/workload/trace_synthesizer.hh"
+
+namespace aiwc
+{
+namespace
+{
+
+/** FNV-1a 64-bit over a string — stable across platforms and runs. */
+std::uint64_t
+fnv1a(const std::string &bytes)
+{
+    std::uint64_t hash = 1469598103934665603ull;
+    for (const unsigned char c : bytes) {
+        hash ^= c;
+        hash *= 1099511628211ull;
+    }
+    return hash;
+}
+
+/**
+ * Digest of every completion record. Hexfloat formatting keeps the
+ * serialization byte-exact: any ULP of drift between runs changes the
+ * digest.
+ */
+std::uint64_t
+completionDigest(const core::Dataset &dataset)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    for (const auto &r : dataset.records()) {
+        os << r.id << '|' << r.user << '|'
+           << static_cast<int>(r.interface) << '|'
+           << static_cast<int>(r.terminal) << '|'
+           << static_cast<int>(r.true_class) << '|' << r.submit_time
+           << '|' << r.start_time << '|' << r.end_time << '|'
+           << r.walltime_limit << '|' << r.gpus << '|' << r.cpu_slots
+           << '|' << r.ram_gb;
+        for (const auto &gpu : r.per_gpu) {
+            os << '|' << gpu.sm.mean() << ':' << gpu.sm.min() << ':'
+               << gpu.sm.max() << ':' << gpu.power_watts.mean();
+        }
+        os << '\n';
+    }
+    return fnv1a(os.str());
+}
+
+workload::SynthesisResult
+synthesize(std::uint64_t seed)
+{
+    workload::SynthesisOptions options;
+    options.seed = seed;
+    options.scale = 0.04;
+    const auto profile = workload::CalibrationProfile::supercloud();
+    return workload::TraceSynthesizer(profile, options).run();
+}
+
+TEST(Determinism, SameSeedSameCompletionDigest)
+{
+    const auto first = synthesize(1234);
+    const auto second = synthesize(1234);
+    ASSERT_GT(first.dataset.size(), 0u);
+    ASSERT_EQ(first.dataset.size(), second.dataset.size());
+    EXPECT_EQ(completionDigest(first.dataset),
+              completionDigest(second.dataset));
+    // Scheduler-side aggregates must agree too, not just the records.
+    EXPECT_EQ(first.scheduler_stats.started,
+              second.scheduler_stats.started);
+    EXPECT_EQ(first.scheduler_stats.backfilled,
+              second.scheduler_stats.backfilled);
+    EXPECT_DOUBLE_EQ(first.scheduler_stats.gpu_hours,
+                     second.scheduler_stats.gpu_hours);
+}
+
+TEST(Determinism, DifferentSeedDifferentDigest)
+{
+    const auto a = synthesize(1234);
+    const auto b = synthesize(4321);
+    EXPECT_NE(completionDigest(a.dataset), completionDigest(b.dataset));
+}
+
+TEST(Determinism, DigestIsOrderAndValueSensitive)
+{
+    // Unit-check the digest itself: permuted and perturbed inputs must
+    // hash differently, or the self-check above proves nothing.
+    EXPECT_NE(fnv1a("a|b"), fnv1a("b|a"));
+    EXPECT_NE(fnv1a("1.0"), fnv1a("1.1"));
+    EXPECT_EQ(fnv1a("stable"), fnv1a("stable"));
+}
+
+} // namespace
+} // namespace aiwc

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Scheduler <-> cluster conservation audits: auditInvariants() must
+ * pass at every quiescent point of a healthy run, and must detect
+ * injected corruption of the kind a refactor bug would introduce
+ * (a GPU flipped busy behind the scheduler's back, a leaked slot).
+ */
+
+#include <gtest/gtest.h>
+
+#include "aiwc/common/check.hh"
+#include "aiwc/sched/slurm_scheduler.hh"
+#include "aiwc/sim/cluster_factory.hh"
+
+namespace aiwc::sched
+{
+namespace
+{
+
+JobRequest
+makeJob(JobId id, Seconds submit, Seconds duration, int gpus,
+        int cpu_slots = 4, double ram = 16.0)
+{
+    JobRequest req;
+    req.id = id;
+    req.user = id % 3;
+    req.submit_time = submit;
+    req.duration = duration;
+    req.walltime_limit = duration * 4.0;
+    req.gpus = gpus;
+    req.cpu_slots = cpu_slots;
+    req.ram_gb = ram;
+    return req;
+}
+
+struct Fixture
+{
+    sim::Cluster cluster;
+    sim::Simulation sim;
+    SlurmScheduler scheduler;
+
+    explicit Fixture(int nodes = 4, SchedulerOptions options = {})
+        : cluster(sim::miniSupercloudSpec(nodes)),
+          scheduler(sim, cluster, options)
+    {
+    }
+};
+
+TEST(SchedulerAudit, EmptySchedulerPassesAudit)
+{
+    Fixture f;
+    f.scheduler.auditInvariants();
+    SUCCEED();
+}
+
+TEST(SchedulerAudit, AuditHoldsAtEveryJobBoundary)
+{
+    Fixture f;
+    // The prolog/epilog hooks fire at every start/finish — the moments
+    // an accounting bug would first become visible.
+    f.scheduler.setProlog(
+        [&f](const Job &) { f.scheduler.auditInvariants(); });
+    f.scheduler.setEpilog(
+        [&f](const Job &) { f.scheduler.auditInvariants(); });
+    for (JobId id = 1; id <= 24; ++id) {
+        const int gpus = static_cast<int>(id % 4);  // mix CPU/GPU jobs
+        const int slots = gpus == 0 ? 160 : 4;      // CPU jobs: 2 nodes
+        const double ram = gpus == 0 ? 768.0 : 16.0;
+        f.scheduler.submit(makeJob(id, static_cast<double>(id) * 30.0,
+                                   900.0 + static_cast<double>(id) * 10.0,
+                                   gpus, slots, ram));
+    }
+    f.sim.run();
+    f.scheduler.auditInvariants();
+    EXPECT_EQ(f.scheduler.stats().finished, 24u);
+    EXPECT_EQ(f.cluster.freeGpus(), f.cluster.spec().totalGpus());
+}
+
+TEST(SchedulerAudit, AuditSurvivesMidRunInspection)
+{
+    Fixture f;
+    for (JobId id = 1; id <= 12; ++id)
+        f.scheduler.submit(
+            makeJob(id, static_cast<double>(id), 3600.0, 1 + id % 2));
+    // Step the clock in slices and audit between event batches.
+    for (int step = 1; step <= 10; ++step) {
+        f.sim.runUntil(static_cast<double>(step) * 900.0);
+        f.scheduler.auditInvariants();
+    }
+    f.sim.run();
+    f.scheduler.auditInvariants();
+}
+
+TEST(SchedulerAudit, DetectsGpuFlippedBehindSchedulersBack)
+{
+    ScopedCheckFailHandler guard;
+    Fixture f;
+    f.scheduler.submit(makeJob(1, 0.0, 10000.0, 1));
+    f.sim.runUntil(100.0);
+    ASSERT_EQ(f.scheduler.runningJobs(), 1u);
+    // Corruption: a free GPU goes busy without any job owning it.
+    const auto corrupt_one_gpu = [&f] {
+        for (auto &node : f.cluster.nodes())
+            for (auto &gpu : node.gpus())
+                if (!gpu.busy()) {
+                    gpu.assign(777);
+                    return true;
+                }
+        return false;
+    };
+    ASSERT_TRUE(corrupt_one_gpu());
+    EXPECT_THROW(f.scheduler.auditInvariants(), ContractViolation);
+}
+
+TEST(SchedulerAudit, DetectsStolenAllocation)
+{
+    ScopedCheckFailHandler guard;
+    Fixture f;
+    f.scheduler.submit(makeJob(1, 0.0, 10000.0, 2));
+    f.sim.runUntil(100.0);
+    ASSERT_EQ(f.scheduler.runningJobs(), 1u);
+    // Corruption: the running job's GPU is released underneath it.
+    const Job &running = f.scheduler.job(1);
+    ASSERT_FALSE(running.allocation.empty());
+    const auto &share = running.allocation.shares.front();
+    ASSERT_FALSE(share.gpus.empty());
+    f.cluster.node(share.node).releaseGpu(share.gpus.front());
+    EXPECT_THROW(f.scheduler.auditInvariants(), ContractViolation);
+}
+
+} // namespace
+} // namespace aiwc::sched

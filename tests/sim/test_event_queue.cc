@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
+#include "aiwc/common/check.hh"
 #include "aiwc/sim/event_queue.hh"
 
 namespace aiwc::sim
@@ -108,6 +110,78 @@ TEST(EventQueue, SizeTracksLiveEvents)
     EXPECT_EQ(q.size(), 1u);
     q.popAndRun();
     EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, CancelFiredThenUnknownThenDoubleCancel)
+{
+    EventQueue q;
+    const EventId a = q.schedule(1.0, [] {});
+    const EventId b = q.schedule(2.0, [] {});
+    q.popAndRun();
+    EXPECT_FALSE(q.cancel(a));       // already fired
+    EXPECT_TRUE(q.cancel(b));        // live
+    EXPECT_FALSE(q.cancel(b));       // double cancel
+    EXPECT_FALSE(q.cancel(999999));  // never existed
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, TiesStayFifoAcrossInterleavedCancellation)
+{
+    // Cancellation must not disturb insertion order among equal
+    // timestamps — the property the 125-day replay's determinism
+    // rests on.
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    ids.reserve(6);
+    for (int i = 0; i < 6; ++i)
+        ids.push_back(q.schedule(7.0, [&order, i] { order.push_back(i); }));
+    q.cancel(ids[1]);
+    q.cancel(ids[4]);
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(order, (std::vector<int>{0, 2, 3, 5}));
+}
+
+TEST(EventQueue, TieBetweenOldAndNewEventsIsFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5.0, [&] { order.push_back(0); });
+    q.schedule(1.0, [&] {
+        order.push_back(-1);
+        // Scheduled later, same timestamp as an existing event: the
+        // existing one keeps its earlier sequence number.
+        q.schedule(5.0, [&] { order.push_back(1); });
+    });
+    while (!q.empty())
+        q.popAndRun();
+    EXPECT_EQ(order, (std::vector<int>{-1, 0, 1}));
+}
+
+TEST(EventQueueContract, RejectsNonFiniteTimes)
+{
+    ScopedCheckFailHandler guard;
+    EventQueue q;
+    EXPECT_THROW(q.schedule(std::nan(""), [] {}), ContractViolation);
+    EXPECT_THROW(q.schedule(INFINITY, [] {}), ContractViolation);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueContract, RejectsNullCallback)
+{
+    ScopedCheckFailHandler guard;
+    EventQueue q;
+    EXPECT_THROW(q.schedule(1.0, nullptr), ContractViolation);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueContract, PopOnEmptyQueueFails)
+{
+    ScopedCheckFailHandler guard;
+    EventQueue q;
+    EXPECT_THROW(q.popAndRun(), ContractViolation);
+    EXPECT_THROW(q.nextTime(), ContractViolation);
 }
 
 TEST(EventQueue, ManyEventsStressOrdering)

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "aiwc/common/check.hh"
 #include "aiwc/sim/cluster_factory.hh"
 #include "aiwc/sim/resources.hh"
 
@@ -89,6 +90,173 @@ TEST(Cluster, NodeOfGpuMapsCorrectly)
     EXPECT_EQ(cluster.nodeOfGpu(1), 0u);
     EXPECT_EQ(cluster.nodeOfGpu(2), 1u);
     EXPECT_EQ(cluster.nodeOfGpu(7), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Contract-violation regression tests: every resource-accounting misuse
+// path must fail loudly through the overridable AIWC_CHECK handler and
+// leave the pre-misuse state intact (check-before-mutate).
+// ---------------------------------------------------------------------
+
+TEST(GpuContract, DoubleAssignFails)
+{
+    ScopedCheckFailHandler guard;
+    const GpuSpec spec;
+    Gpu gpu(0, 0, spec);
+    gpu.assign(11);
+    EXPECT_THROW(gpu.assign(12), ContractViolation);
+    // The original owner survives the rejected double-assign.
+    EXPECT_EQ(gpu.job(), 11u);
+}
+
+TEST(GpuContract, AssignInvalidJobIdFails)
+{
+    ScopedCheckFailHandler guard;
+    const GpuSpec spec;
+    Gpu gpu(0, 0, spec);
+    EXPECT_THROW(gpu.assign(invalid_id), ContractViolation);
+    EXPECT_FALSE(gpu.busy());
+}
+
+TEST(GpuContract, ReleaseIdleGpuFails)
+{
+    ScopedCheckFailHandler guard;
+    const GpuSpec spec;
+    Gpu gpu(0, 0, spec);
+    EXPECT_THROW(gpu.release(), ContractViolation);
+    gpu.assign(5);
+    gpu.release();
+    // Second release of the same GPU: the classic double-release.
+    EXPECT_THROW(gpu.release(), ContractViolation);
+}
+
+TEST(NodeContract, CpuSlotOverReleaseFails)
+{
+    ScopedCheckFailHandler guard;
+    Cluster cluster(tinySpec());
+    Node &node = cluster.node(0);
+    node.allocateCpu(10, 16.0);
+    // Returning more slots than were ever taken must not leak capacity.
+    EXPECT_THROW(node.releaseCpu(80, 16.0), ContractViolation);
+    EXPECT_EQ(node.freeCpuSlots(), 70);
+    EXPECT_EQ(node.residentJobs(), 1);
+    node.releaseCpu(10, 16.0);
+    EXPECT_EQ(node.freeCpuSlots(), 80);
+}
+
+TEST(NodeContract, RamOverReleaseFails)
+{
+    ScopedCheckFailHandler guard;
+    Cluster cluster(tinySpec());
+    Node &node = cluster.node(0);
+    node.allocateCpu(10, 16.0);
+    EXPECT_THROW(node.releaseCpu(10, 384.0), ContractViolation);
+    EXPECT_DOUBLE_EQ(node.freeRamGb(), 368.0);
+    node.releaseCpu(10, 16.0);
+}
+
+TEST(NodeContract, ReleaseWithNoResidentJobsFails)
+{
+    ScopedCheckFailHandler guard;
+    Cluster cluster(tinySpec());
+    Node &node = cluster.node(0);
+    EXPECT_THROW(node.releaseCpu(1, 1.0), ContractViolation);
+    EXPECT_EQ(node.residentJobs(), 0);
+    EXPECT_EQ(node.freeCpuSlots(), 80);
+}
+
+TEST(NodeContract, NegativeAllocationAndReleaseFail)
+{
+    ScopedCheckFailHandler guard;
+    Cluster cluster(tinySpec());
+    Node &node = cluster.node(0);
+    EXPECT_THROW(node.allocateCpu(-1, 1.0), ContractViolation);
+    EXPECT_THROW(node.allocateCpu(1, -1.0), ContractViolation);
+    node.allocateCpu(4, 8.0);
+    EXPECT_THROW(node.releaseCpu(-1, 0.0), ContractViolation);
+    EXPECT_THROW(node.releaseCpu(0, -1.0), ContractViolation);
+    node.releaseCpu(4, 8.0);
+}
+
+TEST(NodeContract, CpuOverAllocationFails)
+{
+    ScopedCheckFailHandler guard;
+    Cluster cluster(tinySpec());
+    Node &node = cluster.node(0);
+    node.allocateCpu(80, 100.0);
+    EXPECT_THROW(node.allocateCpu(1, 1.0), ContractViolation);
+    EXPECT_EQ(node.freeCpuSlots(), 0);
+    EXPECT_EQ(node.residentJobs(), 1);
+}
+
+TEST(NodeContract, ReleaseUnknownGpuIdFails)
+{
+    ScopedCheckFailHandler guard;
+    Cluster cluster(tinySpec());
+    Node &node0 = cluster.node(0);
+    // Global GPU 2 lives on node 1, not node 0.
+    EXPECT_THROW(node0.releaseGpu(2), ContractViolation);
+    EXPECT_THROW(node0.releaseGpu(999), ContractViolation);
+    EXPECT_EQ(node0.freeGpus(), 2);
+}
+
+TEST(NodeContract, GpuOverAllocationFails)
+{
+    ScopedCheckFailHandler guard;
+    Cluster cluster(tinySpec());
+    Node &node = cluster.node(0);
+    EXPECT_THROW(node.allocateGpus(3, 3), ContractViolation);
+    EXPECT_THROW(node.allocateGpus(3, -1), ContractViolation);
+    EXPECT_EQ(node.freeGpus(), 2);
+}
+
+TEST(ClusterContract, NodeIdOutOfRangeFails)
+{
+    ScopedCheckFailHandler guard;
+    Cluster cluster(tinySpec());
+    EXPECT_THROW(cluster.node(2), ContractViolation);
+    EXPECT_THROW(cluster.nodeOfGpu(99), ContractViolation);
+}
+
+TEST(ClusterAudit, FreshClusterPassesAudit)
+{
+    Cluster cluster(tinySpec(4));
+    cluster.auditInvariants();
+    SUCCEED();
+}
+
+TEST(ClusterAudit, BusyClusterPassesAudit)
+{
+    Cluster cluster(tinySpec(4));
+    cluster.node(0).allocateCpu(8, 16.0);
+    cluster.node(0).allocateGpus(1, 2);
+    cluster.node(2).allocateCpu(80, 384.0);
+    cluster.auditInvariants();
+    cluster.node(0).releaseGpu(0);
+    cluster.node(0).releaseGpu(1);
+    cluster.node(0).releaseCpu(8, 16.0);
+    cluster.node(2).releaseCpu(80, 384.0);
+    cluster.auditInvariants();
+    EXPECT_EQ(cluster.freeGpus(), 8);
+}
+
+TEST(ClusterAudit, DetectsBusyGpuOnEmptyNode)
+{
+    ScopedCheckFailHandler guard;
+    Cluster cluster(tinySpec());
+    // A GPU held with no CPU-side resident job violates the commit
+    // protocol (GPU jobs always claim CPU slots too).
+    cluster.node(0).gpus()[0].assign(42);
+    EXPECT_THROW(cluster.auditInvariants(), ContractViolation);
+}
+
+TEST(ClusterAudit, GpuLookupReturnsMappedGpu)
+{
+    Cluster cluster(tinySpec(3));
+    EXPECT_EQ(cluster.gpu(4).id(), 4u);
+    EXPECT_EQ(cluster.gpu(4).node(), 2u);
+    ScopedCheckFailHandler guard;
+    EXPECT_THROW(cluster.gpu(6), ContractViolation);
 }
 
 TEST(ClusterSpec, SupercloudTotalsMatchTableOne)

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
+#include "aiwc/common/check.hh"
 #include "aiwc/sim/simulation.hh"
 
 namespace aiwc::sim
@@ -78,6 +81,53 @@ TEST(Simulation, CancelScheduledEvent)
     EXPECT_TRUE(sim.cancel(id));
     sim.run();
     EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, RunUntilHorizonExactlyAtNextEventFiresIt)
+{
+    // Boundary contract: an event AT the horizon belongs to the run.
+    Simulation sim;
+    int fired = 0;
+    sim.at(5.0, [&] { ++fired; });
+    sim.at(5.0, [&] { ++fired; });
+    sim.at(5.0 + 1e-9, [&] { ++fired; });
+    EXPECT_EQ(sim.runUntil(5.0), 2u);
+    EXPECT_EQ(fired, 2);
+    EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+    EXPECT_EQ(sim.pendingEvents(), 1u);
+}
+
+TEST(SimulationContract, SchedulingIntoThePastFails)
+{
+    ScopedCheckFailHandler guard;
+    Simulation sim;
+    sim.at(10.0, [] {});
+    sim.run();
+    ASSERT_DOUBLE_EQ(sim.now(), 10.0);
+    EXPECT_THROW(sim.at(9.999, [] {}), ContractViolation);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(SimulationContract, NegativeDelayFails)
+{
+    ScopedCheckFailHandler guard;
+    Simulation sim;
+    EXPECT_THROW(sim.after(-0.5, [] {}), ContractViolation);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
+}
+
+TEST(SimulationContract, NonFiniteTimesFail)
+{
+    ScopedCheckFailHandler guard;
+    Simulation sim;
+    const double nan = std::nan("");
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_THROW(sim.at(nan, [] {}), ContractViolation);
+    EXPECT_THROW(sim.after(nan, [] {}), ContractViolation);
+    EXPECT_THROW(sim.at(inf, [] {}), ContractViolation);
+    EXPECT_THROW(sim.after(inf, [] {}), ContractViolation);
+    EXPECT_THROW(sim.runUntil(nan), ContractViolation);
+    EXPECT_EQ(sim.pendingEvents(), 0u);
 }
 
 TEST(Simulation, ChainedSelfScheduling)
