@@ -22,12 +22,39 @@
 #include <iostream>
 #include <string>
 
+#include "aiwc/common/parallel.hh"
 #include "aiwc/common/table.hh"
 #include "aiwc/core/paper_targets.hh"
 #include "aiwc/workload/trace_synthesizer.hh"
 
 namespace aiwc::bench
 {
+
+/**
+ * Consume a `--threads N` / `--threads=N` flag (if present) and size
+ * the global pool accordingly before any analyzer runs. Called by
+ * AIWC_BENCH_MAIN ahead of benchmark::Initialize so the flag never
+ * reaches google-benchmark's own parser.
+ */
+inline void
+applyThreadFlag(int *argc, char **argv)
+{
+    int threads = 0;
+    int out = 1;
+    for (int i = 1; i < *argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--threads" && i + 1 < *argc) {
+            threads = std::atoi(argv[++i]);
+        } else if (arg.rfind("--threads=", 0) == 0) {
+            threads = std::atoi(arg.c_str() + 10);
+        } else {
+            argv[out++] = argv[i];
+        }
+    }
+    *argc = out;
+    if (threads > 0)
+        setGlobalThreadCount(threads);
+}
 
 inline double
 benchScale()
@@ -113,7 +140,8 @@ printBanner(std::ostream &os, const char *figure)
        << benchSeed() << ", " << result.dataset.size() << " jobs ("
        << result.dataset.gpuJobs().size() << " GPU jobs >= 30 s), "
        << result.num_users << " users, " << result.cluster_nodes
-       << " nodes\n\n";
+       << " nodes\n"
+       << "analysis threads: " << globalThreadCount() << "\n\n";
 }
 
 } // namespace aiwc::bench
@@ -125,6 +153,7 @@ printBanner(std::ostream &os, const char *figure)
 #define AIWC_BENCH_MAIN(figure_name, print_fn)                            \
     int main(int argc, char **argv)                                      \
     {                                                                     \
+        ::aiwc::bench::applyThreadFlag(&argc, argv);                      \
         ::benchmark::Initialize(&argc, argv);                             \
         ::aiwc::bench::printBanner(std::cout, figure_name);               \
         print_fn(std::cout);                                              \

@@ -33,14 +33,22 @@ CsvWriter::writeRow(const std::vector<std::string> &cells)
 std::vector<std::string>
 parseCsvLine(const std::string &line)
 {
+    // A line read with getline() from a CRLF file keeps its '\r'; that
+    // is a line terminator, not data, so strip exactly one trailing
+    // '\r'. Carriage returns elsewhere (e.g. inside quoted cells) are
+    // cell content and round-trip unchanged.
+    std::size_t len = line.size();
+    if (len > 0 && line[len - 1] == '\r')
+        --len;
+
     std::vector<std::string> cells;
     std::string cell;
     bool quoted = false;
-    for (std::size_t i = 0; i < line.size(); ++i) {
+    for (std::size_t i = 0; i < len; ++i) {
         const char ch = line[i];
         if (quoted) {
             if (ch == '"') {
-                if (i + 1 < line.size() && line[i + 1] == '"') {
+                if (i + 1 < len && line[i + 1] == '"') {
                     cell += '"';
                     ++i;
                 } else {
@@ -54,7 +62,7 @@ parseCsvLine(const std::string &line)
         } else if (ch == ',') {
             cells.push_back(std::move(cell));
             cell.clear();
-        } else if (ch != '\r') {
+        } else {
             cell += ch;
         }
     }

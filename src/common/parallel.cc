@@ -1,0 +1,143 @@
+#include "aiwc/common/parallel.hh"
+
+#include <cstdlib>
+#include <memory>
+
+namespace aiwc
+{
+
+namespace
+{
+
+/** Set for the lifetime of every worker thread's loop. */
+thread_local bool worker_thread = false;
+
+std::mutex global_pool_mutex;
+std::unique_ptr<ThreadPool> global_pool;
+
+} // namespace
+
+ThreadPool::ThreadPool(int threads) : threads_(threads)
+{
+    AIWC_CHECK(threads >= 1, "thread pool needs >= 1 worker, got ",
+               threads);
+    workers_.reserve(static_cast<std::size_t>(threads));
+    for (int i = 0; i < threads; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    AIWC_DCHECK(task != nullptr, "null task submitted to thread pool");
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        AIWC_CHECK(!stop_, "submit() on a stopping thread pool");
+        queue_.push_back(std::move(task));
+    }
+    cv_.notify_one();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    worker_thread = true;
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stop_ || !queue_.empty(); });
+            if (queue_.empty())
+                return;  // stop_ set and the queue is drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+    }
+}
+
+bool
+ThreadPool::onWorkerThread()
+{
+    return worker_thread;
+}
+
+int
+defaultThreadCount()
+{
+    if (const char *env = std::getenv("AIWC_THREADS")) {
+        const int n = std::atoi(env);
+        if (n >= 1)
+            return n;
+        warn("ignoring AIWC_THREADS='", env, "': not a positive count");
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool &
+globalPool()
+{
+    std::lock_guard<std::mutex> lock(global_pool_mutex);
+    if (!global_pool)
+        global_pool = std::make_unique<ThreadPool>(defaultThreadCount());
+    return *global_pool;
+}
+
+void
+setGlobalThreadCount(int threads)
+{
+    AIWC_CHECK(threads >= 1, "global thread count must be >= 1, got ",
+               threads);
+    std::lock_guard<std::mutex> lock(global_pool_mutex);
+    if (global_pool && global_pool->threads() == threads)
+        return;
+    global_pool.reset();  // join the old workers before rebuilding
+    global_pool = std::make_unique<ThreadPool>(threads);
+}
+
+int
+globalThreadCount()
+{
+    return globalPool().threads();
+}
+
+namespace detail
+{
+
+std::vector<ShardRange>
+shardRanges(std::size_t n, std::size_t max_shards)
+{
+    AIWC_CHECK(max_shards >= 1, "shardRanges needs >= 1 shard");
+    std::vector<ShardRange> shards;
+    if (n == 0)
+        return shards;
+    const std::size_t count = n < max_shards ? n : max_shards;
+    const std::size_t base = n / count;
+    const std::size_t extra = n % count;
+    shards.reserve(count);
+    std::size_t begin = 0;
+    for (std::size_t s = 0; s < count; ++s) {
+        const std::size_t size = base + (s < extra ? 1 : 0);
+        shards.push_back({begin, begin + size, s});
+        begin += size;
+    }
+    AIWC_DCHECK_EQ(begin, n, "shard ranges must partition [0, n)");
+    return shards;
+}
+
+} // namespace detail
+
+} // namespace aiwc

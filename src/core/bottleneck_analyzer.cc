@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "aiwc/common/logging.hh"
+#include "aiwc/common/parallel.hh"
 
 namespace aiwc::core
 {
@@ -53,21 +54,44 @@ BottleneckAnalyzer::analyze(const Dataset &dataset) const
     if (jobs.empty())
         return report;
 
-    for (const JobRecord *job : jobs) {
-        std::array<bool, 5> hit{};
-        for (std::size_t i = 0; i < bottleneck_resources.size(); ++i) {
-            hit[i] = job->maxUtilization(bottleneck_resources[i]) >=
-                     threshold_;
-        }
-        for (std::size_t i = 0; i < hit.size(); ++i) {
-            if (!hit[i])
-                continue;
-            report.single[i] += 1.0;
-            for (std::size_t j = i + 1; j < hit.size(); ++j)
-                if (hit[j])
-                    report.pairs[BottleneckReport::pairIndex(i, j)] += 1.0;
-        }
-    }
+    // Saturation counts are integer-valued doubles, so shard-order
+    // addition is exact and thread-count invariant.
+    struct Counts
+    {
+        std::array<double, 5> single{};
+        std::array<double, 10> pairs{};
+    };
+    const Counts counts = parallelReduce(
+        globalPool(), jobs.size(), Counts{},
+        [&](Counts &acc, std::size_t k) {
+            const JobRecord *job = jobs[k];
+            std::array<bool, 5> hit{};
+            for (std::size_t i = 0; i < bottleneck_resources.size();
+                 ++i) {
+                hit[i] =
+                    job->maxUtilization(bottleneck_resources[i]) >=
+                    threshold_;
+            }
+            for (std::size_t i = 0; i < hit.size(); ++i) {
+                if (!hit[i])
+                    continue;
+                acc.single[i] += 1.0;
+                for (std::size_t j = i + 1; j < hit.size(); ++j)
+                    if (hit[j])
+                        acc.pairs[BottleneckReport::pairIndex(i, j)] +=
+                            1.0;
+            }
+        },
+        [](Counts &into, Counts &&from) {
+            for (std::size_t i = 0; i < into.single.size(); ++i)
+                into.single[i] += from.single[i];
+            for (std::size_t i = 0; i < into.pairs.size(); ++i)
+                into.pairs[i] += from.pairs[i];
+        });
+    std::copy(counts.single.begin(), counts.single.end(),
+              report.single.begin());
+    std::copy(counts.pairs.begin(), counts.pairs.end(),
+              report.pairs.begin());
     const auto n = static_cast<double>(jobs.size());
     for (auto &s : report.single)
         s /= n;

@@ -1,5 +1,7 @@
 #include "aiwc/core/correlation_analyzer.hh"
 
+#include "aiwc/common/parallel.hh"
+
 namespace aiwc::core
 {
 
@@ -47,13 +49,19 @@ CorrelationAnalyzer::analyze(
     report.users = jobs.size();
     report.by_jobs.activity = "#jobs";
     report.by_gpu_hours.activity = "GPU-hours";
-    for (int f = 0; f < num_user_features; ++f) {
-        const auto idx = static_cast<std::size_t>(f);
-        report.by_jobs.features[idx] =
-            stats::spearman(jobs, features[idx]);
-        report.by_gpu_hours.features[idx] =
-            stats::spearman(hours, features[idx]);
-    }
+    // The 2 * num_user_features rank correlations are independent and
+    // each one writes its own report slot, so they fan out directly.
+    constexpr auto nf = static_cast<std::size_t>(num_user_features);
+    parallelFor(globalPool(), 2 * nf, [&](std::size_t k) {
+        const std::size_t idx = k % nf;
+        if (k < nf) {
+            report.by_jobs.features[idx] =
+                stats::spearman(jobs, features[idx]);
+        } else {
+            report.by_gpu_hours.features[idx] =
+                stats::spearman(hours, features[idx]);
+        }
+    });
     return report;
 }
 

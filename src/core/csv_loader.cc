@@ -86,7 +86,11 @@ loadDatasetCsv(std::istream &is)
     std::string line;
     if (!std::getline(is, line))
         fatal("empty CSV: no header");
-    const auto header = parseCsvLine(line);
+    auto header = parseCsvLine(line);
+    // Tolerate a UTF-8 byte-order mark in front of the header — some
+    // spreadsheet exports prepend one.
+    if (!header.empty() && header[0].rfind("\xef\xbb\xbf", 0) == 0)
+        header[0].erase(0, 3);
     if (header.size() != kColumns || header[0] != "job_id")
         fatal("unrecognized dataset CSV header (", header.size(),
               " columns)");
@@ -95,7 +99,8 @@ loadDatasetCsv(std::istream &is)
     std::size_t line_no = 1;
     while (std::getline(is, line)) {
         ++line_no;
-        if (line.empty())
+        // A blank line is blank whether the file is LF or CRLF.
+        if (line.empty() || line == "\r")
             continue;
         const auto cells = parseCsvLine(line);
         if (cells.size() != kColumns) {

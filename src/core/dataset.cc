@@ -3,10 +3,25 @@
 #include <unordered_set>
 
 #include "aiwc/common/csv.hh"
+#include "aiwc/common/parallel.hh"
 #include "aiwc/common/table.hh"
 
 namespace aiwc::core
 {
+
+namespace
+{
+
+using RecordPtrs = std::vector<const JobRecord *>;
+
+/** Shard-order concatenation — the merge step for filter passes. */
+void
+appendShard(RecordPtrs &into, RecordPtrs &&from)
+{
+    into.insert(into.end(), from.begin(), from.end());
+}
+
+} // namespace
 
 Dataset::Dataset(std::vector<JobRecord> records)
     : records_(std::move(records))
@@ -19,65 +34,104 @@ Dataset::add(JobRecord record)
     records_.push_back(std::move(record));
 }
 
+std::vector<std::span<const JobRecord>>
+Dataset::shards() const
+{
+    const auto ranges = detail::shardRanges(records_.size());
+    std::vector<std::span<const JobRecord>> out;
+    out.reserve(ranges.size());
+    for (const auto &r : ranges)
+        out.push_back(std::span<const JobRecord>(records_)
+                          .subspan(r.begin, r.end - r.begin));
+    return out;
+}
+
 std::vector<const JobRecord *>
 Dataset::gpuJobs(Seconds min_runtime) const
 {
-    std::vector<const JobRecord *> out;
-    out.reserve(records_.size());
-    for (const auto &r : records_)
-        if (r.isGpuJob() && r.runTime() >= min_runtime)
-            out.push_back(&r);
-    return out;
+    return parallelReduce(
+        globalPool(), records_.size(), RecordPtrs{},
+        [&](RecordPtrs &acc, std::size_t i) {
+            const JobRecord &r = records_[i];
+            if (r.isGpuJob() && r.runTime() >= min_runtime)
+                acc.push_back(&r);
+        },
+        appendShard);
 }
 
 std::vector<const JobRecord *>
 Dataset::cpuJobs() const
 {
-    std::vector<const JobRecord *> out;
-    for (const auto &r : records_)
-        if (!r.isGpuJob())
-            out.push_back(&r);
-    return out;
+    return parallelReduce(
+        globalPool(), records_.size(), RecordPtrs{},
+        [&](RecordPtrs &acc, std::size_t i) {
+            const JobRecord &r = records_[i];
+            if (!r.isGpuJob())
+                acc.push_back(&r);
+        },
+        appendShard);
 }
 
 std::vector<const JobRecord *>
 Dataset::gpuJobsWhere(const std::function<bool(const JobRecord &)> &pred,
                       Seconds min_runtime) const
 {
-    std::vector<const JobRecord *> out;
-    for (const auto &r : records_)
-        if (r.isGpuJob() && r.runTime() >= min_runtime && pred(r))
-            out.push_back(&r);
-    return out;
+    return parallelReduce(
+        globalPool(), records_.size(), RecordPtrs{},
+        [&](RecordPtrs &acc, std::size_t i) {
+            const JobRecord &r = records_[i];
+            if (r.isGpuJob() && r.runTime() >= min_runtime && pred(r))
+                acc.push_back(&r);
+        },
+        appendShard);
 }
 
 std::map<UserId, std::vector<const JobRecord *>>
 Dataset::gpuJobsByUser(Seconds min_runtime) const
 {
-    std::map<UserId, std::vector<const JobRecord *>> out;
-    for (const auto &r : records_)
-        if (r.isGpuJob() && r.runTime() >= min_runtime)
-            out[r.user].push_back(&r);
-    return out;
+    using ByUser = std::map<UserId, std::vector<const JobRecord *>>;
+    return parallelReduce(
+        globalPool(), records_.size(), ByUser{},
+        [&](ByUser &acc, std::size_t i) {
+            const JobRecord &r = records_[i];
+            if (r.isGpuJob() && r.runTime() >= min_runtime)
+                acc[r.user].push_back(&r);
+        },
+        [](ByUser &into, ByUser &&from) {
+            // Shard-order merge keeps each user's jobs in record order.
+            for (auto &[user, jobs] : from) {
+                auto &dst = into[user];
+                dst.insert(dst.end(), jobs.begin(), jobs.end());
+            }
+        });
 }
 
 std::size_t
 Dataset::uniqueUsers() const
 {
-    std::unordered_set<UserId> users;
-    for (const auto &r : records_)
-        users.insert(r.user);
-    return users.size();
+    using Users = std::unordered_set<UserId>;
+    return parallelReduce(
+               globalPool(), records_.size(), Users{},
+               [&](Users &acc, std::size_t i) {
+                   acc.insert(records_[i].user);
+               },
+               [](Users &into, Users &&from) {
+                   into.insert(from.begin(), from.end());
+               })
+        .size();
 }
 
 double
 Dataset::totalGpuHours(Seconds min_runtime) const
 {
-    double acc = 0.0;
-    for (const auto &r : records_)
-        if (r.isGpuJob() && r.runTime() >= min_runtime)
-            acc += r.gpuHours();
-    return acc;
+    return parallelReduce(
+        globalPool(), records_.size(), 0.0,
+        [&](double &acc, std::size_t i) {
+            const JobRecord &r = records_[i];
+            if (r.isGpuJob() && r.runTime() >= min_runtime)
+                acc += r.gpuHours();
+        },
+        [](double &into, double &&from) { into += from; });
 }
 
 void

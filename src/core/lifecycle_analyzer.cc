@@ -2,6 +2,8 @@
 
 #include <map>
 
+#include "aiwc/common/parallel.hh"
+
 namespace aiwc::core
 {
 
@@ -54,33 +56,79 @@ LifecycleAnalyzer::analyze(const Dataset &dataset) const
     if (jobs.empty())
         return report;
 
-    std::array<double, num_lifecycles> count{};
-    std::array<double, num_lifecycles> hours{};
-    std::array<std::vector<double>, num_lifecycles> runtimes;
-    std::array<std::vector<double>, num_lifecycles> sm, membw, memsize;
-    std::map<UserId, UserClassShares> per_user;
+    // Per-shard accumulator: per-class tallies plus per-user shares.
+    // All counters are sums, all series are concatenations, so the
+    // shard-order merge is deterministic for any thread count.
+    struct Tally
+    {
+        std::array<double, num_lifecycles> count{};
+        std::array<double, num_lifecycles> hours{};
+        std::array<std::vector<double>, num_lifecycles> runtimes;
+        std::array<std::vector<double>, num_lifecycles> sm, membw,
+            memsize;
+        std::map<UserId, UserClassShares> per_user;
+        double total_hours = 0.0;
+    };
+    Tally tally = parallelReduce(
+        globalPool(), jobs.size(), Tally{},
+        [&](Tally &acc, std::size_t k) {
+            const JobRecord *job = jobs[k];
+            const Lifecycle c = classifier_.classify(*job);
+            const auto i = static_cast<std::size_t>(c);
+            acc.count[i] += 1.0;
+            acc.hours[i] += job->gpuHours();
+            acc.total_hours += job->gpuHours();
+            acc.runtimes[i].push_back(job->runTime() / 60.0);
+            acc.sm[i].push_back(100.0 *
+                                job->meanUtilization(Resource::Sm));
+            acc.membw[i].push_back(
+                100.0 * job->meanUtilization(Resource::MemoryBw));
+            acc.memsize[i].push_back(
+                100.0 * job->meanUtilization(Resource::MemorySize));
 
-    double total_hours = 0.0;
-    for (const JobRecord *job : jobs) {
-        const Lifecycle c = classifier_.classify(*job);
-        const auto i = static_cast<std::size_t>(c);
-        count[i] += 1.0;
-        hours[i] += job->gpuHours();
-        total_hours += job->gpuHours();
-        runtimes[i].push_back(job->runTime() / 60.0);
-        sm[i].push_back(100.0 * job->meanUtilization(Resource::Sm));
-        membw[i].push_back(100.0 *
-                           job->meanUtilization(Resource::MemoryBw));
-        memsize[i].push_back(100.0 *
-                             job->meanUtilization(Resource::MemorySize));
-
-        auto &u = per_user[job->user];
-        u.user = job->user;
-        ++u.jobs;
-        u.gpu_hours += job->gpuHours();
-        u.job_share[i] += 1.0;
-        u.hour_share[i] += job->gpuHours();
-    }
+            auto &u = acc.per_user[job->user];
+            u.user = job->user;
+            ++u.jobs;
+            u.gpu_hours += job->gpuHours();
+            u.job_share[i] += 1.0;
+            u.hour_share[i] += job->gpuHours();
+        },
+        [](Tally &into, Tally &&from) {
+            auto concat = [](std::vector<double> &dst,
+                             std::vector<double> &src) {
+                dst.insert(dst.end(), src.begin(), src.end());
+            };
+            for (std::size_t i = 0;
+                 i < static_cast<std::size_t>(num_lifecycles); ++i) {
+                into.count[i] += from.count[i];
+                into.hours[i] += from.hours[i];
+                concat(into.runtimes[i], from.runtimes[i]);
+                concat(into.sm[i], from.sm[i]);
+                concat(into.membw[i], from.membw[i]);
+                concat(into.memsize[i], from.memsize[i]);
+            }
+            into.total_hours += from.total_hours;
+            for (auto &[user, shares] : from.per_user) {
+                auto &u = into.per_user[user];
+                u.user = user;
+                u.jobs += shares.jobs;
+                u.gpu_hours += shares.gpu_hours;
+                for (std::size_t i = 0;
+                     i < static_cast<std::size_t>(num_lifecycles);
+                     ++i) {
+                    u.job_share[i] += shares.job_share[i];
+                    u.hour_share[i] += shares.hour_share[i];
+                }
+            }
+        });
+    auto &count = tally.count;
+    auto &hours = tally.hours;
+    auto &runtimes = tally.runtimes;
+    auto &sm = tally.sm;
+    auto &membw = tally.membw;
+    auto &memsize = tally.memsize;
+    auto &per_user = tally.per_user;
+    const double total_hours = tally.total_hours;
 
     const auto n = static_cast<double>(jobs.size());
     for (int c = 0; c < num_lifecycles; ++c) {

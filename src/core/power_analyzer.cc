@@ -1,20 +1,41 @@
 #include "aiwc/core/power_analyzer.hh"
 
+#include "aiwc/common/parallel.hh"
+
 namespace aiwc::core
 {
+
+namespace
+{
+
+/** Per-shard accumulator of the avg/max per-job power series. */
+struct PowerSeries
+{
+    std::vector<double> avg, mx;
+};
+
+} // namespace
 
 PowerReport
 PowerAnalyzer::analyze(const Dataset &dataset) const
 {
-    std::vector<double> avg, mx;
-    for (const JobRecord *job : dataset.gpuJobs()) {
-        avg.push_back(job->meanPowerWatts());
-        mx.push_back(job->maxPowerWatts());
-    }
+    const auto jobs = dataset.gpuJobs();
+    auto series = parallelReduce(
+        globalPool(), jobs.size(), PowerSeries{},
+        [&](PowerSeries &acc, std::size_t i) {
+            acc.avg.push_back(jobs[i]->meanPowerWatts());
+            acc.mx.push_back(jobs[i]->maxPowerWatts());
+        },
+        [](PowerSeries &into, PowerSeries &&from) {
+            into.avg.insert(into.avg.end(), from.avg.begin(),
+                            from.avg.end());
+            into.mx.insert(into.mx.end(), from.mx.begin(),
+                           from.mx.end());
+        });
 
     PowerReport report;
-    report.avg_watts = stats::EmpiricalCdf(std::move(avg));
-    report.max_watts = stats::EmpiricalCdf(std::move(mx));
+    report.avg_watts = stats::EmpiricalCdf(std::move(series.avg));
+    report.max_watts = stats::EmpiricalCdf(std::move(series.mx));
 
     for (double cap : caps_) {
         PowerCapImpact impact;

@@ -1,38 +1,64 @@
 #include "aiwc/core/service_time_analyzer.hh"
 
+#include "aiwc/common/parallel.hh"
+
 namespace aiwc::core
 {
+
+namespace
+{
+
+/** Per-shard accumulator of one population's service-time series. */
+struct ServiceSeries
+{
+    std::vector<double> runtime_min, wait_s, wait_pct;
+};
+
+/** Fold one job's runtime/wait/wait-share into the accumulator. */
+void
+foldJob(ServiceSeries &acc, const JobRecord *job)
+{
+    acc.runtime_min.push_back(job->runTime() / 60.0);
+    acc.wait_s.push_back(job->waitTime());
+    const double service = job->serviceTime();
+    acc.wait_pct.push_back(
+        service > 0.0 ? 100.0 * job->waitTime() / service : 0.0);
+}
+
+ServiceSeries
+collect(const std::vector<const JobRecord *> &jobs)
+{
+    return parallelReduce(
+        globalPool(), jobs.size(), ServiceSeries{},
+        [&](ServiceSeries &acc, std::size_t i) { foldJob(acc, jobs[i]); },
+        [](ServiceSeries &into, ServiceSeries &&from) {
+            auto concat = [](std::vector<double> &dst,
+                             std::vector<double> &src) {
+                dst.insert(dst.end(), src.begin(), src.end());
+            };
+            concat(into.runtime_min, from.runtime_min);
+            concat(into.wait_s, from.wait_s);
+            concat(into.wait_pct, from.wait_pct);
+        });
+}
+
+} // namespace
 
 ServiceTimeReport
 ServiceTimeAnalyzer::analyze(const Dataset &dataset) const
 {
-    std::vector<double> gpu_rt, cpu_rt, gpu_wait, cpu_wait, gpu_pct,
-        cpu_pct;
-
-    for (const JobRecord *job : dataset.gpuJobs()) {
-        gpu_rt.push_back(job->runTime() / 60.0);
-        gpu_wait.push_back(job->waitTime());
-        const double service = job->serviceTime();
-        gpu_pct.push_back(service > 0.0
-                              ? 100.0 * job->waitTime() / service
-                              : 0.0);
-    }
-    for (const JobRecord *job : dataset.cpuJobs()) {
-        cpu_rt.push_back(job->runTime() / 60.0);
-        cpu_wait.push_back(job->waitTime());
-        const double service = job->serviceTime();
-        cpu_pct.push_back(service > 0.0
-                              ? 100.0 * job->waitTime() / service
-                              : 0.0);
-    }
+    ServiceSeries gpu = collect(dataset.gpuJobs());
+    ServiceSeries cpu = collect(dataset.cpuJobs());
 
     ServiceTimeReport report;
-    report.gpu_runtime_min = stats::EmpiricalCdf(std::move(gpu_rt));
-    report.cpu_runtime_min = stats::EmpiricalCdf(std::move(cpu_rt));
-    report.gpu_wait_s = stats::EmpiricalCdf(std::move(gpu_wait));
-    report.cpu_wait_s = stats::EmpiricalCdf(std::move(cpu_wait));
-    report.gpu_wait_pct = stats::EmpiricalCdf(std::move(gpu_pct));
-    report.cpu_wait_pct = stats::EmpiricalCdf(std::move(cpu_pct));
+    report.gpu_runtime_min =
+        stats::EmpiricalCdf(std::move(gpu.runtime_min));
+    report.cpu_runtime_min =
+        stats::EmpiricalCdf(std::move(cpu.runtime_min));
+    report.gpu_wait_s = stats::EmpiricalCdf(std::move(gpu.wait_s));
+    report.cpu_wait_s = stats::EmpiricalCdf(std::move(cpu.wait_s));
+    report.gpu_wait_pct = stats::EmpiricalCdf(std::move(gpu.wait_pct));
+    report.cpu_wait_pct = stats::EmpiricalCdf(std::move(cpu.wait_pct));
     return report;
 }
 

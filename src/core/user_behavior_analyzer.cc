@@ -1,5 +1,6 @@
 #include "aiwc/core/user_behavior_analyzer.hh"
 
+#include "aiwc/common/parallel.hh"
 #include "aiwc/stats/descriptive.hh"
 #include "aiwc/stats/share_curve.hh"
 
@@ -9,8 +10,21 @@ namespace aiwc::core
 std::vector<UserSummary>
 UserBehaviorAnalyzer::summarize(const Dataset &dataset) const
 {
-    std::vector<UserSummary> out;
-    for (const auto &[user, jobs] : dataset.gpuJobsByUser()) {
+    // Each user's summary depends only on that user's jobs, so the
+    // per-user pass fans out with every user writing its own slot —
+    // the output order is the map's user-id order either way.
+    const auto by_user = dataset.gpuJobsByUser();
+    std::vector<const std::pair<const UserId,
+                                std::vector<const JobRecord *>> *>
+        users;
+    users.reserve(by_user.size());
+    for (const auto &entry : by_user)
+        users.push_back(&entry);
+
+    std::vector<UserSummary> out(users.size());
+    parallelFor(globalPool(), users.size(), [&](std::size_t u) {
+        const UserId user = users[u]->first;
+        const std::vector<const JobRecord *> &jobs = users[u]->second;
         UserSummary s;
         s.user = user;
         s.jobs = jobs.size();
@@ -22,8 +36,8 @@ UserBehaviorAnalyzer::summarize(const Dataset &dataset) const
             sm.push_back(100.0 * job->meanUtilization(Resource::Sm));
             membw.push_back(100.0 *
                             job->meanUtilization(Resource::MemoryBw));
-            memsize.push_back(100.0 *
-                              job->meanUtilization(Resource::MemorySize));
+            memsize.push_back(
+                100.0 * job->meanUtilization(Resource::MemorySize));
             s.gpu_hours += job->gpuHours();
         }
         s.avg_runtime_min = stats::mean(rt);
@@ -36,8 +50,8 @@ UserBehaviorAnalyzer::summarize(const Dataset &dataset) const
             s.membw_cov_pct = stats::covPercent(membw);
             s.memsize_cov_pct = stats::covPercent(memsize);
         }
-        out.push_back(std::move(s));
-    }
+        out[u] = std::move(s);
+    });
     return out;
 }
 

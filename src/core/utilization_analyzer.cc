@@ -1,6 +1,7 @@
 #include "aiwc/core/utilization_analyzer.hh"
 
 #include "aiwc/common/logging.hh"
+#include "aiwc/common/parallel.hh"
 
 namespace aiwc::core
 {
@@ -25,41 +26,99 @@ UtilizationReport::byResource(Resource r) const
     panic("power has no utilization CDF; use PowerAnalyzer");
 }
 
+namespace
+{
+
+/** Per-shard accumulator of the five per-job mean-utilization series. */
+struct UtilizationSeries
+{
+    std::vector<double> sm, membw, memsize, tx, rx;
+};
+
+void
+concat(std::vector<double> &into, std::vector<double> &from)
+{
+    into.insert(into.end(), from.begin(), from.end());
+}
+
+} // namespace
+
 UtilizationReport
 UtilizationAnalyzer::analyze(const Dataset &dataset) const
 {
-    std::vector<double> sm, membw, memsize, tx, rx;
-    for (const JobRecord *job : dataset.gpuJobs()) {
-        sm.push_back(100.0 * job->meanUtilization(Resource::Sm));
-        membw.push_back(100.0 * job->meanUtilization(Resource::MemoryBw));
-        memsize.push_back(100.0 *
-                          job->meanUtilization(Resource::MemorySize));
-        tx.push_back(100.0 * job->meanUtilization(Resource::PcieTx));
-        rx.push_back(100.0 * job->meanUtilization(Resource::PcieRx));
-    }
+    const auto jobs = dataset.gpuJobs();
+    auto series = parallelReduce(
+        globalPool(), jobs.size(), UtilizationSeries{},
+        [&](UtilizationSeries &acc, std::size_t i) {
+            const JobRecord *job = jobs[i];
+            acc.sm.push_back(100.0 * job->meanUtilization(Resource::Sm));
+            acc.membw.push_back(
+                100.0 * job->meanUtilization(Resource::MemoryBw));
+            acc.memsize.push_back(
+                100.0 * job->meanUtilization(Resource::MemorySize));
+            acc.tx.push_back(100.0 *
+                             job->meanUtilization(Resource::PcieTx));
+            acc.rx.push_back(100.0 *
+                             job->meanUtilization(Resource::PcieRx));
+        },
+        [](UtilizationSeries &into, UtilizationSeries &&from) {
+            concat(into.sm, from.sm);
+            concat(into.membw, from.membw);
+            concat(into.memsize, from.memsize);
+            concat(into.tx, from.tx);
+            concat(into.rx, from.rx);
+        });
     UtilizationReport report;
-    report.sm_pct = stats::EmpiricalCdf(std::move(sm));
-    report.membw_pct = stats::EmpiricalCdf(std::move(membw));
-    report.memsize_pct = stats::EmpiricalCdf(std::move(memsize));
-    report.pcie_tx_pct = stats::EmpiricalCdf(std::move(tx));
-    report.pcie_rx_pct = stats::EmpiricalCdf(std::move(rx));
+    report.sm_pct = stats::EmpiricalCdf(std::move(series.sm));
+    report.membw_pct = stats::EmpiricalCdf(std::move(series.membw));
+    report.memsize_pct = stats::EmpiricalCdf(std::move(series.memsize));
+    report.pcie_tx_pct = stats::EmpiricalCdf(std::move(series.tx));
+    report.pcie_rx_pct = stats::EmpiricalCdf(std::move(series.rx));
     return report;
 }
 
-InterfaceUtilization
-UtilizationAnalyzer::analyzeByInterface(const Dataset &dataset) const
+namespace
+{
+
+/** Per-shard accumulator of the by-interface breakdown. */
+struct InterfaceSeries
 {
     std::array<std::vector<double>, num_interfaces> sm, membw;
     std::array<double, num_interfaces> counts{};
     double total = 0.0;
-    for (const JobRecord *job : dataset.gpuJobs()) {
-        const auto i = static_cast<std::size_t>(job->interface);
-        sm[i].push_back(100.0 * job->meanUtilization(Resource::Sm));
-        membw[i].push_back(100.0 *
-                           job->meanUtilization(Resource::MemoryBw));
-        counts[i] += 1.0;
-        total += 1.0;
-    }
+};
+
+} // namespace
+
+InterfaceUtilization
+UtilizationAnalyzer::analyzeByInterface(const Dataset &dataset) const
+{
+    const auto jobs = dataset.gpuJobs();
+    auto acc = parallelReduce(
+        globalPool(), jobs.size(), InterfaceSeries{},
+        [&](InterfaceSeries &a, std::size_t j) {
+            const JobRecord *job = jobs[j];
+            const auto i = static_cast<std::size_t>(job->interface);
+            a.sm[i].push_back(100.0 *
+                              job->meanUtilization(Resource::Sm));
+            a.membw[i].push_back(
+                100.0 * job->meanUtilization(Resource::MemoryBw));
+            a.counts[i] += 1.0;
+            a.total += 1.0;
+        },
+        [](InterfaceSeries &into, InterfaceSeries &&from) {
+            for (std::size_t i = 0;
+                 i < static_cast<std::size_t>(num_interfaces); ++i) {
+                concat(into.sm[i], from.sm[i]);
+                concat(into.membw[i], from.membw[i]);
+                into.counts[i] += from.counts[i];
+            }
+            into.total += from.total;
+        });
+    auto &sm = acc.sm;
+    auto &membw = acc.membw;
+    auto &counts = acc.counts;
+    const double total = acc.total;
     InterfaceUtilization out;
     for (int i = 0; i < num_interfaces; ++i) {
         const auto idx = static_cast<std::size_t>(i);

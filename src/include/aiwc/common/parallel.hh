@@ -1,0 +1,254 @@
+/**
+ * @file
+ * Fixed-size thread pool and deterministic data-parallel helpers.
+ *
+ * The characterization pipeline runs a dozen independent per-job and
+ * per-user passes over 47k+ records; this module lets them scale with
+ * core count without giving up the repository's bit-for-bit
+ * reproducibility guarantee. The contract:
+ *
+ *  - Work is split into *shards* whose geometry depends only on the
+ *    problem size (detail::shardRanges), never on the thread count.
+ *  - parallelReduce() folds each shard into its own accumulator and
+ *    merges the per-shard accumulators **in shard-index order**, so the
+ *    floating-point evaluation order — and therefore every output bit —
+ *    is identical whether the shards ran on 1 thread or 8.
+ *  - No silent task-swallowing: an exception thrown inside a shard
+ *    (including ContractViolation from a throwing AIWC_CHECK handler)
+ *    is captured and rethrown on the calling thread; the first failing
+ *    shard in index order wins.
+ *
+ * The global pool is sized from AIWC_THREADS (else the hardware
+ * concurrency) and built lazily on first use; setGlobalThreadCount()
+ * rebuilds it. Helpers invoked *from* a pool worker run their shards
+ * inline on that worker, so nested parallelism cannot deadlock.
+ */
+
+#ifndef AIWC_COMMON_PARALLEL_HH
+#define AIWC_COMMON_PARALLEL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "aiwc/common/check.hh"
+
+namespace aiwc
+{
+
+/**
+ * A fixed-size pool of worker threads consuming a shared task queue.
+ * Tasks are plain thunks; ordering across workers is unspecified, so
+ * determinism is the job of the helpers below, not of the pool.
+ */
+class ThreadPool
+{
+  public:
+    /** @param threads worker count, >= 1. */
+    explicit ThreadPool(int threads);
+
+    /** Drains the queue, then joins all workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    int threads() const { return threads_; }
+
+    /**
+     * Enqueue one task. The task runs exactly once on some worker;
+     * submit() never blocks on task completion. Exceptions must be
+     * handled inside the task (the helpers below do this) — a task
+     * that lets one escape takes the process down.
+     */
+    void submit(std::function<void()> task);
+
+    /** True when the calling thread is a pool worker (any pool). */
+    static bool onWorkerThread();
+
+  private:
+    void workerLoop();
+
+    int threads_;
+    std::vector<std::thread> workers_;
+    std::deque<std::function<void()>> queue_;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    bool stop_ = false;
+};
+
+/**
+ * The process-wide pool the analyzers and the synthesizer share.
+ * Built on first use with defaultThreadCount() workers.
+ */
+ThreadPool &globalPool();
+
+/**
+ * Resize the global pool. Must not be called while work is in flight
+ * on the pool (it is a configuration-time knob: main(), bench setup,
+ * test fixtures). @param threads >= 1; 1 disables parallel dispatch.
+ */
+void setGlobalThreadCount(int threads);
+
+/** Worker count of the global pool (builds it if needed). */
+int globalThreadCount();
+
+/**
+ * The pool size used when nothing was configured: AIWC_THREADS if set
+ * (clamped to >= 1), else std::thread::hardware_concurrency().
+ */
+int defaultThreadCount();
+
+namespace detail
+{
+
+/**
+ * Upper bound on shards per helper call. Chosen large enough to load-
+ * balance any realistic pool and small enough that per-shard
+ * accumulators stay cheap. Part of the determinism contract: outputs
+ * depend on this constant, never on the thread count.
+ */
+inline constexpr std::size_t default_shards = 64;
+
+/** One contiguous index range [begin, end) with its merge position. */
+struct ShardRange
+{
+    std::size_t begin = 0;
+    std::size_t end = 0;
+    std::size_t index = 0;
+};
+
+/**
+ * Split [0, n) into at most max_shards balanced contiguous ranges.
+ * Pure function of (n, max_shards) — identical on every call, which
+ * is what makes N-thread and 1-thread reductions bit-identical.
+ */
+std::vector<ShardRange> shardRanges(std::size_t n,
+                                    std::size_t max_shards =
+                                        default_shards);
+
+/** Countdown latch for one batch of shard tasks. */
+class TaskGroup
+{
+  public:
+    explicit TaskGroup(std::size_t count) : remaining_(count) {}
+
+    void
+    done()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--remaining_ == 0)
+            cv_.notify_all();
+    }
+
+    void
+    wait()
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return remaining_ == 0; });
+    }
+
+  private:
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::size_t remaining_;
+};
+
+/**
+ * Run one callable per shard, inline when the pool is serial (or when
+ * already on a worker thread), otherwise fanned across the pool.
+ * Rethrows the first (by shard index) escaped exception after all
+ * shards finished — no partial waits, no swallowed failures.
+ */
+template <typename ShardFn>
+void
+runShards(ThreadPool &pool, const std::vector<ShardRange> &shards,
+          ShardFn &&fn)
+{
+    if (shards.empty())
+        return;
+    if (pool.threads() <= 1 || shards.size() == 1 ||
+        ThreadPool::onWorkerThread()) {
+        for (const ShardRange &s : shards)
+            fn(s);
+        return;
+    }
+    TaskGroup group(shards.size());
+    std::vector<std::exception_ptr> errors(shards.size());
+    for (const ShardRange &s : shards) {
+        pool.submit([&fn, &group, &errors, s] {
+            try {
+                fn(s);
+            } catch (...) {
+                errors[s.index] = std::current_exception();
+            }
+            group.done();
+        });
+    }
+    group.wait();
+    for (std::exception_ptr &e : errors)
+        if (e)
+            std::rethrow_exception(e);
+}
+
+} // namespace detail
+
+/**
+ * Apply fn(i) for every i in [0, n). Iteration order within a shard is
+ * ascending; shards may run concurrently, so fn must only touch state
+ * owned by index i (e.g. out[i] = ...).
+ */
+template <typename Fn>
+void
+parallelFor(ThreadPool &pool, std::size_t n, Fn &&fn)
+{
+    detail::runShards(pool, detail::shardRanges(n),
+                      [&fn](const detail::ShardRange &s) {
+                          for (std::size_t i = s.begin; i < s.end; ++i)
+                              fn(i);
+                      });
+}
+
+/**
+ * Deterministic chunk-ordered reduction over [0, n).
+ *
+ * Each shard folds its indices (ascending) into a private copy of
+ * `identity` via fold(acc, i); the per-shard accumulators are then
+ * merged into the result **in shard-index order** via
+ * merge(into, std::move(from)). Because the shard geometry and the
+ * merge order are both independent of the thread count, the returned
+ * value is bit-identical for any pool size — merge only needs to be
+ * associative *across shard boundaries*, which concatenation, counter
+ * addition, and left-fold float sums all satisfy.
+ */
+template <typename Acc, typename Fold, typename Merge>
+Acc
+parallelReduce(ThreadPool &pool, std::size_t n, const Acc &identity,
+               Fold &&fold, Merge &&merge)
+{
+    const auto shards = detail::shardRanges(n);
+    Acc result = identity;
+    if (shards.empty())
+        return result;
+    std::vector<Acc> partial(shards.size(), identity);
+    detail::runShards(pool, shards,
+                      [&fold, &partial](const detail::ShardRange &s) {
+                          Acc &acc = partial[s.index];
+                          for (std::size_t i = s.begin; i < s.end; ++i)
+                              fold(acc, i);
+                      });
+    for (Acc &p : partial)
+        merge(result, std::move(p));
+    return result;
+}
+
+} // namespace aiwc
+
+#endif // AIWC_COMMON_PARALLEL_HH

@@ -14,6 +14,7 @@
 #include <functional>
 #include <map>
 #include <ostream>
+#include <span>
 #include <vector>
 
 #include "aiwc/core/job_record.hh"
@@ -33,6 +34,15 @@ class Dataset
     const std::vector<JobRecord> &records() const { return records_; }
     std::size_t size() const { return records_.size(); }
     bool empty() const { return records_.empty(); }
+
+    /**
+     * Deterministic contiguous shard views over all records, in record
+     * order. The shard geometry depends only on the record count (see
+     * aiwc/common/parallel.hh), so per-shard passes merged in shard
+     * order reproduce the serial result bit-for-bit regardless of how
+     * many threads executed them.
+     */
+    std::vector<std::span<const JobRecord>> shards() const;
 
     /** All GPU jobs with runtime >= min_runtime (the paper's filter). */
     std::vector<const JobRecord *>

@@ -34,7 +34,14 @@ class EmpiricalCdf
     /** F(x): fraction of samples <= x. */
     double at(double x) const;
 
-    /** Inverse CDF: the q-quantile with linear interpolation. */
+    /** F(x-): left limit of the CDF — fraction strictly below x. */
+    double atLeft(double x) const;
+
+    /**
+     * Inverse CDF: the q-quantile with linear interpolation.
+     * @param q must lie in [0, 1] (AIWC_CHECK). Returns NaN when the
+     * sample is empty — an empty CDF has no quantiles.
+     */
     double quantile(double q) const;
 
     /** Fraction of samples strictly greater than x (the tail). */
@@ -46,13 +53,18 @@ class EmpiricalCdf
     /**
      * Evaluate the CDF at evenly spaced quantile levels — the series a
      * plotted CDF line would carry. @param points number of levels >= 2.
+     * The CDF must be non-empty (AIWC_CHECK) — there is no curve to
+     * sample otherwise.
      */
     std::vector<std::pair<double, double>> curve(int points = 101) const;
 
     /**
-     * Two-sample Kolmogorov-Smirnov statistic against another CDF:
-     * the max vertical gap between the two curves. Used by the test
-     * suite to check the generator reproduces paper distributions.
+     * Two-sample Kolmogorov-Smirnov statistic against another CDF: the
+     * supremum vertical gap between the two step functions. Both the
+     * right-continuous value and the left limit are compared at every
+     * jump point of either sample, so gaps opening at shared jump
+     * locations are never missed. Used by the test suite to check the
+     * generator reproduces paper distributions.
      */
     double ksDistance(const EmpiricalCdf &other) const;
 

@@ -29,6 +29,14 @@ class Histogram
     /** Record a sample with a weight (e.g. GPU-hours). */
     void add(double x, double weight);
 
+    /**
+     * Fold another histogram's weight into this one. Both histograms
+     * must share the exact bin geometry (count, lo, hi — AIWC_CHECK).
+     * merge() is associative, which is what lets per-shard histograms
+     * built by parallelReduce() combine deterministically.
+     */
+    void merge(const Histogram &other);
+
     std::size_t bins() const { return counts_.size(); }
     double binLow(std::size_t i) const;
     double binHigh(std::size_t i) const;

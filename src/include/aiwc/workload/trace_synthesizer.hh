@@ -69,6 +69,21 @@ class TraceSynthesizer
     /** Produce one complete trace. Deterministic in (profile, seed). */
     SynthesisResult run() const;
 
+    /**
+     * Produce @p count independent replicate traces, fanned across the
+     * global thread pool. Replicate r uses replicateSeed(seed, r), so
+     * the result vector is deterministic in (profile, options, count)
+     * for any thread count, and replicate 0 matches run().
+     */
+    std::vector<SynthesisResult> runReplicates(int count) const;
+
+    /**
+     * Seed of replicate @p replicate of a base seed. Replicate 0 is
+     * the base seed itself; later replicates are a splitmix64-style
+     * mix so nearby replicate indices give uncorrelated streams.
+     */
+    static std::uint64_t replicateSeed(std::uint64_t base, int replicate);
+
     /** Scaled counts this run will use (exposed for tests). */
     int scaledUsers() const;
     int scaledNodes() const;

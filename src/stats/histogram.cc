@@ -31,6 +31,20 @@ Histogram::add(double x, double weight)
     total_ += weight;
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    AIWC_CHECK(counts_.size() == other.counts_.size() &&
+                   lo_ == other.lo_ && hi_ == other.hi_,
+               "merging histograms with different bin geometry: ",
+               counts_.size(), " bins over [", lo_, ", ", hi_,
+               ") vs ", other.counts_.size(), " bins over [", other.lo_,
+               ", ", other.hi_, ")");
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    total_ += other.total_;
+}
+
 double
 Histogram::binLow(std::size_t i) const
 {

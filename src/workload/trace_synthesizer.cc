@@ -6,6 +6,7 @@
 
 #include "aiwc/common/check.hh"
 #include "aiwc/common/logging.hh"
+#include "aiwc/common/parallel.hh"
 #include "aiwc/dist/distributions.hh"
 #include "aiwc/sim/cluster_factory.hh"
 #include "aiwc/sim/simulation.hh"
@@ -350,6 +351,39 @@ TraceSynthesizer::run() const
     result.central_store_bytes = collector.centralStoreBytes();
     result.peak_spool_bytes = collector.peakNodeOccupancy();
     return result;
+}
+
+std::uint64_t
+TraceSynthesizer::replicateSeed(std::uint64_t base, int replicate)
+{
+    AIWC_CHECK(replicate >= 0, "replicate index must be non-negative");
+    if (replicate == 0)
+        return base;
+    // splitmix64 finalizer over a golden-ratio stride: adjacent
+    // replicate indices land on uncorrelated seeds.
+    std::uint64_t z = base +
+                      0x9e3779b97f4a7c15ull *
+                          static_cast<std::uint64_t>(replicate);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::vector<SynthesisResult>
+TraceSynthesizer::runReplicates(int count) const
+{
+    AIWC_CHECK(count >= 0, "replicate count must be non-negative");
+    std::vector<SynthesisResult> results(
+        static_cast<std::size_t>(count));
+    // Each replicate is an independent pipeline writing its own slot,
+    // so the fan-out is embarrassingly parallel and the result vector
+    // is identical for any pool size.
+    parallelFor(globalPool(), results.size(), [&](std::size_t r) {
+        SynthesisOptions opts = options_;
+        opts.seed = replicateSeed(options_.seed, static_cast<int>(r));
+        results[r] = TraceSynthesizer(profile_, opts).run();
+    });
+    return results;
 }
 
 } // namespace aiwc::workload

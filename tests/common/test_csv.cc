@@ -40,5 +40,46 @@ TEST(Csv, PlainCellsPassThrough)
     EXPECT_EQ(CsvWriter::escape(""), "");
 }
 
+TEST(Csv, ParseStripsOneTrailingCarriageReturn)
+{
+    // getline() on a CRLF file leaves the '\r' on the line; it is a
+    // terminator, not part of the last cell.
+    const auto cells = parseCsvLine("a,b,c\r");
+    ASSERT_EQ(cells.size(), 3u);
+    EXPECT_EQ(cells[2], "c");
+}
+
+TEST(Csv, ParseKeepsCarriageReturnsInsideQuotedCells)
+{
+    // Interior CRs are data and must round-trip, including a literal
+    // "\r\n" inside a quoted cell.
+    const auto cells = parseCsvLine("\"a\rb\",c\r");
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[0], "a\rb");
+    EXPECT_EQ(cells[1], "c");
+}
+
+TEST(Csv, ParseCrOnlyLineIsOneEmptyCell)
+{
+    const auto cells = parseCsvLine("\r");
+    ASSERT_EQ(cells.size(), 1u);
+    EXPECT_EQ(cells[0], "");
+}
+
+TEST(Csv, QuotedCellsRoundTripThroughWriterAndParser)
+{
+    std::ostringstream os;
+    CsvWriter csv(os, {"name", "note"});
+    csv.writeRow({"with,comma", "say \"hi\"\r"});
+    std::istringstream is(os.str());
+    std::string line;
+    std::getline(is, line);  // header
+    std::getline(is, line);
+    const auto cells = parseCsvLine(line);
+    ASSERT_EQ(cells.size(), 2u);
+    EXPECT_EQ(cells[0], "with,comma");
+    EXPECT_EQ(cells[1], "say \"hi\"\r");
+}
+
 } // namespace
 } // namespace aiwc

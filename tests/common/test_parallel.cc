@@ -1,0 +1,211 @@
+/** Tests for the thread pool and deterministic parallel helpers. */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "aiwc/common/check.hh"
+#include "aiwc/common/parallel.hh"
+
+namespace
+{
+
+using namespace aiwc;
+
+TEST(ShardRanges, PartitionsTheIndexSpace)
+{
+    for (std::size_t n : {0u, 1u, 2u, 63u, 64u, 65u, 1000u, 47293u}) {
+        const auto shards = detail::shardRanges(n);
+        if (n == 0) {
+            EXPECT_TRUE(shards.empty());
+            continue;
+        }
+        EXPECT_LE(shards.size(), detail::default_shards);
+        std::size_t next = 0;
+        for (std::size_t i = 0; i < shards.size(); ++i) {
+            EXPECT_EQ(shards[i].index, i);
+            EXPECT_EQ(shards[i].begin, next);
+            EXPECT_LT(shards[i].begin, shards[i].end);
+            next = shards[i].end;
+        }
+        EXPECT_EQ(next, n);
+    }
+}
+
+TEST(ShardRanges, GeometryIsBalanced)
+{
+    const auto shards = detail::shardRanges(130);
+    ASSERT_EQ(shards.size(), detail::default_shards);
+    std::size_t lo = 130, hi = 0;
+    for (const auto &s : shards) {
+        lo = std::min(lo, s.end - s.begin);
+        hi = std::max(hi, s.end - s.begin);
+    }
+    EXPECT_EQ(lo, 2u);
+    EXPECT_EQ(hi, 3u);
+}
+
+TEST(ThreadPool, RejectsNonPositiveSize)
+{
+    ScopedCheckFailHandler guard;
+    EXPECT_THROW(ThreadPool(0), ContractViolation);
+    EXPECT_THROW(ThreadPool(-4), ContractViolation);
+}
+
+TEST(ThreadPool, RunsEverySubmittedTask)
+{
+    ThreadPool pool(4);
+    std::atomic<int> ran{0};
+    detail::TaskGroup group(100);
+    for (int i = 0; i < 100; ++i) {
+        pool.submit([&] {
+            ++ran;
+            group.done();
+        });
+    }
+    group.wait();
+    EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPool, DestructorDrainsQueue)
+{
+    std::atomic<int> ran{0};
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < 50; ++i)
+            pool.submit([&] { ++ran; });
+    }
+    EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce)
+{
+    ThreadPool pool(4);
+    std::vector<int> hits(10000, 0);
+    parallelFor(pool, hits.size(), [&](std::size_t i) { ++hits[i]; });
+    for (int h : hits)
+        ASSERT_EQ(h, 1);
+}
+
+TEST(ParallelFor, EmptyRangeIsANoOp)
+{
+    ThreadPool pool(2);
+    bool called = false;
+    parallelFor(pool, 0, [&](std::size_t) { called = true; });
+    EXPECT_FALSE(called);
+}
+
+TEST(ParallelReduce, SumsExactly)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 12345;
+    const auto sum = parallelReduce(
+        pool, n, std::uint64_t{0},
+        [](std::uint64_t &acc, std::size_t i) { acc += i; },
+        [](std::uint64_t &into, std::uint64_t &&from) { into += from; });
+    EXPECT_EQ(sum, n * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, FloatResultIsThreadCountInvariant)
+{
+    // Irrational-ish values make float addition order observable; the
+    // shard+merge structure must hide the thread count entirely.
+    std::vector<double> values(10007);
+    for (std::size_t i = 0; i < values.size(); ++i)
+        values[i] = std::sqrt(static_cast<double>(i) + 0.1);
+
+    const auto run = [&](int threads) {
+        ThreadPool pool(threads);
+        return parallelReduce(
+            pool, values.size(), 0.0,
+            [&](double &acc, std::size_t i) { acc += values[i]; },
+            [](double &into, double &&from) { into += from; });
+    };
+    const double serial = run(1);
+    EXPECT_EQ(serial, run(2));
+    EXPECT_EQ(serial, run(4));
+    EXPECT_EQ(serial, run(8));
+}
+
+TEST(ParallelReduce, MergesInShardIndexOrder)
+{
+    ThreadPool pool(4);
+    const std::size_t n = 1000;
+    const auto order = parallelReduce(
+        pool, n, std::vector<std::size_t>{},
+        [](std::vector<std::size_t> &acc, std::size_t i) {
+            acc.push_back(i);
+        },
+        [](std::vector<std::size_t> &into,
+           std::vector<std::size_t> &&from) {
+            into.insert(into.end(), from.begin(), from.end());
+        });
+    ASSERT_EQ(order.size(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        ASSERT_EQ(order[i], i);
+}
+
+TEST(ParallelFor, PropagatesExceptions)
+{
+    ThreadPool pool(4);
+    EXPECT_THROW(parallelFor(pool, 1000,
+                             [&](std::size_t i) {
+                                 if (i == 617)
+                                     throw std::runtime_error("boom");
+                             }),
+                 std::runtime_error);
+}
+
+TEST(ParallelFor, PropagatesContractViolations)
+{
+    // AIWC_CHECK failures inside pool tasks must reach the caller, not
+    // vanish inside a worker thread.
+    ScopedCheckFailHandler guard;
+    ThreadPool pool(4);
+    EXPECT_THROW(parallelFor(pool, 1000,
+                             [&](std::size_t i) {
+                                 AIWC_CHECK(i != 617,
+                                            "index 617 is forbidden");
+                             }),
+                 ContractViolation);
+}
+
+TEST(ParallelFor, NestedCallsRunInlineWithoutDeadlock)
+{
+    ThreadPool pool(2);
+    std::atomic<int> inner_total{0};
+    parallelFor(pool, 8, [&](std::size_t) {
+        // With 2 workers and 8 outer tasks, nested submission would
+        // starve the pool; the inline fallback must kick in.
+        parallelFor(pool, 100,
+                    [&](std::size_t) { ++inner_total; });
+    });
+    EXPECT_EQ(inner_total.load(), 800);
+}
+
+TEST(GlobalPool, ThreadCountKnobRebuildsThePool)
+{
+    const int before = globalThreadCount();
+    setGlobalThreadCount(3);
+    EXPECT_EQ(globalThreadCount(), 3);
+    EXPECT_EQ(globalPool().threads(), 3);
+    setGlobalThreadCount(before);
+    EXPECT_EQ(globalThreadCount(), before);
+}
+
+TEST(GlobalPool, RejectsNonPositiveThreadCount)
+{
+    ScopedCheckFailHandler guard;
+    EXPECT_THROW(setGlobalThreadCount(0), ContractViolation);
+}
+
+TEST(GlobalPool, DefaultThreadCountIsPositive)
+{
+    EXPECT_GE(defaultThreadCount(), 1);
+}
+
+} // namespace

@@ -93,6 +93,72 @@ TEST(CsvLoader, SkipsMalformedRows)
     EXPECT_EQ(loaded.size(), ds.size());  // the junk row is dropped
 }
 
+TEST(CsvLoader, SkipsRowsWithUnterminatedQuote)
+{
+    Dataset ds = originalDataset();
+    std::stringstream buffer;
+    ds.writeCsv(buffer);
+    buffer.clear();
+    buffer.seekp(0, std::ios::end);
+    // The unterminated quote swallows every later comma, so the row
+    // parses to the wrong cell count and must be dropped, not crash.
+    buffer << "9,9,\"jupyter,finished,0,0,60,1,2,4,"
+              "0,0,0,0,0,0,0,0,0,0\n";
+    const Dataset loaded = loadDatasetCsv(buffer);
+    EXPECT_EQ(loaded.size(), ds.size());
+}
+
+/** Serialize, then rewrite every line ending as CRLF. */
+std::string
+toCrlf(const Dataset &ds)
+{
+    std::stringstream buffer;
+    ds.writeCsv(buffer);
+    std::string crlf;
+    for (char ch : buffer.str()) {
+        if (ch == '\n')
+            crlf += '\r';
+        crlf += ch;
+    }
+    return crlf;
+}
+
+TEST(CsvLoader, CrlfLineEndingsRoundTrip)
+{
+    const Dataset original = originalDataset();
+    std::istringstream is(toCrlf(original));
+    const Dataset loaded = loadDatasetCsv(is);
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i) {
+        const auto &o = original.records()[i];
+        const auto &l = loaded.records()[i];
+        EXPECT_EQ(l.id, o.id);
+        EXPECT_EQ(l.terminal, o.terminal);
+        EXPECT_EQ(l.gpus, o.gpus);
+        EXPECT_NEAR(l.meanPowerWatts(), o.meanPowerWatts(), 0.1);
+    }
+}
+
+TEST(CsvLoader, BlankCrlfLinesAreSkipped)
+{
+    const Dataset original = originalDataset();
+    std::string text = toCrlf(original);
+    text += "\r\n\r\n";  // trailing blank CRLF lines
+    std::istringstream is(text);
+    const Dataset loaded = loadDatasetCsv(is);
+    EXPECT_EQ(loaded.size(), original.size());
+}
+
+TEST(CsvLoader, Utf8BomBeforeHeaderIsTolerated)
+{
+    const Dataset original = originalDataset();
+    std::stringstream buffer;
+    original.writeCsv(buffer);
+    std::istringstream is("\xef\xbb\xbf" + buffer.str());
+    const Dataset loaded = loadDatasetCsv(is);
+    EXPECT_EQ(loaded.size(), original.size());
+}
+
 TEST(CsvLoader, EnumParsersRoundTrip)
 {
     for (int i = 0; i < num_interfaces; ++i) {

@@ -87,5 +87,27 @@ TEST(Dataset, ConstructFromVector)
     EXPECT_FALSE(ds.empty());
 }
 
+TEST(Dataset, ShardsPartitionTheRecordsInOrder)
+{
+    const Dataset ds = mixedDataset();
+    const auto shards = ds.shards();
+    ASSERT_FALSE(shards.empty());
+    std::size_t i = 0;
+    for (const auto &shard : shards) {
+        for (const JobRecord &r : shard) {
+            ASSERT_LT(i, ds.size());
+            EXPECT_EQ(&r, &ds.records()[i]);
+            ++i;
+        }
+    }
+    EXPECT_EQ(i, ds.size());
+}
+
+TEST(Dataset, EmptyDatasetHasNoShards)
+{
+    const Dataset ds;
+    EXPECT_TRUE(ds.shards().empty());
+}
+
 } // namespace
 } // namespace aiwc::core

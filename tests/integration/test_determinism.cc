@@ -17,6 +17,14 @@
 #include <cstdint>
 #include <sstream>
 
+#include "aiwc/common/parallel.hh"
+#include "aiwc/core/bottleneck_analyzer.hh"
+#include "aiwc/core/correlation_analyzer.hh"
+#include "aiwc/core/lifecycle_analyzer.hh"
+#include "aiwc/core/power_analyzer.hh"
+#include "aiwc/core/service_time_analyzer.hh"
+#include "aiwc/core/user_behavior_analyzer.hh"
+#include "aiwc/core/utilization_analyzer.hh"
 #include "aiwc/workload/trace_synthesizer.hh"
 
 namespace aiwc
@@ -104,6 +112,106 @@ TEST(Determinism, DigestIsOrderAndValueSensitive)
     EXPECT_NE(fnv1a("a|b"), fnv1a("b|a"));
     EXPECT_NE(fnv1a("1.0"), fnv1a("1.1"));
     EXPECT_EQ(fnv1a("stable"), fnv1a("stable"));
+}
+
+/**
+ * Digest of a full analysis pass: every analyzer that fans work across
+ * the pool contributes its report, serialized as hexfloat so a single
+ * ULP of thread-count-dependent drift flips the hash.
+ */
+std::uint64_t
+analysisDigest(const core::Dataset &dataset)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+
+    const auto util = core::UtilizationAnalyzer().analyze(dataset);
+    for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+        os << util.sm_pct.quantile(q) << '|'
+           << util.membw_pct.quantile(q) << '|'
+           << util.memsize_pct.quantile(q) << '|';
+    }
+
+    const auto service = core::ServiceTimeAnalyzer().analyze(dataset);
+    for (double q : {0.25, 0.5, 0.75, 0.95}) {
+        os << service.gpu_runtime_min.quantile(q) << '|'
+           << service.gpu_wait_s.quantile(q) << '|'
+           << service.cpu_runtime_min.quantile(q) << '|';
+    }
+
+    const auto life = core::LifecycleAnalyzer().analyze(dataset);
+    for (int c = 0; c < num_lifecycles; ++c) {
+        const auto i = static_cast<std::size_t>(c);
+        os << life.job_mix[i] << '|' << life.hour_mix[i] << '|'
+           << life.median_runtime_min[i] << '|';
+    }
+    for (const auto &u : life.users)
+        os << u.user << ':' << u.jobs << ':' << u.gpu_hours << '|';
+
+    const auto bottleneck = core::BottleneckAnalyzer().analyze(dataset);
+    for (double s : bottleneck.single)
+        os << s << '|';
+    for (double p : bottleneck.pairs)
+        os << p << '|';
+
+    const auto power = core::PowerAnalyzer().analyze(dataset);
+    for (double q : {0.5, 0.9, 0.99})
+        os << power.avg_watts.quantile(q) << '|'
+           << power.max_watts.quantile(q) << '|';
+
+    const auto users = core::UserBehaviorAnalyzer().analyze(dataset);
+    for (const auto &u : users.users) {
+        os << u.user << ':' << u.jobs << ':' << u.gpu_hours << ':'
+           << u.avg_sm_pct << ':' << u.runtime_cov_pct << '|';
+    }
+
+    const auto corr = core::CorrelationAnalyzer().analyze(users.users);
+    for (const auto &f : corr.by_jobs.features)
+        os << f.coefficient << '|';
+    for (const auto &f : corr.by_gpu_hours.features)
+        os << f.coefficient << '|';
+
+    return fnv1a(os.str());
+}
+
+TEST(Determinism, AnalysisDigestIsThreadCountInvariant)
+{
+    // The tentpole guarantee: parallelReduce merges per-shard
+    // accumulators in shard-index order, so 1 thread and 8 threads
+    // must produce bit-identical analysis output. This covers every
+    // parallelized analyzer end to end.
+    const auto trace = synthesize(1234);
+    const int before = globalThreadCount();
+
+    setGlobalThreadCount(1);
+    const auto serial = analysisDigest(trace.dataset);
+    setGlobalThreadCount(8);
+    const auto threaded = analysisDigest(trace.dataset);
+    setGlobalThreadCount(before);
+
+    EXPECT_EQ(serial, threaded);
+}
+
+TEST(Determinism, SynthesisIsThreadCountInvariant)
+{
+    // Replicate fan-out must not perturb the traces themselves.
+    const int before = globalThreadCount();
+    const auto profile = workload::CalibrationProfile::supercloud();
+    workload::SynthesisOptions options;
+    options.scale = 0.02;
+    const workload::TraceSynthesizer synthesizer(profile, options);
+
+    setGlobalThreadCount(1);
+    const auto serial = synthesizer.runReplicates(2);
+    setGlobalThreadCount(8);
+    const auto threaded = synthesizer.runReplicates(2);
+    setGlobalThreadCount(before);
+
+    ASSERT_EQ(serial.size(), threaded.size());
+    for (std::size_t r = 0; r < serial.size(); ++r) {
+        EXPECT_EQ(completionDigest(serial[r].dataset),
+                  completionDigest(threaded[r].dataset));
+    }
 }
 
 } // namespace

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "aiwc/common/check.hh"
 #include "aiwc/stats/histogram.hh"
 
 namespace aiwc::stats
@@ -62,6 +63,50 @@ TEST(Histogram, ModeBin)
     h.add(1.5);
     h.add(1.6);
     EXPECT_EQ(h.modeBin(), 1u);
+}
+
+TEST(Histogram, MergeAddsCountsAndTotals)
+{
+    Histogram a(4, 0.0, 8.0);
+    a.add(1.0);
+    a.add(3.0, 2.0);
+    Histogram b(4, 0.0, 8.0);
+    b.add(3.5);
+    b.add(7.0, 4.0);
+
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.count(0), 1.0);
+    EXPECT_DOUBLE_EQ(a.count(1), 3.0);
+    EXPECT_DOUBLE_EQ(a.count(3), 4.0);
+    EXPECT_DOUBLE_EQ(a.total(), 8.0);
+}
+
+TEST(Histogram, MergeMatchesSequentialAdds)
+{
+    // merge() must be indistinguishable from having added the samples
+    // to one histogram — the property parallelReduce relies on.
+    Histogram whole(5, 0.0, 10.0);
+    Histogram left(5, 0.0, 10.0), right(5, 0.0, 10.0);
+    const double samples[] = {0.5, 2.2, 4.4, 6.6, 8.8, 9.9};
+    for (std::size_t i = 0; i < 6; ++i) {
+        whole.add(samples[i], static_cast<double>(i + 1));
+        (i < 3 ? left : right).add(samples[i],
+                                   static_cast<double>(i + 1));
+    }
+    left.merge(right);
+    for (std::size_t i = 0; i < whole.bins(); ++i)
+        EXPECT_DOUBLE_EQ(left.count(i), whole.count(i));
+    EXPECT_DOUBLE_EQ(left.total(), whole.total());
+}
+
+TEST(Histogram, MergeRejectsMismatchedGeometry)
+{
+    ScopedCheckFailHandler guard;
+    Histogram a(4, 0.0, 8.0);
+    Histogram bins(5, 0.0, 8.0);
+    Histogram range(4, 0.0, 9.0);
+    EXPECT_THROW(a.merge(bins), ContractViolation);
+    EXPECT_THROW(a.merge(range), ContractViolation);
 }
 
 } // namespace
