@@ -131,6 +131,7 @@ int
 main(int argc, char **argv)
 {
     aiwc::bench::applyThreadFlag(&argc, argv);
+    aiwc::bench::applyReportFlag(&argc, argv);
     aiwc::bench::printBanner(std::cout, "parallel scaling");
 
     const core::Dataset &data = aiwc::bench::dataset();
@@ -153,6 +154,10 @@ main(int argc, char **argv)
             setGlobalThreadCount(thread_counts[t]);
             std::uint64_t digest = 0;
             ms.push_back(timeKernel(kernel, data, reps, digest));
+            aiwc::bench::addReportEntry(
+                std::string(kernel.name) + "/" +
+                    std::to_string(thread_counts[t]) + "T",
+                ms.back());
             if (t == 0)
                 base_digest = digest;
             else if (digest != base_digest)
@@ -172,5 +177,10 @@ main(int argc, char **argv)
               << "\nthread-count invariance: "
               << (deterministic ? "PASS" : "FAIL")
               << " (FNV-1a digests identical across 1/2/4/8 threads)\n";
-    return deterministic ? 0 : 1;
+
+    aiwc::bench::reportExtras()["thread_invariance"] =
+        deterministic ? "true" : "false";
+    const bool report_ok =
+        aiwc::bench::writeBenchReport("bench_parallel_scaling");
+    return deterministic && report_ok ? 0 : 1;
 }

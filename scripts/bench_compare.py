@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Diff two aiwc BENCH_report.json files and flag perf regressions.
+
+Usage:
+    scripts/bench_compare.py [options] BASELINE CANDIDATE
+
+Any bench binary writes a report with `--json[=path]` (see bench/
+bench_common.hh); CI's perf-smoke job compares the fresh report against
+the checked-in bench/baseline.json.
+
+Comparison rules:
+  * Wall times are compared per entry name. An entry regresses when
+    candidate/baseline exceeds --threshold (default 1.5, i.e. 50%
+    slower) AND at least one side is --min-ms or more (default 5 ms) —
+    entries that are tiny on both sides are too noisy to gate on, but
+    a tiny entry blowing up past the floor still counts.
+  * Deterministic work counters from the metrics snapshot (names ending
+    in `.rows`, plus sim.events_fired / workload.jobs_generated) must
+    match exactly when both reports used the same scale+seed: a
+    mismatch means the tree now does *different work*, which a timing
+    threshold would hide. Counter drift is reported as a warning.
+  * Reports from different configurations (scale/seed) are not
+    comparable; the script says so and exits 0.
+
+Exit status: 1 when any wall-time regression was found and --warn-only
+was not given; 0 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+# Metrics-snapshot counters that are a pure function of (scale, seed):
+# exact-match material, unlike anything timing- or thread-derived.
+DETERMINISTIC_COUNTER_SUFFIXES = (".rows", ".runs")
+DETERMINISTIC_COUNTERS = {
+    "sim.events_fired",
+    "workload.jobs_generated",
+    "workload.synthesis_runs",
+    "sched.jobs_started",
+    "sched.jobs_finished",
+    "sched.backfill_hits",
+}
+
+SCHEMA = "aiwc-bench-report-v1"
+
+
+def load_report(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        sys.exit(f"bench_compare: cannot read {path}: {exc}")
+    if report.get("schema") != SCHEMA:
+        sys.exit(
+            f"bench_compare: {path} is not a {SCHEMA} report "
+            f"(schema={report.get('schema')!r})"
+        )
+    return report
+
+
+def is_deterministic_counter(name):
+    return name in DETERMINISTIC_COUNTERS or name.endswith(
+        DETERMINISTIC_COUNTER_SUFFIXES
+    )
+
+
+def compare_counters(base, cand):
+    """Yield (name, base_value, cand_value) for drifted counters."""
+    base_counters = base.get("metrics", {}).get("counters", {})
+    cand_counters = cand.get("metrics", {}).get("counters", {})
+    for name in sorted(set(base_counters) & set(cand_counters)):
+        if not is_deterministic_counter(name):
+            continue
+        if base_counters[name] != cand_counters[name]:
+            yield name, base_counters[name], cand_counters[name]
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("baseline", help="baseline BENCH_report.json")
+    parser.add_argument("candidate", help="candidate BENCH_report.json")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.5,
+        help="regression ratio: candidate/baseline above this fails "
+        "(default %(default)s)",
+    )
+    parser.add_argument(
+        "--min-ms",
+        type=float,
+        default=5.0,
+        help="ignore entries below this wall time on both sides "
+        "(default %(default)s ms; they are noise)",
+    )
+    parser.add_argument(
+        "--warn-only",
+        action="store_true",
+        help="report regressions but always exit 0 (CI soft-launch)",
+    )
+    args = parser.parse_args()
+    if args.threshold <= 1.0:
+        parser.error("--threshold must be > 1.0")
+
+    base = load_report(args.baseline)
+    cand = load_report(args.candidate)
+
+    print(
+        f"baseline:  {args.baseline} "
+        f"(git {base.get('git_sha', '?')}, scale {base.get('scale')}, "
+        f"seed {base.get('seed')})"
+    )
+    print(
+        f"candidate: {args.candidate} "
+        f"(git {cand.get('git_sha', '?')}, scale {cand.get('scale')}, "
+        f"seed {cand.get('seed')})"
+    )
+
+    for key in ("bench", "scale", "seed"):
+        if base.get(key) != cand.get(key):
+            print(
+                f"reports are not comparable: {key} differs "
+                f"({base.get(key)!r} vs {cand.get(key)!r}); nothing to do"
+            )
+            return 0
+
+    base_entries = {e["name"]: e for e in base.get("entries", [])}
+    cand_entries = {e["name"]: e for e in cand.get("entries", [])}
+
+    regressions, improvements, warnings = [], [], []
+    width = max((len(n) for n in base_entries), default=10)
+    print(f"\n{'entry':<{width}}  {'base ms':>10}  {'cand ms':>10}  ratio")
+    for name in sorted(base_entries):
+        if name not in cand_entries:
+            warnings.append(f"entry '{name}' missing from candidate")
+            continue
+        b = base_entries[name]["wall_ms"]
+        c = cand_entries[name]["wall_ms"]
+        ratio = c / b if b > 0 else float("inf")
+        significant = max(b, c) >= args.min_ms
+        verdict = ""
+        if significant and ratio > args.threshold:
+            verdict = "  REGRESSION"
+            regressions.append(name)
+        elif significant and ratio < 1.0 / args.threshold:
+            verdict = "  improved"
+            improvements.append(name)
+        print(f"{name:<{width}}  {b:>10.2f}  {c:>10.2f}  {ratio:>5.2f}{verdict}")
+    for name in sorted(set(cand_entries) - set(base_entries)):
+        warnings.append(f"entry '{name}' is new (no baseline)")
+
+    for name, b, c in compare_counters(base, cand):
+        warnings.append(
+            f"deterministic counter '{name}' drifted: {b} -> {c} "
+            "(the tree now does different work)"
+        )
+
+    print()
+    for message in warnings:
+        print(f"warning: {message}")
+    print(
+        f"{len(regressions)} regression(s), {len(improvements)} "
+        f"improvement(s), {len(warnings)} warning(s) "
+        f"[threshold {args.threshold}x, min {args.min_ms} ms]"
+    )
+    if regressions and not args.warn_only:
+        return 1
+    if regressions:
+        print("warn-only mode: exiting 0 despite regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,6 +21,9 @@ ThreadPool::ThreadPool(int threads) : threads_(threads)
 {
     AIWC_CHECK(threads >= 1, "thread pool needs >= 1 worker, got ",
                threads);
+    obs::MetricsRegistry::global()
+        .gauge("parallel.pool_threads")
+        .set(threads);
     workers_.reserve(static_cast<std::size_t>(threads));
     for (int i = 0; i < threads; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -64,7 +67,20 @@ ThreadPool::workerLoop()
             task = std::move(queue_.front());
             queue_.pop_front();
         }
+        // Occupancy is sampled at task start: the distribution of "how
+        // many workers were busy when work landed" is the pool's
+        // utilization figure (all-buckets-at-threads == saturated).
+        static obs::Histogram &occupancy =
+            obs::MetricsRegistry::global().histogram(
+                "parallel.pool_occupancy");
+        static obs::Counter &tasks =
+            obs::MetricsRegistry::global().counter(
+                "parallel.tasks_executed");
+        const int busy = active_.fetch_add(1, std::memory_order_relaxed);
+        occupancy.observe(static_cast<std::uint64_t>(busy) + 1);
+        tasks.add(1);
         task();
+        active_.fetch_sub(1, std::memory_order_relaxed);
     }
 }
 
@@ -116,6 +132,22 @@ globalThreadCount()
 
 namespace detail
 {
+
+obs::Histogram &
+shardNsHistogram()
+{
+    static obs::Histogram &hist =
+        obs::MetricsRegistry::global().histogram("parallel.shard_ns");
+    return hist;
+}
+
+obs::Counter &
+shardsExecutedCounter()
+{
+    static obs::Counter &counter =
+        obs::MetricsRegistry::global().counter("parallel.shards_executed");
+    return counter;
+}
 
 std::vector<ShardRange>
 shardRanges(std::size_t n, std::size_t max_shards)

@@ -4,6 +4,7 @@
 
 #include "aiwc/common/logging.hh"
 #include "aiwc/common/parallel.hh"
+#include "aiwc/obs/trace.hh"
 
 namespace aiwc::core
 {
@@ -50,6 +51,7 @@ BottleneckAnalyzer::analyze(const Dataset &dataset) const
 {
     BottleneckReport report;
     const auto jobs = dataset.gpuJobs();
+    obs::AnalyzerScope scope("bottleneck", jobs.size());
     report.jobs = jobs.size();
     if (jobs.empty())
         return report;

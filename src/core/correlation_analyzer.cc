@@ -1,6 +1,7 @@
 #include "aiwc/core/correlation_analyzer.hh"
 
 #include "aiwc/common/parallel.hh"
+#include "aiwc/obs/trace.hh"
 
 namespace aiwc::core
 {
@@ -30,6 +31,7 @@ CorrelationReport
 CorrelationAnalyzer::analyze(
     const std::vector<UserSummary> &summaries) const
 {
+    obs::AnalyzerScope scope("correlation", summaries.size());
     std::vector<double> jobs, hours;
     std::array<std::vector<double>, num_user_features> features;
     for (const auto &u : summaries) {

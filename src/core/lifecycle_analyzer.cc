@@ -3,6 +3,7 @@
 #include <map>
 
 #include "aiwc/common/parallel.hh"
+#include "aiwc/obs/trace.hh"
 
 namespace aiwc::core
 {
@@ -53,6 +54,7 @@ LifecycleAnalyzer::analyze(const Dataset &dataset) const
 {
     LifecycleReport report;
     const auto jobs = dataset.gpuJobs();
+    obs::AnalyzerScope scope("lifecycle", jobs.size());
     if (jobs.empty())
         return report;
 

@@ -3,6 +3,7 @@
 #include <map>
 
 #include "aiwc/common/logging.hh"
+#include "aiwc/obs/trace.hh"
 #include "aiwc/stats/descriptive.hh"
 
 namespace aiwc::core
@@ -58,6 +59,7 @@ MultiGpuAnalyzer::analyze(const Dataset &dataset) const
 {
     MultiGpuReport report;
     const auto jobs = dataset.gpuJobs();
+    obs::AnalyzerScope scope("multi_gpu", jobs.size());
     if (jobs.empty())
         return report;
 

@@ -1,5 +1,6 @@
 #include "aiwc/core/phase_analyzer.hh"
 
+#include "aiwc/obs/trace.hh"
 #include "aiwc/stats/descriptive.hh"
 
 namespace aiwc::core
@@ -8,6 +9,7 @@ namespace aiwc::core
 PhaseReport
 PhaseAnalyzer::analyze(const Dataset &dataset) const
 {
+    obs::AnalyzerScope scope("phase", dataset.gpuJobs().size());
     std::vector<double> active_frac, idle_cov, active_cov, sm_cov,
         membw_cov, memsize_cov;
 

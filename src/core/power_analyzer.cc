@@ -1,6 +1,7 @@
 #include "aiwc/core/power_analyzer.hh"
 
 #include "aiwc/common/parallel.hh"
+#include "aiwc/obs/trace.hh"
 
 namespace aiwc::core
 {
@@ -20,6 +21,7 @@ PowerReport
 PowerAnalyzer::analyze(const Dataset &dataset) const
 {
     const auto jobs = dataset.gpuJobs();
+    obs::AnalyzerScope scope("power", jobs.size());
     auto series = parallelReduce(
         globalPool(), jobs.size(), PowerSeries{},
         [&](PowerSeries &acc, std::size_t i) {

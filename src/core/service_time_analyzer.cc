@@ -1,6 +1,7 @@
 #include "aiwc/core/service_time_analyzer.hh"
 
 #include "aiwc/common/parallel.hh"
+#include "aiwc/obs/trace.hh"
 
 namespace aiwc::core
 {
@@ -47,6 +48,7 @@ collect(const std::vector<const JobRecord *> &jobs)
 ServiceTimeReport
 ServiceTimeAnalyzer::analyze(const Dataset &dataset) const
 {
+    obs::AnalyzerScope scope("service_time", dataset.size());
     ServiceSeries gpu = collect(dataset.gpuJobs());
     ServiceSeries cpu = collect(dataset.cpuJobs());
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "aiwc/common/logging.hh"
+#include "aiwc/obs/trace.hh"
 #include "aiwc/stats/descriptive.hh"
 
 namespace aiwc::core
@@ -38,6 +39,7 @@ TimelineReport::deadlineSurge(const std::vector<double> &deadline_days,
 TimelineReport
 TimelineAnalyzer::analyze(const Dataset &dataset) const
 {
+    obs::AnalyzerScope scope("timeline", dataset.size());
     AIWC_ASSERT(bin_width_ > 0.0, "bin width must be positive");
     TimelineReport report;
     report.bin_width = bin_width_;

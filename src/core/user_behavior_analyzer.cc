@@ -1,6 +1,7 @@
 #include "aiwc/core/user_behavior_analyzer.hh"
 
 #include "aiwc/common/parallel.hh"
+#include "aiwc/obs/trace.hh"
 #include "aiwc/stats/descriptive.hh"
 #include "aiwc/stats/share_curve.hh"
 
@@ -58,6 +59,7 @@ UserBehaviorAnalyzer::summarize(const Dataset &dataset) const
 UserBehaviorReport
 UserBehaviorAnalyzer::analyze(const Dataset &dataset) const
 {
+    obs::AnalyzerScope scope("user_behavior", dataset.gpuJobs().size());
     UserBehaviorReport report;
     report.users = summarize(dataset);
 

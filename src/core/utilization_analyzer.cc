@@ -2,6 +2,7 @@
 
 #include "aiwc/common/logging.hh"
 #include "aiwc/common/parallel.hh"
+#include "aiwc/obs/trace.hh"
 
 namespace aiwc::core
 {
@@ -47,6 +48,7 @@ UtilizationReport
 UtilizationAnalyzer::analyze(const Dataset &dataset) const
 {
     const auto jobs = dataset.gpuJobs();
+    obs::AnalyzerScope scope("utilization", jobs.size());
     auto series = parallelReduce(
         globalPool(), jobs.size(), UtilizationSeries{},
         [&](UtilizationSeries &acc, std::size_t i) {
@@ -94,6 +96,7 @@ InterfaceUtilization
 UtilizationAnalyzer::analyzeByInterface(const Dataset &dataset) const
 {
     const auto jobs = dataset.gpuJobs();
+    obs::AnalyzerScope scope("utilization_by_interface", jobs.size());
     auto acc = parallelReduce(
         globalPool(), jobs.size(), InterfaceSeries{},
         [&](InterfaceSeries &a, std::size_t j) {

@@ -27,6 +27,7 @@
 #ifndef AIWC_COMMON_PARALLEL_HH
 #define AIWC_COMMON_PARALLEL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -38,6 +39,7 @@
 #include <vector>
 
 #include "aiwc/common/check.hh"
+#include "aiwc/obs/trace.hh"
 
 namespace aiwc
 {
@@ -82,6 +84,8 @@ class ThreadPool
     std::mutex mutex_;
     std::condition_variable cv_;
     bool stop_ = false;
+    /** Workers currently inside a task (pool-occupancy metric). */
+    std::atomic<int> active_{0};
 };
 
 /**
@@ -134,6 +138,14 @@ std::vector<ShardRange> shardRanges(std::size_t n,
                                     std::size_t max_shards =
                                         default_shards);
 
+/**
+ * Cached registry handles for the shard hot path (defined in
+ * parallel.cc so the template below stays header-only without paying a
+ * registry lookup per shard).
+ */
+obs::Histogram &shardNsHistogram();
+obs::Counter &shardsExecutedCounter();
+
 /** Countdown latch for one batch of shard tasks. */
 class TaskGroup
 {
@@ -174,10 +186,13 @@ runShards(ThreadPool &pool, const std::vector<ShardRange> &shards,
 {
     if (shards.empty())
         return;
+    shardsExecutedCounter().add(shards.size());
     if (pool.threads() <= 1 || shards.size() == 1 ||
         ThreadPool::onWorkerThread()) {
-        for (const ShardRange &s : shards)
+        for (const ShardRange &s : shards) {
+            obs::ScopedTimer timer(shardNsHistogram(), "parallel.shard");
             fn(s);
+        }
         return;
     }
     TaskGroup group(shards.size());
@@ -185,6 +200,8 @@ runShards(ThreadPool &pool, const std::vector<ShardRange> &shards,
     for (const ShardRange &s : shards) {
         pool.submit([&fn, &group, &errors, s] {
             try {
+                obs::ScopedTimer timer(shardNsHistogram(),
+                                       "parallel.shard");
                 fn(s);
             } catch (...) {
                 errors[s.index] = std::current_exception();

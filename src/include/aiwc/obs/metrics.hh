@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Self-observability metrics: counters, gauges, and histograms behind a
+ * process-wide registry.
+ *
+ * The paper is a measurement study; this module points the same
+ * discipline back at the pipeline itself. Every hot layer (simulator,
+ * scheduler, thread pool, analyzers, synthesizer) registers named
+ * metrics here, and each run can export a machine-readable snapshot
+ * that the bench harness embeds in BENCH_report.json.
+ *
+ * Design contract:
+ *
+ *  - The *update* path is lock-free: counters, gauges, and histogram
+ *    buckets are relaxed atomics, safe to hammer from every pool worker
+ *    with no contention beyond the cache line.
+ *  - The *registration* path (name -> metric lookup) takes a mutex, so
+ *    callers cache the returned reference — typically in a
+ *    function-local static — and pay the lock once per process.
+ *  - Snapshots iterate a std::map, so export order is the sorted name
+ *    order: byte-identical JSON for identical metric values, which is
+ *    what lets bench_compare.py diff two runs.
+ *  - Metrics never feed back into analysis results; instrumentation is
+ *    behavior-neutral by construction (the determinism harness checks
+ *    this end to end).
+ */
+
+#ifndef AIWC_OBS_METRICS_HH
+#define AIWC_OBS_METRICS_HH
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace aiwc::obs
+{
+
+/** Monotone event count (jobs started, events fired, rows scanned). */
+class Counter
+{
+  public:
+    void
+    add(std::uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value (pool size, config knobs). */
+class Gauge
+{
+  public:
+    void
+    set(std::int64_t v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    void
+    add(std::int64_t delta)
+    {
+        value_.fetch_add(delta, std::memory_order_relaxed);
+    }
+
+    std::int64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::int64_t> value_{0};
+};
+
+/**
+ * Log2-bucketed histogram of non-negative integer samples — typically
+ * nanoseconds of latency or a queue depth. Bucket b counts samples
+ * whose bit width is b (i.e. values in [2^(b-1), 2^b)), so 64 buckets
+ * cover the full uint64 range at ~2x resolution, which is plenty for
+ * "did this hot path get 50% slower" questions while keeping observe()
+ * at two relaxed increments plus two CAS-free extrema updates.
+ */
+class Histogram
+{
+  public:
+    static constexpr std::size_t num_buckets = 65;
+
+    void observe(std::uint64_t v);
+
+    std::uint64_t
+    count() const
+    {
+        return count_.load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    sum() const
+    {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    /** Smallest observed sample; 0 when empty. */
+    std::uint64_t min() const;
+
+    /** Largest observed sample; 0 when empty. */
+    std::uint64_t
+    max() const
+    {
+        return max_.load(std::memory_order_relaxed);
+    }
+
+    double
+    mean() const
+    {
+        const std::uint64_t n = count();
+        return n == 0 ? 0.0
+                      : static_cast<double>(sum()) /
+                            static_cast<double>(n);
+    }
+
+    /**
+     * Bucket-resolution quantile estimate: the upper bound of the
+     * bucket holding the q-th sample. @param q in [0, 1].
+     */
+    std::uint64_t quantile(double q) const;
+
+    void reset();
+
+  private:
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> sum_{0};
+    std::atomic<std::uint64_t> min_{~0ull};
+    std::atomic<std::uint64_t> max_{0};
+    std::array<std::atomic<std::uint64_t>, num_buckets> buckets_{};
+};
+
+/** One metric's value at snapshot time, already formatted for export. */
+struct MetricSample
+{
+    enum class Kind { Counter, Gauge, Histogram };
+
+    std::string name;
+    Kind kind = Kind::Counter;
+    std::int64_t value = 0;  //!< counter/gauge value
+    // Histogram summary (valid when kind == Histogram).
+    std::uint64_t count = 0, sum = 0, min = 0, max = 0;
+    std::uint64_t p50 = 0, p90 = 0, p99 = 0;
+};
+
+/**
+ * Name -> metric map with get-or-create semantics. counter()/gauge()/
+ * histogram() return a reference that stays valid for the registry's
+ * lifetime; re-registering a name returns the same object, and asking
+ * for an existing name with a different kind fails an AIWC_CHECK.
+ */
+class MetricsRegistry
+{
+  public:
+    /** The process-wide registry every subsystem records into. */
+    static MetricsRegistry &global();
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    Histogram &histogram(const std::string &name);
+
+    /** All metrics in sorted-name order (deterministic). */
+    std::vector<MetricSample> snapshot() const;
+
+    /**
+     * JSON export, e.g.
+     * {"counters":{"sim.events_fired":12},
+     *  "gauges":{"parallel.pool_threads":8},
+     *  "histograms":{"sched.pass_ns":{"count":3,...,"p99":1024}}}
+     * Keys are sorted; identical values produce identical bytes.
+     */
+    void writeJson(std::ostream &os) const;
+
+    /**
+     * Zero every registered metric (registrations survive). For tests
+     * and the bench harness, which want per-run deltas from a registry
+     * that other code has already used.
+     */
+    void resetValues();
+
+  private:
+    enum class Kind { Counter, Gauge, Histogram };
+
+    struct Entry
+    {
+        Kind kind;
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+
+    Entry &lookup(const std::string &name, Kind kind);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> metrics_;
+};
+
+} // namespace aiwc::obs
+
+#endif // AIWC_OBS_METRICS_HH

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Chrome trace_event spans and RAII timers for the pipeline's hot
+ * layers.
+ *
+ * Setting AIWC_TRACE=<path> makes every run write a Chrome
+ * trace_event JSON file at process exit — load it in chrome://tracing
+ * or Perfetto to see the simulator replay, scheduler passes, parallel
+ * shards, and analyzer passes on a per-thread timeline. Tests drive
+ * the same machinery programmatically with setTraceEnabled() +
+ * writeTrace().
+ *
+ * Cost model: when tracing is disabled (the default), a TraceSpan is a
+ * branch on one relaxed atomic — no clock read, no allocation — so
+ * instrumentation can stay compiled into release builds. When enabled,
+ * spans append to per-thread buffers (one uncontended mutex each) and
+ * nothing is written until flush time, so the recorded timings are not
+ * perturbed by I/O.
+ *
+ * Instrumentation never feeds back into analysis results: enabling or
+ * disabling tracing must not change a single output bit (checked by
+ * the determinism harness).
+ */
+
+#ifndef AIWC_OBS_TRACE_HH
+#define AIWC_OBS_TRACE_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+
+#include "aiwc/obs/metrics.hh"
+
+namespace aiwc::obs
+{
+
+/**
+ * True when span collection is on. First call also honors the
+ * AIWC_TRACE environment variable: when set to a path, collection
+ * starts and the trace is written there at process exit.
+ */
+bool traceEnabled();
+
+/** Turn span collection on/off programmatically (tests, tools). */
+void setTraceEnabled(bool on);
+
+/** Drop every buffered event (does not change enablement). */
+void clearTraceEvents();
+
+/** Number of events currently buffered across all threads. */
+std::size_t traceEventCount();
+
+/**
+ * Serialize the buffered events as Chrome trace_event JSON
+ * ({"traceEvents":[...]}). Events are sorted by (timestamp, thread),
+ * so equal inputs produce identical bytes. Does not clear the buffer.
+ */
+void writeTrace(std::ostream &os);
+
+/** writeTrace() to a file; returns false (with a warning) on I/O error. */
+bool writeTraceFile(const std::string &path);
+
+/** Nanoseconds since the process's trace epoch (steady clock). */
+std::uint64_t traceNowNs();
+
+namespace detail
+{
+/** Append one complete ("X") event to the calling thread's buffer. */
+void recordSpan(std::string name, std::uint64_t start_ns,
+                std::uint64_t dur_ns);
+} // namespace detail
+
+/**
+ * RAII span: names the enclosed scope on the calling thread's trace
+ * track. Inert (no clock read) when tracing is disabled.
+ */
+class TraceSpan
+{
+  public:
+    explicit TraceSpan(const char *name) : TraceSpan(std::string(name)) {}
+
+    explicit TraceSpan(std::string name)
+    {
+        if (traceEnabled()) {
+            name_ = std::move(name);
+            start_ns_ = traceNowNs();
+            active_ = true;
+        }
+    }
+
+    /** Close the span early (phase-style spans); idempotent. */
+    void
+    end()
+    {
+        if (active_) {
+            active_ = false;
+            detail::recordSpan(std::move(name_), start_ns_,
+                               traceNowNs() - start_ns_);
+        }
+    }
+
+    ~TraceSpan() { end(); }
+
+    TraceSpan(const TraceSpan &) = delete;
+    TraceSpan &operator=(const TraceSpan &) = delete;
+
+  private:
+    std::string name_;
+    std::uint64_t start_ns_ = 0;
+    bool active_ = false;
+};
+
+/**
+ * RAII timer: folds the scope's wall time (ns) into a Histogram, and —
+ * when a span name is given and tracing is on — also records a span.
+ * The histogram side is always live (two relaxed atomics), which is
+ * what keeps the metrics snapshot meaningful in production runs.
+ */
+class ScopedTimer
+{
+  public:
+    explicit ScopedTimer(Histogram &hist, const char *span_name = nullptr)
+        : hist_(hist), start_ns_(traceNowNs())
+    {
+        if (span_name != nullptr && traceEnabled())
+            span_name_ = span_name;
+    }
+
+    ~ScopedTimer()
+    {
+        const std::uint64_t dur = traceNowNs() - start_ns_;
+        hist_.observe(dur);
+        if (!span_name_.empty())
+            detail::recordSpan(std::move(span_name_), start_ns_, dur);
+    }
+
+    ScopedTimer(const ScopedTimer &) = delete;
+    ScopedTimer &operator=(const ScopedTimer &) = delete;
+
+  private:
+    Histogram &hist_;
+    std::uint64_t start_ns_;
+    std::string span_name_;
+};
+
+/**
+ * Standard instrumentation bundle for one analyzer pass. Registers and
+ * updates, for analyzer `name`:
+ *   analyzer.<name>.runs     counter — passes executed
+ *   analyzer.<name>.rows     counter — records scanned
+ *   analyzer.<name>.wall_ns  histogram — wall time per pass
+ *   analyzer.<name>.cpu_ns   histogram — process CPU time per pass
+ *                            (includes pool workers)
+ * plus a trace span "analyzer.<name>" when tracing is enabled.
+ * CONTRIBUTING.md requires every new analyzer to open one of these.
+ */
+class AnalyzerScope
+{
+  public:
+    AnalyzerScope(const char *name, std::uint64_t rows);
+    ~AnalyzerScope();
+
+    AnalyzerScope(const AnalyzerScope &) = delete;
+    AnalyzerScope &operator=(const AnalyzerScope &) = delete;
+
+  private:
+    std::string name_;
+    std::uint64_t start_wall_ns_;
+    std::uint64_t start_cpu_ns_;
+};
+
+} // namespace aiwc::obs
+
+#endif // AIWC_OBS_TRACE_HH

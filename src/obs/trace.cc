@@ -1,0 +1,299 @@
+#include "aiwc/obs/trace.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <vector>
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::obs
+{
+
+namespace
+{
+
+/** One complete event, timestamps in ns since the trace epoch. */
+struct TraceEvent
+{
+    std::string name;
+    std::uint64_t start_ns = 0;
+    std::uint64_t dur_ns = 0;
+    std::uint32_t tid = 0;
+};
+
+/**
+ * Per-thread event buffer. Owned by the collector (not the thread), so
+ * events survive pool workers joining on setGlobalThreadCount(); the
+ * mutex is uncontended in steady state — only the flush path ever
+ * competes with the owning thread.
+ */
+struct ThreadBuffer
+{
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+};
+
+class TraceCollector
+{
+  public:
+    static TraceCollector &
+    instance()
+    {
+        static TraceCollector collector;
+        return collector;
+    }
+
+    ThreadBuffer &
+    local()
+    {
+        thread_local ThreadBuffer *buffer = nullptr;
+        if (buffer == nullptr) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            auto owned = std::make_unique<ThreadBuffer>();
+            owned->tid = static_cast<std::uint32_t>(buffers_.size());
+            buffer = owned.get();
+            buffers_.push_back(std::move(owned));
+        }
+        return *buffer;
+    }
+
+    std::vector<TraceEvent>
+    collect() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::vector<TraceEvent> all;
+        for (const auto &buffer : buffers_) {
+            std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+            all.insert(all.end(), buffer->events.begin(),
+                       buffer->events.end());
+        }
+        return all;
+    }
+
+    void
+    clear()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (const auto &buffer : buffers_) {
+            std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+            buffer->events.clear();
+        }
+    }
+
+    std::size_t
+    eventCount() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        std::size_t n = 0;
+        for (const auto &buffer : buffers_) {
+            std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+            n += buffer->events.size();
+        }
+        return n;
+    }
+
+  private:
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+std::atomic<bool> trace_on{false};
+std::once_flag env_once;
+std::string env_path;
+
+void
+flushEnvTrace()
+{
+    if (!env_path.empty())
+        writeTraceFile(env_path);
+}
+
+void
+initFromEnv()
+{
+    const char *path = std::getenv("AIWC_TRACE");
+    if (path == nullptr || *path == '\0')
+        return;
+    env_path = path;
+    trace_on.store(true, std::memory_order_relaxed);
+    // Touch the collector before registering the atexit hook so its
+    // static outlives the hook (reverse destruction order).
+    TraceCollector::instance();
+    std::atexit(flushEnvTrace);
+}
+
+/** Minimal JSON string escape for span names. */
+void
+writeEscaped(std::ostream &os, const std::string &s)
+{
+    for (const char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                break;  // drop other control characters
+            os << c;
+        }
+    }
+}
+
+} // namespace
+
+bool
+traceEnabled()
+{
+    std::call_once(env_once, initFromEnv);
+    return trace_on.load(std::memory_order_relaxed);
+}
+
+void
+setTraceEnabled(bool on)
+{
+    std::call_once(env_once, initFromEnv);
+    if (on)
+        TraceCollector::instance();
+    trace_on.store(on, std::memory_order_relaxed);
+}
+
+void
+clearTraceEvents()
+{
+    TraceCollector::instance().clear();
+}
+
+std::size_t
+traceEventCount()
+{
+    return TraceCollector::instance().eventCount();
+}
+
+std::uint64_t
+traceNowNs()
+{
+    using clock = std::chrono::steady_clock;
+    static const clock::time_point epoch = clock::now();
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            clock::now() - epoch)
+            .count());
+}
+
+void
+writeTrace(std::ostream &os)
+{
+    auto events = TraceCollector::instance().collect();
+    std::sort(events.begin(), events.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  if (a.start_ns != b.start_ns)
+                      return a.start_ns < b.start_ns;
+                  if (a.tid != b.tid)
+                      return a.tid < b.tid;
+                  return a.dur_ns > b.dur_ns;  // parents before children
+              });
+    os << "{\"traceEvents\":[";
+    bool first = true;
+    for (const TraceEvent &e : events) {
+        if (!first)
+            os << ',';
+        first = false;
+        // Chrome's ts/dur are microseconds; keep ns precision with a
+        // fixed three-decimal fraction (also keeps output byte-stable).
+        const std::uint64_t ts_us = e.start_ns / 1000;
+        const std::uint64_t ts_frac = e.start_ns % 1000;
+        const std::uint64_t dur_us = e.dur_ns / 1000;
+        const std::uint64_t dur_frac = e.dur_ns % 1000;
+        os << "{\"name\":\"";
+        writeEscaped(os, e.name);
+        os << "\",\"cat\":\"aiwc\",\"ph\":\"X\",\"ts\":" << ts_us << '.'
+           << ts_frac / 100 << (ts_frac / 10) % 10 << ts_frac % 10
+           << ",\"dur\":" << dur_us << '.' << dur_frac / 100
+           << (dur_frac / 10) % 10 << dur_frac % 10
+           << ",\"pid\":1,\"tid\":" << e.tid << '}';
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+bool
+writeTraceFile(const std::string &path)
+{
+    std::ofstream os(path);
+    if (!os) {
+        warn("cannot open trace output '", path, "'");
+        return false;
+    }
+    writeTrace(os);
+    os.flush();
+    if (!os) {
+        warn("failed writing trace output '", path, "'");
+        return false;
+    }
+    inform("wrote Chrome trace to ", path, " (load in chrome://tracing",
+           " or https://ui.perfetto.dev)");
+    return true;
+}
+
+namespace detail
+{
+
+void
+recordSpan(std::string name, std::uint64_t start_ns, std::uint64_t dur_ns)
+{
+    ThreadBuffer &buffer = TraceCollector::instance().local();
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(
+        TraceEvent{std::move(name), start_ns, dur_ns, buffer.tid});
+}
+
+} // namespace detail
+
+namespace
+{
+
+/** Process CPU time in ns (all threads, so pool work is included). */
+std::uint64_t
+processCpuNs()
+{
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+    timespec ts{};
+    if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) == 0) {
+        return static_cast<std::uint64_t>(ts.tv_sec) * 1000000000ull +
+               static_cast<std::uint64_t>(ts.tv_nsec);
+    }
+#endif
+    return static_cast<std::uint64_t>(std::clock()) * 1000ull;
+}
+
+} // namespace
+
+AnalyzerScope::AnalyzerScope(const char *name, std::uint64_t rows)
+    : name_(name), start_wall_ns_(traceNowNs()),
+      start_cpu_ns_(processCpuNs())
+{
+    auto &registry = MetricsRegistry::global();
+    registry.counter("analyzer." + name_ + ".runs").add(1);
+    registry.counter("analyzer." + name_ + ".rows").add(rows);
+}
+
+AnalyzerScope::~AnalyzerScope()
+{
+    const std::uint64_t wall = traceNowNs() - start_wall_ns_;
+    const std::uint64_t cpu = processCpuNs() - start_cpu_ns_;
+    auto &registry = MetricsRegistry::global();
+    registry.histogram("analyzer." + name_ + ".wall_ns").observe(wall);
+    registry.histogram("analyzer." + name_ + ".cpu_ns").observe(cpu);
+    if (traceEnabled())
+        detail::recordSpan("analyzer." + name_, start_wall_ns_, wall);
+}
+
+} // namespace aiwc::obs

@@ -5,9 +5,47 @@
 
 #include "aiwc/common/check.hh"
 #include "aiwc/common/logging.hh"
+#include "aiwc/obs/trace.hh"
 
 namespace aiwc::sched
 {
+
+namespace
+{
+
+/** Cached registry handles for the scheduling hot path. */
+struct SchedMetrics
+{
+    obs::Counter &fast_passes;
+    obs::Counter &backfill_passes;
+    obs::Counter &backfill_attempts;
+    obs::Counter &backfill_hits;
+    obs::Counter &placement_failures;
+    obs::Counter &jobs_started;
+    obs::Counter &jobs_finished;
+    obs::Histogram &pass_ns;
+    obs::Histogram &queue_wait_s;
+
+    static SchedMetrics &
+    get()
+    {
+        auto &r = obs::MetricsRegistry::global();
+        static SchedMetrics metrics{
+            r.counter("sched.fast_passes"),
+            r.counter("sched.backfill_passes"),
+            r.counter("sched.backfill_attempts"),
+            r.counter("sched.backfill_hits"),
+            r.counter("sched.placement_failures"),
+            r.counter("sched.jobs_started"),
+            r.counter("sched.jobs_finished"),
+            r.histogram("sched.pass_ns"),
+            r.histogram("sched.queue_wait_s"),
+        };
+        return metrics;
+    }
+};
+
+} // namespace
 
 SlurmScheduler::SlurmScheduler(sim::Simulation &sim, sim::Cluster &cluster,
                                SchedulerOptions options)
@@ -166,6 +204,13 @@ SlurmScheduler::schedulePass(bool with_backfill)
     if (queue_.empty())
         return;
 
+    SchedMetrics &metrics = SchedMetrics::get();
+    (with_backfill ? metrics.backfill_passes : metrics.fast_passes)
+        .add(1);
+    obs::ScopedTimer pass_timer(metrics.pass_ns,
+                                with_backfill ? "sched.pass.backfill"
+                                              : "sched.pass.fast");
+
     std::stable_sort(queue_.begin(), queue_.end(),
                      [this](JobId a, JobId b) {
                          return priorityKey(job(a)) < priorityKey(job(b));
@@ -176,8 +221,10 @@ SlurmScheduler::schedulePass(bool with_backfill)
     while (!queue_.empty()) {
         const JobId head = queue_.front();
         auto plan = placement_.place(cluster_, job(head).request);
-        if (!plan)
+        if (!plan) {
+            metrics.placement_failures.add(1);
             break;
+        }
         queue_.pop_front();
         start(head, std::move(*plan), /*via_backfill=*/false);
     }
@@ -207,6 +254,7 @@ SlurmScheduler::schedulePass(bool with_backfill)
     for (auto it = std::next(queue_.begin());
          it != queue_.end() && scanned < options_.backfill_depth;) {
         ++scanned;
+        metrics.backfill_attempts.add(1);
         const JobRequest &candidate = job(*it).request;
         if (!mayBackfill(window, candidate, cluster_.spec(), sim_.now())) {
             ++it;
@@ -214,11 +262,13 @@ SlurmScheduler::schedulePass(bool with_backfill)
         }
         auto plan = placement_.place(cluster_, candidate);
         if (!plan) {
+            metrics.placement_failures.add(1);
             ++it;
             continue;
         }
         const JobId id = *it;
         it = queue_.erase(it);
+        metrics.backfill_hits.add(1);
         start(id, std::move(*plan), /*via_backfill=*/true);
     }
 }
@@ -239,6 +289,14 @@ SlurmScheduler::start(JobId id, Allocation plan, bool via_backfill)
     ++stats_.started;
     if (via_backfill)
         ++stats_.backfilled;
+
+    SchedMetrics &metrics = SchedMetrics::get();
+    metrics.jobs_started.add(1);
+    // Queue wait in (integer) sim-seconds: the operator-facing wait
+    // distribution, straight off the scheduler rather than recomputed
+    // by the analyzers afterwards.
+    metrics.queue_wait_s.observe(static_cast<std::uint64_t>(
+        record.start_time - record.request.submit_time));
 
     // Slurm prolog fires as the job launches: this is where the paper
     // starts nvidia-smi / CPU time-series collection.
@@ -265,6 +323,7 @@ SlurmScheduler::finish(JobId id)
     running_.erase(it);
 
     ++stats_.finished;
+    SchedMetrics::get().jobs_finished.add(1);
     stats_.gpu_hours += record.gpuHours();
     if (options_.fairshare) {
         chargeUsage(record.request.user,

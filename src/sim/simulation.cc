@@ -3,9 +3,34 @@
 #include <cmath>
 
 #include "aiwc/common/check.hh"
+#include "aiwc/obs/trace.hh"
 
 namespace aiwc::sim
 {
+
+namespace
+{
+
+/** Cached registry handles for the event-dispatch hot path. */
+struct SimMetrics
+{
+    obs::Counter &events_fired;
+    obs::Histogram &event_ns;
+    obs::Histogram &queue_depth;
+
+    static SimMetrics &
+    get()
+    {
+        static SimMetrics metrics{
+            obs::MetricsRegistry::global().counter("sim.events_fired"),
+            obs::MetricsRegistry::global().histogram("sim.event_ns"),
+            obs::MetricsRegistry::global().histogram("sim.queue_depth"),
+        };
+        return metrics;
+    }
+};
+
+} // namespace
 
 EventId
 Simulation::at(Seconds when, std::function<void()> callback)
@@ -27,6 +52,8 @@ Simulation::after(Seconds delay, std::function<void()> callback)
 std::size_t
 Simulation::run()
 {
+    obs::TraceSpan span("sim.run");
+    SimMetrics &metrics = SimMetrics::get();
     std::size_t fired = 0;
     while (!events_.empty()) {
         // Advance the clock BEFORE dispatching, so the callback (and
@@ -34,7 +61,12 @@ Simulation::run()
         const Seconds next = events_.nextTime();
         AIWC_CHECK_GE(next, now_, "event clock moved backwards");
         now_ = next;
-        events_.popAndRun();
+        metrics.queue_depth.observe(events_.size());
+        {
+            obs::ScopedTimer timer(metrics.event_ns);
+            events_.popAndRun();
+        }
+        metrics.events_fired.add(1);
         ++fired;
     }
     return fired;
@@ -44,12 +76,19 @@ std::size_t
 Simulation::runUntil(Seconds horizon)
 {
     AIWC_CHECK(std::isfinite(horizon), "non-finite horizon: ", horizon);
+    obs::TraceSpan span("sim.runUntil");
+    SimMetrics &metrics = SimMetrics::get();
     std::size_t fired = 0;
     while (!events_.empty() && events_.nextTime() <= horizon) {
         const Seconds next = events_.nextTime();
         AIWC_CHECK_GE(next, now_, "event clock moved backwards");
         now_ = next;
-        events_.popAndRun();
+        metrics.queue_depth.observe(events_.size());
+        {
+            obs::ScopedTimer timer(metrics.event_ns);
+            events_.popAndRun();
+        }
+        metrics.events_fired.add(1);
         ++fired;
     }
     if (now_ < horizon)

@@ -7,6 +7,7 @@
 #include "aiwc/common/check.hh"
 #include "aiwc/common/logging.hh"
 #include "aiwc/common/parallel.hh"
+#include "aiwc/obs/trace.hh"
 #include "aiwc/dist/distributions.hh"
 #include "aiwc/sim/cluster_factory.hh"
 #include "aiwc/sim/simulation.hh"
@@ -103,6 +104,9 @@ TraceSynthesizer::scaledTimeseriesJobs() const
 SynthesisResult
 TraceSynthesizer::run() const
 {
+    obs::TraceSpan run_span("synthesize.run");
+    obs::MetricsRegistry::global().counter("workload.synthesis_runs")
+        .add(1);
     Rng master(options_.seed);
     Rng pop_rng = master.split();
     Rng arrival_rng = master.split();
@@ -188,6 +192,7 @@ TraceSynthesizer::run() const
     jobs.reserve(static_cast<std::size_t>(target_jobs * 11 / 10));
     JobId next_id = 0;
     std::size_t gpu_jobs = 0;
+    obs::TraceSpan generate_span("synthesize.generate");
     for (const Seconds t : instants) {
         const UserProfile &user = population.sampleByActivity(job_rng);
         if (job_rng.chance(q_cpu)) {
@@ -234,6 +239,10 @@ TraceSynthesizer::run() const
             }
         }
     }
+
+    generate_span.end();
+    obs::MetricsRegistry::global().counter("workload.jobs_generated")
+        .add(jobs.size());
 
     // --- Mark the detailed time-series subset. ---
     const double detail_prob =
@@ -286,6 +295,7 @@ TraceSynthesizer::run() const
     };
 
     if (options_.through_scheduler) {
+        obs::TraceSpan replay_span("synthesize.scheduler_replay");
         sim::Cluster cluster(sim::miniSupercloudSpec(result.cluster_nodes));
         sim::Simulation sim;
         sched::SlurmScheduler scheduler(sim, cluster);
@@ -378,7 +388,10 @@ TraceSynthesizer::runReplicates(int count) const
     // Each replicate is an independent pipeline writing its own slot,
     // so the fan-out is embarrassingly parallel and the result vector
     // is identical for any pool size.
+    obs::MetricsRegistry::global().counter("workload.replicates")
+        .add(results.size());
     parallelFor(globalPool(), results.size(), [&](std::size_t r) {
+        obs::TraceSpan span("synthesize.replicate " + std::to_string(r));
         SynthesisOptions opts = options_;
         opts.seed = replicateSeed(options_.seed, static_cast<int>(r));
         results[r] = TraceSynthesizer(profile_, opts).run();

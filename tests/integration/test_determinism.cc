@@ -18,6 +18,7 @@
 #include <sstream>
 
 #include "aiwc/common/parallel.hh"
+#include "aiwc/obs/trace.hh"
 #include "aiwc/core/bottleneck_analyzer.hh"
 #include "aiwc/core/correlation_analyzer.hh"
 #include "aiwc/core/lifecycle_analyzer.hh"
@@ -190,6 +191,30 @@ TEST(Determinism, AnalysisDigestIsThreadCountInvariant)
     setGlobalThreadCount(before);
 
     EXPECT_EQ(serial, threaded);
+}
+
+TEST(Determinism, InstrumentationIsBehaviorNeutral)
+{
+    // The observability layer's core promise: enabling span collection
+    // must not change a single output bit — metrics and traces observe
+    // the pipeline, they never feed back into it. Synthesize and
+    // analyze with tracing off, then with tracing on; both digests
+    // must match exactly.
+    obs::setTraceEnabled(false);
+    const auto baseline = synthesize(1234);
+    const auto baseline_analysis = analysisDigest(baseline.dataset);
+
+    obs::setTraceEnabled(true);
+    const auto traced = synthesize(1234);
+    const auto traced_analysis = analysisDigest(traced.dataset);
+    const std::size_t recorded = obs::traceEventCount();
+    obs::setTraceEnabled(false);
+    obs::clearTraceEvents();
+
+    EXPECT_GT(recorded, 0u);  // tracing actually ran
+    EXPECT_EQ(completionDigest(baseline.dataset),
+              completionDigest(traced.dataset));
+    EXPECT_EQ(baseline_analysis, traced_analysis);
 }
 
 TEST(Determinism, SynthesisIsThreadCountInvariant)

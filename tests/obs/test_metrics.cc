@@ -1,0 +1,199 @@
+/**
+ * @file
+ * MetricsRegistry unit tests: counter/gauge/histogram semantics, the
+ * get-or-create registry contract, and the deterministic-snapshot
+ * guarantee (same values -> byte-identical JSON, regardless of how
+ * many pool threads did the recording).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "aiwc/common/check.hh"
+#include "aiwc/common/parallel.hh"
+#include "aiwc/obs/metrics.hh"
+
+namespace aiwc::obs
+{
+namespace
+{
+
+TEST(Counter, StartsAtZeroAddsAndResets)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Gauge, SetAddAndReset)
+{
+    Gauge g;
+    EXPECT_EQ(g.value(), 0);
+    g.set(7);
+    EXPECT_EQ(g.value(), 7);
+    g.add(-10);
+    EXPECT_EQ(g.value(), -3);
+    g.reset();
+    EXPECT_EQ(g.value(), 0);
+}
+
+TEST(Histogram, CountsSumsAndTracksExtrema)
+{
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+
+    for (std::uint64_t v : {5ull, 100ull, 3ull, 1000ull})
+        h.observe(v);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 1108u);
+    EXPECT_EQ(h.min(), 3u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_DOUBLE_EQ(h.mean(), 277.0);
+}
+
+TEST(Histogram, QuantileReturnsBucketUpperBound)
+{
+    Histogram h;
+    // 100 samples of 100 ns: every sample lands in the bit-width-7
+    // bucket [64, 128), whose reported upper bound is 127.
+    for (int i = 0; i < 100; ++i)
+        h.observe(100);
+    EXPECT_EQ(h.quantile(0.5), 127u);
+    EXPECT_EQ(h.quantile(0.99), 127u);
+
+    // Add 900 samples of ~1 us; the median moves to their bucket.
+    for (int i = 0; i < 900; ++i)
+        h.observe(1000);
+    EXPECT_EQ(h.quantile(0.5), 1023u);
+    // ...but the 1st percentile stays with the small samples.
+    EXPECT_EQ(h.quantile(0.01), 127u);
+}
+
+TEST(Histogram, ObserveZeroIsRepresentable)
+{
+    Histogram h;
+    h.observe(0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.quantile(0.5), 0u);
+}
+
+TEST(Histogram, ResetClearsEverything)
+{
+    Histogram h;
+    h.observe(123);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 0u);
+    EXPECT_EQ(h.quantile(0.9), 0u);
+}
+
+TEST(MetricsRegistry, GetOrCreateReturnsSameInstance)
+{
+    MetricsRegistry registry;
+    Counter &a = registry.counter("test.counter");
+    Counter &b = registry.counter("test.counter");
+    EXPECT_EQ(&a, &b);
+    Gauge &g1 = registry.gauge("test.gauge");
+    Gauge &g2 = registry.gauge("test.gauge");
+    EXPECT_EQ(&g1, &g2);
+    Histogram &h1 = registry.histogram("test.hist");
+    Histogram &h2 = registry.histogram("test.hist");
+    EXPECT_EQ(&h1, &h2);
+}
+
+TEST(MetricsRegistry, KindMismatchFailsTheContract)
+{
+    MetricsRegistry registry;
+    registry.counter("test.metric");
+    ScopedCheckFailHandler guard;
+    EXPECT_THROW(registry.gauge("test.metric"), ContractViolation);
+    EXPECT_THROW(registry.histogram("test.metric"), ContractViolation);
+}
+
+TEST(MetricsRegistry, SnapshotIsSortedByName)
+{
+    MetricsRegistry registry;
+    registry.counter("zebra");
+    registry.gauge("alpha");
+    registry.histogram("middle");
+    const auto samples = registry.snapshot();
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(samples[0].name, "alpha");
+    EXPECT_EQ(samples[1].name, "middle");
+    EXPECT_EQ(samples[2].name, "zebra");
+}
+
+TEST(MetricsRegistry, ResetValuesKeepsRegistrations)
+{
+    MetricsRegistry registry;
+    registry.counter("c").add(5);
+    registry.gauge("g").set(-2);
+    registry.histogram("h").observe(9);
+    registry.resetValues();
+    const auto samples = registry.snapshot();
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_EQ(registry.counter("c").value(), 0u);
+    EXPECT_EQ(registry.gauge("g").value(), 0);
+    EXPECT_EQ(registry.histogram("h").count(), 0u);
+}
+
+/** writeJson for a registry populated with `threads` pool threads. */
+std::string
+jsonAfterParallelRecording(int threads)
+{
+    MetricsRegistry registry;
+    Counter &items = registry.counter("recorded.items");
+    Histogram &values = registry.histogram("recorded.values");
+    registry.gauge("recorded.threads").set(4);  // fixed, not `threads`
+
+    const int before = globalThreadCount();
+    setGlobalThreadCount(threads);
+    parallelFor(globalPool(), 10000, [&](std::size_t i) {
+        items.add(1);
+        values.observe(static_cast<std::uint64_t>(i % 97));
+    });
+    setGlobalThreadCount(before);
+
+    std::ostringstream os;
+    registry.writeJson(os);
+    return os.str();
+}
+
+TEST(MetricsRegistry, JsonSnapshotIsThreadCountInvariant)
+{
+    // The export promise bench_compare.py relies on: identical recorded
+    // values produce byte-identical JSON, whether one thread or eight
+    // did the recording.
+    const std::string serial = jsonAfterParallelRecording(1);
+    const std::string threaded = jsonAfterParallelRecording(8);
+    EXPECT_EQ(serial, threaded);
+    // Spot-check content, not just equality.
+    EXPECT_NE(serial.find("\"recorded.items\":10000"), std::string::npos)
+        << serial;
+    EXPECT_NE(serial.find("\"counters\""), std::string::npos);
+    EXPECT_NE(serial.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(serial.find("\"histograms\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, GlobalIsASingleton)
+{
+    EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+} // namespace
+} // namespace aiwc::obs

@@ -1,0 +1,381 @@
+/**
+ * @file
+ * Chrome-trace span tests: disabled tracing records nothing (and reads
+ * no clock), spans nest correctly, worker threads land on their own
+ * tracks, and writeTrace() emits well-formed Chrome trace_event JSON —
+ * checked with a small recursive-descent JSON parser so a stray comma
+ * or unescaped quote fails here, not in Perfetto.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+
+#include "aiwc/common/parallel.hh"
+#include "aiwc/obs/metrics.hh"
+#include "aiwc/obs/trace.hh"
+
+namespace aiwc::obs
+{
+namespace
+{
+
+// -------------------------------------------------------------------
+// Minimal JSON well-formedness parser (validation only, no DOM).
+// -------------------------------------------------------------------
+
+class JsonValidator
+{
+  public:
+    explicit JsonValidator(const std::string &text) : text_(text) {}
+
+    bool
+    valid()
+    {
+        pos_ = 0;
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == text_.size();
+    }
+
+  private:
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t len = std::string(word).size();
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    bool
+    string()
+    {
+        if (text_[pos_] != '"')
+            return false;
+        ++pos_;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            if (text_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= text_.size())
+                    return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= text_.size())
+            return false;
+        ++pos_;  // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    members(char open, char close, bool with_keys)
+    {
+        if (text_[pos_] != open)
+            return false;
+        ++pos_;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == close) {
+            ++pos_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (with_keys) {
+                if (!string())
+                    return false;
+                skipWs();
+                if (pos_ >= text_.size() || text_[pos_] != ':')
+                    return false;
+                ++pos_;
+            }
+            if (!value())
+                return false;
+            skipWs();
+            if (pos_ >= text_.size())
+                return false;
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == close) {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    value()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            return false;
+        switch (text_[pos_]) {
+        case '{':
+            return members('{', '}', true);
+        case '[':
+            return members('[', ']', false);
+        case '"':
+            return string();
+        case 't':
+            return literal("true");
+        case 'f':
+            return literal("false");
+        case 'n':
+            return literal("null");
+        default:
+            return number();
+        }
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+TEST(JsonValidatorSelfTest, AcceptsAndRejects)
+{
+    const auto ok = [](const std::string &s) {
+        return JsonValidator(s).valid();
+    };
+    EXPECT_TRUE(ok("{}"));
+    EXPECT_TRUE(ok(R"({"a":[1,2.5,-3e4],"b":"x\"y","c":null})"));
+    EXPECT_FALSE(ok("{"));
+    EXPECT_FALSE(ok(R"({"a":1,})"));
+    EXPECT_FALSE(ok(R"({"a" 1})"));
+    EXPECT_FALSE(ok(R"(["unterminated)"));
+    EXPECT_FALSE(ok("{} trailing"));
+}
+
+// -------------------------------------------------------------------
+// Trace machinery. Tests share process-global state, so every test
+// runs through this fixture, which restores "tracing off, buffer
+// empty" on both sides.
+// -------------------------------------------------------------------
+
+class TraceTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        setTraceEnabled(false);
+        clearTraceEvents();
+    }
+
+    void
+    TearDown() override
+    {
+        setTraceEnabled(false);
+        clearTraceEvents();
+    }
+};
+
+TEST_F(TraceTest, DisabledTracingRecordsNothing)
+{
+    {
+        TraceSpan span("never.recorded");
+    }
+    EXPECT_EQ(traceEventCount(), 0u);
+}
+
+TEST_F(TraceTest, SpansRecordWhenEnabled)
+{
+    setTraceEnabled(true);
+    {
+        TraceSpan span("outer");
+        TraceSpan inner("inner");
+    }
+    EXPECT_EQ(traceEventCount(), 2u);
+}
+
+TEST_F(TraceTest, EndIsIdempotent)
+{
+    setTraceEnabled(true);
+    TraceSpan span("once");
+    span.end();
+    span.end();  // no-op; destructor must not record a second event
+    EXPECT_EQ(traceEventCount(), 1u);
+}
+
+TEST_F(TraceTest, NestedSpansAreOrderedParentFirst)
+{
+    setTraceEnabled(true);
+    {
+        TraceSpan outer("outer");
+        TraceSpan inner("inner");
+    }
+    std::ostringstream os;
+    writeTrace(os);
+    const std::string json = os.str();
+    // Sorted by start time: the enclosing span starts first, so it
+    // must serialize before the nested one (Perfetto then renders the
+    // parent/child stacking correctly).
+    const auto outer_at = json.find("\"outer\"");
+    const auto inner_at = json.find("\"inner\"");
+    ASSERT_NE(outer_at, std::string::npos);
+    ASSERT_NE(inner_at, std::string::npos);
+    EXPECT_LT(outer_at, inner_at);
+}
+
+TEST_F(TraceTest, ScopedTimerFeedsHistogramAlwaysSpanOnlyWhenTracing)
+{
+    Histogram hist;
+    {
+        ScopedTimer timer(hist, "timer.span");
+    }
+    EXPECT_EQ(hist.count(), 1u);
+    EXPECT_EQ(traceEventCount(), 0u);  // tracing off: no span
+
+    setTraceEnabled(true);
+    {
+        ScopedTimer timer(hist, "timer.span");
+    }
+    EXPECT_EQ(hist.count(), 2u);
+    EXPECT_EQ(traceEventCount(), 1u);
+
+    // No span name: histogram only, even with tracing on.
+    {
+        ScopedTimer timer(hist);
+    }
+    EXPECT_EQ(hist.count(), 3u);
+    EXPECT_EQ(traceEventCount(), 1u);
+}
+
+TEST_F(TraceTest, WriteTraceEmitsWellFormedChromeJson)
+{
+    setTraceEnabled(true);
+    {
+        TraceSpan a("span \"quoted\" name");  // exercises escaping
+        TraceSpan b("span.plain");
+    }
+    std::ostringstream os;
+    writeTrace(os);
+    const std::string json = os.str();
+
+    EXPECT_TRUE(JsonValidator(json).valid()) << json;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+    EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+    EXPECT_NE(json.find("\"pid\":"), std::string::npos);
+    EXPECT_NE(json.find("\"tid\":"), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyTraceIsStillValidJson)
+{
+    std::ostringstream os;
+    writeTrace(os);
+    EXPECT_TRUE(JsonValidator(os.str()).valid()) << os.str();
+}
+
+std::set<std::string>
+tidsIn(const std::string &json)
+{
+    std::set<std::string> tids;
+    for (std::size_t at = json.find("\"tid\":"); at != std::string::npos;
+         at = json.find("\"tid\":", at + 1)) {
+        std::size_t end = at + 6;
+        while (end < json.size() &&
+               std::isdigit(static_cast<unsigned char>(json[end])))
+            ++end;
+        tids.insert(json.substr(at + 6, end - (at + 6)));
+    }
+    return tids;
+}
+
+TEST_F(TraceTest, ThreadsRecordOnDistinctTracks)
+{
+    setTraceEnabled(true);
+    {
+        TraceSpan main_span("on.main");
+        std::thread other([] { TraceSpan span("on.other"); });
+        other.join();
+    }
+    EXPECT_EQ(traceEventCount(), 2u);
+    std::ostringstream os;
+    writeTrace(os);
+    const std::string json = os.str();
+    ASSERT_TRUE(JsonValidator(json).valid()) << json;
+    EXPECT_EQ(tidsIn(json).size(), 2u) << json;
+}
+
+TEST_F(TraceTest, PoolShardsRecordSpans)
+{
+    setTraceEnabled(true);
+    const int before = globalThreadCount();
+    setGlobalThreadCount(4);
+    parallelFor(globalPool(), 10000, [](std::size_t i) {
+        volatile std::uint64_t sink = i;
+        (void)sink;
+    });
+    setGlobalThreadCount(before);
+
+    // One parallel.shard span per shard, all on worker tracks.
+    EXPECT_GT(traceEventCount(), 0u);
+    std::ostringstream os;
+    writeTrace(os);
+    const std::string json = os.str();
+    ASSERT_TRUE(JsonValidator(json).valid()) << json;
+    EXPECT_NE(json.find("\"parallel.shard\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ClearDropsBufferedEvents)
+{
+    setTraceEnabled(true);
+    {
+        TraceSpan span("to.be.dropped");
+    }
+    ASSERT_GT(traceEventCount(), 0u);
+    clearTraceEvents();
+    EXPECT_EQ(traceEventCount(), 0u);
+}
+
+TEST_F(TraceTest, AnalyzerScopeRegistersTheStandardBundle)
+{
+    {
+        AnalyzerScope scope("trace_test", 123);
+    }
+    auto &registry = MetricsRegistry::global();
+    EXPECT_GE(registry.counter("analyzer.trace_test.runs").value(), 1u);
+    EXPECT_GE(registry.counter("analyzer.trace_test.rows").value(),
+              123u);
+    EXPECT_GE(registry.histogram("analyzer.trace_test.wall_ns").count(),
+              1u);
+    EXPECT_GE(registry.histogram("analyzer.trace_test.cpu_ns").count(),
+              1u);
+}
+
+} // namespace
+} // namespace aiwc::obs
