@@ -34,12 +34,12 @@ import sys
 # exact-match material, unlike anything timing- or thread-derived.
 DETERMINISTIC_COUNTER_SUFFIXES = (".rows", ".runs")
 DETERMINISTIC_COUNTERS = {
-    "sim.events_fired",
-    "workload.jobs_generated",
-    "workload.synthesis_runs",
-    "sched.jobs_started",
-    "sched.jobs_finished",
-    "sched.backfill_hits",
+    "aiwc.sim.events_fired",
+    "aiwc.workload.jobs_generated",
+    "aiwc.workload.synthesis_runs",
+    "aiwc.sched.jobs_started",
+    "aiwc.sched.jobs_finished",
+    "aiwc.sched.backfill_hits",
 }
 
 SCHEMA = "aiwc-bench-report-v1"

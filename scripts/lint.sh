@@ -1,26 +1,34 @@
 #!/usr/bin/env bash
-# Lint gate: clang-format (style) + clang-tidy (static analysis) over
-# the whole tree. Used locally and as the CI lint job.
+# Lint gate: aiwc-lint (the self-hosted project-law pass), clang-format
+# (style), and clang-tidy (generic static analysis) over the whole
+# tree. Used locally and as the CI lint jobs.
 #
 # Usage:
-#   scripts/lint.sh [--require] [--build-dir DIR]
+#   scripts/lint.sh [--require] [--aiwc-only] [--build-dir DIR]
 #
 #   --require    fail (exit 2) when clang-format/clang-tidy are not
 #                installed instead of skipping them. CI passes this;
 #                locally, missing tools are reported and skipped so the
 #                gate stays usable in minimal containers.
-#   --build-dir  compile-command database directory for clang-tidy
-#                (default: build; created with CMAKE_EXPORT_COMPILE_COMMANDS
-#                if absent).
+#   --aiwc-only  run only the self-hosted aiwc-lint pass. It needs
+#                nothing but the repo's own toolchain, so this works in
+#                containers without clang-format/clang-tidy.
+#   --build-dir  build directory for the aiwc-lint binary and the
+#                clang-tidy compile-command database (default: build;
+#                configured with CMAKE_EXPORT_COMPILE_COMMANDS if
+#                absent — the presets all export it, see
+#                CMakePresets.json).
 set -u
 
 cd "$(dirname "$0")/.."
 
 require_tools=0
+aiwc_only=0
 build_dir=build
 while [ $# -gt 0 ]; do
     case "$1" in
         --require) require_tools=1 ;;
+        --aiwc-only) aiwc_only=1 ;;
         --build-dir) shift; build_dir=$1 ;;
         *) echo "unknown argument: $1" >&2; exit 2 ;;
     esac
@@ -47,6 +55,29 @@ sources=$(find src tests bench examples \
 
 status=0
 skipped=0
+
+# --- aiwc-lint: the self-hosted project-law pass --------------------------
+# Always required: it is built from this repo, so "not installed" is
+# never a valid excuse. Configures the build dir on first use.
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+    echo "lint: configuring $build_dir for aiwc-lint"
+    cmake -B "$build_dir" -S . \
+          -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 2
+fi
+echo "lint: building aiwc-lint"
+cmake --build "$build_dir" --target aiwc-lint >/dev/null || exit 2
+echo "lint: running aiwc-lint"
+if ! "$build_dir/tools/aiwc-lint/aiwc-lint"; then
+    echo "lint: aiwc-lint reported findings" >&2
+    status=1
+fi
+
+if [ "$aiwc_only" -eq 1 ]; then
+    if [ "$status" -eq 0 ]; then
+        echo "lint: OK (aiwc-lint only)"
+    fi
+    exit "$status"
+fi
 
 # --- clang-format: style must match .clang-format exactly -----------------
 if fmt=$(find_tool clang-format); then

@@ -36,8 +36,12 @@ void
 die(const char *tag, const std::string &msg, bool abrt)
 {
     std::fprintf(stderr, "[aiwc:%s] %s\n", tag, msg.c_str());
+    // LOG_FATAL's terminators: the message is already emitted and there is
+    // no contract to raise, so ending the process here is the whole point.
     if (abrt)
+        // aiwc-lint: allow(contract-abort) -- deliberate LOG_FATAL abort
         std::abort();
+    // aiwc-lint: allow(contract-abort) -- deliberate LOG_FATAL exit
     std::exit(1);
 }
 

@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(int threads) : threads_(threads)
     AIWC_CHECK(threads >= 1, "thread pool needs >= 1 worker, got ",
                threads);
     obs::MetricsRegistry::global()
-        .gauge("parallel.pool_threads")
+        .gauge("aiwc.parallel.pool_threads")
         .set(threads);
     workers_.reserve(static_cast<std::size_t>(threads));
     for (int i = 0; i < threads; ++i)
@@ -72,10 +72,10 @@ ThreadPool::workerLoop()
         // utilization figure (all-buckets-at-threads == saturated).
         static obs::Histogram &occupancy =
             obs::MetricsRegistry::global().histogram(
-                "parallel.pool_occupancy");
+                "aiwc.parallel.pool_occupancy");
         static obs::Counter &tasks =
             obs::MetricsRegistry::global().counter(
-                "parallel.tasks_executed");
+                "aiwc.parallel.tasks_executed");
         const int busy = active_.fetch_add(1, std::memory_order_relaxed);
         occupancy.observe(static_cast<std::uint64_t>(busy) + 1);
         tasks.add(1);
@@ -137,7 +137,7 @@ obs::Histogram &
 shardNsHistogram()
 {
     static obs::Histogram &hist =
-        obs::MetricsRegistry::global().histogram("parallel.shard_ns");
+        obs::MetricsRegistry::global().histogram("aiwc.parallel.shard_ns");
     return hist;
 }
 
@@ -145,7 +145,7 @@ obs::Counter &
 shardsExecutedCounter()
 {
     static obs::Counter &counter =
-        obs::MetricsRegistry::global().counter("parallel.shards_executed");
+        obs::MetricsRegistry::global().counter("aiwc.parallel.shards_executed");
     return counter;
 }
 

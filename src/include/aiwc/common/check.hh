@@ -21,8 +21,7 @@
  * contract violation in production must.
  */
 
-#ifndef AIWC_COMMON_CHECK_HH
-#define AIWC_COMMON_CHECK_HH
+#pragma once
 
 #include <functional>
 #include <stdexcept>
@@ -169,4 +168,3 @@ namespace detail
 
 } // namespace aiwc
 
-#endif // AIWC_COMMON_CHECK_HH

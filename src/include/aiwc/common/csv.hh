@@ -5,8 +5,7 @@
  * library's pipeline cross-checkable against notebook analysis.
  */
 
-#ifndef AIWC_COMMON_CSV_HH
-#define AIWC_COMMON_CSV_HH
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -49,4 +48,3 @@ std::vector<std::string> parseCsvLine(const std::string &line);
 
 } // namespace aiwc
 
-#endif // AIWC_COMMON_CSV_HH

@@ -6,8 +6,7 @@
  * violations (aborts).
  */
 
-#ifndef AIWC_COMMON_LOGGING_HH
-#define AIWC_COMMON_LOGGING_HH
+#pragma once
 
 #include <sstream>
 #include <string>
@@ -89,4 +88,3 @@ panic(Args &&...args)
 
 } // namespace aiwc
 
-#endif // AIWC_COMMON_LOGGING_HH

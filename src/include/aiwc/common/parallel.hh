@@ -24,8 +24,7 @@
  * inline on that worker, so nested parallelism cannot deadlock.
  */
 
-#ifndef AIWC_COMMON_PARALLEL_HH
-#define AIWC_COMMON_PARALLEL_HH
+#pragma once
 
 #include <atomic>
 #include <condition_variable>
@@ -268,4 +267,3 @@ parallelReduce(ThreadPool &pool, std::size_t n, const Acc &identity,
 
 } // namespace aiwc
 
-#endif // AIWC_COMMON_PARALLEL_HH

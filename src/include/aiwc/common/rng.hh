@@ -10,8 +10,7 @@
  * hidden global state.
  */
 
-#ifndef AIWC_COMMON_RNG_HH
-#define AIWC_COMMON_RNG_HH
+#pragma once
 
 #include <cstdint>
 
@@ -74,4 +73,3 @@ class Rng
 
 } // namespace aiwc
 
-#endif // AIWC_COMMON_RNG_HH

@@ -7,8 +7,7 @@
  * TextTable keeps that presentation in one place.
  */
 
-#ifndef AIWC_COMMON_TABLE_HH
-#define AIWC_COMMON_TABLE_HH
+#pragma once
 
 #include <ostream>
 #include <string>
@@ -53,4 +52,3 @@ std::string formatDuration(double seconds);
 
 } // namespace aiwc
 
-#endif // AIWC_COMMON_TABLE_HH

@@ -9,8 +9,7 @@
  * double.
  */
 
-#ifndef AIWC_COMMON_TYPES_HH
-#define AIWC_COMMON_TYPES_HH
+#pragma once
 
 #include <cstdint>
 #include <string>
@@ -113,4 +112,3 @@ const char *toString(Resource r);
 
 } // namespace aiwc
 
-#endif // AIWC_COMMON_TYPES_HH

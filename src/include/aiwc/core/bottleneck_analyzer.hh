@@ -5,8 +5,7 @@
  * reaches the limit at any point during the run (Sec. III).
  */
 
-#ifndef AIWC_CORE_BOTTLENECK_ANALYZER_HH
-#define AIWC_CORE_BOTTLENECK_ANALYZER_HH
+#pragma once
 
 #include <array>
 #include <vector>
@@ -57,4 +56,3 @@ class BottleneckAnalyzer
 
 } // namespace aiwc::core
 
-#endif // AIWC_CORE_BOTTLENECK_ANALYZER_HH

@@ -7,8 +7,7 @@
  * predictable (weak rho against the CoVs).
  */
 
-#ifndef AIWC_CORE_CORRELATION_ANALYZER_HH
-#define AIWC_CORE_CORRELATION_ANALYZER_HH
+#pragma once
 
 #include <array>
 #include <string>
@@ -69,4 +68,3 @@ class CorrelationAnalyzer
 
 } // namespace aiwc::core
 
-#endif // AIWC_CORE_CORRELATION_ANALYZER_HH

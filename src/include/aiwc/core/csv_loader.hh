@@ -11,8 +11,7 @@
  * dataset; the phase analyses (Figs. 6-7a) need the detailed subset.
  */
 
-#ifndef AIWC_CORE_CSV_LOADER_HH
-#define AIWC_CORE_CSV_LOADER_HH
+#pragma once
 
 #include <istream>
 
@@ -36,4 +35,3 @@ TerminalState terminalFromString(const std::string &name);
 
 } // namespace aiwc::core
 
-#endif // AIWC_CORE_CSV_LOADER_HH

@@ -8,8 +8,7 @@
  * 30 seconds (74,820 -> 47,120 in the paper).
  */
 
-#ifndef AIWC_CORE_DATASET_HH
-#define AIWC_CORE_DATASET_HH
+#pragma once
 
 #include <functional>
 #include <map>
@@ -78,4 +77,3 @@ class Dataset
 
 } // namespace aiwc::core
 
-#endif // AIWC_CORE_DATASET_HH

@@ -9,8 +9,7 @@
  * 100 ms time-series subset provides for ~2149 jobs.
  */
 
-#ifndef AIWC_CORE_JOB_RECORD_HH
-#define AIWC_CORE_JOB_RECORD_HH
+#pragma once
 
 #include <vector>
 
@@ -110,4 +109,3 @@ struct JobRecord
 
 } // namespace aiwc::core
 
-#endif // AIWC_CORE_JOB_RECORD_HH

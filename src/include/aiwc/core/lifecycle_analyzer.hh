@@ -6,8 +6,7 @@
  * reveal the paradigm shift toward exploratory/development usage.
  */
 
-#ifndef AIWC_CORE_LIFECYCLE_ANALYZER_HH
-#define AIWC_CORE_LIFECYCLE_ANALYZER_HH
+#pragma once
 
 #include <array>
 #include <vector>
@@ -67,4 +66,3 @@ class LifecycleAnalyzer
 
 } // namespace aiwc::core
 
-#endif // AIWC_CORE_LIFECYCLE_ANALYZER_HH

@@ -15,8 +15,7 @@
  * test suite checks the inferred labels against it.
  */
 
-#ifndef AIWC_CORE_LIFECYCLE_CLASSIFIER_HH
-#define AIWC_CORE_LIFECYCLE_CLASSIFIER_HH
+#pragma once
 
 #include <array>
 
@@ -49,4 +48,3 @@ class LifecycleClassifier
 
 } // namespace aiwc::core
 
-#endif // AIWC_CORE_LIFECYCLE_CLASSIFIER_HH

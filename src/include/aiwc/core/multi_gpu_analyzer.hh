@@ -6,8 +6,7 @@
  * idle-GPU pathology).
  */
 
-#ifndef AIWC_CORE_MULTI_GPU_ANALYZER_HH
-#define AIWC_CORE_MULTI_GPU_ANALYZER_HH
+#pragma once
 
 #include <array>
 
@@ -62,4 +61,3 @@ class MultiGpuAnalyzer
 
 } // namespace aiwc::core
 
-#endif // AIWC_CORE_MULTI_GPU_ANALYZER_HH

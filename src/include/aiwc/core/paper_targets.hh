@@ -6,8 +6,7 @@
  * GPU-Accelerated System", HPCA 2022.
  */
 
-#ifndef AIWC_CORE_PAPER_TARGETS_HH
-#define AIWC_CORE_PAPER_TARGETS_HH
+#pragma once
 
 namespace aiwc::core::paper
 {
@@ -147,4 +146,3 @@ inline constexpr double users_nonmature_hours_over_60 = 0.25;
 
 } // namespace aiwc::core::paper
 
-#endif // AIWC_CORE_PAPER_TARGETS_HH

@@ -5,8 +5,7 @@
  * resource utilization during active phases.
  */
 
-#ifndef AIWC_CORE_PHASE_ANALYZER_HH
-#define AIWC_CORE_PHASE_ANALYZER_HH
+#pragma once
 
 #include "aiwc/core/dataset.hh"
 #include "aiwc/stats/ecdf.hh"
@@ -53,4 +52,3 @@ class PhaseAnalyzer
 
 } // namespace aiwc::core
 
-#endif // AIWC_CORE_PHASE_ANALYZER_HH

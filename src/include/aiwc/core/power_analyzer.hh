@@ -5,8 +5,7 @@
  * Sec. III).
  */
 
-#ifndef AIWC_CORE_POWER_ANALYZER_HH
-#define AIWC_CORE_POWER_ANALYZER_HH
+#pragma once
 
 #include <vector>
 
@@ -54,4 +53,3 @@ class PowerAnalyzer
 
 } // namespace aiwc::core
 
-#endif // AIWC_CORE_POWER_ANALYZER_HH

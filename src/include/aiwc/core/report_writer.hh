@@ -5,8 +5,7 @@
  * plots, so benches and examples share one presentation.
  */
 
-#ifndef AIWC_CORE_REPORT_WRITER_HH
-#define AIWC_CORE_REPORT_WRITER_HH
+#pragma once
 
 #include <ostream>
 
@@ -56,4 +55,3 @@ class ReportWriter
 
 } // namespace aiwc::core
 
-#endif // AIWC_CORE_REPORT_WRITER_HH

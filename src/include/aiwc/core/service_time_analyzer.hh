@@ -4,8 +4,7 @@
  * CPU jobs, and waits as a percentage of service time.
  */
 
-#ifndef AIWC_CORE_SERVICE_TIME_ANALYZER_HH
-#define AIWC_CORE_SERVICE_TIME_ANALYZER_HH
+#pragma once
 
 #include "aiwc/core/dataset.hh"
 #include "aiwc/stats/ecdf.hh"
@@ -45,4 +44,3 @@ class ServiceTimeAnalyzer
 
 } // namespace aiwc::core
 
-#endif // AIWC_CORE_SERVICE_TIME_ANALYZER_HH

@@ -7,8 +7,7 @@
  * operators the load curves behind the per-job figures.
  */
 
-#ifndef AIWC_CORE_TIMELINE_ANALYZER_HH
-#define AIWC_CORE_TIMELINE_ANALYZER_HH
+#pragma once
 
 #include <vector>
 
@@ -62,4 +61,3 @@ class TimelineAnalyzer
 
 } // namespace aiwc::core
 
-#endif // AIWC_CORE_TIMELINE_ANALYZER_HH

@@ -5,8 +5,7 @@
  * concentration ("top 5% of users submit 44% of jobs").
  */
 
-#ifndef AIWC_CORE_USER_BEHAVIOR_ANALYZER_HH
-#define AIWC_CORE_USER_BEHAVIOR_ANALYZER_HH
+#pragma once
 
 #include <vector>
 
@@ -75,4 +74,3 @@ class UserBehaviorAnalyzer
 
 } // namespace aiwc::core
 
-#endif // AIWC_CORE_USER_BEHAVIOR_ANALYZER_HH

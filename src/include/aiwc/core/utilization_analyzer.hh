@@ -5,8 +5,7 @@
  * interface.
  */
 
-#ifndef AIWC_CORE_UTILIZATION_ANALYZER_HH
-#define AIWC_CORE_UTILIZATION_ANALYZER_HH
+#pragma once
 
 #include <array>
 
@@ -53,4 +52,3 @@ class UtilizationAnalyzer
 
 } // namespace aiwc::core
 
-#endif // AIWC_CORE_UTILIZATION_ANALYZER_HH

@@ -8,8 +8,7 @@
  * choices stay data, not code.
  */
 
-#ifndef AIWC_DIST_DISTRIBUTIONS_HH
-#define AIWC_DIST_DISTRIBUTIONS_HH
+#pragma once
 
 #include <cmath>
 #include <limits>
@@ -201,4 +200,3 @@ double sampleGamma(Rng &rng, double shape);
 
 } // namespace aiwc::dist
 
-#endif // AIWC_DIST_DISTRIBUTIONS_HH

@@ -25,8 +25,7 @@
  *    this end to end).
  */
 
-#ifndef AIWC_OBS_METRICS_HH
-#define AIWC_OBS_METRICS_HH
+#pragma once
 
 #include <array>
 #include <atomic>
@@ -187,9 +186,9 @@ class MetricsRegistry
 
     /**
      * JSON export, e.g.
-     * {"counters":{"sim.events_fired":12},
-     *  "gauges":{"parallel.pool_threads":8},
-     *  "histograms":{"sched.pass_ns":{"count":3,...,"p99":1024}}}
+     * {"counters":{"aiwc.sim.events_fired":12},
+     *  "gauges":{"aiwc.parallel.pool_threads":8},
+     *  "histograms":{"aiwc.sched.pass_ns":{"count":3,...,"p99":1024}}}
      * Keys are sorted; identical values produce identical bytes.
      */
     void writeJson(std::ostream &os) const;
@@ -220,4 +219,3 @@ class MetricsRegistry
 
 } // namespace aiwc::obs
 
-#endif // AIWC_OBS_METRICS_HH

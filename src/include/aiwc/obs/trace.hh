@@ -22,8 +22,7 @@
  * the determinism harness).
  */
 
-#ifndef AIWC_OBS_TRACE_HH
-#define AIWC_OBS_TRACE_HH
+#pragma once
 
 #include <cstdint>
 #include <iosfwd>
@@ -146,10 +145,10 @@ class ScopedTimer
 /**
  * Standard instrumentation bundle for one analyzer pass. Registers and
  * updates, for analyzer `name`:
- *   analyzer.<name>.runs     counter — passes executed
- *   analyzer.<name>.rows     counter — records scanned
- *   analyzer.<name>.wall_ns  histogram — wall time per pass
- *   analyzer.<name>.cpu_ns   histogram — process CPU time per pass
+ *   aiwc.analyzer.<name>.runs     counter — passes executed
+ *   aiwc.analyzer.<name>.rows     counter — records scanned
+ *   aiwc.analyzer.<name>.wall_ns  histogram — wall time per pass
+ *   aiwc.analyzer.<name>.cpu_ns   histogram — process CPU time per pass
  *                            (includes pool workers)
  * plus a trace span "analyzer.<name>" when tracing is enabled.
  * CONTRIBUTING.md requires every new analyzer to open one of these.
@@ -171,4 +170,3 @@ class AnalyzerScope
 
 } // namespace aiwc::obs
 
-#endif // AIWC_OBS_TRACE_HH

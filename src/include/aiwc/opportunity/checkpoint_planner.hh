@@ -11,8 +11,7 @@
  * overhead on every job.
  */
 
-#ifndef AIWC_OPPORTUNITY_CHECKPOINT_PLANNER_HH
-#define AIWC_OPPORTUNITY_CHECKPOINT_PLANNER_HH
+#pragma once
 
 #include <vector>
 
@@ -62,4 +61,3 @@ class CheckpointPlanner
 
 } // namespace aiwc::opportunity
 
-#endif // AIWC_OPPORTUNITY_CHECKPOINT_PLANNER_HH

@@ -7,8 +7,7 @@
  * slowdown, and reports how many GPU-hours sharing would reclaim.
  */
 
-#ifndef AIWC_OPPORTUNITY_COLOCATION_ADVISOR_HH
-#define AIWC_OPPORTUNITY_COLOCATION_ADVISOR_HH
+#pragma once
 
 #include <vector>
 
@@ -87,4 +86,3 @@ class ColocationAdvisor
 
 } // namespace aiwc::opportunity
 
-#endif // AIWC_OPPORTUNITY_COLOCATION_ADVISOR_HH

@@ -12,8 +12,7 @@
  * schedule would incur.
  */
 
-#ifndef AIWC_OPPORTUNITY_MIG_PLANNER_HH
-#define AIWC_OPPORTUNITY_MIG_PLANNER_HH
+#pragma once
 
 #include "aiwc/core/dataset.hh"
 
@@ -75,4 +74,3 @@ class MigPlanner
 
 } // namespace aiwc::opportunity
 
-#endif // AIWC_OPPORTUNITY_MIG_PLANNER_HH

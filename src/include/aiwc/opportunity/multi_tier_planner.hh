@@ -8,8 +8,7 @@
  * delivered capacity.
  */
 
-#ifndef AIWC_OPPORTUNITY_MULTI_TIER_PLANNER_HH
-#define AIWC_OPPORTUNITY_MULTI_TIER_PLANNER_HH
+#pragma once
 
 #include <array>
 
@@ -64,4 +63,3 @@ class MultiTierPlanner
 
 } // namespace aiwc::opportunity
 
-#endif // AIWC_OPPORTUNITY_MULTI_TIER_PLANNER_HH

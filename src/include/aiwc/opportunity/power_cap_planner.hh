@@ -7,8 +7,7 @@
  * capped jobs would see.
  */
 
-#ifndef AIWC_OPPORTUNITY_POWER_CAP_PLANNER_HH
-#define AIWC_OPPORTUNITY_POWER_CAP_PLANNER_HH
+#pragma once
 
 #include <vector>
 
@@ -66,4 +65,3 @@ class PowerCapPlanner
 
 } // namespace aiwc::opportunity
 
-#endif // AIWC_OPPORTUNITY_POWER_CAP_PLANNER_HH

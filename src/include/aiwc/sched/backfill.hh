@@ -8,8 +8,7 @@
  * still validates an actual placement before starting a backfilled job.
  */
 
-#ifndef AIWC_SCHED_BACKFILL_HH
-#define AIWC_SCHED_BACKFILL_HH
+#pragma once
 
 #include <span>
 
@@ -59,4 +58,3 @@ bool mayBackfill(const BackfillWindow &window, const JobRequest &candidate,
 
 } // namespace aiwc::sched
 
-#endif // AIWC_SCHED_BACKFILL_HH

@@ -4,8 +4,7 @@
  * generator, the scheduler, and the telemetry collector.
  */
 
-#ifndef AIWC_SCHED_JOB_HH
-#define AIWC_SCHED_JOB_HH
+#pragma once
 
 #include <vector>
 
@@ -115,4 +114,3 @@ struct Job
 
 } // namespace aiwc::sched
 
-#endif // AIWC_SCHED_JOB_HH

@@ -9,8 +9,7 @@
  * CPU-only jobs claim whole nodes because CPUs are their only compute.
  */
 
-#ifndef AIWC_SCHED_PLACEMENT_HH
-#define AIWC_SCHED_PLACEMENT_HH
+#pragma once
 
 #include <optional>
 
@@ -50,4 +49,3 @@ class DensePlacement
 
 } // namespace aiwc::sched
 
-#endif // AIWC_SCHED_PLACEMENT_HH

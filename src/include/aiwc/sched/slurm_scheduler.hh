@@ -11,8 +11,7 @@
  * epilog — exactly the paper's instrumentation design).
  */
 
-#ifndef AIWC_SCHED_SLURM_SCHEDULER_HH
-#define AIWC_SCHED_SLURM_SCHEDULER_HH
+#pragma once
 
 #include <deque>
 #include <functional>
@@ -200,4 +199,3 @@ class SlurmScheduler
 
 } // namespace aiwc::sched
 
-#endif // AIWC_SCHED_SLURM_SCHEDULER_HH

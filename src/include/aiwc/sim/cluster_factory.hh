@@ -5,8 +5,7 @@
  * paper recommends in Sec. VIII.
  */
 
-#ifndef AIWC_SIM_CLUSTER_FACTORY_HH
-#define AIWC_SIM_CLUSTER_FACTORY_HH
+#pragma once
 
 #include <ostream>
 
@@ -36,4 +35,3 @@ void printSpec(const ClusterSpec &spec, std::ostream &os);
 
 } // namespace aiwc::sim
 
-#endif // AIWC_SIM_CLUSTER_FACTORY_HH

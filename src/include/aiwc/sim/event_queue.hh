@@ -7,8 +7,7 @@
  * whole 125-day replay deterministic.
  */
 
-#ifndef AIWC_SIM_EVENT_QUEUE_HH
-#define AIWC_SIM_EVENT_QUEUE_HH
+#pragma once
 
 #include <cstdint>
 #include <functional>
@@ -92,4 +91,3 @@ class EventQueue
 
 } // namespace aiwc::sim
 
-#endif // AIWC_SIM_EVENT_QUEUE_HH

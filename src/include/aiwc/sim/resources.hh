@@ -10,8 +10,7 @@
  * are exclusive.
  */
 
-#ifndef AIWC_SIM_RESOURCES_HH
-#define AIWC_SIM_RESOURCES_HH
+#pragma once
 
 #include <string>
 #include <vector>
@@ -195,4 +194,3 @@ class Cluster
 
 } // namespace aiwc::sim
 
-#endif // AIWC_SIM_RESOURCES_HH

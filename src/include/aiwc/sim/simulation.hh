@@ -4,8 +4,7 @@
  * monotone notion of "now" that every component reads.
  */
 
-#ifndef AIWC_SIM_SIMULATION_HH
-#define AIWC_SIM_SIMULATION_HH
+#pragma once
 
 #include <functional>
 
@@ -56,4 +55,3 @@ class Simulation
 
 } // namespace aiwc::sim
 
-#endif // AIWC_SIM_SIMULATION_HH

@@ -6,8 +6,7 @@
  * implemented here, with ties handled by average ranks.
  */
 
-#ifndef AIWC_STATS_CORRELATION_HH
-#define AIWC_STATS_CORRELATION_HH
+#pragma once
 
 #include <span>
 #include <vector>
@@ -50,4 +49,3 @@ double tTestPValue(double t, double df);
 
 } // namespace aiwc::stats
 
-#endif // AIWC_STATS_CORRELATION_HH

@@ -6,8 +6,7 @@
  * matching what the Supercloud monitoring records per job.
  */
 
-#ifndef AIWC_STATS_DESCRIPTIVE_HH
-#define AIWC_STATS_DESCRIPTIVE_HH
+#pragma once
 
 #include <cstddef>
 #include <limits>
@@ -109,4 +108,3 @@ class RunningSummary
 
 } // namespace aiwc::stats
 
-#endif // AIWC_STATS_DESCRIPTIVE_HH

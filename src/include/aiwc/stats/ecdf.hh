@@ -4,8 +4,7 @@
  * presentation device (Figs. 3, 4, 6, 7, 9, 10, 11, 14 are all CDFs).
  */
 
-#ifndef AIWC_STATS_ECDF_HH
-#define AIWC_STATS_ECDF_HH
+#pragma once
 
 #include <span>
 #include <vector>
@@ -74,4 +73,3 @@ class EmpiricalCdf
 
 } // namespace aiwc::stats
 
-#endif // AIWC_STATS_ECDF_HH

@@ -4,8 +4,7 @@
  * 13, 15) and for trace export.
  */
 
-#ifndef AIWC_STATS_HISTOGRAM_HH
-#define AIWC_STATS_HISTOGRAM_HH
+#pragma once
 
 #include <cstddef>
 #include <vector>
@@ -61,4 +60,3 @@ class Histogram
 
 } // namespace aiwc::stats
 
-#endif // AIWC_STATS_HISTOGRAM_HH

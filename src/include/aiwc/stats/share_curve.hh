@@ -5,8 +5,7 @@
  * Lorenz-style share curve over per-user activity.
  */
 
-#ifndef AIWC_STATS_SHARE_CURVE_HH
-#define AIWC_STATS_SHARE_CURVE_HH
+#pragma once
 
 #include <span>
 #include <vector>
@@ -33,4 +32,3 @@ double gini(std::span<const double> contributions);
 
 } // namespace aiwc::stats
 
-#endif // AIWC_STATS_SHARE_CURVE_HH

@@ -11,8 +11,7 @@
  * shared filesystem was spared.
  */
 
-#ifndef AIWC_TELEMETRY_COLLECTOR_HH
-#define AIWC_TELEMETRY_COLLECTOR_HH
+#pragma once
 
 #include <cstdint>
 #include <unordered_map>
@@ -108,4 +107,3 @@ class EpilogCollector
 
 } // namespace aiwc::telemetry
 
-#endif // AIWC_TELEMETRY_COLLECTOR_HH

@@ -8,8 +8,7 @@
  * allocation, and both idle alongside the GPU's idle phases.
  */
 
-#ifndef AIWC_TELEMETRY_CPU_SAMPLER_HH
-#define AIWC_TELEMETRY_CPU_SAMPLER_HH
+#pragma once
 
 #include "aiwc/common/rng.hh"
 #include "aiwc/common/types.hh"
@@ -75,4 +74,3 @@ class CpuSampler
 
 } // namespace aiwc::telemetry
 
-#endif // AIWC_TELEMETRY_CPU_SAMPLER_HH

@@ -9,8 +9,7 @@
  * trace.
  */
 
-#ifndef AIWC_TELEMETRY_JOB_PROFILE_HH
-#define AIWC_TELEMETRY_JOB_PROFILE_HH
+#pragma once
 
 #include <cstdint>
 
@@ -69,4 +68,3 @@ struct JobProfile
 
 } // namespace aiwc::telemetry
 
-#endif // AIWC_TELEMETRY_JOB_PROFILE_HH

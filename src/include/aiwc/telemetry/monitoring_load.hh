@@ -11,8 +11,7 @@
  * copying once per job at termination (one sequential burst per job).
  */
 
-#ifndef AIWC_TELEMETRY_MONITORING_LOAD_HH
-#define AIWC_TELEMETRY_MONITORING_LOAD_HH
+#pragma once
 
 #include "aiwc/core/dataset.hh"
 #include "aiwc/telemetry/sampler.hh"
@@ -61,4 +60,3 @@ class MonitoringLoadModel
 
 } // namespace aiwc::telemetry
 
-#endif // AIWC_TELEMETRY_MONITORING_LOAD_HH

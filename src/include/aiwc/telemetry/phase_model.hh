@@ -7,8 +7,7 @@
  * and 126% (idle).
  */
 
-#ifndef AIWC_TELEMETRY_PHASE_MODEL_HH
-#define AIWC_TELEMETRY_PHASE_MODEL_HH
+#pragma once
 
 #include <vector>
 
@@ -57,4 +56,3 @@ class PhaseModel
 
 } // namespace aiwc::telemetry
 
-#endif // AIWC_TELEMETRY_PHASE_MODEL_HH

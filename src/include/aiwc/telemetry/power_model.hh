@@ -6,8 +6,7 @@
  * average and maximum draw, which this reproduces.
  */
 
-#ifndef AIWC_TELEMETRY_POWER_MODEL_HH
-#define AIWC_TELEMETRY_POWER_MODEL_HH
+#pragma once
 
 #include "aiwc/common/rng.hh"
 
@@ -56,4 +55,3 @@ class PowerModel
 
 } // namespace aiwc::telemetry
 
-#endif // AIWC_TELEMETRY_POWER_MODEL_HH

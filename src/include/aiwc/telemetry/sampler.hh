@@ -14,8 +14,7 @@
  * so interval-CoV analyses never depend on sampling resolution.
  */
 
-#ifndef AIWC_TELEMETRY_SAMPLER_HH
-#define AIWC_TELEMETRY_SAMPLER_HH
+#pragma once
 
 #include <cstdint>
 
@@ -85,4 +84,3 @@ class GpuSampler
 
 } // namespace aiwc::telemetry
 
-#endif // AIWC_TELEMETRY_SAMPLER_HH

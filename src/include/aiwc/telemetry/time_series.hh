@@ -6,8 +6,7 @@
  * analysis uses streaming summaries instead (see sampler.hh).
  */
 
-#ifndef AIWC_TELEMETRY_TIME_SERIES_HH
-#define AIWC_TELEMETRY_TIME_SERIES_HH
+#pragma once
 
 #include <array>
 #include <ostream>
@@ -90,4 +89,3 @@ class TimeSeries
 
 } // namespace aiwc::telemetry
 
-#endif // AIWC_TELEMETRY_TIME_SERIES_HH

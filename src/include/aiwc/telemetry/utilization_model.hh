@@ -6,8 +6,7 @@
  * independently of the sampling loop.
  */
 
-#ifndef AIWC_TELEMETRY_UTILIZATION_MODEL_HH
-#define AIWC_TELEMETRY_UTILIZATION_MODEL_HH
+#pragma once
 
 #include "aiwc/common/rng.hh"
 #include "aiwc/telemetry/job_profile.hh"
@@ -66,4 +65,3 @@ class UtilizationModel
 
 } // namespace aiwc::telemetry
 
-#endif // AIWC_TELEMETRY_UTILIZATION_MODEL_HH

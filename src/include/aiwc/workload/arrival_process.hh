@@ -6,8 +6,7 @@
  * closer to the deadlines of popular deep learning conferences").
  */
 
-#ifndef AIWC_WORKLOAD_ARRIVAL_PROCESS_HH
-#define AIWC_WORKLOAD_ARRIVAL_PROCESS_HH
+#pragma once
 
 #include <vector>
 
@@ -51,4 +50,3 @@ class ArrivalProcess
 
 } // namespace aiwc::workload
 
-#endif // AIWC_WORKLOAD_ARRIVAL_PROCESS_HH

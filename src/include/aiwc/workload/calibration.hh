@@ -14,8 +14,7 @@
  * the tolerance tests in tests/workload/ otherwise.
  */
 
-#ifndef AIWC_WORKLOAD_CALIBRATION_HH
-#define AIWC_WORKLOAD_CALIBRATION_HH
+#pragma once
 
 #include <array>
 
@@ -323,4 +322,3 @@ struct CalibrationProfile
 
 } // namespace aiwc::workload
 
-#endif // AIWC_WORKLOAD_CALIBRATION_HH

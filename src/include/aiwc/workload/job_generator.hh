@@ -7,8 +7,7 @@
  * and power efficiency.
  */
 
-#ifndef AIWC_WORKLOAD_JOB_GENERATOR_HH
-#define AIWC_WORKLOAD_JOB_GENERATOR_HH
+#pragma once
 
 #include <optional>
 
@@ -86,4 +85,3 @@ class JobGenerator
 
 } // namespace aiwc::workload
 
-#endif // AIWC_WORKLOAD_JOB_GENERATOR_HH

@@ -10,8 +10,7 @@
  * sets directly.
  */
 
-#ifndef AIWC_WORKLOAD_TRACE_SYNTHESIZER_HH
-#define AIWC_WORKLOAD_TRACE_SYNTHESIZER_HH
+#pragma once
 
 #include <cstdint>
 #include <vector>
@@ -96,4 +95,3 @@ class TraceSynthesizer
 
 } // namespace aiwc::workload
 
-#endif // AIWC_WORKLOAD_TRACE_SYNTHESIZER_HH

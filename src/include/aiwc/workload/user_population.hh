@@ -7,8 +7,7 @@
  * preferred job lengths (Fig. 10/11), and multi-GPU reach (Sec. V).
  */
 
-#ifndef AIWC_WORKLOAD_USER_POPULATION_HH
-#define AIWC_WORKLOAD_USER_POPULATION_HH
+#pragma once
 
 #include <array>
 #include <span>
@@ -85,4 +84,3 @@ class UserPopulation
 
 } // namespace aiwc::workload
 
-#endif // AIWC_WORKLOAD_USER_POPULATION_HH

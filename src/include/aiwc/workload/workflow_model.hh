@@ -17,8 +17,7 @@
  * job's class from its predecessor).
  */
 
-#ifndef AIWC_WORKLOAD_WORKFLOW_MODEL_HH
-#define AIWC_WORKLOAD_WORKFLOW_MODEL_HH
+#pragma once
 
 #include <array>
 #include <vector>
@@ -67,4 +66,3 @@ class WorkflowModel
 
 } // namespace aiwc::workload
 
-#endif // AIWC_WORKLOAD_WORKFLOW_MODEL_HH

@@ -281,8 +281,8 @@ AnalyzerScope::AnalyzerScope(const char *name, std::uint64_t rows)
       start_cpu_ns_(processCpuNs())
 {
     auto &registry = MetricsRegistry::global();
-    registry.counter("analyzer." + name_ + ".runs").add(1);
-    registry.counter("analyzer." + name_ + ".rows").add(rows);
+    registry.counter("aiwc.analyzer." + name_ + ".runs").add(1);
+    registry.counter("aiwc.analyzer." + name_ + ".rows").add(rows);
 }
 
 AnalyzerScope::~AnalyzerScope()
@@ -290,8 +290,8 @@ AnalyzerScope::~AnalyzerScope()
     const std::uint64_t wall = traceNowNs() - start_wall_ns_;
     const std::uint64_t cpu = processCpuNs() - start_cpu_ns_;
     auto &registry = MetricsRegistry::global();
-    registry.histogram("analyzer." + name_ + ".wall_ns").observe(wall);
-    registry.histogram("analyzer." + name_ + ".cpu_ns").observe(cpu);
+    registry.histogram("aiwc.analyzer." + name_ + ".wall_ns").observe(wall);
+    registry.histogram("aiwc.analyzer." + name_ + ".cpu_ns").observe(cpu);
     if (traceEnabled())
         detail::recordSpan("analyzer." + name_, start_wall_ns_, wall);
 }

@@ -31,15 +31,15 @@ struct SchedMetrics
     {
         auto &r = obs::MetricsRegistry::global();
         static SchedMetrics metrics{
-            r.counter("sched.fast_passes"),
-            r.counter("sched.backfill_passes"),
-            r.counter("sched.backfill_attempts"),
-            r.counter("sched.backfill_hits"),
-            r.counter("sched.placement_failures"),
-            r.counter("sched.jobs_started"),
-            r.counter("sched.jobs_finished"),
-            r.histogram("sched.pass_ns"),
-            r.histogram("sched.queue_wait_s"),
+            r.counter("aiwc.sched.fast_passes"),
+            r.counter("aiwc.sched.backfill_passes"),
+            r.counter("aiwc.sched.backfill_attempts"),
+            r.counter("aiwc.sched.backfill_hits"),
+            r.counter("aiwc.sched.placement_failures"),
+            r.counter("aiwc.sched.jobs_started"),
+            r.counter("aiwc.sched.jobs_finished"),
+            r.histogram("aiwc.sched.pass_ns"),
+            r.histogram("aiwc.sched.queue_wait_s"),
         };
         return metrics;
     }

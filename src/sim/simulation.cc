@@ -22,9 +22,9 @@ struct SimMetrics
     get()
     {
         static SimMetrics metrics{
-            obs::MetricsRegistry::global().counter("sim.events_fired"),
-            obs::MetricsRegistry::global().histogram("sim.event_ns"),
-            obs::MetricsRegistry::global().histogram("sim.queue_depth"),
+            obs::MetricsRegistry::global().counter("aiwc.sim.events_fired"),
+            obs::MetricsRegistry::global().histogram("aiwc.sim.event_ns"),
+            obs::MetricsRegistry::global().histogram("aiwc.sim.queue_depth"),
         };
         return metrics;
     }

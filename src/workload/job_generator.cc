@@ -110,9 +110,9 @@ JobGenerator::sampleDuration(const UserProfile &user, Lifecycle c,
     if (rng.chance(rt.abort_prob)) {
         // Near-instant failure (import error, bad config): these are
         // the <30 s jobs the paper filters out of GPU analysis.
-        const dist::LogNormal abort(rt.abort_median_seconds,
-                                    rt.abort_sigma);
-        return std::clamp(abort.sample(rng), 1.0, 120.0);
+        const dist::LogNormal abort_duration(rt.abort_median_seconds,
+                                             rt.abort_sigma);
+        return std::clamp(abort_duration.sample(rng), 1.0, 120.0);
     }
 
     const double median_s =

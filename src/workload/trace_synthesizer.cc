@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "aiwc/common/check.hh"
 #include "aiwc/common/logging.hh"
@@ -105,7 +104,7 @@ SynthesisResult
 TraceSynthesizer::run() const
 {
     obs::TraceSpan run_span("synthesize.run");
-    obs::MetricsRegistry::global().counter("workload.synthesis_runs")
+    obs::MetricsRegistry::global().counter("aiwc.workload.synthesis_runs")
         .add(1);
     Rng master(options_.seed);
     Rng pop_rng = master.split();
@@ -241,7 +240,7 @@ TraceSynthesizer::run() const
     }
 
     generate_span.end();
-    obs::MetricsRegistry::global().counter("workload.jobs_generated")
+    obs::MetricsRegistry::global().counter("aiwc.workload.jobs_generated")
         .add(jobs.size());
 
     // --- Mark the detailed time-series subset. ---
@@ -388,7 +387,7 @@ TraceSynthesizer::runReplicates(int count) const
     // Each replicate is an independent pipeline writing its own slot,
     // so the fan-out is embarrassingly parallel and the result vector
     // is identical for any pool size.
-    obs::MetricsRegistry::global().counter("workload.replicates")
+    obs::MetricsRegistry::global().counter("aiwc.workload.replicates")
         .add(results.size());
     parallelFor(globalPool(), results.size(), [&](std::size_t r) {
         obs::TraceSpan span("synthesize.replicate " + std::to_string(r));

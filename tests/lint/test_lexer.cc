@@ -1,0 +1,162 @@
+// Lexer edge cases: the rules only stay trustworthy if banned names
+// inside strings, comments, and raw strings never surface as
+// identifier tokens, and if line numbers survive continuations and
+// multi-line comments.
+
+#include "lexer.hh"
+
+#include <gtest/gtest.h>
+
+namespace aiwc::lint
+{
+namespace
+{
+
+std::vector<Token>
+identifiers(const std::string &src)
+{
+    std::vector<Token> out;
+    for (const Token &t : lex(src))
+        if (t.kind == TokenKind::Identifier)
+            out.push_back(t);
+    return out;
+}
+
+TEST(LintLexer, StringContentsAreNotIdentifiers)
+{
+    const auto ids = identifiers("auto s = \"std::thread rand()\";");
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0].text, "auto");
+    EXPECT_EQ(ids[1].text, "s");
+}
+
+TEST(LintLexer, EscapedQuotesStayInsideTheLiteral)
+{
+    // The \" must not close the string early and leak rand() as code.
+    const auto ids = identifiers(R"(auto s = "a\"rand()\"b"; int x;)");
+    ASSERT_EQ(ids.size(), 4u);
+    EXPECT_EQ(ids[2].text, "int");
+    EXPECT_EQ(ids[3].text, "x");
+}
+
+TEST(LintLexer, RawStringsSwallowQuotesAndParens)
+{
+    const std::string src =
+        "auto s = R\"(quote \" backslash \\ rand())\"; int after;";
+    const auto ids = identifiers(src);
+    ASSERT_EQ(ids.size(), 4u);
+    EXPECT_EQ(ids[3].text, "after");
+
+    const auto tokens = lex(src);
+    bool found = false;
+    for (const Token &t : tokens)
+        if (t.kind == TokenKind::String)
+            found = t.text.find("rand()") != std::string::npos;
+    EXPECT_TRUE(found) << "raw string body should be one String token";
+}
+
+TEST(LintLexer, RawStringWithCustomDelimiter)
+{
+    // The )" inside must NOT terminate: only )xy" does.
+    const auto ids = identifiers("auto s = R\"xy(inner )\" rand)xy\"; int z;");
+    ASSERT_EQ(ids.size(), 4u);
+    EXPECT_EQ(ids[3].text, "z");
+}
+
+TEST(LintLexer, BlockCommentSpanningLinesKeepsLineNumbers)
+{
+    const std::string src = "int a;\n/* rand()\n   srand()\n*/\nint b;\n";
+    const auto tokens = lex(src);
+    // No identifier named rand/srand appears.
+    for (const Token &t : tokens)
+        if (t.kind == TokenKind::Identifier) {
+            EXPECT_TRUE(t.text == "int" || t.text == "a" || t.text == "b");
+        }
+    // And `b` is attributed to line 5, after the comment.
+    for (const Token &t : tokens)
+        if (t.kind == TokenKind::Identifier && t.text == "b") {
+            EXPECT_EQ(t.line, 5);
+        }
+}
+
+TEST(LintLexer, LineContinuationSplicesButKeepsLineCount)
+{
+    const std::string src = "int a\\\n b;\nint c;\n";
+    const auto ids = identifiers(src);
+    ASSERT_EQ(ids.size(), 5u);
+    EXPECT_EQ(ids[1].text, "a");
+    EXPECT_EQ(ids[2].text, "b");
+    EXPECT_EQ(ids[2].line, 2);  // b lives on physical line 2
+    EXPECT_EQ(ids[4].text, "c");
+    EXPECT_EQ(ids[4].line, 3);
+}
+
+TEST(LintLexer, ContinuedPreprocessorLineIsOneDirective)
+{
+    const std::string src = "#define FOO(a, b) \\\n    ((a) + (b))\nint x;\n";
+    const auto tokens = lex(src);
+    ASSERT_FALSE(tokens.empty());
+    EXPECT_EQ(tokens[0].kind, TokenKind::PpDirective);
+    EXPECT_NE(tokens[0].text.find("((a) + (b))"), std::string::npos);
+    // The macro body never shows up as code tokens.
+    const auto ids = identifiers(src);
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0].text, "int");
+}
+
+TEST(LintLexer, LineCommentsAreTokensWithTheirLine)
+{
+    const auto tokens = lex("int a;  // trailing note\nint b;\n");
+    bool saw = false;
+    for (const Token &t : tokens)
+        if (t.kind == TokenKind::Comment) {
+            saw = true;
+            EXPECT_EQ(t.line, 1);
+            EXPECT_NE(t.text.find("trailing note"), std::string::npos);
+        }
+    EXPECT_TRUE(saw);
+}
+
+TEST(LintLexer, ScopeResolutionIsOneToken)
+{
+    const auto tokens = lex("std::thread t;");
+    ASSERT_GE(tokens.size(), 4u);
+    EXPECT_EQ(tokens[0].text, "std");
+    EXPECT_EQ(tokens[1].kind, TokenKind::Punct);
+    EXPECT_EQ(tokens[1].text, "::");
+    EXPECT_EQ(tokens[2].text, "thread");
+}
+
+TEST(LintLexer, CharLiteralsDoNotOpenStrings)
+{
+    // The '"' char literal must not start a string that eats the rest.
+    const auto ids = identifiers("char q = '\"'; int rand_free;");
+    ASSERT_EQ(ids.size(), 4u);
+    EXPECT_EQ(ids[3].text, "rand_free");
+}
+
+TEST(LintLexer, UnterminatedBlockCommentDoesNotCrash)
+{
+    const auto tokens = lex("int a; /* never closed\nint b;");
+    for (const Token &t : tokens)
+        if (t.kind == TokenKind::Identifier) {
+            EXPECT_NE(t.text, "b");
+        }
+}
+
+TEST(LintLexer, EncodingPrefixedStringsAreStrings)
+{
+    const auto tokens = lex("auto a = u8\"rand()\"; auto b = L\"x\";");
+    int strings = 0;
+    for (const Token &t : tokens)
+        if (t.kind == TokenKind::String)
+            ++strings;
+    EXPECT_EQ(strings, 2);
+    for (const Token &t : tokens)
+        if (t.kind == TokenKind::Identifier) {
+            EXPECT_NE(t.text, "rand");
+        }
+}
+
+} // namespace
+} // namespace aiwc::lint

@@ -320,6 +320,9 @@ TEST_F(TraceTest, ThreadsRecordOnDistinctTracks)
     setTraceEnabled(true);
     {
         TraceSpan main_span("on.main");
+        // This test validates per-thread trace tracks, which needs a real
+        // second thread that is not one of the pool's workers.
+        // aiwc-lint: allow(thread-raw) -- exercises per-thread track capture
         std::thread other([] { TraceSpan span("on.other"); });
         other.join();
     }
@@ -368,12 +371,12 @@ TEST_F(TraceTest, AnalyzerScopeRegistersTheStandardBundle)
         AnalyzerScope scope("trace_test", 123);
     }
     auto &registry = MetricsRegistry::global();
-    EXPECT_GE(registry.counter("analyzer.trace_test.runs").value(), 1u);
-    EXPECT_GE(registry.counter("analyzer.trace_test.rows").value(),
+    EXPECT_GE(registry.counter("aiwc.analyzer.trace_test.runs").value(), 1u);
+    EXPECT_GE(registry.counter("aiwc.analyzer.trace_test.rows").value(),
               123u);
-    EXPECT_GE(registry.histogram("analyzer.trace_test.wall_ns").count(),
+    EXPECT_GE(registry.histogram("aiwc.analyzer.trace_test.wall_ns").count(),
               1u);
-    EXPECT_GE(registry.histogram("analyzer.trace_test.cpu_ns").count(),
+    EXPECT_GE(registry.histogram("aiwc.analyzer.trace_test.cpu_ns").count(),
               1u);
 }
 

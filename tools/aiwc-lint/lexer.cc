@@ -1,0 +1,287 @@
+#include "lexer.hh"
+
+#include <cctype>
+
+namespace aiwc::lint
+{
+
+namespace
+{
+
+/**
+ * Cursor over spliced source text. Backslash-newline is removed during
+ * the splice pass; `lineAt` maps every spliced character back to its
+ * original 1-based line so tokens report real positions.
+ */
+struct Cursor {
+    std::string text;
+    std::vector<int> line_of;
+    std::size_t pos = 0;
+
+    bool done() const { return pos >= text.size(); }
+    char peek(std::size_t ahead = 0) const
+    {
+        return pos + ahead < text.size() ? text[pos + ahead] : '\0';
+    }
+    int line() const
+    {
+        if (line_of.empty())
+            return 1;
+        return line_of[pos < line_of.size() ? pos : line_of.size() - 1];
+    }
+};
+
+/** Remove backslash-newline splices, keeping the per-character line map. */
+Cursor
+splice(const std::string &source)
+{
+    Cursor c;
+    c.text.reserve(source.size());
+    c.line_of.reserve(source.size());
+    int line = 1;
+    for (std::size_t i = 0; i < source.size(); ++i) {
+        if (source[i] == '\\' &&
+            (i + 1 < source.size() && source[i + 1] == '\n')) {
+            ++line;
+            ++i;  // drop both characters; the logical line continues
+            continue;
+        }
+        if (source[i] == '\\' && i + 2 < source.size() &&
+            source[i + 1] == '\r' && source[i + 2] == '\n') {
+            ++line;
+            i += 2;
+            continue;
+        }
+        c.text.push_back(source[i]);
+        c.line_of.push_back(line);
+        if (source[i] == '\n')
+            ++line;
+    }
+    return c;
+}
+
+bool
+isIdentStart(char ch)
+{
+    return std::isalpha(static_cast<unsigned char>(ch)) || ch == '_';
+}
+
+bool
+isIdentChar(char ch)
+{
+    return std::isalnum(static_cast<unsigned char>(ch)) || ch == '_';
+}
+
+/** Encoding prefix (u8, u, U, L) ending at `pos` and starting a literal? */
+bool
+isEncodingPrefix(const std::string &ident)
+{
+    return ident == "u8" || ident == "u" || ident == "U" || ident == "L" ||
+           ident == "R" || ident == "u8R" || ident == "uR" || ident == "UR" ||
+           ident == "LR";
+}
+
+/** Consume a "..." or '...' literal body (opening quote at c.pos). */
+void
+consumeQuoted(Cursor &c, std::string &out)
+{
+    const char quote = c.peek();
+    out.push_back(quote);
+    ++c.pos;
+    while (!c.done()) {
+        const char ch = c.peek();
+        if (ch == '\\' && c.pos + 1 < c.text.size()) {
+            out.push_back(ch);
+            out.push_back(c.peek(1));
+            c.pos += 2;
+            continue;
+        }
+        out.push_back(ch);
+        ++c.pos;
+        if (ch == quote || ch == '\n')  // unterminated: stop at line end
+            return;
+    }
+}
+
+/** Consume R"delim( ... )delim" with the opening R" already in `out`. */
+void
+consumeRawString(Cursor &c, std::string &out)
+{
+    std::string delim;
+    while (!c.done() && c.peek() != '(' && c.peek() != '\n' &&
+           delim.size() < 16) {
+        delim.push_back(c.peek());
+        out.push_back(c.peek());
+        ++c.pos;
+    }
+    if (c.done() || c.peek() != '(')  // malformed; give up on this literal
+        return;
+    out.push_back('(');
+    ++c.pos;
+    const std::string closer = ")" + delim + "\"";
+    const std::size_t end = c.text.find(closer, c.pos);
+    if (end == std::string::npos) {  // unterminated: swallow to EOF
+        out.append(c.text, c.pos, std::string::npos);
+        c.pos = c.text.size();
+        return;
+    }
+    out.append(c.text, c.pos, end - c.pos + closer.size());
+    c.pos = end + closer.size();
+}
+
+/** Multi-character punctuators the rules care about ("::" only). */
+bool
+startsScopeResolution(const Cursor &c)
+{
+    return c.peek() == ':' && c.peek(1) == ':';
+}
+
+} // namespace
+
+std::vector<Token>
+lex(const std::string &source)
+{
+    Cursor c = splice(source);
+    std::vector<Token> tokens;
+    bool at_line_start = true;  // only whitespace seen since last newline
+
+    while (!c.done()) {
+        const char ch = c.peek();
+        const int line = c.line();
+
+        if (ch == '\n') {
+            at_line_start = true;
+            ++c.pos;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(ch))) {
+            ++c.pos;
+            continue;
+        }
+
+        // Line comment.
+        if (ch == '/' && c.peek(1) == '/') {
+            std::string text;
+            while (!c.done() && c.peek() != '\n') {
+                text.push_back(c.peek());
+                ++c.pos;
+            }
+            tokens.push_back({TokenKind::Comment, std::move(text), line});
+            continue;
+        }
+
+        // Block comment, possibly spanning lines.
+        if (ch == '/' && c.peek(1) == '*') {
+            std::string text = "/*";
+            c.pos += 2;
+            while (!c.done()) {
+                if (c.peek() == '*' && c.peek(1) == '/') {
+                    text += "*/";
+                    c.pos += 2;
+                    break;
+                }
+                text.push_back(c.peek());
+                ++c.pos;
+            }
+            tokens.push_back({TokenKind::Comment, std::move(text), line});
+            // A block comment does not end the "start of line" state for
+            // preprocessor detection: `  /* x */ #include` is a directive.
+            continue;
+        }
+
+        // Preprocessor logical line (continuations already spliced).
+        if (ch == '#' && at_line_start) {
+            std::string text;
+            while (!c.done() && c.peek() != '\n') {
+                // Comments inside directives end or interrupt them.
+                if (c.peek() == '/' && c.peek(1) == '/')
+                    break;
+                if (c.peek() == '/' && c.peek(1) == '*') {
+                    text.push_back(' ');
+                    c.pos += 2;
+                    while (!c.done() &&
+                           !(c.peek() == '*' && c.peek(1) == '/'))
+                        ++c.pos;
+                    if (!c.done())
+                        c.pos += 2;
+                    continue;
+                }
+                text.push_back(c.peek());
+                ++c.pos;
+            }
+            tokens.push_back({TokenKind::PpDirective, std::move(text), line});
+            continue;
+        }
+        at_line_start = false;
+
+        // Identifier, or an encoding prefix fused to a string literal.
+        if (isIdentStart(ch)) {
+            std::string text;
+            while (!c.done() && isIdentChar(c.peek())) {
+                text.push_back(c.peek());
+                ++c.pos;
+            }
+            if (!c.done() && (c.peek() == '"' || c.peek() == '\'') &&
+                isEncodingPrefix(text)) {
+                const bool raw = text.back() == 'R';
+                if (c.peek() == '"' && raw) {
+                    text.push_back('"');
+                    ++c.pos;
+                    consumeRawString(c, text);
+                    tokens.push_back(
+                        {TokenKind::String, std::move(text), line});
+                } else {
+                    std::string body;
+                    consumeQuoted(c, body);
+                    const TokenKind kind = body[0] == '"'
+                                               ? TokenKind::String
+                                               : TokenKind::CharLiteral;
+                    tokens.push_back({kind, text + body, line});
+                }
+                continue;
+            }
+            tokens.push_back({TokenKind::Identifier, std::move(text), line});
+            continue;
+        }
+
+        // Number (pp-number: also eats suffixes and separators).
+        if (std::isdigit(static_cast<unsigned char>(ch)) ||
+            (ch == '.' && std::isdigit(static_cast<unsigned char>(
+                              c.peek(1))))) {
+            std::string text;
+            while (!c.done() &&
+                   (isIdentChar(c.peek()) || c.peek() == '.' ||
+                    c.peek() == '\'' ||
+                    ((c.peek() == '+' || c.peek() == '-') && !text.empty() &&
+                     (text.back() == 'e' || text.back() == 'E' ||
+                      text.back() == 'p' || text.back() == 'P')))) {
+                text.push_back(c.peek());
+                ++c.pos;
+            }
+            tokens.push_back({TokenKind::Number, std::move(text), line});
+            continue;
+        }
+
+        // Plain string / char literal.
+        if (ch == '"' || ch == '\'') {
+            std::string text;
+            consumeQuoted(c, text);
+            const TokenKind kind =
+                ch == '"' ? TokenKind::String : TokenKind::CharLiteral;
+            tokens.push_back({kind, std::move(text), line});
+            continue;
+        }
+
+        // Punctuator; keep "::" fused so scope lookups are one token.
+        if (startsScopeResolution(c)) {
+            tokens.push_back({TokenKind::Punct, "::", line});
+            c.pos += 2;
+            continue;
+        }
+        tokens.push_back({TokenKind::Punct, std::string(1, ch), line});
+        ++c.pos;
+    }
+    return tokens;
+}
+
+} // namespace aiwc::lint

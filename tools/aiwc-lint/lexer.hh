@@ -1,0 +1,51 @@
+/**
+ * @file
+ * A small C++ lexer for aiwc-lint.
+ *
+ * The linter's rules pattern-match token streams, never raw text, so a
+ * banned identifier inside a string literal, a comment, or a raw string
+ * never fires a finding. The lexer therefore has to get exactly four
+ * things right: comments (line and block, spanning lines), string/char
+ * literals (escapes, encoding prefixes, raw strings with arbitrary
+ * delimiters), preprocessor logical lines (backslash-newline
+ * continuations spliced), and line numbers that survive all of the
+ * above so findings point at the original source line.
+ *
+ * It is deliberately NOT a parser: rules that need structure (template
+ * argument lists, namespace scope) reconstruct just enough of it from
+ * the token stream and are documented as heuristics.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aiwc::lint
+{
+
+enum class TokenKind {
+    Identifier,   //!< identifiers and keywords (the lexer does not split them)
+    Number,       //!< pp-number: integers, floats, hex, digit separators
+    String,       //!< string literal, prefix and quotes included in text
+    CharLiteral,  //!< character literal, quotes included in text
+    Punct,        //!< one punctuator; "::" is kept as a single token
+    PpDirective,  //!< one logical preprocessor line, continuations spliced
+    Comment,      //!< line or block comment, markers included in text
+};
+
+struct Token {
+    TokenKind kind;
+    std::string text;
+    int line = 0;  //!< 1-based line of the token's first character
+};
+
+/**
+ * Tokenize a C++ source file. Never throws on malformed input: an
+ * unterminated string/comment/raw string is closed at end of file and
+ * lexing continues, because a linter must degrade gracefully on code
+ * the compiler would reject anyway.
+ */
+std::vector<Token> lex(const std::string &source);
+
+} // namespace aiwc::lint

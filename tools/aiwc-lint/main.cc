@@ -1,0 +1,189 @@
+/**
+ * @file
+ * aiwc-lint command line driver.
+ *
+ *   aiwc-lint [--json] [--root DIR] [--list-rules] [paths...]
+ *
+ * With no paths, lints src/, tests/, and bench/ under the root (default:
+ * the current directory). Exit codes: 0 clean, 1 findings, 2 usage or
+ * I/O error — so CI and scripts/lint.sh can tell "violations" apart
+ * from "could not run".
+ */
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hh"
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+constexpr int kExitClean = 0;
+constexpr int kExitFindings = 1;
+constexpr int kExitUsage = 2;
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: aiwc-lint [--json] [--root DIR] [--list-rules] "
+          "[paths...]\n"
+          "Self-hosted static analysis for the aiwc tree: enforces the\n"
+          "determinism, contract, threading, metric-naming, and header\n"
+          "invariants documented in CONTRIBUTING.md.\n"
+          "Default paths: src tests bench (relative to --root).\n"
+          "Exit codes: 0 clean, 1 findings, 2 usage/IO error.\n";
+}
+
+bool
+lintableExtension(const fs::path &p)
+{
+    const std::string ext = p.extension().string();
+    return ext == ".cc" || ext == ".cpp" || ext == ".hh" || ext == ".h";
+}
+
+/** Repo-relative, '/'-separated form the rule scopes match against. */
+std::string
+normalize(const fs::path &p, const fs::path &root)
+{
+    std::error_code ec;
+    fs::path rel = fs::relative(p, root, ec);
+    if (ec || rel.empty() || *rel.begin() == "..")
+        rel = p;
+    return rel.generic_string();
+}
+
+/**
+ * The module's public header, for cross-file declaration context:
+ * src/<mod>/<stem>.cc -> src/include/aiwc/<mod>/<stem>.hh.
+ */
+fs::path
+companionHeader(const fs::path &source, const fs::path &root)
+{
+    const std::string norm = normalize(source, root);
+    if (norm.rfind("src/", 0) != 0 || norm.find("src/include/") == 0)
+        return {};
+    const fs::path rel(norm.substr(4));  // "<mod>/<stem>.cc"
+    fs::path header = root / "src" / "include" / "aiwc" / rel;
+    header.replace_extension(".hh");
+    return fs::exists(header) ? header : fs::path{};
+}
+
+bool
+readFile(const fs::path &p, std::string &out)
+{
+    std::ifstream in(p, std::ios::binary);
+    if (!in)
+        return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool json = false;
+    fs::path root = ".";
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--json") {
+            json = true;
+        } else if (arg == "--root") {
+            if (++i >= argc) {
+                std::cerr << "aiwc-lint: --root needs a directory\n";
+                return kExitUsage;
+            }
+            root = argv[i];
+        } else if (arg == "--list-rules") {
+            for (const std::string &rule : aiwc::lint::knownRules())
+                std::cout << rule << "\n";
+            return kExitClean;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(std::cout);
+            return kExitClean;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "aiwc-lint: unknown option " << arg << "\n";
+            usage(std::cerr);
+            return kExitUsage;
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty())
+        paths = {"src", "tests", "bench"};
+
+    std::vector<fs::path> files;
+    for (const std::string &p : paths) {
+        const fs::path full = fs::path(p).is_absolute() ? fs::path(p)
+                                                        : root / p;
+        std::error_code ec;
+        if (fs::is_directory(full, ec)) {
+            for (const auto &entry :
+                 fs::recursive_directory_iterator(full, ec))
+                if (entry.is_regular_file() &&
+                    lintableExtension(entry.path()))
+                    files.push_back(entry.path());
+            if (ec) {
+                std::cerr << "aiwc-lint: cannot walk " << full << ": "
+                          << ec.message() << "\n";
+                return kExitUsage;
+            }
+        } else if (fs::is_regular_file(full, ec)) {
+            files.push_back(full);
+        } else {
+            std::cerr << "aiwc-lint: no such file or directory: " << full
+                      << "\n";
+            return kExitUsage;
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    std::vector<aiwc::lint::Finding> findings;
+    for (const fs::path &file : files) {
+        std::string content;
+        if (!readFile(file, content)) {
+            std::cerr << "aiwc-lint: cannot read " << file << "\n";
+            return kExitUsage;
+        }
+        std::string header_content;
+        const std::string *companion = nullptr;
+        const fs::path header = companionHeader(file, root);
+        if (!header.empty() && readFile(header, header_content))
+            companion = &header_content;
+        std::vector<aiwc::lint::Finding> got = aiwc::lint::lintSource(
+            normalize(file, root), content, companion);
+        findings.insert(findings.end(),
+                        std::make_move_iterator(got.begin()),
+                        std::make_move_iterator(got.end()));
+    }
+    std::sort(findings.begin(), findings.end());
+
+    if (json)
+        std::cout << aiwc::lint::renderJson(findings);
+    else if (!findings.empty())
+        std::cout << aiwc::lint::renderHuman(findings);
+
+    if (findings.empty()) {
+        if (!json)
+            std::cout << "aiwc-lint: OK (" << files.size() << " files)\n";
+        return kExitClean;
+    }
+    if (!json)
+        std::cerr << "aiwc-lint: " << findings.size() << " finding(s) in "
+                  << files.size() << " files\n";
+    return kExitFindings;
+}

@@ -1,0 +1,748 @@
+#include "rules.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "lexer.hh"
+
+namespace aiwc::lint
+{
+
+namespace
+{
+
+// ---------------------------------------------------------------------------
+// Path classification. Paths are repo-relative with '/' separators; the
+// driver normalizes before calling lintSource.
+
+bool
+hasSegment(const std::string &path, const std::string &seg)
+{
+    const std::string needle = seg + "/";
+    if (path.rfind(needle, 0) == 0)
+        return true;
+    return path.find("/" + needle) != std::string::npos;
+}
+
+bool
+underSrc(const std::string &path)
+{
+    return hasSegment(path, "src");
+}
+
+bool
+isHeader(const std::string &path)
+{
+    return path.size() > 3 && path.compare(path.size() - 3, 3, ".hh") == 0;
+}
+
+bool
+isPublicHeader(const std::string &path)
+{
+    return isHeader(path) && path.find("src/include/") != std::string::npos;
+}
+
+/** Files allowed to read wall clocks / entropy: observability and bench. */
+bool
+determinismAllowlisted(const std::string &path)
+{
+    return hasSegment(path, "obs") || hasSegment(path, "bench");
+}
+
+/** The one module allowed to touch raw threads. */
+bool
+isParallelModule(const std::string &path)
+{
+    return path.find("common/parallel.") != std::string::npos;
+}
+
+/** The one file allowed to terminate the process. */
+bool
+isCheckImpl(const std::string &path)
+{
+    return path == "check.cc" ||
+           (path.size() > 9 &&
+            path.compare(path.size() - 9, 9, "/check.cc") == 0);
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream helpers. Rules operate on the "code view": comments and
+// preprocessor lines stripped, so banned names in comments, strings
+// (their own token kind), or #include paths never fire.
+
+std::vector<Token>
+codeView(const std::vector<Token> &tokens)
+{
+    std::vector<Token> out;
+    out.reserve(tokens.size());
+    for (const Token &t : tokens)
+        if (t.kind != TokenKind::Comment && t.kind != TokenKind::PpDirective)
+            out.push_back(t);
+    return out;
+}
+
+bool
+isIdent(const std::vector<Token> &ts, std::size_t i, const char *text)
+{
+    return i < ts.size() && ts[i].kind == TokenKind::Identifier &&
+           ts[i].text == text;
+}
+
+bool
+isPunct(const std::vector<Token> &ts, std::size_t i, const char *text)
+{
+    return i < ts.size() && ts[i].kind == TokenKind::Punct &&
+           ts[i].text == text;
+}
+
+/**
+ * Heuristic: is ts[i] (an identifier) used as a free-function call?
+ * Declarations (`LogNormal abort(...)`, `int rand(int)`) have a type
+ * name directly before; member calls (`x.exit(...)`) have '.' or '->';
+ * a "::"-qualified call only counts when the qualifier is `std`.
+ */
+bool
+isFreeCall(const std::vector<Token> &ts, std::size_t i)
+{
+    if (!isPunct(ts, i + 1, "("))
+        return false;
+    if (i == 0)
+        return true;
+    const Token &prev = ts[i - 1];
+    if (prev.kind == TokenKind::Identifier) {
+        // `return abort();`, `else abort();` are calls, not declarations.
+        static const std::set<std::string> call_context = {
+            "return", "else", "do", "co_return"};
+        return call_context.count(prev.text) > 0;
+    }
+    if (prev.kind == TokenKind::Punct) {
+        if (prev.text == "::")
+            return i >= 2 && isIdent(ts, i - 2, "std");
+        if (prev.text == "." || prev.text == ">")  // member / -> call
+            return false;
+        return true;
+    }
+    return false;
+}
+
+// ---------------------------------------------------------------------------
+// R1a · det-random
+
+void
+ruleDetRandom(const std::string &path, const std::vector<Token> &ts,
+              std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (ts[i].kind != TokenKind::Identifier)
+            continue;
+        if (ts[i].text == "random_device") {
+            out.push_back({path, ts[i].line, "det-random",
+                           "std::random_device is hardware entropy; seed "
+                           "from the run's configured seed instead"});
+        } else if ((ts[i].text == "rand" || ts[i].text == "srand") &&
+                   isFreeCall(ts, i)) {
+            out.push_back({path, ts[i].line, "det-random",
+                           ts[i].text + "() uses hidden global state; use "
+                                        "aiwc::common::Rng"});
+        } else if (ts[i].text == "time" && isFreeCall(ts, i) &&
+                   (isIdent(ts, i + 2, "nullptr") ||
+                    isIdent(ts, i + 2, "NULL") ||
+                    (i + 2 < ts.size() &&
+                     ts[i + 2].kind == TokenKind::Number &&
+                     ts[i + 2].text == "0")) &&
+                   isPunct(ts, i + 3, ")")) {
+            out.push_back({path, ts[i].line, "det-random",
+                           "time(nullptr) reads the wall clock; results "
+                           "must be a pure function of (input, seed)"});
+        } else if (ts[i].text == "system_clock" && isPunct(ts, i + 1, "::") &&
+                   isIdent(ts, i + 2, "now")) {
+            out.push_back({path, ts[i].line, "det-random",
+                           "system_clock::now() reads the wall clock; only "
+                           "obs/ and bench/ may observe real time"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R1b · det-unordered-iter
+//
+// Collect names declared with an unordered container type (directly,
+// or through a `using X = std::unordered_map<...>` alias), then flag
+// range-for loops whose range resolves to such a name and classic for
+// loops that call .begin()/.cbegin() on one. Heuristic by design: it
+// tracks names, not types, which is exactly enough for this codebase's
+// idiom and errs toward firing (a false positive is a one-line
+// suppression with a reason).
+
+bool
+isUnorderedName(const Token &t)
+{
+    return t.kind == TokenKind::Identifier &&
+           (t.text == "unordered_map" || t.text == "unordered_set" ||
+            t.text == "unordered_multimap" || t.text == "unordered_multiset");
+}
+
+/** Skip a balanced <...> starting at ts[i] == "<"; returns index past ">". */
+std::size_t
+skipAngles(const std::vector<Token> &ts, std::size_t i)
+{
+    int depth = 0;
+    while (i < ts.size()) {
+        if (isPunct(ts, i, "<"))
+            ++depth;
+        else if (isPunct(ts, i, ">") && --depth == 0)
+            return i + 1;
+        else if (isPunct(ts, i, ";"))  // runaway (operator<, etc.)
+            return i;
+        ++i;
+    }
+    return i;
+}
+
+void
+collectUnorderedDecls(const std::vector<Token> &ts,
+                      std::set<std::string> &names,
+                      std::set<std::string> &aliases)
+{
+    // Aliases: using X = ... unordered_map< ... > ... ;
+    for (std::size_t i = 0; i + 3 < ts.size(); ++i) {
+        if (!isIdent(ts, i, "using") ||
+            ts[i + 1].kind != TokenKind::Identifier ||
+            !isPunct(ts, i + 2, "="))
+            continue;
+        for (std::size_t j = i + 3;
+             j < ts.size() && !isPunct(ts, j, ";"); ++j) {
+            if (isUnorderedName(ts[j])) {
+                aliases.insert(ts[i + 1].text);
+                break;
+            }
+        }
+    }
+
+    // Direct declarations: [std::]unordered_map<...> [&*const] name term
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        std::size_t j;
+        if (isUnorderedName(ts[i]) && isPunct(ts, i + 1, "<")) {
+            j = skipAngles(ts, i + 1);
+        } else if (ts[i].kind == TokenKind::Identifier &&
+                   aliases.count(ts[i].text) > 0 &&
+                   !(i > 0 && (isPunct(ts, i - 1, ".") ||
+                               isPunct(ts, i - 1, "::")))) {
+            j = i + 1;
+        } else {
+            continue;
+        }
+        while (j < ts.size() &&
+               (isPunct(ts, j, "&") || isPunct(ts, j, "*") ||
+                isIdent(ts, j, "const") || isIdent(ts, j, "mutable")))
+            ++j;
+        if (j < ts.size() && ts[j].kind == TokenKind::Identifier &&
+            j + 1 < ts.size() && ts[j + 1].kind == TokenKind::Punct) {
+            const std::string &after = ts[j + 1].text;
+            if (after == ";" || after == "=" || after == "{" ||
+                after == "," || after == ")")
+                names.insert(ts[j].text);
+        }
+    }
+}
+
+/** Index just past the ')' matching ts[open] == "(". */
+std::size_t
+matchParen(const std::vector<Token> &ts, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < ts.size(); ++i) {
+        if (isPunct(ts, i, "("))
+            ++depth;
+        else if (isPunct(ts, i, ")") && --depth == 0)
+            return i + 1;
+    }
+    return ts.size();
+}
+
+void
+ruleUnorderedIter(const std::string &path, const std::vector<Token> &ts,
+                  const std::set<std::string> &names,
+                  std::vector<Finding> &out)
+{
+    if (names.empty())
+        return;
+    for (std::size_t i = 0; i + 1 < ts.size(); ++i) {
+        if (!isIdent(ts, i, "for") || !isPunct(ts, i + 1, "("))
+            continue;
+        const std::size_t open = i + 1;
+        const std::size_t end = matchParen(ts, open);
+
+        // Find a range-for ':' at paren depth 1 ("::" is one token, so a
+        // bare ':' here is unambiguous).
+        std::size_t colon = 0;
+        bool classic = false;
+        int depth = 0;
+        for (std::size_t j = open; j < end; ++j) {
+            if (isPunct(ts, j, "("))
+                ++depth;
+            else if (isPunct(ts, j, ")"))
+                --depth;
+            else if (depth == 1 && isPunct(ts, j, ";"))
+                classic = true;
+            else if (depth == 1 && isPunct(ts, j, ":") && colon == 0)
+                colon = j;
+        }
+
+        if (colon != 0 && !classic) {
+            // Range expression: last identifier not used as a call.
+            std::string target;
+            for (std::size_t j = colon + 1; j + 1 < end; ++j)
+                if (ts[j].kind == TokenKind::Identifier &&
+                    !isPunct(ts, j + 1, "("))
+                    target = ts[j].text;
+            if (!target.empty() && names.count(target) > 0)
+                out.push_back(
+                    {path, ts[i].line, "det-unordered-iter",
+                     "range-for over unordered container '" + target +
+                         "' iterates in hash order; use std::map or "
+                         "extract-and-sort before anything ordered "
+                         "depends on it"});
+        } else if (classic) {
+            for (std::size_t j = open; j + 3 < end; ++j)
+                if (ts[j].kind == TokenKind::Identifier &&
+                    names.count(ts[j].text) > 0 &&
+                    isPunct(ts, j + 1, ".") &&
+                    (isIdent(ts, j + 2, "begin") ||
+                     isIdent(ts, j + 2, "cbegin")) &&
+                    isPunct(ts, j + 3, "(")) {
+                    out.push_back(
+                        {path, ts[i].line, "det-unordered-iter",
+                         "iterator loop over unordered container '" +
+                             ts[j].text + "' iterates in hash order; use "
+                                          "std::map or extract-and-sort"});
+                    break;
+                }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R2 · contract-assert / contract-abort
+
+void
+ruleContractAssert(const std::string &path, const std::vector<Token> &ts,
+                   std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i < ts.size(); ++i)
+        if (isIdent(ts, i, "assert") && isFreeCall(ts, i))
+            out.push_back({path, ts[i].line, "contract-assert",
+                           "bare assert() vanishes in release builds; use "
+                           "AIWC_CHECK (always on) or AIWC_DCHECK "
+                           "(debug-only) from aiwc/common/check.hh"});
+}
+
+void
+ruleContractAbort(const std::string &path, const std::vector<Token> &ts,
+                  std::vector<Finding> &out)
+{
+    static const std::set<std::string> terminators = {"abort", "exit",
+                                                      "_Exit", "quick_exit"};
+    for (std::size_t i = 0; i < ts.size(); ++i)
+        if (ts[i].kind == TokenKind::Identifier &&
+            terminators.count(ts[i].text) > 0 && isFreeCall(ts, i))
+            out.push_back({path, ts[i].line, "contract-abort",
+                           ts[i].text + "() bypasses the contract-failure "
+                                        "handler; raise AIWC_CHECK instead "
+                                        "(termination lives in check.cc)"});
+}
+
+// ---------------------------------------------------------------------------
+// R3 · thread-raw
+
+void
+ruleThreadRaw(const std::string &path, const std::vector<Token> &ts,
+              std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (isIdent(ts, i, "std") && isPunct(ts, i + 1, "::") &&
+            (isIdent(ts, i + 2, "thread") || isIdent(ts, i + 2, "jthread") ||
+             isIdent(ts, i + 2, "async"))) {
+            out.push_back(
+                {path, ts[i].line, "thread-raw",
+                 "raw std::" + ts[i + 2].text +
+                     " breaks the deterministic shard geometry; use "
+                     "parallelFor/parallelReduce from "
+                     "aiwc/common/parallel.hh"});
+        } else if (isIdent(ts, i, "detach") && isPunct(ts, i + 1, "(") &&
+                   i > 0 &&
+                   (isPunct(ts, i - 1, ".") || isPunct(ts, i - 1, ">"))) {
+            out.push_back({path, ts[i].line, "thread-raw",
+                           "detach() orphans work past the pool's barrier; "
+                           "joined pool workers are the only concurrency "
+                           "primitive"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R4 · metric-name
+
+bool
+isLowerSnake(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (const char ch : s)
+        if (!((ch >= 'a' && ch <= 'z') || (ch >= '0' && ch <= '9') ||
+              ch == '_'))
+            return false;
+    return true;
+}
+
+/** aiwc\.[a-z0-9_]+(\.[a-z0-9_]+)+ — "aiwc." plus >= 2 snake segments. */
+bool
+isValidMetricName(const std::string &name)
+{
+    std::vector<std::string> segs;
+    std::string cur;
+    for (const char ch : name) {
+        if (ch == '.') {
+            segs.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(ch);
+        }
+    }
+    segs.push_back(cur);
+    if (segs.size() < 3 || segs[0] != "aiwc")
+        return false;
+    return std::all_of(segs.begin() + 1, segs.end(), isLowerSnake);
+}
+
+std::string
+literalValue(const std::string &text)
+{
+    const std::size_t first = text.find('"');
+    const std::size_t last = text.rfind('"');
+    if (first == std::string::npos || last <= first)
+        return "";
+    return text.substr(first + 1, last - first - 1);
+}
+
+void
+ruleMetricName(const std::string &path, const std::vector<Token> &ts,
+               std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i + 2 < ts.size(); ++i) {
+        if (!(isIdent(ts, i, "counter") || isIdent(ts, i, "gauge") ||
+              isIdent(ts, i, "histogram")))
+            continue;
+        if (!isPunct(ts, i + 1, "(") ||
+            ts[i + 2].kind != TokenKind::String)
+            continue;
+        const std::string name = literalValue(ts[i + 2].text);
+        if (isPunct(ts, i + 3, ")")) {
+            if (!isValidMetricName(name))
+                out.push_back(
+                    {path, ts[i + 2].line, "metric-name",
+                     "metric name \"" + name +
+                         "\" must match aiwc.<layer>.<thing> "
+                         "(aiwc\\.[a-z0-9_]+(\\.[a-z0-9_]+)+, see "
+                         "CONTRIBUTING.md)"});
+        } else if (isPunct(ts, i + 3, "+")) {
+            // Concatenated name: statically check the literal prefix.
+            const bool prefix_ok =
+                name.rfind("aiwc.", 0) == 0 &&
+                std::all_of(name.begin(), name.end(), [](char ch) {
+                    return (ch >= 'a' && ch <= 'z') ||
+                           (ch >= '0' && ch <= '9') || ch == '_' ||
+                           ch == '.';
+                });
+            if (!prefix_ok)
+                out.push_back(
+                    {path, ts[i + 2].line, "metric-name",
+                     "concatenated metric name must start with a literal "
+                     "\"aiwc.<layer>.\" prefix, got \"" + name + "\""});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R5a · header-pragma-once
+
+std::string
+collapse(const std::string &s)
+{
+    std::string out;
+    for (const char ch : s)
+        if (ch != ' ' && ch != '\t' && ch != '\r')
+            out.push_back(ch);
+    return out;
+}
+
+void
+rulePragmaOnce(const std::string &path, const std::vector<Token> &tokens,
+               std::vector<Finding> &out)
+{
+    for (const Token &t : tokens) {
+        if (t.kind == TokenKind::Comment)
+            continue;
+        if (t.kind == TokenKind::PpDirective &&
+            collapse(t.text) == "#pragmaonce")
+            return;
+        out.push_back({path, t.line, "header-pragma-once",
+                       "public headers must open with #pragma once (before "
+                       "any other directive or declaration)"});
+        return;
+    }
+    out.push_back({path, 1, "header-pragma-once",
+                   "empty header is missing #pragma once"});
+}
+
+// ---------------------------------------------------------------------------
+// R5b · header-using-ns
+
+void
+ruleUsingNamespace(const std::string &path, const std::vector<Token> &ts,
+                   std::vector<Finding> &out)
+{
+    std::vector<bool> ns_scope;  // brace stack: true = namespace/extern
+    bool pending_ns = false;     // `namespace ...` seen, '{' not yet
+    bool pending_extern = false; // `extern "..."` seen, '{' not yet
+
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        const Token &t = ts[i];
+        if (t.kind == TokenKind::Identifier) {
+            if (t.text == "using" && isIdent(ts, i + 1, "namespace")) {
+                const bool at_ns_scope =
+                    std::all_of(ns_scope.begin(), ns_scope.end(),
+                                [](bool ns) { return ns; });
+                if (at_ns_scope)
+                    out.push_back(
+                        {path, t.line, "header-using-ns",
+                         "`using namespace` at namespace scope in a header "
+                         "leaks into every includer; qualify names or move "
+                         "it inside a function"});
+                ++i;  // don't re-read `namespace` as a scope opener
+            } else if (t.text == "namespace") {
+                pending_ns = true;
+            } else if (t.text == "extern" &&
+                       i + 1 < ts.size() &&
+                       ts[i + 1].kind == TokenKind::String) {
+                pending_extern = true;
+            }
+            continue;
+        }
+        if (t.kind != TokenKind::Punct)
+            continue;
+        if (t.text == "{") {
+            ns_scope.push_back(pending_ns || pending_extern);
+            pending_ns = pending_extern = false;
+        } else if (t.text == "}") {
+            if (!ns_scope.empty())
+                ns_scope.pop_back();
+        } else if (t.text == ";" || t.text == "=") {
+            pending_ns = pending_extern = false;  // alias / declaration
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: // aiwc-lint: allow(rule[, rule...]) -- reason
+
+struct SuppressionTable {
+    // (line, rule) pairs a valid suppression covers.
+    std::set<std::pair<int, std::string>> allowed;
+};
+
+std::string
+trim(const std::string &s)
+{
+    std::size_t b = s.find_first_not_of(" \t");
+    std::size_t e = s.find_last_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    return s.substr(b, e - b + 1);
+}
+
+void
+parseSuppressions(const std::string &path, const std::vector<Token> &tokens,
+                  SuppressionTable &table, std::vector<Finding> &out)
+{
+    static const std::string marker = "aiwc-lint:";
+    for (const Token &t : tokens) {
+        if (t.kind != TokenKind::Comment)
+            continue;
+        const std::size_t at = t.text.find(marker);
+        if (at == std::string::npos)
+            continue;
+        std::string rest = trim(t.text.substr(at + marker.size()));
+        // Block comments may close on the same line; drop the marker.
+        const std::size_t close_comment = rest.find("*/");
+        if (close_comment != std::string::npos)
+            rest = trim(rest.substr(0, close_comment));
+
+        if (rest.rfind("allow(", 0) != 0) {
+            out.push_back({path, t.line, "bad-suppression",
+                           "suppression must be `aiwc-lint: allow(<rule>) "
+                           "-- <reason>`"});
+            continue;
+        }
+        const std::size_t close = rest.find(')');
+        if (close == std::string::npos) {
+            out.push_back({path, t.line, "bad-suppression",
+                           "unclosed allow(...) in suppression"});
+            continue;
+        }
+
+        std::vector<std::string> rules;
+        std::stringstream list(rest.substr(6, close - 6));
+        std::string item;
+        bool rules_ok = true;
+        while (std::getline(list, item, ',')) {
+            item = trim(item);
+            const auto &known = knownRules();
+            if (std::find(known.begin(), known.end(), item) == known.end()) {
+                out.push_back({path, t.line, "bad-suppression",
+                               "unknown rule '" + item +
+                                   "' in suppression (see --list-rules)"});
+                rules_ok = false;
+                break;
+            }
+            rules.push_back(item);
+        }
+        if (!rules_ok)
+            continue;
+        if (rules.empty()) {
+            out.push_back({path, t.line, "bad-suppression",
+                           "allow() names no rule"});
+            continue;
+        }
+
+        const std::string after = trim(rest.substr(close + 1));
+        if (after.rfind("--", 0) != 0 || trim(after.substr(2)).empty()) {
+            out.push_back({path, t.line, "bad-suppression",
+                           "suppression requires a written reason: "
+                           "`-- <why this is safe>`"});
+            continue;
+        }
+
+        // Cover every line the comment spans plus the next line, so both
+        // end-of-line and line-above placement work.
+        const int span = static_cast<int>(
+            std::count(t.text.begin(), t.text.end(), '\n'));
+        for (int line = t.line; line <= t.line + span + 1; ++line)
+            for (const std::string &rule : rules)
+                table.allowed.insert({line, rule});
+    }
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    for (const char ch : s) {
+        switch (ch) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", ch);
+                out += buf;
+            } else {
+                out.push_back(ch);
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+knownRules()
+{
+    static const std::vector<std::string> rules = {
+        "bad-suppression",    "contract-abort",  "contract-assert",
+        "det-random",         "det-unordered-iter", "header-pragma-once",
+        "header-using-ns",    "metric-name",     "thread-raw",
+    };
+    return rules;
+}
+
+std::vector<Finding>
+lintSource(const std::string &path, const std::string &content,
+           const std::string *companion_header)
+{
+    const std::vector<Token> tokens = lex(content);
+    const std::vector<Token> code = codeView(tokens);
+
+    std::vector<Finding> raw;
+    SuppressionTable table;
+    parseSuppressions(path, tokens, table, raw);
+
+    if (!determinismAllowlisted(path))
+        ruleDetRandom(path, code, raw);
+
+    if (underSrc(path)) {
+        std::set<std::string> names;
+        std::set<std::string> aliases;
+        collectUnorderedDecls(code, names, aliases);
+        if (companion_header != nullptr)
+            collectUnorderedDecls(codeView(lex(*companion_header)), names,
+                                  aliases);
+        ruleUnorderedIter(path, code, names, raw);
+
+        ruleContractAssert(path, code, raw);
+        if (!isCheckImpl(path))
+            ruleContractAbort(path, code, raw);
+        ruleMetricName(path, code, raw);
+    }
+
+    if (!isParallelModule(path))
+        ruleThreadRaw(path, code, raw);
+
+    if (isPublicHeader(path))
+        rulePragmaOnce(path, tokens, raw);
+    if (isHeader(path))
+        ruleUsingNamespace(path, code, raw);
+
+    std::vector<Finding> findings;
+    for (Finding &f : raw)
+        if (table.allowed.count({f.line, f.rule}) == 0)
+            findings.push_back(std::move(f));
+    std::sort(findings.begin(), findings.end());
+    return findings;
+}
+
+std::string
+renderHuman(const std::vector<Finding> &findings)
+{
+    std::ostringstream os;
+    for (const Finding &f : findings)
+        os << f.file << ":" << f.line << ": " << f.rule << ": " << f.message
+           << "\n";
+    return os.str();
+}
+
+std::string
+renderJson(const std::vector<Finding> &findings)
+{
+    std::ostringstream os;
+    os << "{\n  \"findings\": [";
+    for (std::size_t i = 0; i < findings.size(); ++i) {
+        const Finding &f = findings[i];
+        os << (i == 0 ? "" : ",") << "\n    {\"file\": \""
+           << jsonEscape(f.file) << "\", \"line\": " << f.line
+           << ", \"rule\": \"" << jsonEscape(f.rule)
+           << "\", \"message\": \"" << jsonEscape(f.message) << "\"}";
+    }
+    if (!findings.empty())
+        os << "\n  ";
+    os << "],\n  \"count\": " << findings.size() << "\n}\n";
+    return os.str();
+}
+
+} // namespace aiwc::lint

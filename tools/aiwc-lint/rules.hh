@@ -1,0 +1,89 @@
+/**
+ * @file
+ * aiwc-lint rule engine: the repo's project law, executable.
+ *
+ * Each rule encodes an invariant the test suite can only check
+ * dynamically (and therefore only for the inputs it happens to run):
+ *
+ *  - det-random          no wall-clock / libc / hardware randomness in
+ *                        result-producing code (allowlist: obs/, bench/)
+ *  - det-unordered-iter  no range-for or iterator loop over
+ *                        std::unordered_map/std::unordered_set in src/ —
+ *                        hash order must never reach reports or digests
+ *  - contract-assert     src/ uses AIWC_CHECK/AIWC_DCHECK, not assert()
+ *  - contract-abort      no abort()/exit() outside common/check.cc
+ *  - thread-raw          no std::thread/std::jthread/std::async/.detach()
+ *                        outside common/parallel.* — all concurrency goes
+ *                        through the deterministic pool
+ *  - metric-name         metric names registered in src/ match
+ *                        aiwc.<layer>.<thing> (see CONTRIBUTING.md)
+ *  - header-pragma-once  every src/include header opens with #pragma once
+ *  - header-using-ns     no `using namespace` at namespace scope in headers
+ *  - bad-suppression     malformed / reason-less suppression comments
+ *
+ * Suppression syntax, checked by the engine itself:
+ *
+ *     // aiwc-lint: allow(<rule>[, <rule>...]) -- <reason>
+ *
+ * on the offending line or the line directly above it. The reason is
+ * mandatory; a suppression without one is itself a finding.
+ *
+ * Rules are lexer-based heuristics, not semantic analysis: they see
+ * tokens, one file at a time (plus the module's public header for
+ * declaration context). The bias is deliberate — false positives are
+ * cheap to suppress with a written reason; false negatives silently
+ * rot the paper's reproducibility story.
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace aiwc::lint
+{
+
+struct Finding {
+    std::string file;
+    int line = 0;
+    std::string rule;
+    std::string message;
+
+    bool operator<(const Finding &o) const
+    {
+        if (file != o.file)
+            return file < o.file;
+        if (line != o.line)
+            return line < o.line;
+        if (rule != o.rule)
+            return rule < o.rule;
+        return message < o.message;
+    }
+    bool operator==(const Finding &o) const
+    {
+        return file == o.file && line == o.line && rule == o.rule &&
+               message == o.message;
+    }
+};
+
+/** Names of all rules, sorted — the vocabulary `allow(...)` accepts. */
+const std::vector<std::string> &knownRules();
+
+/**
+ * Lint one in-memory source file. `path` (repo-relative, '/'-separated)
+ * selects which rules apply; `companion_header`, when given, is lexed
+ * for unordered-container member declarations so loops in a .cc over
+ * members declared in its module header are still caught. Suppressions
+ * are already applied; what returns is reportable.
+ */
+std::vector<Finding> lintSource(const std::string &path,
+                                const std::string &content,
+                                const std::string *companion_header = nullptr);
+
+/** `file:line: rule: message` lines, sorted, one per finding. */
+std::string renderHuman(const std::vector<Finding> &findings);
+
+/** Machine-readable report: {"findings":[...],"count":N}. */
+std::string renderJson(const std::vector<Finding> &findings);
+
+} // namespace aiwc::lint
