@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Streaming-pipeline ingest bench: rows/second through aiwc::stream
+ * (serial and shard-parallel) and the memory story the tentpole
+ * promises — sketch footprint vs the materialized Dataset the batch
+ * path needs for the same figures.
+ *
+ * Timed kernels run a fixed iteration count so the aiwc.stream.*
+ * counters in the report's metrics snapshot stay a pure function of
+ * (scale, seed) and bench_compare.py can exact-match them.
+ */
+
+#include "bench_common.hh"
+
+#include "aiwc/stream/pipeline.hh"
+
+namespace
+{
+
+using namespace aiwc;
+
+/** Materialized footprint of the batch path's Dataset, bytes. */
+std::size_t
+datasetBytes(const core::Dataset &ds)
+{
+    std::size_t bytes = sizeof(ds) +
+                        ds.records().capacity() * sizeof(core::JobRecord);
+    for (const auto &r : ds.records())
+        bytes += r.per_gpu.capacity() * sizeof(core::GpuUsageSummary);
+    return bytes;
+}
+
+stream::StreamPipeline
+ingestAll()
+{
+    stream::StreamPipeline p;
+    for (const auto &r : bench::dataset().records())
+        p.ingest(r);
+    return p;
+}
+
+void
+printFigure(std::ostream &os)
+{
+    const auto &ds = bench::dataset();
+    const auto pipeline = ingestAll();
+    const auto snap = pipeline.snapshot();
+
+    const std::size_t batch_bytes = datasetBytes(ds);
+    os << "== streaming ingest: memory bound ==\n";
+    TextTable table({"quantity", "value"});
+    table.addRow({"rows ingested", std::to_string(snap.rows)});
+    table.addRow({"GPU jobs (>= 30 s)", std::to_string(snap.gpu_jobs)});
+    table.addRow({"sketch footprint (B)",
+                  std::to_string(snap.sketch_bytes)});
+    table.addRow({"materialized Dataset (B)",
+                  std::to_string(batch_bytes)});
+    table.addRow({"compression ratio",
+                  formatNumber(static_cast<double>(batch_bytes) /
+                                   static_cast<double>(snap.sketch_bytes),
+                               1)});
+    table.addRow({"rank error bound",
+                  formatPercent(snap.epsilon)});
+    table.print(os);
+    os << '\n';
+    snap.print(os);
+    os << '\n';
+
+    bench::reportExtras()["stream_rows"] = std::to_string(snap.rows);
+    bench::reportExtras()["stream_sketch_bytes"] =
+        std::to_string(snap.sketch_bytes);
+    bench::reportExtras()["dataset_bytes"] =
+        std::to_string(batch_bytes);
+}
+
+void
+BM_StreamIngestSerial(benchmark::State &state)
+{
+    const auto &records = bench::dataset().records();
+    for (auto _ : state) {
+        stream::StreamPipeline p;
+        for (const auto &r : records)
+            p.ingest(r);
+        benchmark::DoNotOptimize(p);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_StreamIngestSerial)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(20);
+
+void
+BM_StreamIngestParallel(benchmark::State &state)
+{
+    const auto &records = bench::dataset().records();
+    for (auto _ : state) {
+        auto p = stream::ingestParallel(records);
+        benchmark::DoNotOptimize(p);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(records.size()));
+}
+BENCHMARK(BM_StreamIngestParallel)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(20);
+
+void
+BM_StreamSnapshot(benchmark::State &state)
+{
+    static const stream::StreamPipeline pipeline = ingestAll();
+    for (auto _ : state) {
+        auto snap = pipeline.snapshot();
+        benchmark::DoNotOptimize(snap);
+    }
+}
+BENCHMARK(BM_StreamSnapshot)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(50);
+
+} // namespace
+
+AIWC_BENCH_MAIN("streaming ingest", printFigure)

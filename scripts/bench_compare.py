@@ -40,6 +40,14 @@ DETERMINISTIC_COUNTERS = {
     "aiwc.sched.jobs_started",
     "aiwc.sched.jobs_finished",
     "aiwc.sched.backfill_hits",
+    # Streaming pipeline: ingest volume, shard merges, and sketch
+    # compactions are pure functions of (scale, seed) — the shard
+    # geometry is fixed by the record count, not the thread count, and
+    # bench_stream_ingest pins its timing iteration counts.
+    "aiwc.stream.rows_ingested",
+    "aiwc.stream.merges",
+    "aiwc.stream.snapshots",
+    "aiwc.sketch.compactions",
 }
 
 SCHEMA = "aiwc-bench-report-v1"

@@ -1,5 +1,7 @@
 #include "aiwc/core/correlation_analyzer.hh"
 
+#include <cmath>
+
 #include "aiwc/common/parallel.hh"
 #include "aiwc/obs/trace.hh"
 
@@ -37,6 +39,15 @@ CorrelationAnalyzer::analyze(
     for (const auto &u : summaries) {
         if (u.jobs < min_jobs_)
             continue;
+        // Zero-mean utilization series yield NaN CoVs (see
+        // stats::covPercent); a NaN would poison every rank in the
+        // Spearman pass, so such users are skipped entirely to keep
+        // the feature vectors aligned.
+        if (!std::isfinite(u.runtime_cov_pct) ||
+            !std::isfinite(u.sm_cov_pct) ||
+            !std::isfinite(u.membw_cov_pct)) {
+            continue;
+        }
         jobs.push_back(static_cast<double>(u.jobs));
         hours.push_back(u.gpu_hours);
         features[0].push_back(u.avg_runtime_min);

@@ -1,5 +1,6 @@
 #include "aiwc/core/multi_gpu_analyzer.hh"
 
+#include <cmath>
 #include <map>
 
 #include "aiwc/common/logging.hh"
@@ -49,7 +50,11 @@ acrossGpuCov(const JobRecord &job, Resource r, bool active_only)
     }
     if (means.size() < 2)
         return 0.0;
-    return stats::covPercent(means);
+    // A zero-mean series (every GPU fully idle on this resource) has
+    // no across-GPU imbalance; map covPercent's NaN back to 0 rather
+    // than dropping the job from the imbalance CDF.
+    const double cov = stats::covPercent(means);
+    return std::isfinite(cov) ? cov : 0.0;
 }
 
 } // namespace

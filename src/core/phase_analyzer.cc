@@ -1,5 +1,7 @@
 #include "aiwc/core/phase_analyzer.hh"
 
+#include <cmath>
+
 #include "aiwc/obs/trace.hh"
 #include "aiwc/stats/descriptive.hh"
 
@@ -18,14 +20,23 @@ PhaseAnalyzer::analyze(const Dataset &dataset) const
             continue;
         const PhaseStats &ps = job->phases;
         active_frac.push_back(100.0 * ps.active_fraction);
+        // covPercent is NaN for zero-mean series; interval lengths are
+        // positive so that cannot trigger here, but the sampled
+        // active-phase CoVs can (a metric the job never exercised) and
+        // only finite values belong on the CDFs.
+        auto push_finite = [](std::vector<double> &dst, double v) {
+            if (std::isfinite(v))
+                dst.push_back(v);
+        };
         if (ps.idle_intervals.size() >= min_intervals_)
-            idle_cov.push_back(stats::covPercent(ps.idle_intervals));
+            push_finite(idle_cov, stats::covPercent(ps.idle_intervals));
         if (ps.active_intervals.size() >= min_intervals_)
-            active_cov.push_back(stats::covPercent(ps.active_intervals));
+            push_finite(active_cov,
+                        stats::covPercent(ps.active_intervals));
         if (!ps.active_intervals.empty()) {
-            sm_cov.push_back(ps.active_sm_cov);
-            membw_cov.push_back(ps.active_membw_cov);
-            memsize_cov.push_back(ps.active_memsize_cov);
+            push_finite(sm_cov, ps.active_sm_cov);
+            push_finite(membw_cov, ps.active_membw_cov);
+            push_finite(memsize_cov, ps.active_memsize_cov);
         }
     }
 

@@ -1,5 +1,7 @@
 #include "aiwc/core/user_behavior_analyzer.hh"
 
+#include <cmath>
+
 #include "aiwc/common/parallel.hh"
 #include "aiwc/obs/trace.hh"
 #include "aiwc/stats/descriptive.hh"
@@ -73,10 +75,17 @@ UserBehaviorAnalyzer::analyze(const Dataset &dataset) const
         avg_memsize.push_back(u.avg_memsize_pct);
         jobs_per_user.push_back(static_cast<double>(u.jobs));
         if (u.jobs >= min_jobs_for_cov_) {
-            cov_rt.push_back(u.runtime_cov_pct);
-            cov_sm.push_back(u.sm_cov_pct);
-            cov_membw.push_back(u.membw_cov_pct);
-            cov_memsize.push_back(u.memsize_cov_pct);
+            // covPercent is NaN for zero-mean series (e.g. a user
+            // whose jobs never touched a resource); only finite CoVs
+            // belong on the Fig. 11 CDFs.
+            auto push_finite = [](std::vector<double> &dst, double v) {
+                if (std::isfinite(v))
+                    dst.push_back(v);
+            };
+            push_finite(cov_rt, u.runtime_cov_pct);
+            push_finite(cov_sm, u.sm_cov_pct);
+            push_finite(cov_membw, u.membw_cov_pct);
+            push_finite(cov_memsize, u.memsize_cov_pct);
         }
     }
 

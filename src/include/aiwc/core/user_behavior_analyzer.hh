@@ -27,7 +27,9 @@ struct UserSummary
     double avg_membw_pct = 0.0;
     double avg_memsize_pct = 0.0;
 
-    /** Within-user CoVs, percent (Fig. 11); need >= 2 jobs. */
+    /** Within-user CoVs, percent (Fig. 11); need >= 2 jobs. NaN when
+     *  the user's series has zero mean (stats::covPercent convention);
+     *  CDF/correlation consumers filter non-finite values. */
     double runtime_cov_pct = 0.0;
     double sm_cov_pct = 0.0;
     double membw_cov_pct = 0.0;

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Streaming first and second moments via Welford's online update and
+ * Chan's pairwise combination: exact mean/variance/CoV of a stream of
+ * doubles in O(1) memory, with a merge() that is numerically stable
+ * under the shard-index-order reduction the thread pool performs. This
+ * is the per-user / per-metric accumulator behind the streaming Fig 10
+ * reproduction, replacing materialized sample vectors.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace aiwc::sketch
+{
+
+/**
+ * Mergeable Welford/Chan accumulator for count, mean, population
+ * variance, min, and max.
+ *
+ * Unlike stats::RunningSummary (which keeps sum and sum-of-squares and
+ * loses precision once mean^2 dominates the variance), this tracks the
+ * centered second moment M2 directly, so CoV of a low-variability
+ * high-mean stream (e.g. power draw near TDP) stays accurate.
+ *
+ * covPercent() follows the stats::descriptive convention: NaN when the
+ * mean is zero — a zero-mean series has no meaningful relative
+ * variability, and callers filter non-finite CoVs before plotting.
+ */
+class StreamingMoments
+{
+  public:
+    /** Fold one sample in (Welford update). */
+    void add(double x);
+
+    /** Fold another accumulator in (Chan's pairwise combination). */
+    void merge(const StreamingMoments &other);
+
+    std::size_t count() const { return n_; }
+
+    /** Mean of the folded samples; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Population variance (M2 / n); 0 for fewer than two samples. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+    /**
+     * Coefficient of variation in percent; NaN when the mean is zero
+     * or the accumulator is empty (matches stats::covPercent).
+     */
+    double covPercent() const;
+
+    /** Minimum folded sample; 0 when empty. */
+    double min() const { return n_ ? min_ : 0.0; }
+
+    /** Maximum folded sample; 0 when empty. */
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Sum of the folded samples (mean * count). */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace aiwc::sketch

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Deterministic reservoir sample via bottom-k hash priorities: a
+ * uniform fixed-size sample of a keyed stream whose contents depend
+ * only on (seed, key set) — not on arrival order, shard assignment, or
+ * merge order. The streaming pipeline uses it to keep exemplar jobs
+ * (e.g. for spot-check drill-down in a snapshot) without a Dataset.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace aiwc::sketch
+{
+
+/**
+ * Bottom-k sample over (key, value) pairs.
+ *
+ * Each key is assigned a priority by a seeded splitmix64-style mix;
+ * the sample is the k keys with the smallest priorities. Because the
+ * priority is a pure function of (seed, key), merge() is fully
+ * associative AND commutative — any merge tree over any sharding of
+ * the stream yields the identical sample, which is what lets it ride
+ * parallelReduce without an ordering contract.
+ *
+ * Keys must be unique within the stream (job ids are); re-adding a
+ * key keeps the first value (AIWC_DCHECKed to be consistent).
+ */
+class ReservoirSample
+{
+  public:
+    /**
+     * @param capacity sample size k; must be > 0.
+     * @param seed priority hash seed; merging sketches requires equal
+     *     seeds (AIWC_CHECK) so priorities agree.
+     */
+    explicit ReservoirSample(std::size_t capacity = 64,
+                             std::uint64_t seed = 0);
+
+    /** Offer one keyed value to the sample. */
+    void add(std::uint64_t key, double value);
+
+    /** Fold another sample in. Capacity and seed must match. */
+    void merge(const ReservoirSample &other);
+
+    /** One sampled element. */
+    struct Item
+    {
+        std::uint64_t key = 0;
+        double value = 0.0;
+    };
+
+    /** The current sample, sorted by ascending key. */
+    std::vector<Item> items() const;
+
+    /** Values only, sorted by ascending key (plot-friendly). */
+    std::vector<double> values() const;
+
+    /** Total elements offered (exact, independent of capacity). */
+    std::uint64_t offered() const { return offered_; }
+
+    std::size_t size() const { return sample_.size(); }
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Heap + object footprint in bytes (node-based estimate). */
+    std::size_t bytes() const;
+
+  private:
+    std::size_t capacity_;
+    std::uint64_t seed_;
+    std::uint64_t offered_ = 0;
+    // Keyed by (priority, key): begin()..end() is the bottom-k set,
+    // and the last node is the eviction candidate. Ordered map keeps
+    // iteration deterministic (det-unordered-iter rule).
+    std::map<std::pair<std::uint64_t, std::uint64_t>, double> sample_;
+};
+
+} // namespace aiwc::sketch

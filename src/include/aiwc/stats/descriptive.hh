@@ -24,8 +24,11 @@ double stddev(std::span<const double> xs);
 
 /**
  * Coefficient of variation as a percentage of the mean, the paper's
- * variability metric (Figs. 6b, 7a, 11, 14). Returns 0 when the mean is
- * zero (an all-idle series has no variability to speak of).
+ * variability metric (Figs. 6b, 7a, 11, 14). Returns NaN when the mean
+ * is zero (an all-idle series has no meaningful relative variability)
+ * or the span is empty; callers building CDFs filter non-finite values
+ * with std::isfinite. Inputs must be finite (AIWC_DCHECK), so a NaN
+ * result unambiguously signals the zero-mean case.
  */
 double covPercent(std::span<const double> xs);
 
@@ -95,7 +98,7 @@ class RunningSummary
     /** Population standard deviation of the folded samples. */
     double stddev() const;
 
-    /** Coefficient of variation in percent; 0 if the mean is 0. */
+    /** Coefficient of variation in percent; NaN if the mean is 0. */
     double covPercent() const;
 
   private:

@@ -6,6 +6,7 @@
 
 #pragma once
 
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -23,6 +24,21 @@ class EmpiricalCdf
 
     /** Build from an unsorted sample. */
     explicit EmpiricalCdf(std::vector<double> sample);
+
+    /**
+     * Build a CDF by sampling a quantile function at `points` evenly
+     * spaced levels in [0, 1] — the bridge that renders a streaming
+     * sketch (sketch::KllSketch::quantile) through the existing
+     * curve()/ksDistance plotting path. The evaluations are
+     * monotonized (clamped non-decreasing) so an approximate quantile
+     * function with small rank-error wobble still yields a valid CDF.
+     * @param fn quantile function over [0, 1]; returning NaN at level
+     *     0 signals an empty distribution and yields an empty CDF.
+     * @param points number of levels >= 2 (AIWC_CHECK).
+     */
+    static EmpiricalCdf
+    fromQuantileFunction(const std::function<double(double)> &fn,
+                         int points = 201);
 
     /** True when no samples were provided. */
     bool empty() const { return sorted_.empty(); }

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The bounded-memory streaming characterization pipeline: JobRecords
+ * in, sketch state retained, SnapshotReport out at any moment. This is
+ * the online counterpart of the batch Dataset-plus-analyzer path — the
+ * architectural hinge for traces far larger than memory, where results
+ * must stay live while ingestion continues (ROADMAP north star).
+ *
+ * The pipeline itself is a mergeable accumulator (CONTRIBUTING rule):
+ * ingest() folds one record, merge() combines two pipelines, and
+ * ingestParallel() shard-fans a batch through parallelReduce with
+ * shard-index-order merges — so the resulting state, and therefore
+ * every snapshot, is byte-identical at any thread count.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "aiwc/common/types.hh"
+#include "aiwc/core/job_record.hh"
+#include "aiwc/sketch/reservoir.hh"
+#include "aiwc/stream/power.hh"
+#include "aiwc/stream/service_time.hh"
+#include "aiwc/stream/snapshot.hh"
+#include "aiwc/stream/user_behavior.hh"
+#include "aiwc/stream/utilization.hh"
+
+namespace aiwc::stream
+{
+
+/** Geometry and filter knobs shared by every analyzer in a pipeline. */
+struct StreamOptions
+{
+    /** KLL compactor capacity; error shrinks as 1/kll_k. */
+    std::uint32_t kll_k = 256;
+    /** Users tracked by the GPU-hours heavy-hitters sketch. */
+    std::size_t heavy_hitter_capacity = 32;
+    /** Exemplar jobs kept by the deterministic reservoir. */
+    std::size_t reservoir_capacity = 64;
+    /** Seed for sketch compaction coins and reservoir priorities. */
+    std::uint64_t sketch_seed = 0;
+    /** GPU-job runtime filter, seconds (paper's 30 s debris cut). */
+    Seconds min_gpu_runtime = 30.0;
+    /** Power caps evaluated in the Fig. 9b what-if, watts. */
+    std::vector<double> power_caps = {150.0, 200.0, 250.0};
+    /** Quantile levels sampled when rendering sketch CDFs. */
+    int snapshot_points = 201;
+
+    bool operator==(const StreamOptions &) const = default;
+};
+
+/**
+ * Single-pass streaming pipeline over JobRecords. Memory is bounded by
+ * the sketch geometry (plus O(active users) for the per-user table),
+ * independent of how many records flow through; sketchBytes() reports
+ * the current footprint and is exported as the aiwc.sketch.bytes
+ * gauge at snapshot time.
+ */
+class StreamPipeline
+{
+  public:
+    explicit StreamPipeline(StreamOptions options = {});
+
+    /** Fold one record into every analyzer. */
+    void ingest(const core::JobRecord &rec);
+
+    /**
+     * Fold another pipeline in. Both must have been constructed with
+     * identical options (AIWC_CHECK) so sketch geometries line up.
+     */
+    void merge(const StreamPipeline &other);
+
+    /**
+     * Render the current state as a SnapshotReport. Const — a
+     * snapshot never perturbs the stream state, which the determinism
+     * harness checks by digesting snapshots mid- and post-stream.
+     */
+    SnapshotReport snapshot() const;
+
+    /** Records ingested so far. */
+    std::uint64_t rows() const { return rows_; }
+
+    /** Current sketch + per-user-table footprint, bytes. */
+    std::size_t sketchBytes() const;
+
+    const StreamOptions &options() const { return options_; }
+
+    // Per-figure analyzers, exposed for the equivalence harnesses.
+    const StreamingServiceTime &serviceTime() const
+    {
+        return service_time_;
+    }
+    const StreamingUtilization &utilization() const
+    {
+        return utilization_;
+    }
+    const StreamingPower &power() const { return power_; }
+    const StreamingUserBehavior &userBehavior() const
+    {
+        return user_behavior_;
+    }
+    const sketch::ReservoirSample &exemplars() const
+    {
+        return exemplars_;
+    }
+
+  private:
+    StreamOptions options_;
+    std::uint64_t rows_ = 0;
+    std::uint64_t gpu_jobs_ = 0;
+    std::uint64_t cpu_jobs_ = 0;
+    StreamingServiceTime service_time_;
+    StreamingUtilization utilization_;
+    StreamingPower power_;
+    StreamingUserBehavior user_behavior_;
+    /** Exemplar GPU-job runtimes (minutes), keyed by job id. */
+    sketch::ReservoirSample exemplars_;
+};
+
+/**
+ * Shard-parallel batch ingest: folds `records` into a fresh pipeline
+ * via parallelReduce (per-shard private pipelines, merged in
+ * shard-index order). Bit-identical to a serial ingest of the same
+ * span up to sketch compaction boundaries, and bit-identical across
+ * thread counts by construction.
+ */
+StreamPipeline ingestParallel(std::span<const core::JobRecord> records,
+                              const StreamOptions &options = {});
+
+} // namespace aiwc::stream

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Streaming Fig. 9: per-job average/max power-draw quantile sketches
+ * and the power-cap what-if evaluated on the sketched CDFs, the online
+ * counterpart of core::PowerAnalyzer.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "aiwc/common/types.hh"
+#include "aiwc/core/job_record.hh"
+#include "aiwc/core/power_analyzer.hh"
+#include "aiwc/sketch/kll.hh"
+
+namespace aiwc::stream
+{
+
+/**
+ * Mergeable streaming counterpart of core::PowerAnalyzer. The cap
+ * impacts (Fig. 9b) use the same semantics as the batch path —
+ * unimpacted = F_max(cap), impacted-by-max = 1 - F_max(cap),
+ * impacted-by-avg = 1 - F_avg(cap) — with the CDFs estimated by the
+ * sketches, so each fraction carries the sketch's rank-error bound.
+ */
+class StreamingPower
+{
+  public:
+    StreamingPower(std::uint32_t kll_k, std::uint64_t seed,
+                   Seconds min_gpu_runtime,
+                   std::vector<double> caps = {150.0, 200.0, 250.0});
+
+    /** Fold one record in; ignores CPU and sub-filter jobs. */
+    void observe(const core::JobRecord &rec);
+
+    /** Fold another accumulator in; cap lists must match (CHECK). */
+    void merge(const StreamingPower &other);
+
+    const sketch::KllSketch &avgWatts() const { return avg_watts_; }
+    const sketch::KllSketch &maxWatts() const { return max_watts_; }
+
+    /** Fig. 9b impacts from the sketched CDFs; empty sketch => empty. */
+    std::vector<core::PowerCapImpact> capImpacts() const;
+
+    const std::vector<double> &caps() const { return caps_; }
+
+    /** Footprint of both sketches, bytes. */
+    std::size_t bytes() const;
+
+  private:
+    Seconds min_gpu_runtime_;
+    std::vector<double> caps_;
+    sketch::KllSketch avg_watts_;
+    sketch::KllSketch max_watts_;
+};
+
+} // namespace aiwc::stream

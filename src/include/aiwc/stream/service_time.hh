@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Streaming Fig. 3a: runtime and queue-wait quantile sketches over GPU
+ * and CPU jobs, ingested one JobRecord at a time instead of sorting
+ * materialized series like core::ServiceTimeAnalyzer.
+ */
+
+#pragma once
+
+#include <cstddef>
+
+#include "aiwc/common/types.hh"
+#include "aiwc/core/job_record.hh"
+#include "aiwc/sketch/kll.hh"
+
+namespace aiwc::stream
+{
+
+/**
+ * Mergeable streaming counterpart of core::ServiceTimeAnalyzer.
+ * Applies the same population split as the batch path: GPU jobs pass
+ * the minimum-runtime filter; CPU jobs are unfiltered.
+ */
+class StreamingServiceTime
+{
+  public:
+    /**
+     * @param kll_k compactor capacity shared by all sketches.
+     * @param seed sketch seed (see KllSketch).
+     * @param min_gpu_runtime GPU-job runtime filter, seconds (the
+     *     paper's 30 s debris cut).
+     */
+    StreamingServiceTime(std::uint32_t kll_k, std::uint64_t seed,
+                         Seconds min_gpu_runtime);
+
+    /** Fold one record in; applies the population filters itself. */
+    void observe(const core::JobRecord &rec);
+
+    /** Fold another accumulator in (parallelReduce combine step). */
+    void merge(const StreamingServiceTime &other);
+
+    const sketch::KllSketch &gpuRuntimeMin() const
+    {
+        return gpu_runtime_min_;
+    }
+    const sketch::KllSketch &cpuRuntimeMin() const
+    {
+        return cpu_runtime_min_;
+    }
+    const sketch::KllSketch &gpuWaitS() const { return gpu_wait_s_; }
+    const sketch::KllSketch &cpuWaitS() const { return cpu_wait_s_; }
+    const sketch::KllSketch &gpuWaitPct() const { return gpu_wait_pct_; }
+    const sketch::KllSketch &cpuWaitPct() const { return cpu_wait_pct_; }
+
+    /** Footprint of all six sketches, bytes. */
+    std::size_t bytes() const;
+
+  private:
+    Seconds min_gpu_runtime_;
+    sketch::KllSketch gpu_runtime_min_;
+    sketch::KllSketch cpu_runtime_min_;
+    sketch::KllSketch gpu_wait_s_;
+    sketch::KllSketch cpu_wait_s_;
+    sketch::KllSketch gpu_wait_pct_;
+    sketch::KllSketch cpu_wait_pct_;
+};
+
+} // namespace aiwc::stream

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Streaming Figs. 10-11: per-user aggregates from O(1)-per-user moment
+ * accumulators plus a space-saving top-k over GPU-hours, the online
+ * counterpart of core::UserBehaviorAnalyzer. State is O(active users),
+ * not O(jobs) — each user costs four StreamingMoments, never a job
+ * list — and the headline "who dominates the machine" question is
+ * answerable from the O(k) heavy-hitters sketch alone.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "aiwc/common/types.hh"
+#include "aiwc/core/job_record.hh"
+#include "aiwc/core/user_behavior_analyzer.hh"
+#include "aiwc/sketch/heavy_hitters.hh"
+#include "aiwc/sketch/moments.hh"
+
+namespace aiwc::stream
+{
+
+/**
+ * Mergeable streaming counterpart of core::UserBehaviorAnalyzer.
+ * summaries() reproduces the batch UserSummary list (means exactly,
+ * CoVs via Welford within floating-point noise of the two-pass batch
+ * values); the job-share concentration numbers are exact.
+ */
+class StreamingUserBehavior
+{
+  public:
+    /**
+     * @param heavy_hitter_capacity tracked users in the GPU-hours
+     *     top-k sketch.
+     * @param min_gpu_runtime GPU-job runtime filter, seconds.
+     * @param min_jobs_for_cov users below this report NaN CoVs.
+     */
+    StreamingUserBehavior(std::size_t heavy_hitter_capacity,
+                          Seconds min_gpu_runtime,
+                          std::size_t min_jobs_for_cov = 2);
+
+    /** Fold one record in; ignores CPU and sub-filter jobs. */
+    void observe(const core::JobRecord &rec);
+
+    /** Fold another accumulator in (parallelReduce combine step). */
+    void merge(const StreamingUserBehavior &other);
+
+    /** Number of distinct users observed. */
+    std::size_t userCount() const { return users_.size(); }
+
+    /**
+     * Per-user summaries in ascending user-id order, mirroring
+     * core::UserBehaviorAnalyzer::summarize: CoV fields stay 0 below
+     * min_jobs_for_cov and are NaN for zero-mean series (the
+     * stats::covPercent convention).
+     */
+    std::vector<core::UserSummary> summaries() const;
+
+    /** Share of all jobs submitted by the top `fraction` of users. */
+    double topJobShare(double fraction) const;
+
+    /** Median of the per-user job counts. */
+    double medianJobsPerUser() const;
+
+    /** Top-k users by GPU-hours from the heavy-hitters sketch. */
+    std::vector<sketch::HeavyHitters::Entry>
+    topUsersByGpuHours(std::size_t k) const;
+
+    /**
+     * Footprint in bytes: the per-user table (O(users)) plus the
+     * heavy-hitters sketch (O(capacity)).
+     */
+    std::size_t bytes() const;
+
+  private:
+    /** O(1) per-user state; one slot per metric of Fig. 10/11. */
+    struct UserAccum
+    {
+        sketch::StreamingMoments runtime_min;
+        sketch::StreamingMoments sm_pct;
+        sketch::StreamingMoments membw_pct;
+        sketch::StreamingMoments memsize_pct;
+        double gpu_hours = 0.0;
+
+        void merge(const UserAccum &other);
+    };
+
+    Seconds min_gpu_runtime_;
+    std::size_t min_jobs_for_cov_;
+    // Ordered map: summaries() iterates in user-id order, matching the
+    // batch analyzer's output order (det-unordered-iter rule).
+    std::map<UserId, UserAccum> users_;
+    sketch::HeavyHitters hours_topk_;
+};
+
+} // namespace aiwc::stream

@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Streaming Fig. 4a: per-job mean GPU utilization quantile sketches
+ * (SM, memory bandwidth, memory size, PCIe Tx/Rx), the online
+ * counterpart of core::UtilizationAnalyzer.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "aiwc/common/types.hh"
+#include "aiwc/core/job_record.hh"
+#include "aiwc/sketch/kll.hh"
+
+namespace aiwc::stream
+{
+
+/**
+ * Mergeable streaming counterpart of core::UtilizationAnalyzer:
+ * one KLL sketch per resource axis over 100 * meanUtilization(r) of
+ * every filtered GPU job.
+ */
+class StreamingUtilization
+{
+  public:
+    StreamingUtilization(std::uint32_t kll_k, std::uint64_t seed,
+                         Seconds min_gpu_runtime);
+
+    /** Fold one record in; ignores CPU and sub-filter jobs. */
+    void observe(const core::JobRecord &rec);
+
+    /** Fold another accumulator in (parallelReduce combine step). */
+    void merge(const StreamingUtilization &other);
+
+    /** Sketch of 100 * meanUtilization(r), percent of capacity. */
+    const sketch::KllSketch &byResource(Resource r) const;
+
+    /** Footprint of all sketches, bytes. */
+    std::size_t bytes() const;
+
+  private:
+    /** Utilization axes sketched (Power is PowerAnalyzer's job). */
+    static constexpr std::size_t num_axes = 5;
+
+    Seconds min_gpu_runtime_;
+    std::array<sketch::KllSketch, num_axes> pct_;
+};
+
+} // namespace aiwc::stream

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "aiwc/core/dataset.hh"
@@ -58,6 +59,29 @@ struct SynthesisResult
     std::uint64_t peak_spool_bytes = 0;
 };
 
+/**
+ * Receives each finished JobRecord as the replay emits it (streaming
+ * replay mode). The record is moved in; the sink owns it.
+ */
+using RecordSink = std::function<void(core::JobRecord &&)>;
+
+/**
+ * What a streaming replay reports when no Dataset is materialized:
+ * the run-level aggregates of SynthesisResult minus the records
+ * themselves (those went to the sink) and the telemetry profiles
+ * (internal scaffolding of the run).
+ */
+struct StreamReplayResult
+{
+    /** Records pushed into the sink. */
+    std::uint64_t records = 0;
+    sched::SchedulerStats scheduler_stats;
+    int num_users = 0;
+    int cluster_nodes = 0;
+    std::uint64_t central_store_bytes = 0;
+    std::uint64_t peak_spool_bytes = 0;
+};
+
 /** Runs the full synthesis pipeline. */
 class TraceSynthesizer
 {
@@ -67,6 +91,17 @@ class TraceSynthesizer
 
     /** Produce one complete trace. Deterministic in (profile, seed). */
     SynthesisResult run() const;
+
+    /**
+     * Streaming replay: identical simulation to run(), but each
+     * JobRecord is pushed into @p sink the moment the scheduler epilog
+     * (or the no-scheduler fast path) finishes it, and no Dataset is
+     * ever materialized — the peak record footprint is one job. Record
+     * values match run()'s exactly for the same (profile, seed);
+     * emission order is the replay's completion order (submit order
+     * when through_scheduler is off), deterministic for a fixed seed.
+     */
+    StreamReplayResult runStreaming(const RecordSink &sink) const;
 
     /**
      * Produce @p count independent replicate traces, fanned across the
@@ -89,6 +124,13 @@ class TraceSynthesizer
     int scaledTimeseriesJobs() const;
 
   private:
+    /**
+     * The shared synthesis body: generate, replay, and hand every
+     * finished record to @p sink. Fills every SynthesisResult field
+     * except the dataset, which is the sink's business.
+     */
+    void runImpl(SynthesisResult &result, const RecordSink &sink) const;
+
     CalibrationProfile profile_;
     SynthesisOptions options_;
 };

@@ -1,0 +1,107 @@
+#include "aiwc/sketch/heavy_hitters.hh"
+
+#include <algorithm>
+
+#include "aiwc/common/check.hh"
+
+namespace aiwc::sketch
+{
+
+HeavyHitters::HeavyHitters(std::size_t capacity)
+    : capacity_(capacity)
+{
+    AIWC_CHECK(capacity_ > 0, "heavy-hitters capacity must be positive");
+}
+
+void
+HeavyHitters::add(std::uint64_t key, double weight)
+{
+    AIWC_DCHECK(weight >= 0.0, "heavy-hitters weight must be non-negative");
+    total_ += weight;
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+        it->second.count += weight;
+        return;
+    }
+    if (entries_.size() < capacity_) {
+        entries_.emplace(key, Cell{weight, 0.0});
+        return;
+    }
+    // Space-saving eviction: replace the minimum-count entry, charging
+    // its count as the newcomer's error allowance. Iterating the
+    // ordered map and requiring a strict improvement makes the victim
+    // the smallest key among the minima — deterministic by value.
+    auto victim = entries_.begin();
+    for (auto jt = std::next(entries_.begin()); jt != entries_.end(); ++jt) {
+        if (jt->second.count < victim->second.count)
+            victim = jt;
+    }
+    const double floor = victim->second.count;
+    entries_.erase(victim);
+    entries_.emplace(key, Cell{floor + weight, floor});
+}
+
+void
+HeavyHitters::merge(const HeavyHitters &other)
+{
+    AIWC_CHECK_EQ(capacity_, other.capacity_,
+                  "heavy-hitters merge requires identical capacity");
+    total_ += other.total_;
+    for (const auto &[key, cell] : other.entries_) {
+        auto [it, inserted] = entries_.emplace(key, cell);
+        if (!inserted) {
+            it->second.count += cell.count;
+            it->second.error += cell.error;
+        }
+    }
+    if (entries_.size() <= capacity_)
+        return;
+    // Misra-Gries shrink: subtract the (capacity+1)-th largest count
+    // from every entry and drop those that hit zero or below; the
+    // subtracted mass moves into the survivors' error bounds.
+    std::vector<double> counts;
+    counts.reserve(entries_.size());
+    for (const auto &[key, cell] : entries_)
+        counts.push_back(cell.count);
+    std::nth_element(counts.begin(), counts.begin() + capacity_,
+                     counts.end(), std::greater<>());
+    const double threshold = counts[capacity_];
+    for (auto it = entries_.begin(); it != entries_.end();) {
+        it->second.count -= threshold;
+        if (it->second.count <= 0.0) {
+            it = entries_.erase(it);
+        } else {
+            it->second.error += threshold;
+            ++it;
+        }
+    }
+}
+
+std::vector<HeavyHitters::Entry>
+HeavyHitters::topK(std::size_t k) const
+{
+    std::vector<Entry> out;
+    out.reserve(entries_.size());
+    for (const auto &[key, cell] : entries_)
+        out.push_back(Entry{key, cell.count, cell.error});
+    std::sort(out.begin(), out.end(), [](const Entry &a, const Entry &b) {
+        if (a.count != b.count)
+            return a.count > b.count;
+        return a.key < b.key;
+    });
+    if (out.size() > k)
+        out.resize(k);
+    return out;
+}
+
+std::size_t
+HeavyHitters::bytes() const
+{
+    // Rough node-based estimate: each map node carries the key/value
+    // pair plus three pointers and a color bit rounded to a pointer.
+    const std::size_t node =
+        sizeof(std::pair<const std::uint64_t, Cell>) + 4 * sizeof(void *);
+    return sizeof(*this) + entries_.size() * node;
+}
+
+} // namespace aiwc::sketch

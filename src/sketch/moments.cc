@@ -1,0 +1,71 @@
+#include "aiwc/sketch/moments.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "aiwc/common/check.hh"
+
+namespace aiwc::sketch
+{
+
+void
+StreamingMoments::add(double x)
+{
+    AIWC_DCHECK(!std::isnan(x), "moments accumulator rejects NaN samples");
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+StreamingMoments::merge(const StreamingMoments &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double n = na + nb;
+    const double delta = other.mean_ - mean_;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+StreamingMoments::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_);
+}
+
+double
+StreamingMoments::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+StreamingMoments::covPercent() const
+{
+    if (n_ == 0 || mean_ == 0.0)
+        return std::numeric_limits<double>::quiet_NaN();
+    return stddev() / std::abs(mean_) * 100.0;
+}
+
+} // namespace aiwc::sketch

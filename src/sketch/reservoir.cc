@@ -1,0 +1,105 @@
+#include "aiwc/sketch/reservoir.hh"
+
+#include <algorithm>
+
+#include "aiwc/common/check.hh"
+
+namespace aiwc::sketch
+{
+
+namespace
+{
+
+/**
+ * splitmix64 finalizer over (seed, key): a high-quality 64-bit mix
+ * whose output is the key's sampling priority. Pure function — the
+ * same (seed, key) always lands on the same priority, which is what
+ * makes the bottom-k sample order- and merge-tree-independent.
+ */
+std::uint64_t
+priorityOf(std::uint64_t seed, std::uint64_t key)
+{
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ull * (key + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+ReservoirSample::ReservoirSample(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity), seed_(seed)
+{
+    AIWC_CHECK(capacity_ > 0, "reservoir capacity must be positive");
+}
+
+void
+ReservoirSample::add(std::uint64_t key, double value)
+{
+    ++offered_;
+    const std::uint64_t prio = priorityOf(seed_, key);
+    if (sample_.size() >= capacity_) {
+        // Reject without inserting when the priority cannot make the
+        // bottom-k; keeps the map churn-free on the hot path.
+        const auto &worst = *sample_.rbegin();
+        if (std::make_pair(prio, key) >= worst.first)
+            return;
+    }
+    auto [it, inserted] = sample_.emplace(std::make_pair(prio, key), value);
+    AIWC_DCHECK(inserted || it->second == value,
+                "reservoir key re-added with a different value");
+    if (sample_.size() > capacity_)
+        sample_.erase(std::prev(sample_.end()));
+}
+
+void
+ReservoirSample::merge(const ReservoirSample &other)
+{
+    AIWC_CHECK_EQ(capacity_, other.capacity_,
+                  "reservoir merge requires identical capacity");
+    AIWC_CHECK_EQ(seed_, other.seed_,
+                  "reservoir merge requires identical seed");
+    offered_ += other.offered_;
+    for (const auto &[prio_key, value] : other.sample_) {
+        auto [it, inserted] = sample_.emplace(prio_key, value);
+        AIWC_DCHECK(inserted || it->second == value,
+                    "reservoir key re-added with a different value");
+    }
+    while (sample_.size() > capacity_)
+        sample_.erase(std::prev(sample_.end()));
+}
+
+std::vector<ReservoirSample::Item>
+ReservoirSample::items() const
+{
+    std::vector<Item> out;
+    out.reserve(sample_.size());
+    for (const auto &[prio_key, value] : sample_)
+        out.push_back(Item{prio_key.second, value});
+    std::sort(out.begin(), out.end(),
+              [](const Item &a, const Item &b) { return a.key < b.key; });
+    return out;
+}
+
+std::vector<double>
+ReservoirSample::values() const
+{
+    std::vector<double> out;
+    const auto sorted = items();
+    out.reserve(sorted.size());
+    for (const auto &item : sorted)
+        out.push_back(item.value);
+    return out;
+}
+
+std::size_t
+ReservoirSample::bytes() const
+{
+    const std::size_t node =
+        sizeof(std::pair<const std::pair<std::uint64_t, std::uint64_t>,
+                         double>) +
+        4 * sizeof(void *);
+    return sizeof(*this) + sample_.size() * node;
+}
+
+} // namespace aiwc::sketch

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "aiwc/common/check.hh"
 
@@ -34,9 +35,11 @@ stddev(std::span<const double> xs)
 double
 covPercent(std::span<const double> xs)
 {
+    for (double x : xs)
+        AIWC_DCHECK(std::isfinite(x), "non-finite CoV input: ", x);
     const double m = mean(xs);
     if (m == 0.0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     return 100.0 * stddev(xs) / std::abs(m);
 }
 
@@ -162,7 +165,7 @@ RunningSummary::covPercent() const
 {
     const double m = mean();
     if (m == 0.0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     return 100.0 * stddev() / std::abs(m);
 }
 

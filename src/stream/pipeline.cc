@@ -1,0 +1,199 @@
+#include "aiwc/stream/pipeline.hh"
+
+#include <algorithm>
+
+#include "aiwc/common/check.hh"
+#include "aiwc/common/parallel.hh"
+#include "aiwc/obs/metrics.hh"
+#include "aiwc/obs/trace.hh"
+
+namespace aiwc::stream
+{
+
+namespace
+{
+
+obs::Counter &
+rowsCounter()
+{
+    static obs::Counter &c =
+        obs::MetricsRegistry::global().counter("aiwc.stream.rows_ingested");
+    return c;
+}
+
+obs::Counter &
+mergesCounter()
+{
+    static obs::Counter &c =
+        obs::MetricsRegistry::global().counter("aiwc.stream.merges");
+    return c;
+}
+
+obs::Counter &
+snapshotsCounter()
+{
+    static obs::Counter &c =
+        obs::MetricsRegistry::global().counter("aiwc.stream.snapshots");
+    return c;
+}
+
+obs::Histogram &
+snapshotNsHistogram()
+{
+    static obs::Histogram &h =
+        obs::MetricsRegistry::global().histogram("aiwc.stream.snapshot_ns");
+    return h;
+}
+
+obs::Gauge &
+sketchBytesGauge()
+{
+    static obs::Gauge &g =
+        obs::MetricsRegistry::global().gauge("aiwc.sketch.bytes");
+    return g;
+}
+
+/** Render one KLL sketch through the ECDF plotting bridge. */
+stats::EmpiricalCdf
+renderCdf(const sketch::KllSketch &s, int points)
+{
+    return stats::EmpiricalCdf::fromQuantileFunction(
+        [&s](double q) { return s.quantile(q); }, points);
+}
+
+} // namespace
+
+StreamPipeline::StreamPipeline(StreamOptions options)
+    : options_(std::move(options)),
+      service_time_(options_.kll_k, options_.sketch_seed,
+                    options_.min_gpu_runtime),
+      utilization_(options_.kll_k, options_.sketch_seed,
+                   options_.min_gpu_runtime),
+      power_(options_.kll_k, options_.sketch_seed,
+             options_.min_gpu_runtime, options_.power_caps),
+      user_behavior_(options_.heavy_hitter_capacity,
+                     options_.min_gpu_runtime),
+      exemplars_(options_.reservoir_capacity, options_.sketch_seed)
+{
+    AIWC_CHECK(options_.snapshot_points >= 2,
+               "snapshot needs at least two quantile levels");
+}
+
+void
+StreamPipeline::ingest(const core::JobRecord &rec)
+{
+    ++rows_;
+    rowsCounter().add(1);
+    if (rec.isGpuJob()) {
+        if (rec.runTime() >= options_.min_gpu_runtime) {
+            ++gpu_jobs_;
+            exemplars_.add(rec.id, rec.runTime() / 60.0);
+        }
+    } else {
+        ++cpu_jobs_;
+    }
+    service_time_.observe(rec);
+    utilization_.observe(rec);
+    power_.observe(rec);
+    user_behavior_.observe(rec);
+}
+
+void
+StreamPipeline::merge(const StreamPipeline &other)
+{
+    AIWC_CHECK(options_ == other.options_,
+               "pipeline merge requires identical stream options");
+    mergesCounter().add(1);
+    rows_ += other.rows_;
+    gpu_jobs_ += other.gpu_jobs_;
+    cpu_jobs_ += other.cpu_jobs_;
+    service_time_.merge(other.service_time_);
+    utilization_.merge(other.utilization_);
+    power_.merge(other.power_);
+    user_behavior_.merge(other.user_behavior_);
+    exemplars_.merge(other.exemplars_);
+}
+
+SnapshotReport
+StreamPipeline::snapshot() const
+{
+    obs::ScopedTimer timer(snapshotNsHistogram(), "stream.snapshot");
+    snapshotsCounter().add(1);
+    sketchBytesGauge().set(static_cast<std::int64_t>(sketchBytes()));
+
+    SnapshotReport report;
+    report.rows = rows_;
+    report.gpu_jobs = gpu_jobs_;
+    report.cpu_jobs = cpu_jobs_;
+    report.sketch_bytes = sketchBytes();
+
+    const int points = options_.snapshot_points;
+    report.gpu_runtime_min =
+        renderCdf(service_time_.gpuRuntimeMin(), points);
+    report.cpu_runtime_min =
+        renderCdf(service_time_.cpuRuntimeMin(), points);
+    report.gpu_wait_s = renderCdf(service_time_.gpuWaitS(), points);
+    report.sm_pct =
+        renderCdf(utilization_.byResource(Resource::Sm), points);
+    report.membw_pct =
+        renderCdf(utilization_.byResource(Resource::MemoryBw), points);
+    report.memsize_pct =
+        renderCdf(utilization_.byResource(Resource::MemorySize), points);
+    report.avg_watts = renderCdf(power_.avgWatts(), points);
+    report.max_watts = renderCdf(power_.maxWatts(), points);
+    report.caps = power_.capImpacts();
+
+    report.epsilon = std::max(
+        {service_time_.gpuRuntimeMin().epsilonBound(),
+         service_time_.cpuRuntimeMin().epsilonBound(),
+         service_time_.gpuWaitS().epsilonBound(),
+         utilization_.byResource(Resource::Sm).epsilonBound(),
+         power_.avgWatts().epsilonBound(),
+         power_.maxWatts().epsilonBound()});
+
+    report.users = user_behavior_.userCount();
+    std::vector<double> user_rt, user_sm;
+    const auto summaries = user_behavior_.summaries();
+    user_rt.reserve(summaries.size());
+    user_sm.reserve(summaries.size());
+    for (const auto &s : summaries) {
+        user_rt.push_back(s.avg_runtime_min);
+        user_sm.push_back(s.avg_sm_pct);
+    }
+    report.user_avg_runtime_min =
+        stats::EmpiricalCdf(std::move(user_rt));
+    report.user_avg_sm_pct = stats::EmpiricalCdf(std::move(user_sm));
+    if (report.users > 0) {
+        report.top5_job_share = user_behavior_.topJobShare(0.05);
+        report.top20_job_share = user_behavior_.topJobShare(0.20);
+        report.median_jobs_per_user =
+            user_behavior_.medianJobsPerUser();
+    }
+    report.top_users_by_gpu_hours = user_behavior_.topUsersByGpuHours(
+        std::min<std::size_t>(5, options_.heavy_hitter_capacity));
+    return report;
+}
+
+std::size_t
+StreamPipeline::sketchBytes() const
+{
+    return service_time_.bytes() + utilization_.bytes() +
+           power_.bytes() + user_behavior_.bytes() + exemplars_.bytes();
+}
+
+StreamPipeline
+ingestParallel(std::span<const core::JobRecord> records,
+               const StreamOptions &options)
+{
+    obs::TraceSpan span("stream.ingest_parallel");
+    return parallelReduce(
+        globalPool(), records.size(), StreamPipeline(options),
+        [&](StreamPipeline &acc, std::size_t i) {
+            acc.ingest(records[i]);
+        },
+        [](StreamPipeline &into, StreamPipeline &&from) {
+            into.merge(from);
+        });
+}
+
+} // namespace aiwc::stream

@@ -1,0 +1,60 @@
+#include "aiwc/stream/power.hh"
+
+#include "aiwc/common/check.hh"
+
+namespace aiwc::stream
+{
+
+StreamingPower::StreamingPower(std::uint32_t kll_k, std::uint64_t seed,
+                               Seconds min_gpu_runtime,
+                               std::vector<double> caps)
+    : min_gpu_runtime_(min_gpu_runtime),
+      caps_(std::move(caps)),
+      avg_watts_(kll_k, seed),
+      max_watts_(kll_k, seed)
+{
+}
+
+void
+StreamingPower::observe(const core::JobRecord &rec)
+{
+    if (!rec.isGpuJob() || rec.runTime() < min_gpu_runtime_)
+        return;
+    avg_watts_.add(rec.meanPowerWatts());
+    max_watts_.add(rec.maxPowerWatts());
+}
+
+void
+StreamingPower::merge(const StreamingPower &other)
+{
+    AIWC_CHECK(caps_ == other.caps_,
+               "power merge requires identical cap lists");
+    avg_watts_.merge(other.avg_watts_);
+    max_watts_.merge(other.max_watts_);
+}
+
+std::vector<core::PowerCapImpact>
+StreamingPower::capImpacts() const
+{
+    std::vector<core::PowerCapImpact> out;
+    if (avg_watts_.count() == 0)
+        return out;
+    out.reserve(caps_.size());
+    for (double cap : caps_) {
+        core::PowerCapImpact impact;
+        impact.cap_watts = cap;
+        impact.unimpacted = max_watts_.cdf(cap);
+        impact.impacted_by_max = 1.0 - max_watts_.cdf(cap);
+        impact.impacted_by_avg = 1.0 - avg_watts_.cdf(cap);
+        out.push_back(impact);
+    }
+    return out;
+}
+
+std::size_t
+StreamingPower::bytes() const
+{
+    return avg_watts_.bytes() + max_watts_.bytes();
+}
+
+} // namespace aiwc::stream

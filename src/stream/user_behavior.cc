@@ -1,0 +1,120 @@
+#include "aiwc/stream/user_behavior.hh"
+
+#include "aiwc/common/check.hh"
+#include "aiwc/stats/descriptive.hh"
+#include "aiwc/stats/share_curve.hh"
+
+namespace aiwc::stream
+{
+
+void
+StreamingUserBehavior::UserAccum::merge(const UserAccum &other)
+{
+    runtime_min.merge(other.runtime_min);
+    sm_pct.merge(other.sm_pct);
+    membw_pct.merge(other.membw_pct);
+    memsize_pct.merge(other.memsize_pct);
+    gpu_hours += other.gpu_hours;
+}
+
+StreamingUserBehavior::StreamingUserBehavior(
+    std::size_t heavy_hitter_capacity, Seconds min_gpu_runtime,
+    std::size_t min_jobs_for_cov)
+    : min_gpu_runtime_(min_gpu_runtime),
+      min_jobs_for_cov_(min_jobs_for_cov),
+      hours_topk_(heavy_hitter_capacity)
+{
+}
+
+void
+StreamingUserBehavior::observe(const core::JobRecord &rec)
+{
+    if (!rec.isGpuJob() || rec.runTime() < min_gpu_runtime_)
+        return;
+    UserAccum &acc = users_[rec.user];
+    acc.runtime_min.add(rec.runTime() / 60.0);
+    acc.sm_pct.add(100.0 * rec.meanUtilization(Resource::Sm));
+    acc.membw_pct.add(100.0 * rec.meanUtilization(Resource::MemoryBw));
+    acc.memsize_pct.add(
+        100.0 * rec.meanUtilization(Resource::MemorySize));
+    acc.gpu_hours += rec.gpuHours();
+    hours_topk_.add(rec.user, rec.gpuHours());
+}
+
+void
+StreamingUserBehavior::merge(const StreamingUserBehavior &other)
+{
+    AIWC_CHECK_EQ(min_jobs_for_cov_, other.min_jobs_for_cov_,
+                  "user-behavior merge requires identical CoV cutoff");
+    for (const auto &[user, acc] : other.users_) {
+        auto [it, inserted] = users_.emplace(user, acc);
+        if (!inserted)
+            it->second.merge(acc);
+    }
+    hours_topk_.merge(other.hours_topk_);
+}
+
+std::vector<core::UserSummary>
+StreamingUserBehavior::summaries() const
+{
+    std::vector<core::UserSummary> out;
+    out.reserve(users_.size());
+    for (const auto &[user, acc] : users_) {
+        core::UserSummary s;
+        s.user = user;
+        s.jobs = acc.runtime_min.count();
+        s.gpu_hours = acc.gpu_hours;
+        s.avg_runtime_min = acc.runtime_min.mean();
+        s.avg_sm_pct = acc.sm_pct.mean();
+        s.avg_membw_pct = acc.membw_pct.mean();
+        s.avg_memsize_pct = acc.memsize_pct.mean();
+        if (s.jobs >= min_jobs_for_cov_) {
+            s.runtime_cov_pct = acc.runtime_min.covPercent();
+            s.sm_cov_pct = acc.sm_pct.covPercent();
+            s.membw_cov_pct = acc.membw_pct.covPercent();
+            s.memsize_cov_pct = acc.memsize_pct.covPercent();
+        }
+        out.push_back(s);
+    }
+    return out;
+}
+
+double
+StreamingUserBehavior::topJobShare(double fraction) const
+{
+    std::vector<double> jobs_per_user;
+    jobs_per_user.reserve(users_.size());
+    for (const auto &[user, acc] : users_) {
+        jobs_per_user.push_back(
+            static_cast<double>(acc.runtime_min.count()));
+    }
+    return stats::topShare(jobs_per_user, fraction);
+}
+
+double
+StreamingUserBehavior::medianJobsPerUser() const
+{
+    std::vector<double> jobs_per_user;
+    jobs_per_user.reserve(users_.size());
+    for (const auto &[user, acc] : users_) {
+        jobs_per_user.push_back(
+            static_cast<double>(acc.runtime_min.count()));
+    }
+    return stats::percentile(std::move(jobs_per_user), 0.5);
+}
+
+std::vector<sketch::HeavyHitters::Entry>
+StreamingUserBehavior::topUsersByGpuHours(std::size_t k) const
+{
+    return hours_topk_.topK(k);
+}
+
+std::size_t
+StreamingUserBehavior::bytes() const
+{
+    const std::size_t node =
+        sizeof(std::pair<const UserId, UserAccum>) + 4 * sizeof(void *);
+    return sizeof(*this) + users_.size() * node + hours_topk_.bytes();
+}
+
+} // namespace aiwc::stream

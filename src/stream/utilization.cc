@@ -1,0 +1,73 @@
+#include "aiwc/stream/utilization.hh"
+
+#include "aiwc/common/logging.hh"
+
+namespace aiwc::stream
+{
+
+namespace
+{
+
+/** Axis slot of a utilization resource; Power has no utilization. */
+std::size_t
+axisOf(Resource r)
+{
+    switch (r) {
+      case Resource::Sm: return 0;
+      case Resource::MemoryBw: return 1;
+      case Resource::MemorySize: return 2;
+      case Resource::PcieTx: return 3;
+      case Resource::PcieRx: return 4;
+      case Resource::Power: break;
+    }
+    panic("power has no utilization sketch; use StreamingPower");
+}
+
+constexpr std::array<Resource, 5> axes = {
+    Resource::Sm, Resource::MemoryBw, Resource::MemorySize,
+    Resource::PcieTx, Resource::PcieRx};
+
+} // namespace
+
+StreamingUtilization::StreamingUtilization(std::uint32_t kll_k,
+                                           std::uint64_t seed,
+                                           Seconds min_gpu_runtime)
+    : min_gpu_runtime_(min_gpu_runtime),
+      pct_{sketch::KllSketch(kll_k, seed), sketch::KllSketch(kll_k, seed),
+           sketch::KllSketch(kll_k, seed), sketch::KllSketch(kll_k, seed),
+           sketch::KllSketch(kll_k, seed)}
+{
+}
+
+void
+StreamingUtilization::observe(const core::JobRecord &rec)
+{
+    if (!rec.isGpuJob() || rec.runTime() < min_gpu_runtime_)
+        return;
+    for (Resource r : axes)
+        pct_[axisOf(r)].add(100.0 * rec.meanUtilization(r));
+}
+
+void
+StreamingUtilization::merge(const StreamingUtilization &other)
+{
+    for (std::size_t i = 0; i < num_axes; ++i)
+        pct_[i].merge(other.pct_[i]);
+}
+
+const sketch::KllSketch &
+StreamingUtilization::byResource(Resource r) const
+{
+    return pct_[axisOf(r)];
+}
+
+std::size_t
+StreamingUtilization::bytes() const
+{
+    std::size_t total = 0;
+    for (const auto &s : pct_)
+        total += s.bytes();
+    return total;
+}
+
+} // namespace aiwc::stream

@@ -103,6 +103,38 @@ TraceSynthesizer::scaledTimeseriesJobs() const
 SynthesisResult
 TraceSynthesizer::run() const
 {
+    SynthesisResult result;
+    runImpl(result, [&result](core::JobRecord &&rec) {
+        result.dataset.add(std::move(rec));
+    });
+    return result;
+}
+
+StreamReplayResult
+TraceSynthesizer::runStreaming(const RecordSink &sink) const
+{
+    AIWC_CHECK(sink, "streaming replay needs a record sink");
+    // The scratch result holds the run-level aggregates and the
+    // internal telemetry profiles; its dataset stays empty — records
+    // flow straight into the sink.
+    SynthesisResult scratch;
+    StreamReplayResult out;
+    runImpl(scratch, [&](core::JobRecord &&rec) {
+        ++out.records;
+        sink(std::move(rec));
+    });
+    out.scheduler_stats = scratch.scheduler_stats;
+    out.num_users = scratch.num_users;
+    out.cluster_nodes = scratch.cluster_nodes;
+    out.central_store_bytes = scratch.central_store_bytes;
+    out.peak_spool_bytes = scratch.peak_spool_bytes;
+    return out;
+}
+
+void
+TraceSynthesizer::runImpl(SynthesisResult &result,
+                          const RecordSink &sink) const
+{
     obs::TraceSpan run_span("synthesize.run");
     obs::MetricsRegistry::global().counter("aiwc.workload.synthesis_runs")
         .add(1);
@@ -112,7 +144,6 @@ TraceSynthesizer::run() const
     Rng job_rng = master.split();
     Rng detail_rng = master.split();
 
-    SynthesisResult result;
     result.num_users = scaledUsers();
     result.cluster_nodes = scaledNodes();
 
@@ -290,7 +321,7 @@ TraceSynthesizer::run() const
             if (detail)
                 rec.phases = std::move(tele.phases);
         }
-        result.dataset.add(std::move(rec));
+        sink(std::move(rec));
     };
 
     if (options_.through_scheduler) {
@@ -359,7 +390,6 @@ TraceSynthesizer::run() const
 
     result.central_store_bytes = collector.centralStoreBytes();
     result.peak_spool_bytes = collector.peakNodeOccupancy();
-    return result;
 }
 
 std::uint64_t

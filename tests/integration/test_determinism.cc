@@ -26,6 +26,7 @@
 #include "aiwc/core/service_time_analyzer.hh"
 #include "aiwc/core/user_behavior_analyzer.hh"
 #include "aiwc/core/utilization_analyzer.hh"
+#include "aiwc/stream/pipeline.hh"
 #include "aiwc/workload/trace_synthesizer.hh"
 
 namespace aiwc
@@ -215,6 +216,66 @@ TEST(Determinism, InstrumentationIsBehaviorNeutral)
     EXPECT_EQ(completionDigest(baseline.dataset),
               completionDigest(traced.dataset));
     EXPECT_EQ(baseline_analysis, traced_analysis);
+}
+
+/**
+ * Digest of a streaming snapshot: every rendered CDF sample, cap
+ * impact, and per-user aggregate, hexfloat-serialized so any
+ * thread-count-dependent ULP in the sketch state flips the hash.
+ */
+std::uint64_t
+snapshotDigest(const stream::SnapshotReport &snap)
+{
+    std::ostringstream os;
+    os << std::hexfloat;
+    os << snap.rows << '|' << snap.gpu_jobs << '|' << snap.cpu_jobs
+       << '|' << snap.users << '|' << snap.epsilon << '|';
+    const auto cdf = [&](const stats::EmpiricalCdf &c) {
+        for (double v : c.sorted())
+            os << v << ':';
+        os << '|';
+    };
+    cdf(snap.gpu_runtime_min);
+    cdf(snap.cpu_runtime_min);
+    cdf(snap.gpu_wait_s);
+    cdf(snap.sm_pct);
+    cdf(snap.membw_pct);
+    cdf(snap.memsize_pct);
+    cdf(snap.avg_watts);
+    cdf(snap.max_watts);
+    cdf(snap.user_avg_runtime_min);
+    cdf(snap.user_avg_sm_pct);
+    for (const auto &c : snap.caps) {
+        os << c.cap_watts << ':' << c.unimpacted << ':'
+           << c.impacted_by_max << ':' << c.impacted_by_avg << '|';
+    }
+    os << snap.top5_job_share << '|' << snap.top20_job_share << '|'
+       << snap.median_jobs_per_user << '|';
+    for (const auto &e : snap.top_users_by_gpu_hours)
+        os << e.key << ':' << e.count << ':' << e.error << '|';
+    return fnv1a(os.str());
+}
+
+TEST(Determinism, StreamSnapshotIsThreadCountInvariant)
+{
+    // The streaming pipeline rides the same parallelReduce contract as
+    // the batch analyzers: per-shard pipelines merged in shard-index
+    // order, so a snapshot of a parallel ingest must be byte-identical
+    // at any thread count.
+    const auto trace = synthesize(1234);
+    ASSERT_GT(trace.dataset.size(), 0u);
+    const int before = globalThreadCount();
+
+    setGlobalThreadCount(1);
+    const auto serial =
+        stream::ingestParallel(trace.dataset.records()).snapshot();
+    setGlobalThreadCount(8);
+    const auto threaded =
+        stream::ingestParallel(trace.dataset.records()).snapshot();
+    setGlobalThreadCount(before);
+
+    EXPECT_EQ(serial.rows, trace.dataset.size());
+    EXPECT_EQ(snapshotDigest(serial), snapshotDigest(threaded));
 }
 
 TEST(Determinism, SynthesisIsThreadCountInvariant)

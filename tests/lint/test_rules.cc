@@ -233,6 +233,22 @@ TEST(LintRules, MetricNameFlagsBadConcatenatedPrefix)
     EXPECT_EQ(countRule(fs, "metric-name"), 1);
 }
 
+TEST(LintRules, MetricNameCoversStreamingDirectories)
+{
+    // The aiwc::sketch / aiwc::stream subsystems register their own
+    // metrics; the rule must hold there like everywhere under src/.
+    const auto good = lintSource(
+        "src/sketch/kll.cc",
+        "r.counter(\"aiwc.sketch.compactions\");\n"
+        "r.gauge(\"aiwc.sketch.bytes\");\n");
+    EXPECT_EQ(countRule(good, "metric-name"), 0);
+
+    const auto bad = lintSource(
+        "src/stream/pipeline.cc",
+        "r.counter(\"stream.rows_ingested\");\n");  // missing aiwc.
+    EXPECT_EQ(countRule(bad, "metric-name"), 1);
+}
+
 TEST(LintRules, MetricNameScopedToSrc)
 {
     // Registry mechanics tests use arbitrary names on purpose.

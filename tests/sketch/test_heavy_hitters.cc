@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aiwc/common/check.hh"
+#include "aiwc/sketch/heavy_hitters.hh"
+
+namespace aiwc::sketch
+{
+namespace
+{
+
+TEST(HeavyHitters, ExactUnderCapacity)
+{
+    HeavyHitters hh(8);
+    hh.add(10, 5.0);
+    hh.add(20, 1.0);
+    hh.add(10, 2.5);
+    EXPECT_EQ(hh.size(), 2u);
+    EXPECT_DOUBLE_EQ(hh.totalWeight(), 8.5);
+    const auto top = hh.topK(8);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].key, 10u);
+    EXPECT_DOUBLE_EQ(top[0].count, 7.5);
+    EXPECT_DOUBLE_EQ(top[0].error, 0.0);  // no eviction, exact counts
+    EXPECT_EQ(top[1].key, 20u);
+}
+
+TEST(HeavyHitters, TopKOrderingBreaksTiesOnKey)
+{
+    HeavyHitters hh(8);
+    hh.add(7, 3.0);
+    hh.add(3, 3.0);
+    hh.add(5, 9.0);
+    const auto top = hh.topK(3);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].key, 5u);             // heaviest first
+    EXPECT_EQ(top[1].key, 3u);             // tie -> smaller key first
+    EXPECT_EQ(top[2].key, 7u);
+}
+
+TEST(HeavyHitters, EvictionIsDeterministicAndBounded)
+{
+    HeavyHitters hh(2);
+    hh.add(5, 1.0);
+    hh.add(9, 1.0);
+    hh.add(3, 1.0);  // evicts the min-count entry with smallest key: 5
+    const auto top = hh.topK(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].key, 3u);             // inherits the floor
+    EXPECT_DOUBLE_EQ(top[0].count, 2.0);   // floor 1 + weight 1
+    EXPECT_DOUBLE_EQ(top[0].error, 1.0);   // overestimate bound
+    EXPECT_EQ(top[1].key, 9u);
+    EXPECT_DOUBLE_EQ(hh.totalWeight(), 3.0);  // total unaffected
+}
+
+TEST(HeavyHitters, TrueHeavyKeySurvivesChurn)
+{
+    // Key 1 carries half the stream weight; 100 light keys churn the
+    // other slots. Space-saving guarantees any key above total/capacity
+    // is retained with error at most total/capacity.
+    HeavyHitters hh(8);
+    for (int round = 0; round < 50; ++round) {
+        hh.add(1, 2.0);
+        hh.add(static_cast<std::uint64_t>(100 + round), 1.0);
+        hh.add(static_cast<std::uint64_t>(200 + round), 1.0);
+    }
+    const double total = hh.totalWeight();
+    EXPECT_DOUBLE_EQ(total, 200.0);
+    const auto top = hh.topK(1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].key, 1u);
+    EXPECT_GE(top[0].count, 100.0);                    // never undercounts
+    EXPECT_LE(top[0].count, 100.0 + total / 8.0);      // bounded over
+    EXPECT_LE(top[0].error, total / 8.0);
+}
+
+TEST(HeavyHitters, MergeSumsExactlyUnderCapacity)
+{
+    HeavyHitters a(8), b(8);
+    a.add(1, 4.0);
+    a.add(2, 1.0);
+    b.add(1, 6.0);
+    b.add(3, 2.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.totalWeight(), 13.0);
+    const auto top = a.topK(8);
+    ASSERT_EQ(top.size(), 3u);
+    EXPECT_EQ(top[0].key, 1u);
+    EXPECT_DOUBLE_EQ(top[0].count, 10.0);
+    EXPECT_DOUBLE_EQ(top[0].error, 0.0);
+}
+
+TEST(HeavyHitters, MergeShrinksBackToCapacity)
+{
+    HeavyHitters a(4), b(4);
+    for (std::uint64_t k = 0; k < 4; ++k)
+        a.add(k, static_cast<double>(10 * (k + 1)));
+    for (std::uint64_t k = 100; k < 104; ++k)
+        b.add(k, 5.0);
+    a.merge(b);
+    EXPECT_LE(a.size(), 4u);
+    EXPECT_DOUBLE_EQ(a.totalWeight(), 120.0);  // exact through shrink
+    // The heaviest pre-merge key must survive the Misra-Gries shrink
+    // with its true weight inside [count, count + error].
+    const auto top = a.topK(1);
+    ASSERT_EQ(top.size(), 1u);
+    EXPECT_EQ(top[0].key, 3u);
+    EXPECT_LE(top[0].count, 40.0 + 1e-12);
+    EXPECT_GE(top[0].count + top[0].error, 40.0 - 1e-12);
+}
+
+TEST(HeavyHitters, ContractsOnCapacityAndMergeGeometry)
+{
+    ScopedCheckFailHandler guard;
+    EXPECT_THROW(HeavyHitters(0), ContractViolation);
+    HeavyHitters a(4), b(8);
+    EXPECT_THROW(a.merge(b), ContractViolation);
+}
+
+} // namespace
+} // namespace aiwc::sketch

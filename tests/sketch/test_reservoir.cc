@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "aiwc/common/check.hh"
+#include "aiwc/sketch/reservoir.hh"
+
+namespace aiwc::sketch
+{
+namespace
+{
+
+bool
+sameItems(const ReservoirSample &a, const ReservoirSample &b)
+{
+    const auto ia = a.items(), ib = b.items();
+    if (ia.size() != ib.size())
+        return false;
+    for (std::size_t i = 0; i < ia.size(); ++i)
+        if (ia[i].key != ib[i].key || ia[i].value != ib[i].value)
+            return false;
+    return true;
+}
+
+TEST(Reservoir, KeepsEverythingUnderCapacity)
+{
+    ReservoirSample r(8, 42);
+    r.add(3, 30.0);
+    r.add(1, 10.0);
+    r.add(2, 20.0);
+    EXPECT_EQ(r.size(), 3u);
+    EXPECT_EQ(r.offered(), 3u);
+    const auto items = r.items();         // sorted by key
+    ASSERT_EQ(items.size(), 3u);
+    EXPECT_EQ(items[0].key, 1u);
+    EXPECT_DOUBLE_EQ(items[0].value, 10.0);
+    EXPECT_EQ(items[2].key, 3u);
+    EXPECT_EQ(r.values(), (std::vector<double>{10.0, 20.0, 30.0}));
+}
+
+TEST(Reservoir, SampleIsArrivalOrderIndependent)
+{
+    ReservoirSample fwd(16, 7), rev(16, 7);
+    for (std::uint64_t k = 0; k < 500; ++k)
+        fwd.add(k, static_cast<double>(k));
+    for (std::uint64_t k = 500; k-- > 0;)
+        rev.add(k, static_cast<double>(k));
+    EXPECT_EQ(fwd.size(), 16u);
+    EXPECT_EQ(fwd.offered(), 500u);
+    EXPECT_TRUE(sameItems(fwd, rev));
+}
+
+TEST(Reservoir, AnyMergeTreeYieldsTheIdenticalSample)
+{
+    // Priorities are a pure function of (seed, key), so unlike the KLL
+    // sketch the reservoir promises EXACT equality for every sharding,
+    // merge order, and merge tree — not merely within-epsilon.
+    ReservoirSample whole(8, 3);
+    for (std::uint64_t k = 0; k < 300; ++k)
+        whole.add(k, static_cast<double>(k) * 0.5);
+
+    auto part = [](std::uint64_t lo, std::uint64_t hi) {
+        ReservoirSample s(8, 3);
+        for (std::uint64_t k = lo; k < hi; ++k)
+            s.add(k, static_cast<double>(k) * 0.5);
+        return s;
+    };
+
+    ReservoirSample left = part(0, 100);     // (a + b) + c
+    left.merge(part(100, 200));
+    left.merge(part(200, 300));
+
+    ReservoirSample bc = part(100, 200);     // a + (b + c)
+    bc.merge(part(200, 300));
+    ReservoirSample right = part(0, 100);
+    right.merge(bc);
+
+    ReservoirSample swapped = part(200, 300);  // commuted
+    swapped.merge(part(0, 100));
+    swapped.merge(part(100, 200));
+
+    EXPECT_TRUE(sameItems(whole, left));
+    EXPECT_TRUE(sameItems(whole, right));
+    EXPECT_TRUE(sameItems(whole, swapped));
+    EXPECT_EQ(left.offered(), 300u);
+}
+
+TEST(Reservoir, DifferentSeedsPickDifferentSamples)
+{
+    ReservoirSample a(8, 1), b(8, 2);
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        a.add(k, 0.0);
+        b.add(k, 0.0);
+    }
+    std::vector<std::uint64_t> ka, kb;
+    for (const auto &it : a.items())
+        ka.push_back(it.key);
+    for (const auto &it : b.items())
+        kb.push_back(it.key);
+    EXPECT_NE(ka, kb);
+}
+
+TEST(Reservoir, ContractsOnGeometryAndSeed)
+{
+    ScopedCheckFailHandler guard;
+    EXPECT_THROW(ReservoirSample(0, 1), ContractViolation);
+    ReservoirSample a(8, 1), cap(4, 1), seed(8, 2);
+    EXPECT_THROW(a.merge(cap), ContractViolation);
+    EXPECT_THROW(a.merge(seed), ContractViolation);
+}
+
+} // namespace
+} // namespace aiwc::sketch

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "aiwc/stats/descriptive.hh"
@@ -41,10 +42,32 @@ TEST(Descriptive, CovPercentDefinition)
     EXPECT_NEAR(covPercent(xs), 100.0 * 2.0 / 5.0, 1e-9);
 }
 
-TEST(Descriptive, CovPercentZeroMeanIsZero)
+TEST(Descriptive, CovPercentZeroMeanIsNan)
 {
+    // A zero-mean series has no meaningful relative variability; the
+    // convention is NaN (not 0, which would claim a perfectly steady
+    // series) and CDF builders filter non-finite values.
     const std::vector<double> xs = {-1.0, 1.0};
-    EXPECT_DOUBLE_EQ(covPercent(xs), 0.0);
+    EXPECT_TRUE(std::isnan(covPercent(xs)));
+}
+
+TEST(Descriptive, CovPercentEmptyIsNan)
+{
+    const std::vector<double> empty;
+    EXPECT_TRUE(std::isnan(covPercent(empty)));
+}
+
+TEST(Descriptive, CovPercentAllZerosIsNan)
+{
+    const std::vector<double> xs = {0.0, 0.0, 0.0};
+    EXPECT_TRUE(std::isnan(covPercent(xs)));
+}
+
+TEST(Descriptive, CovPercentNegativeMeanUsesMagnitude)
+{
+    const std::vector<double> xs = {-2.0, -4.0, -4.0, -4.0, -5.0, -5.0,
+                                    -7.0, -9.0};
+    EXPECT_NEAR(covPercent(xs), 100.0 * 2.0 / 5.0, 1e-9);
 }
 
 TEST(Descriptive, PercentileInterpolates)
@@ -152,6 +175,16 @@ TEST(RunningSummary, MergeEqualsCombinedStream)
     EXPECT_NEAR(a.stddev(), all.stddev(), 1e-9);
     EXPECT_DOUBLE_EQ(a.min(), all.min());
     EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningSummary, ZeroMeanCovIsNan)
+{
+    RunningSummary s;
+    s.add(-1.0);
+    s.add(1.0);
+    EXPECT_TRUE(std::isnan(s.covPercent()));
+    RunningSummary empty;
+    EXPECT_TRUE(std::isnan(empty.covPercent()));
 }
 
 TEST(RunningSummary, MergeWithEmptyIsNoop)
