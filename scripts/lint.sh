@@ -4,7 +4,8 @@
 # tree. Used locally and as the CI lint jobs.
 #
 # Usage:
-#   scripts/lint.sh [--require] [--aiwc-only] [--build-dir DIR]
+#   scripts/lint.sh [--require] [--aiwc-only] [--changed] [--sarif FILE]
+#                   [--build-dir DIR]
 #
 #   --require    fail (exit 2) when clang-format/clang-tidy are not
 #                installed instead of skipping them. CI passes this;
@@ -13,22 +14,38 @@
 #   --aiwc-only  run only the self-hosted aiwc-lint pass. It needs
 #                nothing but the repo's own toolchain, so this works in
 #                containers without clang-format/clang-tidy.
+#   --changed    restrict aiwc-lint reporting to files changed relative
+#                to the merge base with origin's default branch (plus
+#                uncommitted/untracked files) and their reverse
+#                include-closure. The whole tree is still analyzed —
+#                cross-file rules need the full graph — so this is a
+#                reporting scope, not a soundness tradeoff.
+#   --sarif FILE write aiwc-lint's SARIF 2.1.0 report to FILE (CI
+#                uploads it to GitHub code scanning).
 #   --build-dir  build directory for the aiwc-lint binary and the
 #                clang-tidy compile-command database (default: build;
 #                configured with CMAKE_EXPORT_COMPILE_COMMANDS if
 #                absent — the presets all export it, see
 #                CMakePresets.json).
+#
+# Exit codes mirror aiwc-lint's: 0 clean, 1 findings, 2 internal error
+# (could not build, could not run, bad layers spec) — CI treats 1 as
+# "fix your change" and 2 as "fix the gate".
 set -u
 
 cd "$(dirname "$0")/.."
 
 require_tools=0
 aiwc_only=0
+changed_only=0
+sarif_file=
 build_dir=build
 while [ $# -gt 0 ]; do
     case "$1" in
         --require) require_tools=1 ;;
         --aiwc-only) aiwc_only=1 ;;
+        --changed) changed_only=1 ;;
+        --sarif) shift; sarif_file=$1 ;;
         --build-dir) shift; build_dir=$1 ;;
         *) echo "unknown argument: $1" >&2; exit 2 ;;
     esac
@@ -66,8 +83,40 @@ if [ ! -f "$build_dir/CMakeCache.txt" ]; then
 fi
 echo "lint: building aiwc-lint"
 cmake --build "$build_dir" --target aiwc-lint >/dev/null || exit 2
+
+# Assemble the aiwc-lint invocation: the incremental cache lives next
+# to the binary it must match, SARIF goes wherever CI asked, and
+# --changed narrows reporting to the git-diff set plus its reverse
+# include-closure (the tool computes the closure).
+aiwc_args=(--cache "$build_dir/aiwc-lint.cache")
+[ -n "$sarif_file" ] && aiwc_args+=(--sarif "$sarif_file")
+if [ "$changed_only" -eq 1 ]; then
+    base=$(git merge-base HEAD origin/HEAD 2>/dev/null ||
+           git merge-base HEAD origin/main 2>/dev/null || true)
+    changed_files=$( { [ -n "$base" ] && git diff --name-only "$base";
+                       git diff --name-only HEAD;
+                       git ls-files --others --exclude-standard; } |
+                     sort -u)
+    if [ -z "$changed_files" ]; then
+        # A non-existent sentinel keeps the scope non-empty (and thus
+        # active) with an empty closure: analyze all, report nothing.
+        echo "lint: --changed found no changed files; nothing to report"
+        aiwc_args+=(--changed __no_changed_files__)
+    fi
+    while IFS= read -r f; do
+        [ -n "$f" ] && aiwc_args+=(--changed "$f")
+    done <<< "$changed_files"
+fi
+
 echo "lint: running aiwc-lint"
-if ! "$build_dir/tools/aiwc-lint/aiwc-lint"; then
+"$build_dir/tools/aiwc-lint/aiwc-lint" "${aiwc_args[@]}"
+aiwc_rc=$?
+if [ "$aiwc_rc" -eq 2 ]; then
+    # Internal error (bad layers spec, unreadable file): NOT a finding.
+    # Propagate distinctly so CI shows "gate broken", not "code dirty".
+    echo "lint: aiwc-lint internal error (exit 2)" >&2
+    exit 2
+elif [ "$aiwc_rc" -ne 0 ]; then
     echo "lint: aiwc-lint reported findings" >&2
     status=1
 fi

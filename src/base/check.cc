@@ -1,4 +1,4 @@
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 
 #include <cstdio>
 #include <cstdlib>

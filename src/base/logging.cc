@@ -1,4 +1,4 @@
-#include "aiwc/common/logging.hh"
+#include "aiwc/base/logging.hh"
 
 #include <cstdio>
 #include <cstdlib>
@@ -8,19 +8,31 @@ namespace aiwc
 
 namespace
 {
-LogLevel global_level = LogLevel::Info;
+
+/**
+ * The process log level lives in a function-local static rather than
+ * at namespace scope: initialization is race-free per [stmt.dcl], and
+ * access is gated through one accessor the linter can see.
+ */
+LogLevel &
+levelSlot()
+{
+    static LogLevel level = LogLevel::Info;
+    return level;
 }
+
+} // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    global_level = level;
+    levelSlot() = level;
 }
 
 LogLevel
 logLevel()
 {
-    return global_level;
+    return levelSlot();
 }
 
 namespace detail

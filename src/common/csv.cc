@@ -1,6 +1,6 @@
 #include "aiwc/common/csv.hh"
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/base/logging.hh"
 
 namespace aiwc
 {

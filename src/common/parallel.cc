@@ -1,5 +1,7 @@
 #include "aiwc/common/parallel.hh"
 
+#include "aiwc/base/check.hh"
+
 #include <cstdlib>
 #include <memory>
 
@@ -10,9 +12,12 @@ namespace
 {
 
 /** Set for the lifetime of every worker thread's loop. */
+// aiwc-lint: allow(mutable-global) -- worker-identity flag, written once at spawn, read only to reject nested parallelism; never reaches results
 thread_local bool worker_thread = false;
 
+// aiwc-lint: allow(mutable-global) -- guards the lazy global pool below
 std::mutex global_pool_mutex;
+// aiwc-lint: allow(mutable-global) -- the sanctioned pool singleton; geometry fixed by config, mutex-guarded, shard merges stay index-ordered
 std::unique_ptr<ThreadPool> global_pool;
 
 } // namespace

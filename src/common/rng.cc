@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/base/logging.hh"
 
 namespace aiwc
 {

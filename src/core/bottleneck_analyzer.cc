@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/base/logging.hh"
 #include "aiwc/common/parallel.hh"
 #include "aiwc/obs/trace.hh"
 

@@ -4,7 +4,7 @@
 #include <string>
 
 #include "aiwc/common/csv.hh"
-#include "aiwc/common/logging.hh"
+#include "aiwc/base/logging.hh"
 
 namespace aiwc::core
 {

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/base/logging.hh"
 
 namespace aiwc::core
 {

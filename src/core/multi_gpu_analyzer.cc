@@ -3,7 +3,6 @@
 #include <cmath>
 #include <map>
 
-#include "aiwc/common/logging.hh"
 #include "aiwc/obs/trace.hh"
 #include "aiwc/stats/descriptive.hh"
 

@@ -1,6 +1,6 @@
 #include "aiwc/core/utilization_analyzer.hh"
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/base/logging.hh"
 #include "aiwc/common/parallel.hh"
 #include "aiwc/obs/trace.hh"
 

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/base/logging.hh"
 
 namespace aiwc::dist
 {

@@ -27,7 +27,7 @@
 #include <stdexcept>
 #include <string>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/base/logging.hh"
 
 namespace aiwc
 {

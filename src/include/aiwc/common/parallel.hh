@@ -37,7 +37,6 @@
 #include <utility>
 #include <vector>
 
-#include "aiwc/common/check.hh"
 #include "aiwc/obs/trace.hh"
 
 namespace aiwc

@@ -10,7 +10,6 @@
 
 #pragma once
 
-#include "aiwc/common/rng.hh"
 #include "aiwc/common/types.hh"
 #include "aiwc/stats/descriptive.hh"
 #include "aiwc/telemetry/job_profile.hh"

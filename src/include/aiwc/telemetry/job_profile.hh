@@ -13,7 +13,6 @@
 
 #include <cstdint>
 
-#include "aiwc/common/types.hh"
 
 namespace aiwc::telemetry
 {

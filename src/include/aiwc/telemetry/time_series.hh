@@ -12,7 +12,7 @@
 #include <ostream>
 #include <vector>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 #include "aiwc/common/types.hh"
 
 namespace aiwc::telemetry

@@ -3,7 +3,7 @@
 #include <bit>
 #include <ostream>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 
 namespace aiwc::obs
 {

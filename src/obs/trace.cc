@@ -11,7 +11,7 @@
 #include <ostream>
 #include <vector>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/base/logging.hh"
 
 namespace aiwc::obs
 {
@@ -105,8 +105,11 @@ class TraceCollector
     std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
 };
 
+// aiwc-lint: allow(mutable-global) -- trace arm/disarm flag; obs/ is observability-only and barred from influencing results
 std::atomic<bool> trace_on{false};
+// aiwc-lint: allow(mutable-global) -- one-shot env-init latch for tracing
 std::once_flag env_once;
+// aiwc-lint: allow(mutable-global) -- trace output path, written once under env_once before any span is recorded
 std::string env_path;
 
 void

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 
 namespace aiwc::sched
 {

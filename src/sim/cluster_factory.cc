@@ -1,6 +1,6 @@
 #include "aiwc/sim/cluster_factory.hh"
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/base/logging.hh"
 #include "aiwc/common/table.hh"
 
 namespace aiwc::sim

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <numeric>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 
 namespace aiwc::stats
 {

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <limits>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 #include "aiwc/stats/descriptive.hh"
 
 namespace aiwc::stats

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 
 namespace aiwc::stats
 {

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 #include "aiwc/common/parallel.hh"
 #include "aiwc/obs/metrics.hh"
 #include "aiwc/obs/trace.hh"

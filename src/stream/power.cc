@@ -1,6 +1,6 @@
 #include "aiwc/stream/power.hh"
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 
 namespace aiwc::stream
 {

@@ -1,6 +1,6 @@
 #include "aiwc/stream/user_behavior.hh"
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 #include "aiwc/stats/descriptive.hh"
 #include "aiwc/stats/share_curve.hh"
 

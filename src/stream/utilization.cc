@@ -1,6 +1,6 @@
 #include "aiwc/stream/utilization.hh"
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/base/logging.hh"
 
 namespace aiwc::stream
 {

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 #include "aiwc/telemetry/phase_model.hh"
 #include "aiwc/telemetry/utilization_model.hh"
 

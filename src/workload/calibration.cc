@@ -1,6 +1,5 @@
 #include "aiwc/workload/calibration.hh"
 
-#include "aiwc/common/logging.hh"
 
 namespace aiwc::workload
 {

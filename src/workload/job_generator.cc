@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/base/logging.hh"
 #include "aiwc/dist/distributions.hh"
 
 namespace aiwc::workload

@@ -3,8 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
-#include "aiwc/common/check.hh"
-#include "aiwc/common/logging.hh"
+#include "aiwc/base/check.hh"
+#include "aiwc/base/logging.hh"
 #include "aiwc/common/parallel.hh"
 #include "aiwc/obs/trace.hh"
 #include "aiwc/dist/distributions.hh"

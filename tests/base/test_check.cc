@@ -2,7 +2,7 @@
 
 #include <string>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 
 namespace aiwc
 {

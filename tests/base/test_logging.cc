@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "aiwc/common/logging.hh"
+#include "aiwc/base/logging.hh"
 
 namespace aiwc
 {

@@ -8,7 +8,7 @@
 #include <stdexcept>
 #include <vector>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 #include "aiwc/common/parallel.hh"
 
 namespace

@@ -1,0 +1,243 @@
+// Whole-program driver: unused-include with its exemptions, the
+// incremental cache's round-trip and invalidation, changed-set report
+// scoping, and the SARIF 2.1.0 shape GitHub code scanning ingests.
+
+#include "analysis.hh"
+
+#include <gtest/gtest.h>
+
+namespace aiwc::lint
+{
+namespace
+{
+
+int
+countRule(const std::vector<Finding> &fs, const std::string &rule)
+{
+    int n = 0;
+    for (const Finding &f : fs)
+        if (f.rule == rule)
+            ++n;
+    return n;
+}
+
+SourceFile
+file(const std::string &path, const std::string &content)
+{
+    SourceFile f;
+    f.path = path;
+    f.content = content;
+    return f;
+}
+
+const char kStatsHeader[] = "#pragma once\n"
+                            "namespace aiwc { double quantile(double); }\n";
+
+// --- unused-include --------------------------------------------------------
+
+TEST(LintAnalysis, UnusedIncludeFiresAndUseSilences)
+{
+    const auto header =
+        file("src/include/aiwc/stats/quantile.hh", kStatsHeader);
+
+    const auto unused = analyzeProject(
+        {header, file("src/core/x.cc",
+                      "#include \"aiwc/stats/quantile.hh\"\n"
+                      "int f() { return 1; }\n")},
+        {}, nullptr);
+    EXPECT_EQ(countRule(unused.findings, "unused-include"), 1);
+    EXPECT_EQ(unused.findings[0].file, "src/core/x.cc");
+    EXPECT_EQ(unused.findings[0].line, 1);
+
+    const auto used = analyzeProject(
+        {header, file("src/core/x.cc",
+                      "#include \"aiwc/stats/quantile.hh\"\n"
+                      "double f() { return aiwc::quantile(0.5); }\n")},
+        {}, nullptr);
+    EXPECT_EQ(countRule(used.findings, "unused-include"), 0);
+}
+
+TEST(LintAnalysis, CompanionHeaderIsExemptAndOperatorsAreAdl)
+{
+    // A .cc including its own module header is never "unused" — the
+    // include is the declaration/definition consistency check.
+    const auto companion = analyzeProject(
+        {file("src/include/aiwc/stats/quantile.hh", kStatsHeader),
+         file("src/stats/quantile.cc",
+              "#include \"aiwc/stats/quantile.hh\"\n"
+              "int unrelated() { return 0; }\n")},
+        {}, nullptr);
+    EXPECT_EQ(countRule(companion.findings, "unused-include"), 0);
+
+    // Operator-declaring headers are found via ADL without their names
+    // ever appearing in the includer.
+    const auto ops = analyzeProject(
+        {file("src/include/aiwc/stats/ops.hh",
+              "#pragma once\n"
+              "namespace aiwc { struct Vec {};\n"
+              "Vec operator+(const Vec &, const Vec &); }\n"),
+         file("src/core/x.cc", "#include \"aiwc/stats/ops.hh\"\n"
+                               "int f() { return 2; }\n")},
+        {}, nullptr);
+    EXPECT_EQ(countRule(ops.findings, "unused-include"), 0);
+}
+
+TEST(LintAnalysis, UmbrellaReexportsCountAsSupplying)
+{
+    const auto result = analyzeProject(
+        {file("src/include/aiwc/stats/quantile.hh", kStatsHeader),
+         file("src/include/aiwc/stats/all.hh",
+              "#pragma once\n"
+              "#include \"aiwc/stats/quantile.hh\"\n"),
+         file("src/core/x.cc",
+              "#include \"aiwc/stats/all.hh\"\n"
+              "double f() { return aiwc::quantile(0.9); }\n")},
+        {}, nullptr);
+    EXPECT_EQ(countRule(result.findings, "unused-include"), 0);
+}
+
+TEST(LintAnalysis, LineAboveSuppressionCoversAnInclude)
+{
+    const auto result = analyzeProject(
+        {file("src/include/aiwc/stats/quantile.hh", kStatsHeader),
+         file("src/core/x.cc",
+              "// aiwc-lint: allow(unused-include) -- kept for the "
+              "template instantiation below\n"
+              "#include \"aiwc/stats/quantile.hh\"\n"
+              "int f() { return 3; }\n")},
+        {}, nullptr);
+    EXPECT_EQ(countRule(result.findings, "unused-include"), 0);
+}
+
+// --- layering through the driver -------------------------------------------
+
+TEST(LintAnalysis, LayeringRunsWhenASpecIsGiven)
+{
+    ProjectOptions options;
+    options.layers_text = "module base src/include/aiwc/base src/base\n"
+                          "allow base\n"
+                          "module core src/include/aiwc/core src/core\n"
+                          "allow core base\n";
+    const auto result = analyzeProject(
+        {file("src/include/aiwc/core/model.hh",
+              "#pragma once\nnamespace aiwc { int model(); }\n"),
+         file("src/base/bad.cc", "#include \"aiwc/core/model.hh\"\n"
+                                 "int g() { return aiwc::model(); }\n")},
+        options, nullptr);
+    EXPECT_EQ(countRule(result.findings, "layer-violation"), 1);
+
+    ProjectOptions broken;
+    broken.layers_text = "gibberish\n";
+    const auto err = analyzeProject({}, broken, nullptr);
+    EXPECT_FALSE(err.error.empty());
+}
+
+// --- incremental cache -----------------------------------------------------
+
+TEST(LintAnalysis, CacheRoundTripsAndServesWarmRuns)
+{
+    const std::vector<SourceFile> files = {
+        file("src/include/aiwc/stats/quantile.hh", kStatsHeader),
+        file("src/core/x.cc", "#include \"aiwc/stats/quantile.hh\"\n"
+                              "int f() { return time(nullptr); }\n")};
+
+    AnalysisCache cache;
+    const auto cold = analyzeProject(files, {}, &cache);
+    EXPECT_EQ(cold.fresh, 2u);
+    EXPECT_EQ(cold.cached, 0u);
+
+    // Serialize, reload, re-run: everything served from the cache and
+    // the findings byte-identical (unused-include recomputed from the
+    // cached records, det-random straight from them).
+    AnalysisCache reloaded;
+    ASSERT_TRUE(reloaded.load(cache.serialize()));
+    const auto warm = analyzeProject(files, {}, &reloaded);
+    EXPECT_EQ(warm.fresh, 0u);
+    EXPECT_EQ(warm.cached, 2u);
+    EXPECT_EQ(warm.findings, cold.findings);
+    EXPECT_GT(countRule(warm.findings, "det-random"), 0);
+    EXPECT_GT(countRule(warm.findings, "unused-include"), 0);
+}
+
+TEST(LintAnalysis, CacheInvalidatesOnContentAndVersion)
+{
+    const auto hh =
+        file("src/include/aiwc/stats/quantile.hh", kStatsHeader);
+    AnalysisCache cache;
+    analyzeProject({hh}, {}, &cache);
+
+    auto edited = hh;
+    edited.content += "namespace aiwc { double median(double); }\n";
+    const auto rerun = analyzeProject({edited}, {}, &cache);
+    EXPECT_EQ(rerun.fresh, 1u);  // stale hash -> re-analyzed
+
+    AnalysisCache bad;
+    EXPECT_FALSE(bad.load("aiwc-lint-cache 9999\n"));
+    EXPECT_FALSE(bad.load("not a cache at all"));
+    EXPECT_EQ(bad.size(), 0u);
+}
+
+TEST(LintAnalysis, CompanionContentIsPartOfTheCacheKey)
+{
+    auto cc = file("src/core/x.cc", "int f() { return 4; }\n");
+    cc.companion = "#pragma once\n";
+    cc.has_companion = true;
+
+    AnalysisCache cache;
+    analyzeProject({cc}, {}, &cache);
+    cc.companion += "namespace aiwc { struct T {}; }\n";
+    const auto rerun = analyzeProject({cc}, {}, &cache);
+    EXPECT_EQ(rerun.fresh, 1u);
+}
+
+// --- changed-set scoping ---------------------------------------------------
+
+TEST(LintAnalysis, ChangedSetRestrictsReportingToTheClosure)
+{
+    const std::vector<SourceFile> files = {
+        file("src/include/aiwc/stats/quantile.hh", kStatsHeader),
+        file("src/core/uses.cc",
+             "#include \"aiwc/stats/quantile.hh\"\n"
+             "int f() { return 5; }\n"),  // unused-include here
+        file("src/core/other.cc",
+             "long t = time(nullptr);\n")};  // det-random + mutable-global
+
+    ProjectOptions all;
+    const auto full = analyzeProject(files, all, nullptr);
+    EXPECT_GT(countRule(full.findings, "det-random"), 0);
+
+    // Changing the header re-reports its includer, not other.cc.
+    ProjectOptions scoped;
+    scoped.changed = {"src/include/aiwc/stats/quantile.hh"};
+    const auto result = analyzeProject(files, scoped, nullptr);
+    EXPECT_EQ(result.reported_files, 2u);
+    EXPECT_EQ(countRule(result.findings, "unused-include"), 1);
+    EXPECT_EQ(countRule(result.findings, "det-random"), 0);
+}
+
+// --- SARIF -----------------------------------------------------------------
+
+TEST(LintAnalysis, SarifHasTheCodeScanningShape)
+{
+    const std::vector<Finding> findings = {
+        {"src/core/x.cc", 7, "det-random",
+         "time(nullptr) reads the wall clock"}};
+    const std::string sarif = renderSarif(findings);
+
+    EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"name\": \"aiwc-lint\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"ruleId\": \"det-random\""), std::string::npos);
+    EXPECT_NE(sarif.find("\"startLine\": 7"), std::string::npos);
+    EXPECT_NE(sarif.find("\"uri\": \"src/core/x.cc\""), std::string::npos);
+    // Every known rule ships its metadata, findings or not.
+    for (const std::string &rule : knownRules())
+        EXPECT_NE(sarif.find("\"id\": \"" + rule + "\""),
+                  std::string::npos)
+            << rule;
+
+    const std::string empty = renderSarif({});
+    EXPECT_NE(empty.find("\"results\": []"), std::string::npos);
+}
+
+} // namespace
+} // namespace aiwc::lint

@@ -1,0 +1,220 @@
+// Include-graph machinery: directive extraction, build-mirroring
+// resolution, the layers.txt spec grammar, and the two graph rules on
+// canonical shapes — a diamond (clean), a cycle, and a cross-layer
+// include.
+
+#include "graph.hh"
+
+#include <gtest/gtest.h>
+
+#include "lexer.hh"
+#include "rules.hh"
+
+namespace aiwc::lint
+{
+namespace
+{
+
+std::vector<IncludeEdge>
+includesOf(const std::string &src)
+{
+    return extractIncludes(lex(src));
+}
+
+int
+countRule(const std::vector<Finding> &fs, const std::string &rule)
+{
+    int n = 0;
+    for (const Finding &f : fs)
+        if (f.rule == rule)
+            ++n;
+    return n;
+}
+
+TEST(LintGraph, ExtractsQuotedAndAngledIncludes)
+{
+    const auto edges = includesOf("#include \"aiwc/core/model.hh\"\n"
+                                  "#include <vector>\n"
+                                  "// #include \"not/real.hh\"\n"
+                                  "int x;\n");
+    ASSERT_EQ(edges.size(), 2u);
+    EXPECT_EQ(edges[0].spelled, "aiwc/core/model.hh");
+    EXPECT_FALSE(edges[0].angled);
+    EXPECT_EQ(edges[0].line, 1);
+    EXPECT_EQ(edges[1].spelled, "vector");
+    EXPECT_TRUE(edges[1].angled);
+}
+
+TEST(LintGraph, ResolutionMirrorsTheBuild)
+{
+    const std::set<std::string> tree = {
+        "src/include/aiwc/core/model.hh",
+        "src/core/helper.hh",
+        "tools/aiwc-lint/lexer.hh",
+    };
+    auto edges = includesOf("#include \"aiwc/core/model.hh\"\n"
+                            "#include \"helper.hh\"\n"
+                            "#include \"lexer.hh\"\n"
+                            "#include <vector>\n");
+    resolveIncludes("src/core/engine.cc", edges, tree);
+    EXPECT_EQ(edges[0].resolved, "src/include/aiwc/core/model.hh");
+    EXPECT_EQ(edges[1].resolved, "src/core/helper.hh");  // sibling
+    EXPECT_EQ(edges[2].resolved, "");  // lexer.hh is not a sibling here
+
+    auto tool_edges = includesOf("#include \"tools/aiwc-lint/lexer.hh\"\n");
+    resolveIncludes("tests/lint/test_lexer.cc", tool_edges, tree);
+    EXPECT_EQ(tool_edges[0].resolved, "tools/aiwc-lint/lexer.hh");
+}
+
+TEST(LintGraph, DiamondIsClean)
+{
+    IncludeGraph g;
+    g["a.hh"] = {{"b.hh", "b.hh", 1, false}, {"c.hh", "c.hh", 2, false}};
+    g["b.hh"] = {{"d.hh", "d.hh", 1, false}};
+    g["c.hh"] = {{"d.hh", "d.hh", 1, false}};
+    g["d.hh"] = {};
+    std::vector<Finding> out;
+    checkCycles(g, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(LintGraph, CycleIsReportedOnceWithFullPath)
+{
+    IncludeGraph g;
+    g["a.hh"] = {{"b.hh", "b.hh", 3, false}};
+    g["b.hh"] = {{"c.hh", "c.hh", 5, false}};
+    g["c.hh"] = {{"a.hh", "a.hh", 7, false}};
+    std::vector<Finding> out;
+    checkCycles(g, out);
+    ASSERT_EQ(countRule(out, "include-cycle"), 1);
+    EXPECT_EQ(out[0].file, "c.hh");  // the back edge's source
+    EXPECT_EQ(out[0].line, 7);
+    EXPECT_NE(out[0].message.find("a.hh -> b.hh -> c.hh -> a.hh"),
+              std::string::npos)
+        << out[0].message;
+}
+
+TEST(LintGraph, SelfIncludeIsACycle)
+{
+    IncludeGraph g;
+    g["x.hh"] = {{"x.hh", "x.hh", 2, false}};
+    std::vector<Finding> out;
+    checkCycles(g, out);
+    EXPECT_EQ(countRule(out, "include-cycle"), 1);
+}
+
+// --- layers.txt ------------------------------------------------------------
+
+const char kSpec[] = "# comment\n"
+                     "module base src/include/aiwc/base src/base\n"
+                     "allow base\n"
+                     "module core src/include/aiwc/core src/core\n"
+                     "allow core base\n"
+                     "module tests tests\n"
+                     "allow tests *\n";
+
+TEST(LintGraph, LayerSpecParsesAndMapsLongestPrefix)
+{
+    LayerSpec spec;
+    std::string err;
+    ASSERT_TRUE(LayerSpec::parse(kSpec, spec, err)) << err;
+    EXPECT_EQ(spec.moduleOf("src/base/check.cc"), "base");
+    EXPECT_EQ(spec.moduleOf("src/include/aiwc/core/model.hh"), "core");
+    EXPECT_EQ(spec.moduleOf("tests/core/test_model.cc"), "tests");
+    EXPECT_EQ(spec.moduleOf("bench/bench_x.cpp"), "");
+    EXPECT_EQ(spec.unconstrained.count("tests"), 1u);
+}
+
+TEST(LintGraph, LayerSpecRejectsMalformedSpecs)
+{
+    LayerSpec spec;
+    std::string err;
+    EXPECT_FALSE(LayerSpec::parse("frobnicate base src\n", spec, err));
+    EXPECT_NE(err.find("unknown keyword"), std::string::npos);
+
+    EXPECT_FALSE(LayerSpec::parse("module a src/a\nmodule b src/a\n"
+                                  "allow a\nallow b\n",
+                                  spec, err));
+    EXPECT_NE(err.find("already mapped"), std::string::npos);
+
+    EXPECT_FALSE(LayerSpec::parse("module a src/a\n", spec, err));
+    EXPECT_NE(err.find("no allow line"), std::string::npos);
+
+    EXPECT_FALSE(
+        LayerSpec::parse("module a src/a\nallow a ghost\n", spec, err));
+    EXPECT_NE(err.find("unknown module"), std::string::npos);
+
+    EXPECT_FALSE(
+        LayerSpec::parse("module a src/a\nallow a * a\n", spec, err));
+    EXPECT_NE(err.find("'*'"), std::string::npos);
+
+    EXPECT_FALSE(LayerSpec::parse("module a src/a\nallow a\nallow a\n",
+                                  spec, err));
+    EXPECT_NE(err.find("duplicate allow"), std::string::npos);
+}
+
+TEST(LintGraph, CrossLayerIncludeIsFlagged)
+{
+    LayerSpec spec;
+    std::string err;
+    ASSERT_TRUE(LayerSpec::parse(kSpec, spec, err)) << err;
+
+    IncludeGraph g;
+    // base -> core is NOT allowed; core -> base is; tests -> anything.
+    g["src/base/check.cc"] = {{"aiwc/core/model.hh",
+                               "src/include/aiwc/core/model.hh", 4, false}};
+    g["src/core/model.cc"] = {{"aiwc/base/check.hh",
+                               "src/include/aiwc/base/check.hh", 3, false}};
+    g["tests/core/test_model.cc"] = {
+        {"aiwc/core/model.hh", "src/include/aiwc/core/model.hh", 2,
+         false}};
+
+    std::vector<Finding> out;
+    checkLayering(g, spec, out);
+    ASSERT_EQ(countRule(out, "layer-violation"), 1);
+    EXPECT_EQ(out[0].file, "src/base/check.cc");
+    EXPECT_EQ(out[0].line, 4);
+    EXPECT_NE(out[0].message.find("'base' must not depend on 'core'"),
+              std::string::npos)
+        << out[0].message;
+}
+
+TEST(LintGraph, UnresolvedAndSameModuleIncludesAreIgnored)
+{
+    LayerSpec spec;
+    std::string err;
+    ASSERT_TRUE(LayerSpec::parse(kSpec, spec, err)) << err;
+
+    IncludeGraph g;
+    g["src/core/model.cc"] = {
+        {"vector", "", 1, true},  // external
+        {"aiwc/core/graph.hh", "src/include/aiwc/core/graph.hh", 2,
+         false},  // same module
+    };
+    std::vector<Finding> out;
+    checkLayering(g, spec, out);
+    EXPECT_TRUE(out.empty());
+}
+
+TEST(LintGraph, ReverseClosureFollowsIncludersTransitively)
+{
+    IncludeGraph g;
+    g["base.hh"] = {};
+    g["mid.hh"] = {{"base.hh", "base.hh", 1, false}};
+    g["top.cc"] = {{"mid.hh", "mid.hh", 1, false}};
+    g["other.cc"] = {};
+
+    const auto closure = reverseClosure(g, {"base.hh"});
+    EXPECT_EQ(closure.size(), 3u);
+    EXPECT_EQ(closure.count("base.hh"), 1u);
+    EXPECT_EQ(closure.count("mid.hh"), 1u);
+    EXPECT_EQ(closure.count("top.cc"), 1u);
+    EXPECT_EQ(closure.count("other.cc"), 0u);
+
+    // A leaf's closure is just itself.
+    const auto leaf = reverseClosure(g, {"top.cc"});
+    EXPECT_EQ(leaf.size(), 1u);
+}
+
+} // namespace
+} // namespace aiwc::lint

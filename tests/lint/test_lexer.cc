@@ -144,6 +144,51 @@ TEST(LintLexer, UnterminatedBlockCommentDoesNotCrash)
         }
 }
 
+TEST(LintLexer, EndLineTracksPhysicalLinesThroughSplices)
+{
+    // A line comment extended by a backslash continuation loses its
+    // newlines to splicing; end_line must still report the physical
+    // line where the comment really ends — the suppression-span fix.
+    const auto tokens = lex("// spliced comment \\\n"
+                            "   still the comment\n"
+                            "int after;\n");
+    ASSERT_GE(tokens.size(), 3u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::Comment);
+    EXPECT_EQ(tokens[0].line, 1);
+    EXPECT_EQ(tokens[0].end_line, 2);
+    EXPECT_EQ(tokens[1].text, "int");
+    EXPECT_EQ(tokens[1].line, 3);
+}
+
+TEST(LintLexer, EndLineSpansMultiLineBlockComments)
+{
+    const auto tokens = lex("/* one\n   two\n   three */ int x;\n");
+    ASSERT_GE(tokens.size(), 2u);
+    EXPECT_EQ(tokens[0].kind, TokenKind::Comment);
+    EXPECT_EQ(tokens[0].line, 1);
+    EXPECT_EQ(tokens[0].end_line, 3);
+    EXPECT_EQ(tokens[1].line, 3);
+}
+
+TEST(LintLexer, EndLineEqualsLineForSingleLineTokens)
+{
+    for (const Token &t : lex("int a = 1; // note\nchar *p = \"s\";\n")) {
+        EXPECT_EQ(t.end_line, t.line) << t.text;
+        EXPECT_GE(t.end_line, 1) << t.text;
+    }
+}
+
+TEST(LintLexer, SplicedIdentifierKeepsItsStartLine)
+{
+    // An identifier split by a continuation starts on line 1; its last
+    // character lands on line 2.
+    const auto tokens = lex("cou\\\nnter = 0;\n");
+    ASSERT_GE(tokens.size(), 1u);
+    EXPECT_EQ(tokens[0].text, "counter");
+    EXPECT_EQ(tokens[0].line, 1);
+    EXPECT_EQ(tokens[0].end_line, 2);
+}
+
 TEST(LintLexer, EncodingPrefixedStringsAreStrings)
 {
     const auto tokens = lex("auto a = u8\"rand()\"; auto b = L\"x\";");

@@ -13,7 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 #include "aiwc/common/parallel.hh"
 #include "aiwc/obs/metrics.hh"
 

@@ -8,7 +8,7 @@
 
 #include <gtest/gtest.h>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 #include "aiwc/sched/slurm_scheduler.hh"
 #include "aiwc/sim/cluster_factory.hh"
 

@@ -3,7 +3,7 @@
 #include <cmath>
 #include <vector>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 #include "aiwc/sim/event_queue.hh"
 
 namespace aiwc::sim

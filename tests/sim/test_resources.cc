@@ -1,6 +1,6 @@
 #include <gtest/gtest.h>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 #include "aiwc/sim/cluster_factory.hh"
 #include "aiwc/sim/resources.hh"
 

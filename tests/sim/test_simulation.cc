@@ -4,7 +4,7 @@
 #include <limits>
 #include <vector>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 #include "aiwc/sim/simulation.hh"
 
 namespace aiwc::sim

@@ -2,7 +2,7 @@
 
 #include <vector>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 #include "aiwc/sketch/heavy_hitters.hh"
 
 namespace aiwc::sketch

@@ -4,7 +4,7 @@
 #include <cmath>
 #include <vector>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 #include "aiwc/common/rng.hh"
 #include "aiwc/sketch/kll.hh"
 #include "aiwc/stats/descriptive.hh"

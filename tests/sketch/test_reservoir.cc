@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <vector>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 #include "aiwc/sketch/reservoir.hh"
 
 namespace aiwc::sketch

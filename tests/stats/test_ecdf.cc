@@ -2,7 +2,7 @@
 
 #include <cmath>
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 #include "aiwc/common/rng.hh"
 #include "aiwc/stats/ecdf.hh"
 

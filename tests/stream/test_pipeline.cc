@@ -5,7 +5,7 @@
 
 #include "../core/record_builder.hh"
 
-#include "aiwc/common/check.hh"
+#include "aiwc/base/check.hh"
 #include "aiwc/stream/pipeline.hh"
 
 namespace aiwc::stream

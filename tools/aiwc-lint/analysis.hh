@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Whole-program analysis driver: incremental cache, cross-file rules,
+ * and report rendering beyond the per-file engine in rules.hh.
+ *
+ * The pipeline is deliberately two-phase:
+ *
+ *   1. Per-file: analyzeSource() produces a FileAnalysis — findings,
+ *      suppressions, includes, declared/used name indexes — from the
+ *      file's bytes alone. That makes the record cacheable under a
+ *      content hash (mixed with the companion header's hash, the only
+ *      other input).
+ *   2. Cross-file: includes are resolved against the *current* tree,
+ *      the graph rules run (layer-violation, include-cycle,
+ *      unused-include), and every file's suppression table filters the
+ *      union. Cross-file work is cheap (no lexing), so it reruns every
+ *      invocation; only phase 1 is cached.
+ *
+ * The cache is a plain text file (tab-separated, versioned header) so
+ * `git diff`-style inspection works when it misbehaves; a version or
+ * parse mismatch silently discards it — the cache is an optimization,
+ * never a correctness input.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "rules.hh"
+
+namespace aiwc::lint
+{
+
+/** One lintable file, read by the driver, repo-relative path. */
+struct SourceFile {
+    std::string path;
+    std::string content;
+    std::string companion;      //!< module public header content
+    bool has_companion = false;
+};
+
+/**
+ * Per-file records keyed by path, reused when the combined content
+ * hash matches. Serialization round-trips through a versioned text
+ * format; load() returns false (and leaves the cache empty) on any
+ * mismatch.
+ */
+class AnalysisCache
+{
+  public:
+    bool load(const std::string &text);
+    std::string serialize() const;
+
+    /** Record for `path` if its stored hash equals `hash`. */
+    const FileAnalysis *lookup(const std::string &path,
+                               std::uint64_t hash) const;
+    void store(FileAnalysis record);
+
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::map<std::string, FileAnalysis> entries_;
+};
+
+struct ProjectOptions {
+    /** layers.txt text; empty skips layering (not an error). */
+    std::string layers_text;
+    /**
+     * Repo-relative changed files. When non-empty, reporting is
+     * restricted to their reverse include-closure — analysis still
+     * covers the whole tree so graph rules stay sound.
+     */
+    std::set<std::string> changed;
+};
+
+struct ProjectResult {
+    std::vector<Finding> findings;  //!< post-suppression, sorted
+    std::size_t fresh = 0;          //!< files analyzed this run
+    std::size_t cached = 0;         //!< files served from the cache
+    std::size_t reported_files = 0; //!< files in the reporting scope
+    std::string error;              //!< non-empty: internal error (exit 2)
+};
+
+/**
+ * Run the full pipeline over `files`. `cache` may be null (cold run,
+ * nothing persisted); when given it is consulted and updated in place.
+ */
+ProjectResult analyzeProject(const std::vector<SourceFile> &files,
+                             const ProjectOptions &options,
+                             AnalysisCache *cache);
+
+/**
+ * SARIF 2.1.0 log with one run, every known rule in the driver's rule
+ * metadata, and one result per finding (level: error, repo-relative
+ * artifact URIs) — the shape GitHub code scanning ingests.
+ */
+std::string renderSarif(const std::vector<Finding> &findings);
+
+} // namespace aiwc::lint

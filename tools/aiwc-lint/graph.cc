@@ -1,0 +1,366 @@
+#include "graph.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "lexer.hh"
+#include "rules.hh"
+
+namespace aiwc::lint
+{
+
+namespace
+{
+
+/** Lexically normalize "a/b/../c" and "a/./b" without touching disk. */
+std::string
+normalizePath(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::string cur;
+    for (std::size_t i = 0; i <= path.size(); ++i) {
+        if (i == path.size() || path[i] == '/') {
+            if (cur == "..") {
+                if (!parts.empty() && parts.back() != "..")
+                    parts.pop_back();
+                else
+                    parts.push_back(cur);
+            } else if (!cur.empty() && cur != ".") {
+                parts.push_back(cur);
+            }
+            cur.clear();
+        } else {
+            cur.push_back(path[i]);
+        }
+    }
+    std::string out;
+    for (const std::string &p : parts) {
+        if (!out.empty())
+            out += "/";
+        out += p;
+    }
+    return out;
+}
+
+std::string
+dirname(const std::string &path)
+{
+    const std::size_t slash = path.rfind('/');
+    return slash == std::string::npos ? "" : path.substr(0, slash);
+}
+
+} // namespace
+
+std::vector<IncludeEdge>
+extractIncludes(const std::vector<Token> &tokens)
+{
+    std::vector<IncludeEdge> edges;
+    for (const Token &t : tokens) {
+        if (t.kind != TokenKind::PpDirective)
+            continue;
+        const std::string &text = t.text;
+        std::size_t p = text.find_first_not_of(" \t", 1);  // skip '#'
+        if (p == std::string::npos || text.compare(p, 7, "include") != 0)
+            continue;
+        p = text.find_first_not_of(" \t", p + 7);
+        if (p == std::string::npos)
+            continue;
+        const char open = text[p];
+        const char close = open == '<' ? '>' : '"';
+        if (open != '<' && open != '"')
+            continue;  // computed include (macro); out of scope
+        const std::size_t end = text.find(close, p + 1);
+        if (end == std::string::npos)
+            continue;
+
+        IncludeEdge e;
+        e.spelled = text.substr(p + 1, end - p - 1);
+        e.line = t.line;
+        e.angled = open == '<';
+        edges.push_back(std::move(e));
+    }
+    return edges;
+}
+
+void
+resolveIncludes(const std::string &path, std::vector<IncludeEdge> &edges,
+                const std::set<std::string> &known_files)
+{
+    for (IncludeEdge &e : edges) {
+        // Resolution order mirrors the build: the aiwc include root,
+        // the including file's directory, then the repo root (tools/
+        // headers include each other by bare name).
+        const std::string as_public =
+            normalizePath("src/include/" + e.spelled);
+        const std::string as_sibling =
+            normalizePath(dirname(path) + "/" + e.spelled);
+        const std::string as_root = normalizePath(e.spelled);
+        if (known_files.count(as_public) > 0)
+            e.resolved = as_public;
+        else if (known_files.count(as_sibling) > 0)
+            e.resolved = as_sibling;
+        else if (known_files.count(as_root) > 0)
+            e.resolved = as_root;
+        else
+            e.resolved.clear();
+    }
+}
+
+std::string
+LayerSpec::moduleOf(const std::string &path) const
+{
+    std::string best_module;
+    std::size_t best_len = 0;
+    for (const auto &[prefix, module] : prefixes) {
+        if (path.size() > prefix.size() &&
+            path.compare(0, prefix.size(), prefix) == 0 &&
+            path[prefix.size()] == '/' && prefix.size() >= best_len) {
+            best_len = prefix.size();
+            best_module = module;
+        }
+    }
+    return best_module;
+}
+
+bool
+LayerSpec::parse(const std::string &text, LayerSpec &out,
+                 std::string &error)
+{
+    out = LayerSpec{};
+    std::istringstream in(text);
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream fields(line);
+        std::string keyword;
+        if (!(fields >> keyword))
+            continue;
+
+        if (keyword == "module") {
+            std::string name;
+            if (!(fields >> name)) {
+                error = "layers.txt:" + std::to_string(lineno) +
+                        ": module needs a name";
+                return false;
+            }
+            std::string prefix;
+            bool any = false;
+            while (fields >> prefix) {
+                any = true;
+                while (!prefix.empty() && prefix.back() == '/')
+                    prefix.pop_back();
+                for (const auto &[existing, mod] : out.prefixes) {
+                    if (existing == prefix) {
+                        error = "layers.txt:" + std::to_string(lineno) +
+                                ": prefix '" + prefix +
+                                "' already mapped to module '" + mod + "'";
+                        return false;
+                    }
+                }
+                out.prefixes.emplace_back(prefix, name);
+            }
+            if (!any) {
+                error = "layers.txt:" + std::to_string(lineno) +
+                        ": module '" + name + "' maps no directories";
+                return false;
+            }
+        } else if (keyword == "allow") {
+            std::string name;
+            if (!(fields >> name)) {
+                error = "layers.txt:" + std::to_string(lineno) +
+                        ": allow needs a module name";
+                return false;
+            }
+            if (out.allowed.count(name) > 0 ||
+                out.unconstrained.count(name) > 0) {
+                error = "layers.txt:" + std::to_string(lineno) +
+                        ": duplicate allow for module '" + name + "'";
+                return false;
+            }
+            std::set<std::string> deps;
+            std::string dep;
+            bool star = false;
+            while (fields >> dep) {
+                if (dep == "*")
+                    star = true;
+                else
+                    deps.insert(dep);
+            }
+            if (star && !deps.empty()) {
+                error = "layers.txt:" + std::to_string(lineno) +
+                        ": '*' cannot be combined with named deps";
+                return false;
+            }
+            if (star)
+                out.unconstrained.insert(name);
+            else
+                out.allowed[name] = std::move(deps);
+        } else {
+            error = "layers.txt:" + std::to_string(lineno) +
+                    ": unknown keyword '" + keyword + "'";
+            return false;
+        }
+    }
+
+    // Every mapped module needs its dependency contract, and every
+    // declared dependency must itself be a known module.
+    std::set<std::string> modules;
+    for (const auto &[prefix, module] : out.prefixes)
+        modules.insert(module);
+    for (const std::string &m : modules) {
+        if (out.allowed.count(m) == 0 && out.unconstrained.count(m) == 0) {
+            error = "layers.txt: module '" + m + "' has no allow line";
+            return false;
+        }
+    }
+    for (const auto &[m, deps] : out.allowed) {
+        if (modules.count(m) == 0) {
+            error = "layers.txt: allow names unmapped module '" + m + "'";
+            return false;
+        }
+        for (const std::string &d : deps) {
+            if (modules.count(d) == 0) {
+                error = "layers.txt: module '" + m +
+                        "' allows unknown module '" + d + "'";
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+void
+checkLayering(const IncludeGraph &graph, const LayerSpec &spec,
+              std::vector<Finding> &out)
+{
+    for (const auto &[path, edges] : graph) {
+        const std::string from = spec.moduleOf(path);
+        if (from.empty() || spec.unconstrained.count(from) > 0)
+            continue;
+        const auto allowed = spec.allowed.find(from);
+        for (const IncludeEdge &e : edges) {
+            if (e.resolved.empty())
+                continue;  // system / external header
+            const std::string to = spec.moduleOf(e.resolved);
+            if (to.empty() || to == from)
+                continue;
+            if (allowed != spec.allowed.end() &&
+                allowed->second.count(to) > 0)
+                continue;
+            out.push_back(
+                {path, e.line, "layer-violation",
+                 "module '" + from + "' must not depend on '" + to +
+                     "' (" + e.spelled +
+                     "); the allowed DAG is tools/aiwc-lint/layers.txt "
+                     "— extend it deliberately or invert the dependency"});
+        }
+    }
+}
+
+void
+checkCycles(const IncludeGraph &graph, std::vector<Finding> &out)
+{
+    // Iterative DFS with an explicit stack; the first back edge found
+    // from the lexicographically smallest entry point reports each
+    // cycle exactly once, deterministically (the graph is a sorted map
+    // and edge order is the directive order in the file).
+    enum class State { White, Grey, Black };
+    std::map<std::string, State> state;
+    for (const auto &[path, _] : graph)
+        state[path] = State::White;
+
+    std::vector<std::string> chain;
+
+    // Recursive lambda via explicit stack of (node, next-edge-index).
+    struct Frame {
+        std::string node;
+        std::size_t edge = 0;
+    };
+
+    for (const auto &[root, _] : graph) {
+        if (state[root] != State::White)
+            continue;
+        std::vector<Frame> stack;
+        stack.push_back({root, 0});
+        state[root] = State::Grey;
+        chain.push_back(root);
+        while (!stack.empty()) {
+            Frame &f = stack.back();
+            const auto it = graph.find(f.node);
+            const auto &edges = it->second;
+            bool descended = false;
+            while (f.edge < edges.size()) {
+                const IncludeEdge &e = edges[f.edge];
+                ++f.edge;
+                if (e.resolved.empty() || graph.count(e.resolved) == 0)
+                    continue;
+                const State s = state[e.resolved];
+                if (s == State::Black)
+                    continue;
+                if (s == State::Grey) {
+                    // Found a cycle: chain from e.resolved to f.node.
+                    std::ostringstream cycle;
+                    bool in_cycle = false;
+                    for (const std::string &n : chain) {
+                        if (n == e.resolved)
+                            in_cycle = true;
+                        if (in_cycle)
+                            cycle << n << " -> ";
+                    }
+                    cycle << e.resolved;
+                    out.push_back(
+                        {f.node, e.line, "include-cycle",
+                         "#include cycle: " + cycle.str() +
+                             "; break it with a forward declaration or "
+                             "by splitting the header"});
+                    continue;
+                }
+                state[e.resolved] = State::Grey;
+                chain.push_back(e.resolved);
+                stack.push_back({e.resolved, 0});
+                descended = true;
+                break;
+            }
+            if (!descended) {
+                state[f.node] = State::Black;
+                chain.pop_back();
+                stack.pop_back();
+            }
+        }
+    }
+}
+
+std::set<std::string>
+reverseClosure(const IncludeGraph &graph,
+               const std::set<std::string> &changed)
+{
+    // Invert the resolved edges once, then BFS from the changed set.
+    std::map<std::string, std::vector<std::string>> includers;
+    for (const auto &[path, edges] : graph)
+        for (const IncludeEdge &e : edges)
+            if (!e.resolved.empty())
+                includers[e.resolved].push_back(path);
+
+    std::set<std::string> closure;
+    std::vector<std::string> frontier;
+    for (const std::string &c : changed)
+        if (closure.insert(c).second)
+            frontier.push_back(c);
+    while (!frontier.empty()) {
+        const std::string node = std::move(frontier.back());
+        frontier.pop_back();
+        const auto it = includers.find(node);
+        if (it == includers.end())
+            continue;
+        for (const std::string &up : it->second)
+            if (closure.insert(up).second)
+                frontier.push_back(up);
+    }
+    return closure;
+}
+
+} // namespace aiwc::lint

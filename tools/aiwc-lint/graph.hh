@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Include/dependency graph and the module-layering spec.
+ *
+ * aiwc-lint v2's cross-TU view: every file's `#include` directives are
+ * extracted and resolved against the repository tree, giving a file
+ * dependency graph. A checked-in spec (tools/aiwc-lint/layers.txt)
+ * maps directories to named modules and declares the *complete* set of
+ * modules each module may depend on — the allowed DAG. Two rules read
+ * the graph:
+ *
+ *  - include-cycle    any cycle among project headers/sources
+ *  - layer-violation  a direct include crossing module boundaries that
+ *                     the spec does not allow
+ *
+ * The spec is the source of truth for the architecture diagram in
+ * DESIGN.md; this header is deliberately ignorant of the aiwc library
+ * so the linter keeps building when the tree it judges does not.
+ */
+
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace aiwc::lint
+{
+
+struct Finding;
+
+/** One `#include` directive, resolved when it names a project file. */
+struct IncludeEdge {
+    std::string spelled;   //!< path as written between the delimiters
+    std::string resolved;  //!< repo-relative target, "" if external
+    int line = 0;          //!< physical line of the directive
+    bool angled = false;   //!< <...> (true) vs "..." (false)
+};
+
+struct Token;
+
+/**
+ * Extract include directives (spelled form only; `resolved` left
+ * empty) from one file's lexed token stream. Cheap enough to run per
+ * analysis; resolution happens separately because it depends on which
+ * other files exist *now*, which the incremental cache must not bake
+ * in.
+ */
+std::vector<IncludeEdge> extractIncludes(const std::vector<Token> &tokens);
+
+/**
+ * Fill in `resolved` for every edge naming a project file. Resolution
+ * mirrors the build: `aiwc/...` maps to src/include/aiwc/..., quoted
+ * paths resolve relative to the including file's directory, then a
+ * repo-root-relative lookup. `known_files` holds the repo-relative
+ * paths of the lintable tree.
+ */
+void resolveIncludes(const std::string &path,
+                     std::vector<IncludeEdge> &edges,
+                     const std::set<std::string> &known_files);
+
+/**
+ * The module layering spec parsed from layers.txt:
+ *
+ *     # comment
+ *     module <name> <dir-prefix> [<dir-prefix>...]
+ *     allow <name> [<dep>...]     # complete direct-dependency set
+ *     allow <name> *              # unconstrained (tests, bench)
+ *
+ * Every module must have exactly one `allow` line; directory prefixes
+ * must be distinct. Longest-prefix match maps files to modules.
+ */
+struct LayerSpec {
+    /** module -> allowed direct dependencies (absent value: any). */
+    std::map<std::string, std::set<std::string>> allowed;
+    std::set<std::string> unconstrained;  //!< modules with `allow X *`
+    /** directory prefix (no trailing '/') -> module name. */
+    std::vector<std::pair<std::string, std::string>> prefixes;
+
+    /** Module owning `path`, or "" when no prefix matches. */
+    std::string moduleOf(const std::string &path) const;
+
+    /** Parse the spec text; returns false and sets `error` on failure. */
+    static bool parse(const std::string &text, LayerSpec &out,
+                      std::string &error);
+};
+
+/** Per-file resolved include lists, keyed by repo-relative path. */
+using IncludeGraph = std::map<std::string, std::vector<IncludeEdge>>;
+
+/**
+ * layer-violation: direct includes whose target module is neither the
+ * including file's module nor in its allowed set.
+ */
+void checkLayering(const IncludeGraph &graph, const LayerSpec &spec,
+                   std::vector<Finding> &out);
+
+/**
+ * include-cycle: strongly-connected components of the resolved include
+ * graph. One finding per cycle, anchored at the lexicographically
+ * smallest member's closing edge, listing the full cycle path.
+ */
+void checkCycles(const IncludeGraph &graph, std::vector<Finding> &out);
+
+/**
+ * Files that (transitively) include any file in `changed`, plus the
+ * changed files themselves — the set a content change invalidates.
+ */
+std::set<std::string>
+reverseClosure(const IncludeGraph &graph,
+               const std::set<std::string> &changed);
+
+} // namespace aiwc::lint

@@ -29,6 +29,14 @@ struct Cursor {
             return 1;
         return line_of[pos < line_of.size() ? pos : line_of.size() - 1];
     }
+    /** Physical line of the most recently consumed character. */
+    int lastLine() const
+    {
+        if (line_of.empty() || pos == 0)
+            return 1;
+        const std::size_t i = pos - 1;
+        return line_of[i < line_of.size() ? i : line_of.size() - 1];
+    }
 };
 
 /** Remove backslash-newline splices, keeping the per-character line map. */
@@ -166,7 +174,8 @@ lex(const std::string &source)
                 text.push_back(c.peek());
                 ++c.pos;
             }
-            tokens.push_back({TokenKind::Comment, std::move(text), line});
+            tokens.push_back(
+                {TokenKind::Comment, std::move(text), line, c.lastLine()});
             continue;
         }
 
@@ -183,7 +192,8 @@ lex(const std::string &source)
                 text.push_back(c.peek());
                 ++c.pos;
             }
-            tokens.push_back({TokenKind::Comment, std::move(text), line});
+            tokens.push_back(
+                {TokenKind::Comment, std::move(text), line, c.lastLine()});
             // A block comment does not end the "start of line" state for
             // preprocessor detection: `  /* x */ #include` is a directive.
             continue;
@@ -209,7 +219,8 @@ lex(const std::string &source)
                 text.push_back(c.peek());
                 ++c.pos;
             }
-            tokens.push_back({TokenKind::PpDirective, std::move(text), line});
+            tokens.push_back({TokenKind::PpDirective, std::move(text), line,
+                              c.lastLine()});
             continue;
         }
         at_line_start = false;
@@ -228,19 +239,21 @@ lex(const std::string &source)
                     text.push_back('"');
                     ++c.pos;
                     consumeRawString(c, text);
-                    tokens.push_back(
-                        {TokenKind::String, std::move(text), line});
+                    tokens.push_back({TokenKind::String, std::move(text),
+                                      line, c.lastLine()});
                 } else {
                     std::string body;
                     consumeQuoted(c, body);
                     const TokenKind kind = body[0] == '"'
                                                ? TokenKind::String
                                                : TokenKind::CharLiteral;
-                    tokens.push_back({kind, text + body, line});
+                    tokens.push_back({kind, text + body, line,
+                                      c.lastLine()});
                 }
                 continue;
             }
-            tokens.push_back({TokenKind::Identifier, std::move(text), line});
+            tokens.push_back(
+                {TokenKind::Identifier, std::move(text), line, c.lastLine()});
             continue;
         }
 
@@ -258,7 +271,8 @@ lex(const std::string &source)
                 text.push_back(c.peek());
                 ++c.pos;
             }
-            tokens.push_back({TokenKind::Number, std::move(text), line});
+            tokens.push_back(
+                {TokenKind::Number, std::move(text), line, c.lastLine()});
             continue;
         }
 
@@ -268,18 +282,19 @@ lex(const std::string &source)
             consumeQuoted(c, text);
             const TokenKind kind =
                 ch == '"' ? TokenKind::String : TokenKind::CharLiteral;
-            tokens.push_back({kind, std::move(text), line});
+            tokens.push_back({kind, std::move(text), line, c.lastLine()});
             continue;
         }
 
         // Punctuator; keep "::" fused so scope lookups are one token.
         if (startsScopeResolution(c)) {
-            tokens.push_back({TokenKind::Punct, "::", line});
             c.pos += 2;
+            tokens.push_back({TokenKind::Punct, "::", line, c.lastLine()});
             continue;
         }
-        tokens.push_back({TokenKind::Punct, std::string(1, ch), line});
         ++c.pos;
+        tokens.push_back(
+            {TokenKind::Punct, std::string(1, ch), line, c.lastLine()});
     }
     return tokens;
 }

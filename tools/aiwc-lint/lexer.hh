@@ -37,7 +37,8 @@ enum class TokenKind {
 struct Token {
     TokenKind kind;
     std::string text;
-    int line = 0;  //!< 1-based line of the token's first character
+    int line = 0;      //!< 1-based physical line of the first character
+    int end_line = 0;  //!< physical line of the last character (>= line)
 };
 
 /**

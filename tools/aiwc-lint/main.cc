@@ -2,23 +2,27 @@
  * @file
  * aiwc-lint command line driver.
  *
- *   aiwc-lint [--json] [--root DIR] [--list-rules] [paths...]
+ *   aiwc-lint [--json] [--sarif FILE] [--cache FILE] [--changed PATH]...
+ *             [--layers FILE] [--root DIR] [--list-rules] [paths...]
  *
- * With no paths, lints src/, tests/, and bench/ under the root (default:
- * the current directory). Exit codes: 0 clean, 1 findings, 2 usage or
- * I/O error — so CI and scripts/lint.sh can tell "violations" apart
- * from "could not run".
+ * With no paths, lints src/, tests/, bench/, and tools/ under the root
+ * (default: the current directory). The whole tree is always analyzed
+ * — cross-file rules need the full include graph — but `--changed`
+ * restricts *reporting* to the changed files' reverse include-closure,
+ * and `--cache` makes re-analysis of unchanged files a hash lookup.
+ * Exit codes: 0 clean, 1 findings, 2 usage or I/O error — so CI and
+ * scripts/lint.sh can tell "violations" apart from "could not run".
  */
 
 #include <algorithm>
 #include <filesystem>
 #include <fstream>
-#include <iterator>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "analysis.hh"
 #include "rules.hh"
 
 namespace fs = std::filesystem;
@@ -33,12 +37,19 @@ constexpr int kExitUsage = 2;
 void
 usage(std::ostream &os)
 {
-    os << "usage: aiwc-lint [--json] [--root DIR] [--list-rules] "
-          "[paths...]\n"
+    os << "usage: aiwc-lint [--json] [--sarif FILE] [--cache FILE]\n"
+          "                 [--changed PATH]... [--layers FILE]\n"
+          "                 [--root DIR] [--list-rules] [paths...]\n"
           "Self-hosted static analysis for the aiwc tree: enforces the\n"
-          "determinism, contract, threading, metric-naming, and header\n"
-          "invariants documented in CONTRIBUTING.md.\n"
-          "Default paths: src tests bench (relative to --root).\n"
+          "determinism, contract, threading, metric-naming, header, and\n"
+          "module-layering invariants documented in CONTRIBUTING.md.\n"
+          "Default paths: src tests bench tools (relative to --root).\n"
+          "  --sarif FILE    also write a SARIF 2.1.0 report to FILE\n"
+          "  --cache FILE    reuse/update the incremental analysis cache\n"
+          "  --changed PATH  report only PATH's reverse include-closure\n"
+          "                  (repeatable; analysis still covers the tree)\n"
+          "  --layers FILE   module DAG spec (default:\n"
+          "                  <root>/tools/aiwc-lint/layers.txt)\n"
           "Exit codes: 0 clean, 1 findings, 2 usage/IO error.\n";
 }
 
@@ -88,6 +99,16 @@ readFile(const fs::path &p, std::string &out)
     return true;
 }
 
+bool
+writeFile(const fs::path &p, const std::string &content)
+{
+    std::ofstream out(p, std::ios::binary | std::ios::trunc);
+    if (!out)
+        return false;
+    out << content;
+    return static_cast<bool>(out);
+}
+
 } // namespace
 
 int
@@ -95,18 +116,51 @@ main(int argc, char **argv)
 {
     bool json = false;
     fs::path root = ".";
+    fs::path sarif_path;
+    fs::path cache_path;
+    fs::path layers_path;
+    bool layers_explicit = false;
+    std::vector<std::string> changed;
     std::vector<std::string> paths;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
+        const auto value = [&](const char *what) -> const char * {
+            if (++i >= argc) {
+                std::cerr << "aiwc-lint: " << arg << " needs " << what
+                          << "\n";
+                return nullptr;
+            }
+            return argv[i];
+        };
         if (arg == "--json") {
             json = true;
         } else if (arg == "--root") {
-            if (++i >= argc) {
-                std::cerr << "aiwc-lint: --root needs a directory\n";
+            const char *v = value("a directory");
+            if (v == nullptr)
                 return kExitUsage;
-            }
-            root = argv[i];
+            root = v;
+        } else if (arg == "--sarif") {
+            const char *v = value("an output file");
+            if (v == nullptr)
+                return kExitUsage;
+            sarif_path = v;
+        } else if (arg == "--cache") {
+            const char *v = value("a cache file");
+            if (v == nullptr)
+                return kExitUsage;
+            cache_path = v;
+        } else if (arg == "--layers") {
+            const char *v = value("a spec file");
+            if (v == nullptr)
+                return kExitUsage;
+            layers_path = v;
+            layers_explicit = true;
+        } else if (arg == "--changed") {
+            const char *v = value("a path");
+            if (v == nullptr)
+                return kExitUsage;
+            changed.emplace_back(v);
         } else if (arg == "--list-rules") {
             for (const std::string &rule : aiwc::lint::knownRules())
                 std::cout << rule << "\n";
@@ -123,7 +177,9 @@ main(int argc, char **argv)
         }
     }
     if (paths.empty())
-        paths = {"src", "tests", "bench"};
+        paths = {"src", "tests", "bench", "tools"};
+    if (layers_path.empty())
+        layers_path = root / "tools" / "aiwc-lint" / "layers.txt";
 
     std::vector<fs::path> files;
     for (const std::string &p : paths) {
@@ -152,38 +208,80 @@ main(int argc, char **argv)
     std::sort(files.begin(), files.end());
     files.erase(std::unique(files.begin(), files.end()), files.end());
 
-    std::vector<aiwc::lint::Finding> findings;
+    std::vector<aiwc::lint::SourceFile> sources;
+    sources.reserve(files.size());
     for (const fs::path &file : files) {
-        std::string content;
-        if (!readFile(file, content)) {
+        aiwc::lint::SourceFile sf;
+        sf.path = normalize(file, root);
+        if (!readFile(file, sf.content)) {
             std::cerr << "aiwc-lint: cannot read " << file << "\n";
             return kExitUsage;
         }
-        std::string header_content;
-        const std::string *companion = nullptr;
         const fs::path header = companionHeader(file, root);
-        if (!header.empty() && readFile(header, header_content))
-            companion = &header_content;
-        std::vector<aiwc::lint::Finding> got = aiwc::lint::lintSource(
-            normalize(file, root), content, companion);
-        findings.insert(findings.end(),
-                        std::make_move_iterator(got.begin()),
-                        std::make_move_iterator(got.end()));
+        if (!header.empty() && readFile(header, sf.companion))
+            sf.has_companion = true;
+        sources.push_back(std::move(sf));
     }
-    std::sort(findings.begin(), findings.end());
+
+    aiwc::lint::ProjectOptions options;
+    {
+        std::string layers_text;
+        if (readFile(layers_path, layers_text)) {
+            options.layers_text = std::move(layers_text);
+        } else if (layers_explicit) {
+            std::cerr << "aiwc-lint: cannot read layers spec "
+                      << layers_path << "\n";
+            return kExitUsage;
+        }
+        // Default spec missing: layering simply does not apply (the
+        // linter stays usable on trees that have not adopted it).
+    }
+    for (const std::string &c : changed)
+        options.changed.insert(normalize(fs::path(c), root));
+
+    aiwc::lint::AnalysisCache cache;
+    const bool use_cache = !cache_path.empty();
+    if (use_cache) {
+        std::string text;
+        if (readFile(cache_path, text))
+            cache.load(text);  // version/parse mismatch: start cold
+    }
+
+    const aiwc::lint::ProjectResult result = aiwc::lint::analyzeProject(
+        sources, options, use_cache ? &cache : nullptr);
+    if (!result.error.empty()) {
+        std::cerr << "aiwc-lint: internal error: " << result.error << "\n";
+        return kExitUsage;
+    }
+
+    if (use_cache && !writeFile(cache_path, cache.serialize())) {
+        std::cerr << "aiwc-lint: cannot write cache " << cache_path
+                  << "\n";
+        return kExitUsage;
+    }
+    if (!sarif_path.empty() &&
+        !writeFile(sarif_path, aiwc::lint::renderSarif(result.findings))) {
+        std::cerr << "aiwc-lint: cannot write SARIF " << sarif_path
+                  << "\n";
+        return kExitUsage;
+    }
 
     if (json)
-        std::cout << aiwc::lint::renderJson(findings);
-    else if (!findings.empty())
-        std::cout << aiwc::lint::renderHuman(findings);
+        std::cout << aiwc::lint::renderJson(result.findings);
+    else if (!result.findings.empty())
+        std::cout << aiwc::lint::renderHuman(result.findings);
 
-    if (findings.empty()) {
+    if (result.findings.empty()) {
         if (!json)
-            std::cout << "aiwc-lint: OK (" << files.size() << " files)\n";
+            std::cout << "aiwc-lint: OK (" << result.reported_files
+                      << " of " << sources.size() << " files reported, "
+                      << result.cached << " cached)\n";
         return kExitClean;
     }
     if (!json)
-        std::cerr << "aiwc-lint: " << findings.size() << " finding(s) in "
-                  << files.size() << " files\n";
+        std::cerr << "aiwc-lint: " << result.findings.size()
+                  << " finding(s) in " << result.reported_files << " of "
+                  << sources.size() << " files (" << result.cached
+                  << " cached)\n";
     return kExitFindings;
 }

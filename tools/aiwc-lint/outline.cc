@@ -1,0 +1,519 @@
+#include "outline.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace aiwc::lint
+{
+
+namespace
+{
+
+bool
+isPunct(const std::vector<Token> &ts, std::size_t i, const char *text)
+{
+    return i < ts.size() && ts[i].kind == TokenKind::Punct &&
+           ts[i].text == text;
+}
+
+bool
+isIdent(const std::vector<Token> &ts, std::size_t i, const char *text)
+{
+    return i < ts.size() && ts[i].kind == TokenKind::Identifier &&
+           ts[i].text == text;
+}
+
+/** Index just past the '}' matching ts[open] == "{". */
+std::size_t
+skipBraces(const std::vector<Token> &ts, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < ts.size(); ++i) {
+        if (isPunct(ts, i, "{"))
+            ++depth;
+        else if (isPunct(ts, i, "}") && --depth == 0)
+            return i + 1;
+    }
+    return ts.size();
+}
+
+/** Index just past the '>' matching ts[open] == "<". */
+std::size_t
+skipAngles(const std::vector<Token> &ts, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < ts.size(); ++i) {
+        if (isPunct(ts, i, "<"))
+            ++depth;
+        else if (isPunct(ts, i, ">") && --depth == 0)
+            return i + 1;
+        else if (isPunct(ts, i, ";"))  // runaway: not a template list
+            return open + 1;
+    }
+    return ts.size();
+}
+
+/** Index just past the ']]' matching ts[open] == "[" "[" (attribute). */
+std::size_t
+skipAttribute(const std::vector<Token> &ts, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < ts.size(); ++i) {
+        if (isPunct(ts, i, "["))
+            ++depth;
+        else if (isPunct(ts, i, "]") && --depth == 0)
+            return i + 1;
+    }
+    return ts.size();
+}
+
+/** Index just past the ')' matching ts[open] == "(". */
+std::size_t
+skipParens(const std::vector<Token> &ts, std::size_t open)
+{
+    int depth = 0;
+    for (std::size_t i = open; i < ts.size(); ++i) {
+        if (isPunct(ts, i, "("))
+            ++depth;
+        else if (isPunct(ts, i, ")") && --depth == 0)
+            return i + 1;
+    }
+    return ts.size();
+}
+
+/** Advance past the next ';' at brace depth 0 (or a top-level '{...}'). */
+std::size_t
+skipStatement(const std::vector<Token> &ts, std::size_t i)
+{
+    while (i < ts.size()) {
+        if (isPunct(ts, i, ";"))
+            return i + 1;
+        if (isPunct(ts, i, "{"))
+            return skipBraces(ts, i);
+        ++i;
+    }
+    return i;
+}
+
+struct Parser {
+    const std::vector<Token> &ts;
+    Outline &out;
+    std::vector<std::string> ns;  //!< enclosing namespace names
+
+    std::string
+    qualify(const std::string &name) const
+    {
+        std::string q;
+        for (const std::string &part : ns) {
+            q += part.empty() ? "(anonymous)" : part;
+            q += "::";
+        }
+        return q + name;
+    }
+
+    void
+    record(DeclKind kind, const std::string &name, int line,
+           const Decl *flags = nullptr)
+    {
+        Decl d = flags ? *flags : Decl{};
+        d.kind = kind;
+        d.name = name;
+        d.qualified = qualify(name);
+        d.line = line;
+        out.decls.push_back(std::move(d));
+    }
+
+    /** Parse declarations until '}' or end of stream; returns index past. */
+    std::size_t
+    parseScope(std::size_t i)
+    {
+        while (i < ts.size()) {
+            const Token &t = ts[i];
+            if (t.kind == TokenKind::Comment ||
+                t.kind == TokenKind::PpDirective) {
+                ++i;
+                continue;
+            }
+            if (isPunct(ts, i, "}"))
+                return i + 1;
+            if (isPunct(ts, i, ";")) {
+                ++i;
+                continue;
+            }
+            if (isPunct(ts, i, "[") && isPunct(ts, i + 1, "[")) {
+                i = skipAttribute(ts, i);
+                continue;
+            }
+            if (t.kind != TokenKind::Identifier) {
+                ++i;  // stray punctuation; resynchronize
+                continue;
+            }
+
+            if (t.text == "namespace") {
+                i = parseNamespace(i);
+                continue;
+            }
+            if (t.text == "using" || t.text == "typedef") {
+                i = parseAlias(i);
+                continue;
+            }
+            if (t.text == "template") {
+                ++i;
+                if (isPunct(ts, i, "<"))
+                    i = skipAngles(ts, i);
+                continue;  // the templated declaration parses normally
+            }
+            if (t.text == "extern" && i + 1 < ts.size() &&
+                ts[i + 1].kind == TokenKind::String) {
+                // extern "C" { ... } is transparent; extern "C" decl is
+                // handled by the generic declaration path below.
+                if (isPunct(ts, i + 2, "{")) {
+                    i = parseScope(i + 3);
+                    continue;
+                }
+            }
+            if (t.text == "class" || t.text == "struct" ||
+                t.text == "union" || t.text == "enum") {
+                i = parseType(i);
+                continue;
+            }
+            if (t.text == "static_assert" || t.text == "friend") {
+                i = skipStatement(ts, i);
+                continue;
+            }
+            i = parseDeclaration(i);
+        }
+        return i;
+    }
+
+    /** ts[i] == "namespace". */
+    std::size_t
+    parseNamespace(std::size_t i)
+    {
+        ++i;
+        std::vector<std::string> opened;
+        std::string last_name;
+        while (i < ts.size()) {
+            if (ts[i].kind == TokenKind::Identifier &&
+                !isIdent(ts, i, "inline")) {
+                last_name = ts[i].text;
+                ++i;
+                if (isPunct(ts, i, "::")) {  // nested: namespace a::b {
+                    opened.push_back(last_name);
+                    ++i;
+                    continue;
+                }
+                continue;
+            }
+            if (isPunct(ts, i, "=")) {  // namespace alias
+                record(DeclKind::Alias, last_name, ts[i].line);
+                return skipStatement(ts, i);
+            }
+            if (isPunct(ts, i, "{"))
+                break;
+            if (isPunct(ts, i, ";"))
+                return i + 1;
+            ++i;
+        }
+        if (i >= ts.size())
+            return i;
+        opened.push_back(last_name);  // "" for anonymous namespaces
+        const int line = ts[i].line;
+        if (!last_name.empty())
+            record(DeclKind::Namespace, last_name, line);
+        for (const std::string &part : opened)
+            ns.push_back(part);
+        i = parseScope(i + 1);
+        ns.resize(ns.size() - opened.size());
+        return i;
+    }
+
+    /** ts[i] == "using" or "typedef". */
+    std::size_t
+    parseAlias(std::size_t i)
+    {
+        const bool is_typedef = ts[i].text == "typedef";
+        if (!is_typedef && isIdent(ts, i + 1, "namespace"))
+            return skipStatement(ts, i);  // using-directive, not a decl
+        if (!is_typedef && i + 2 < ts.size() &&
+            ts[i + 1].kind == TokenKind::Identifier &&
+            isPunct(ts, i + 2, "=")) {
+            record(DeclKind::Alias, ts[i + 1].text, ts[i + 1].line);
+            return skipStatement(ts, i + 2);
+        }
+        // typedef ... X;  or  using a::b; — the declared name is the last
+        // identifier before the terminating ';'.
+        std::string name;
+        int line = ts[i].line;
+        std::size_t j = i + 1;
+        while (j < ts.size() && !isPunct(ts, j, ";")) {
+            if (isPunct(ts, j, "<")) {
+                j = skipAngles(ts, j);
+                continue;
+            }
+            if (ts[j].kind == TokenKind::Identifier) {
+                name = ts[j].text;
+                line = ts[j].line;
+            }
+            ++j;
+        }
+        if (!name.empty())
+            record(DeclKind::Alias, name, line);
+        return j < ts.size() ? j + 1 : j;
+    }
+
+    /** ts[i] == class/struct/union/enum. */
+    std::size_t
+    parseType(std::size_t i)
+    {
+        const bool is_enum = ts[i].text == "enum";
+        bool scoped_enum = false;
+        ++i;
+        if (is_enum &&
+            (isIdent(ts, i, "class") || isIdent(ts, i, "struct"))) {
+            scoped_enum = true;
+            ++i;
+        }
+        while (isPunct(ts, i, "[") && isPunct(ts, i + 1, "["))
+            i = skipAttribute(ts, i);
+
+        std::string name;
+        int line = i < ts.size() ? ts[i].line : 0;
+        if (i < ts.size() && ts[i].kind == TokenKind::Identifier) {
+            name = ts[i].text;
+            line = ts[i].line;
+            ++i;
+        }
+        // Scan to the body, a terminating ';' (forward declaration or a
+        // member type used as a return type — resynchronize either way).
+        while (i < ts.size() && !isPunct(ts, i, "{") &&
+               !isPunct(ts, i, ";")) {
+            if (isPunct(ts, i, "<")) {
+                i = skipAngles(ts, i);
+                continue;
+            }
+            ++i;
+        }
+        if (i >= ts.size())
+            return i;
+        if (isPunct(ts, i, ";")) {
+            if (!name.empty())
+                record(DeclKind::Type, name, line);
+            return i + 1;
+        }
+        if (!name.empty())
+            record(DeclKind::Type, name, line);
+        if (is_enum && !scoped_enum)
+            parseEnumerators(i);
+        i = skipBraces(ts, i);
+        // `struct X { ... } instance;` — the trailing declarator is a
+        // namespace-scope variable.
+        while (i < ts.size() && !isPunct(ts, i, ";")) {
+            if (ts[i].kind == TokenKind::Identifier &&
+                !isIdent(ts, i, "const")) {
+                Decl flags;
+                flags.has_initializer = true;
+                record(DeclKind::Variable, ts[i].text, ts[i].line, &flags);
+                return skipStatement(ts, i);
+            }
+            ++i;
+        }
+        return i < ts.size() ? i + 1 : i;
+    }
+
+    /** ts[open] == "{" of an unscoped enum body: record enumerators. */
+    void
+    parseEnumerators(std::size_t open)
+    {
+        std::size_t i = open + 1;
+        bool expect_name = true;
+        int depth = 1;
+        while (i < ts.size() && depth > 0) {
+            if (isPunct(ts, i, "{") || isPunct(ts, i, "(")) {
+                ++depth;
+            } else if (isPunct(ts, i, "}") || isPunct(ts, i, ")")) {
+                --depth;
+            } else if (depth == 1 && expect_name &&
+                       ts[i].kind == TokenKind::Identifier) {
+                record(DeclKind::Enumerator, ts[i].text, ts[i].line);
+                expect_name = false;
+            } else if (depth == 1 && isPunct(ts, i, ",")) {
+                expect_name = true;
+            }
+            ++i;
+        }
+    }
+
+    /**
+     * Generic declaration: qualifiers, a type, a declarator. Stops at
+     * the first of '(' (function or parenthesized declarator), '=' /
+     * '{' / '[' / ';' (variable). Good enough for namespace scope; not
+     * a grammar.
+     */
+    std::size_t
+    parseDeclaration(std::size_t i)
+    {
+        Decl flags;
+        std::string name;
+        int line = ts[i].line;
+        bool saw_ident = false;
+        bool paren_declarator = false;  // name came from `( * name )`
+
+        while (i < ts.size()) {
+            const Token &t = ts[i];
+            if (t.kind == TokenKind::Comment ||
+                t.kind == TokenKind::PpDirective) {
+                ++i;
+                continue;
+            }
+            if (t.kind == TokenKind::Identifier) {
+                if (t.text == "const") {
+                    flags.is_const = true;
+                } else if (t.text == "constexpr" || t.text == "constinit" ||
+                           t.text == "consteval") {
+                    flags.is_constexpr = true;
+                } else if (t.text == "static") {
+                    flags.is_static = true;
+                } else if (t.text == "thread_local") {
+                    flags.is_thread_local = true;
+                } else if (t.text == "extern") {
+                    flags.is_extern = true;
+                } else if (t.text == "inline") {
+                    flags.is_inline = true;
+                } else if (t.text == "operator") {
+                    name = "operator";
+                    line = t.line;
+                    saw_ident = true;
+                    // Skip the operator symbol up to its '(' parameter
+                    // list so `operator<` does not open an angle scan.
+                    while (i + 1 < ts.size() && !isPunct(ts, i + 1, "("))
+                        ++i;
+                } else {
+                    name = t.text;
+                    line = t.line;
+                    saw_ident = true;
+                }
+                ++i;
+                continue;
+            }
+            if (isPunct(ts, i, "::")) {
+                // Qualified declarator (out-of-line member): keep the
+                // chain, the final identifier is the declared name.
+                ++i;
+                continue;
+            }
+            if (isPunct(ts, i, "<")) {
+                i = skipAngles(ts, i);
+                continue;
+            }
+            if (isPunct(ts, i, "[") && isPunct(ts, i + 1, "[")) {
+                i = skipAttribute(ts, i);
+                continue;
+            }
+            if (isPunct(ts, i, "*") || isPunct(ts, i, "&") ||
+                isPunct(ts, i, "&&")) {
+                ++i;
+                continue;
+            }
+            if (isPunct(ts, i, "(")) {
+                // `void (*fp)(int)` — the declarator hides inside the
+                // parens; otherwise this is a function's parameter list.
+                std::size_t j = i + 1;
+                while (isPunct(ts, j, "*") || isPunct(ts, j, "&"))
+                    ++j;
+                if (j > i + 1 && j < ts.size() &&
+                    ts[j].kind == TokenKind::Identifier &&
+                    isPunct(ts, j + 1, ")")) {
+                    name = ts[j].text;
+                    line = ts[j].line;
+                    saw_ident = true;
+                    paren_declarator = true;
+                    i = skipParens(ts, i);
+                    continue;
+                }
+                if (paren_declarator) {
+                    // `void (*fp)(int)` — this '(' is the pointee's
+                    // parameter list, not a function being declared;
+                    // the variable records at the '='/';' below.
+                    i = skipParens(ts, i);
+                    continue;
+                }
+                if (!saw_ident)
+                    return skipStatement(ts, i);  // unparsable; resync
+                record(DeclKind::Function, name, line, &flags);
+                i = skipParens(ts, i);
+                // Trailing specifiers, then either a body or ';'.
+                while (i < ts.size() && !isPunct(ts, i, "{") &&
+                       !isPunct(ts, i, ";") && !isPunct(ts, i, "="))
+                    ++i;
+                if (isPunct(ts, i, "{"))
+                    return skipBraces(ts, i);
+                return skipStatement(ts, i);
+            }
+            if (isPunct(ts, i, "=") || isPunct(ts, i, "{") ||
+                isPunct(ts, i, "[") || isPunct(ts, i, ";")) {
+                if (!saw_ident)
+                    return skipStatement(ts, i);
+                flags.has_initializer =
+                    isPunct(ts, i, "=") || isPunct(ts, i, "{");
+                record(DeclKind::Variable, name, line, &flags);
+                return skipStatement(ts, i);
+            }
+            ++i;  // punctuation we do not model (",", "...", etc.)
+        }
+        return i;
+    }
+};
+
+} // namespace
+
+Outline
+parseOutline(const std::vector<Token> &tokens)
+{
+    Outline out;
+
+    // Macro names from #define directives.
+    for (const Token &t : tokens) {
+        if (t.kind != TokenKind::PpDirective)
+            continue;
+        std::size_t p = t.text.find_first_not_of(" \t", 1);  // skip '#'
+        if (p == std::string::npos ||
+            t.text.compare(p, 6, "define") != 0)
+            continue;
+        p = t.text.find_first_not_of(" \t", p + 6);
+        if (p == std::string::npos)
+            continue;
+        std::size_t e = p;
+        while (e < t.text.size() &&
+               (std::isalnum(static_cast<unsigned char>(t.text[e])) ||
+                t.text[e] == '_'))
+            ++e;
+        if (e > p) {
+            Decl d;
+            d.kind = DeclKind::Macro;
+            d.name = t.text.substr(p, e - p);
+            d.qualified = d.name;
+            d.line = t.line;
+            out.decls.push_back(std::move(d));
+        }
+    }
+
+    Parser parser{tokens, out, {}};
+    parser.parseScope(0);
+    return out;
+}
+
+std::vector<std::string>
+declaredNames(const Outline &o)
+{
+    std::set<std::string> names;
+    for (const Decl &d : o.decls) {
+        if (d.kind == DeclKind::Namespace)
+            continue;  // sharing a namespace is not using the header
+        if (!d.name.empty())
+            names.insert(d.name);
+    }
+    return {names.begin(), names.end()};
+}
+
+} // namespace aiwc::lint

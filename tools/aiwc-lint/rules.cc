@@ -1,12 +1,15 @@
 #include "rules.hh"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <map>
 #include <set>
 #include <sstream>
 #include <utility>
 
 #include "lexer.hh"
+#include "outline.hh"
 
 namespace aiwc::lint
 {
@@ -337,7 +340,7 @@ ruleContractAssert(const std::string &path, const std::vector<Token> &ts,
             out.push_back({path, ts[i].line, "contract-assert",
                            "bare assert() vanishes in release builds; use "
                            "AIWC_CHECK (always on) or AIWC_DCHECK "
-                           "(debug-only) from aiwc/common/check.hh"});
+                           "(debug-only) from aiwc/base/check.hh"});
 }
 
 void
@@ -366,8 +369,12 @@ ruleThreadRaw(const std::string &path, const std::vector<Token> &ts,
         if (isIdent(ts, i, "std") && isPunct(ts, i + 1, "::") &&
             (isIdent(ts, i + 2, "thread") || isIdent(ts, i + 2, "jthread") ||
              isIdent(ts, i + 2, "async"))) {
+            // Anchor at the banned name itself (ts[i + 2]): when the
+            // qualifier and the name sit on different physical lines
+            // (line continuation or wrapped code), the finding must point
+            // at the token that triggered it.
             out.push_back(
-                {path, ts[i].line, "thread-raw",
+                {path, ts[i + 2].line, "thread-raw",
                  "raw std::" + ts[i + 2].text +
                      " breaks the deterministic shard geometry; use "
                      "parallelFor/parallelReduce from "
@@ -547,6 +554,142 @@ ruleUsingNamespace(const std::string &path, const std::vector<Token> &ts,
 }
 
 // ---------------------------------------------------------------------------
+// R6 · mutable-global (outline-driven)
+//
+// Namespace-scope state that is neither const, constexpr, nor an extern
+// re-declaration is the canonical determinism hazard: it survives across
+// calls, is shared across threads, and makes results depend on call
+// order. thread_local still counts — per-thread state makes results
+// depend on the shard geometry, which the repo's determinism contract
+// explicitly forbids.
+
+void
+ruleMutableGlobal(const std::string &path, const Outline &outline,
+                  std::vector<Finding> &out)
+{
+    for (const Decl &d : outline.decls) {
+        if (d.kind != DeclKind::Variable)
+            continue;
+        if (d.is_const || d.is_constexpr || d.is_extern)
+            continue;
+        out.push_back(
+            {path, d.line, "mutable-global",
+             "mutable namespace-scope state '" + d.name +
+                 "' makes results order- and thread-dependent; make it "
+                 "const/constexpr, or gate access through a function-local "
+                 "static and suppress with a written reason"});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R7 · lock-discipline
+//
+// Manual .lock()/.unlock() member calls are how deadlocks and
+// exception-path leaks enter a codebase; mutexes are held via
+// lock_guard / scoped_lock / unique_lock construction only. Matching
+// requires a member-access token ('.' or '->') directly before the
+// name, so `std::unique_lock<std::mutex> lock(m_)` — a declaration
+// whose preceding token is '>' closing the template args — never
+// fires.
+
+bool
+isMemberCallOf(const std::vector<Token> &ts, std::size_t i)
+{
+    if (i == 0 || !isPunct(ts, i + 1, "("))
+        return false;
+    if (isPunct(ts, i - 1, "."))
+        return true;
+    return isPunct(ts, i - 1, ">") && i >= 2 && isPunct(ts, i - 2, "-");
+}
+
+void
+ruleLockDiscipline(const std::string &path, const std::vector<Token> &ts,
+                   std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i < ts.size(); ++i) {
+        if (ts[i].kind != TokenKind::Identifier)
+            continue;
+        if (ts[i].text != "lock" && ts[i].text != "unlock" &&
+            ts[i].text != "try_lock")
+            continue;
+        if (!isMemberCallOf(ts, i))
+            continue;
+        out.push_back(
+            {path, ts[i].line, "lock-discipline",
+             "manual ." + ts[i].text +
+                 "() risks leaking the mutex on every early return and "
+                 "exception path; hold locks via std::lock_guard / "
+                 "std::scoped_lock / std::unique_lock construction"});
+    }
+}
+
+// ---------------------------------------------------------------------------
+// R8 · float-reduce-order
+//
+// Floating-point addition is not associative: std::reduce's unspecified
+// operand grouping, and std::accumulate over floats combined in a
+// caller-chosen order, both let summation order leak into digests. The
+// deterministic merge lives in common/parallel.* (shard-index-order
+// reduce) and sketch/ (pinned merge order), so those trees are exempt.
+
+bool
+floatReduceExempt(const std::string &path)
+{
+    return isParallelModule(path) || hasSegment(path, "sketch");
+}
+
+/** Does any token in [begin, end) look floating-point? */
+bool
+anyFloatish(const std::vector<Token> &ts, std::size_t begin, std::size_t end)
+{
+    for (std::size_t i = begin; i < end && i < ts.size(); ++i) {
+        const Token &t = ts[i];
+        if (t.kind == TokenKind::Identifier &&
+            (t.text == "float" || t.text == "double"))
+            return true;
+        if (t.kind == TokenKind::Number && t.text.rfind("0x", 0) != 0 &&
+            t.text.rfind("0X", 0) != 0) {
+            if (t.text.find('.') != std::string::npos)
+                return true;
+            const char last = t.text.back();
+            if (last == 'f' || last == 'F')
+                return true;
+            if (t.text.find('e') != std::string::npos ||
+                t.text.find('E') != std::string::npos)
+                return true;
+        }
+    }
+    return false;
+}
+
+void
+ruleFloatReduceOrder(const std::string &path, const std::vector<Token> &ts,
+                     std::vector<Finding> &out)
+{
+    for (std::size_t i = 0; i + 3 < ts.size(); ++i) {
+        if (!isIdent(ts, i, "std") || !isPunct(ts, i + 1, "::"))
+            continue;
+        const bool is_reduce = isIdent(ts, i + 2, "reduce");
+        const bool is_accumulate = isIdent(ts, i + 2, "accumulate");
+        if ((!is_reduce && !is_accumulate) || !isPunct(ts, i + 3, "("))
+            continue;
+        if (is_reduce) {
+            out.push_back(
+                {path, ts[i + 2].line, "float-reduce-order",
+                 "std::reduce combines operands in unspecified order; for "
+                 "floating-point data use parallelReduce (shard-index-order "
+                 "merge) or a sequential std::accumulate over integers"});
+        } else if (anyFloatish(ts, i + 4, matchParen(ts, i + 3))) {
+            out.push_back(
+                {path, ts[i + 2].line, "float-reduce-order",
+                 "std::accumulate over floating-point data bakes the "
+                 "traversal order into the sum; use parallelReduce or an "
+                 "explicitly ordered Kahan/pairwise summation"});
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Suppressions: // aiwc-lint: allow(rule[, rule...]) -- reason
 
 struct SuppressionTable {
@@ -574,6 +717,17 @@ parseSuppressions(const std::string &path, const std::vector<Token> &tokens,
             continue;
         const std::size_t at = t.text.find(marker);
         if (at == std::string::npos)
+            continue;
+        // A suppression is a comment that *begins* with the marker
+        // (after the comment opener). A marker mid-text is prose
+        // describing the grammar — documentation, not a directive.
+        const bool at_start = std::all_of(
+            t.text.begin(), t.text.begin() + static_cast<long>(at),
+            [](char ch) {
+                return ch == '/' || ch == '*' || ch == '!' || ch == ' ' ||
+                       ch == '\t' || ch == '\n' || ch == '\r';
+            });
+        if (!at_start)
             continue;
         std::string rest = trim(t.text.substr(at + marker.size()));
         // Block comments may close on the same line; drop the marker.
@@ -626,11 +780,12 @@ parseSuppressions(const std::string &path, const std::vector<Token> &tokens,
             continue;
         }
 
-        // Cover every line the comment spans plus the next line, so both
-        // end-of-line and line-above placement work.
-        const int span = static_cast<int>(
-            std::count(t.text.begin(), t.text.end(), '\n'));
-        for (int line = t.line; line <= t.line + span + 1; ++line)
+        // Cover every physical line the comment spans plus the next line,
+        // so both end-of-line and line-above placement work. end_line (not
+        // a count of '\n' in the text) is what makes this robust: a line
+        // comment extended by a backslash continuation spans physical
+        // lines whose newlines were spliced out of the token text.
+        for (int line = t.line; line <= t.end_line + 1; ++line)
             for (const std::string &rule : rules)
                 table.allowed.insert({line, rule});
     }
@@ -665,26 +820,86 @@ const std::vector<std::string> &
 knownRules()
 {
     static const std::vector<std::string> rules = {
-        "bad-suppression",    "contract-abort",  "contract-assert",
-        "det-random",         "det-unordered-iter", "header-pragma-once",
-        "header-using-ns",    "metric-name",     "thread-raw",
+        "bad-suppression",   "contract-abort",     "contract-assert",
+        "det-random",        "det-unordered-iter", "float-reduce-order",
+        "header-pragma-once", "header-using-ns",   "include-cycle",
+        "layer-violation",   "lock-discipline",    "metric-name",
+        "mutable-global",    "thread-raw",         "unused-include",
     };
     return rules;
 }
 
-std::vector<Finding>
-lintSource(const std::string &path, const std::string &content,
-           const std::string *companion_header)
+const std::string &
+ruleDescription(const std::string &rule)
 {
+    static const std::map<std::string, std::string> descriptions = {
+        {"bad-suppression",
+         "Suppression comments must name a known rule and carry a reason."},
+        {"contract-abort",
+         "Process termination is check.cc's job; raise AIWC_CHECK instead."},
+        {"contract-assert",
+         "Use AIWC_CHECK/AIWC_DCHECK, not assert(), in src/."},
+        {"det-random",
+         "No wall-clock or hardware randomness in result-producing code."},
+        {"det-unordered-iter",
+         "Never iterate unordered containers where order can reach output."},
+        {"float-reduce-order",
+         "Floating-point reductions must have a pinned combination order."},
+        {"header-pragma-once",
+         "Public headers open with #pragma once."},
+        {"header-using-ns",
+         "No `using namespace` at namespace scope in headers."},
+        {"include-cycle",
+         "The project include graph must stay acyclic."},
+        {"layer-violation",
+         "Includes must respect the module DAG in tools/aiwc-lint/layers.txt."},
+        {"lock-discipline",
+         "Mutexes are held via RAII guards, never manual lock()/unlock()."},
+        {"metric-name",
+         "Metric names match aiwc.<layer>.<thing> (lower_snake segments)."},
+        {"mutable-global",
+         "No mutable namespace-scope state in src/."},
+        {"thread-raw",
+         "All concurrency goes through the deterministic pool."},
+        {"unused-include",
+         "Every project #include must supply a name the file uses."},
+    };
+    static const std::string unknown = "Unknown rule.";
+    const auto it = descriptions.find(rule);
+    return it == descriptions.end() ? unknown : it->second;
+}
+
+std::uint64_t
+contentHash(const std::string &content)
+{
+    // FNV-1a 64: deterministic, dependency-free, fast enough that the
+    // hash never shows up in the cold-run profile.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const char ch : content) {
+        h ^= static_cast<unsigned char>(ch);
+        h *= 1099511628211ULL;
+    }
+    return h;
+}
+
+FileAnalysis
+analyzeSource(const std::string &path, const std::string &content,
+              const std::string *companion_header)
+{
+    FileAnalysis fa;
+    fa.path = path;
+    fa.hash = contentHash(content);
+
     const std::vector<Token> tokens = lex(content);
     const std::vector<Token> code = codeView(tokens);
 
-    std::vector<Finding> raw;
     SuppressionTable table;
-    parseSuppressions(path, tokens, table, raw);
+    parseSuppressions(path, tokens, table, fa.findings);
 
     if (!determinismAllowlisted(path))
-        ruleDetRandom(path, code, raw);
+        ruleDetRandom(path, code, fa.findings);
+
+    const Outline outline = parseOutline(tokens);
 
     if (underSrc(path)) {
         std::set<std::string> names;
@@ -693,25 +908,83 @@ lintSource(const std::string &path, const std::string &content,
         if (companion_header != nullptr)
             collectUnorderedDecls(codeView(lex(*companion_header)), names,
                                   aliases);
-        ruleUnorderedIter(path, code, names, raw);
+        ruleUnorderedIter(path, code, names, fa.findings);
 
-        ruleContractAssert(path, code, raw);
+        ruleContractAssert(path, code, fa.findings);
         if (!isCheckImpl(path))
-            ruleContractAbort(path, code, raw);
-        ruleMetricName(path, code, raw);
+            ruleContractAbort(path, code, fa.findings);
+        ruleMetricName(path, code, fa.findings);
+
+        ruleMutableGlobal(path, outline, fa.findings);
+        ruleLockDiscipline(path, code, fa.findings);
+        if (!floatReduceExempt(path))
+            ruleFloatReduceOrder(path, code, fa.findings);
     }
 
     if (!isParallelModule(path))
-        ruleThreadRaw(path, code, raw);
+        ruleThreadRaw(path, code, fa.findings);
 
     if (isPublicHeader(path))
-        rulePragmaOnce(path, tokens, raw);
+        rulePragmaOnce(path, tokens, fa.findings);
     if (isHeader(path))
-        ruleUsingNamespace(path, code, raw);
+        ruleUsingNamespace(path, code, fa.findings);
+
+    std::sort(fa.findings.begin(), fa.findings.end());
+
+    fa.suppressions.assign(table.allowed.begin(), table.allowed.end());
+    fa.includes = extractIncludes(tokens);
+
+    fa.declared = declaredNames(outline);
+    for (const Decl &d : outline.decls)
+        if (d.kind == DeclKind::Function &&
+            d.name.rfind("operator", 0) == 0)
+            fa.declares_operator = true;
+
+    // The used-name index: every identifier in the code view, plus
+    // identifier-shaped words inside preprocessor directives so macro
+    // uses in #if/#ifdef and nested #defines still count.
+    std::set<std::string> used;
+    for (const Token &t : tokens) {
+        if (t.kind == TokenKind::Identifier) {
+            used.insert(t.text);
+        } else if (t.kind == TokenKind::PpDirective) {
+            // #include paths would make every include self-justifying;
+            // only non-include directives contribute used names.
+            const std::size_t d = t.text.find_first_not_of(" \t", 1);
+            if (d != std::string::npos &&
+                t.text.compare(d, 7, "include") == 0)
+                continue;
+            std::string word;
+            for (std::size_t i = 0; i <= t.text.size(); ++i) {
+                const char ch = i < t.text.size() ? t.text[i] : ' ';
+                if (std::isalnum(static_cast<unsigned char>(ch)) ||
+                    ch == '_') {
+                    word.push_back(ch);
+                } else {
+                    if (!word.empty() &&
+                        !std::isdigit(
+                            static_cast<unsigned char>(word[0])))
+                        used.insert(word);
+                    word.clear();
+                }
+            }
+        }
+    }
+    fa.used.assign(used.begin(), used.end());
+    return fa;
+}
+
+std::vector<Finding>
+lintSource(const std::string &path, const std::string &content,
+           const std::string *companion_header)
+{
+    FileAnalysis fa = analyzeSource(path, content, companion_header);
+    const std::set<std::pair<int, std::string>> allowed(
+        fa.suppressions.begin(), fa.suppressions.end());
 
     std::vector<Finding> findings;
-    for (Finding &f : raw)
-        if (table.allowed.count({f.line, f.rule}) == 0)
+    for (Finding &f : fa.findings)
+        if (allowed.count({f.line, f.rule}) == 0)
             findings.push_back(std::move(f));
     std::sort(findings.begin(), findings.end());
     return findings;

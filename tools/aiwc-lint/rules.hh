@@ -11,7 +11,7 @@
  *                        std::unordered_map/std::unordered_set in src/ —
  *                        hash order must never reach reports or digests
  *  - contract-assert     src/ uses AIWC_CHECK/AIWC_DCHECK, not assert()
- *  - contract-abort      no abort()/exit() outside common/check.cc
+ *  - contract-abort      no abort()/exit() outside base/check.cc
  *  - thread-raw          no std::thread/std::jthread/std::async/.detach()
  *                        outside common/parallel.* — all concurrency goes
  *                        through the deterministic pool
@@ -20,6 +20,25 @@
  *  - header-pragma-once  every src/include header opens with #pragma once
  *  - header-using-ns     no `using namespace` at namespace scope in headers
  *  - bad-suppression     malformed / reason-less suppression comments
+ *
+ * v2 adds whole-program rules on top of the outline parser and the
+ * include graph (see outline.hh, graph.hh):
+ *
+ *  - mutable-global      non-const, non-constexpr namespace-scope state
+ *                        in src/ — the canonical determinism hazard;
+ *                        sanctioned singletons carry suppressions
+ *  - lock-discipline     manual .lock()/.unlock() calls; mutexes are
+ *                        held via lock_guard/scoped_lock/unique_lock
+ *                        construction only
+ *  - float-reduce-order  std::accumulate over floating-point data and
+ *                        std::reduce outside common/parallel.* and
+ *                        sketch/, where merge order is contractually
+ *                        pinned
+ *  - layer-violation     a direct #include crossing module boundaries
+ *                        the layers.txt DAG does not allow
+ *  - include-cycle       any #include cycle among project files
+ *  - unused-include      a project header none of whose declared names
+ *                        appear in the including file (IWYU-lite)
  *
  * Suppression syntax, checked by the engine itself:
  *
@@ -37,8 +56,12 @@
 
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "graph.hh"
 
 namespace aiwc::lint
 {
@@ -68,6 +91,41 @@ struct Finding {
 
 /** Names of all rules, sorted — the vocabulary `allow(...)` accepts. */
 const std::vector<std::string> &knownRules();
+
+/** One-line description of a rule (SARIF rule metadata). */
+const std::string &ruleDescription(const std::string &rule);
+
+/**
+ * Everything whole-program analysis needs to know about one file,
+ * derivable from its content alone — which is what makes the record
+ * cacheable under a content hash. Cross-file rules (layer-violation,
+ * include-cycle, unused-include) run over these records each run;
+ * only record *construction* is cached.
+ */
+struct FileAnalysis {
+    std::string path;
+    std::uint64_t hash = 0;          //!< FNV-1a 64 of the file content
+    std::vector<Finding> findings;   //!< per-file rules, pre-suppression
+    /** (physical line, rule) pairs valid suppressions cover. */
+    std::vector<std::pair<int, std::string>> suppressions;
+    std::vector<IncludeEdge> includes;  //!< resolved = "" until resolve
+    std::vector<std::string> declared;  //!< top-level names, sorted unique
+    std::vector<std::string> used;      //!< identifiers seen, sorted unique
+    bool declares_operator = false;  //!< header defines operators (IWYU-exempt)
+};
+
+/** FNV-1a 64-bit content hash (the incremental cache key). */
+std::uint64_t contentHash(const std::string &content);
+
+/**
+ * Run the lexer, the outline parser, and every per-file rule over one
+ * in-memory source file. The returned record's findings still include
+ * suppressed ones — the driver filters after cross-file rules attach
+ * their findings, so one suppression table covers both.
+ */
+FileAnalysis analyzeSource(const std::string &path,
+                           const std::string &content,
+                           const std::string *companion_header = nullptr);
 
 /**
  * Lint one in-memory source file. `path` (repo-relative, '/'-separated)
