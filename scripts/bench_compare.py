@@ -21,13 +21,20 @@ Comparison rules:
     threshold would hide. Counter drift is reported as a warning.
   * Reports from different configurations (scale/seed) are not
     comparable; the script says so and exits 0.
+  * A missing baseline file is reported as a distinct MISSING-BASELINE
+    warning (it is *not* a passing comparison — nothing was compared).
+    By default that exits 0 so a freshly added bench can soft-launch
+    before its baseline is recorded; under --strict it exits 2 so CI
+    can refuse to silently skip the gate forever.
 
 Exit status: 1 when any wall-time regression was found and --warn-only
-was not given; 0 otherwise.
+was not given; 2 when the baseline is missing and --strict was given;
+0 otherwise.
 """
 
 import argparse
 import json
+import os
 import sys
 
 # Metrics-snapshot counters that are a pure function of (scale, seed):
@@ -110,9 +117,31 @@ def main():
         action="store_true",
         help="report regressions but always exit 0 (CI soft-launch)",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit 2 when the baseline file is missing instead of "
+        "warning (a skipped comparison must not look like a pass)",
+    )
     args = parser.parse_args()
     if args.threshold <= 1.0:
         parser.error("--threshold must be > 1.0")
+
+    if not os.path.exists(args.baseline):
+        # Distinct from both a pass and an unreadable report: nothing
+        # was compared at all. Record a baseline by copying a trusted
+        # candidate report into place.
+        print(
+            f"MISSING-BASELINE: {args.baseline} does not exist; "
+            "no comparison was performed"
+        )
+        print(
+            "record one with: cp <trusted BENCH_report.json> "
+            f"{args.baseline}"
+        )
+        if args.strict:
+            return 2
+        return 0
 
     base = load_report(args.baseline)
     cand = load_report(args.candidate)

@@ -30,7 +30,10 @@ namespace aiwc::sketch
  * true weight above totalWeight() / capacity is retained. The merge is
  * Misra-Gries style — sum per-key counters, then shrink back to
  * capacity by subtracting the (capacity+1)-th largest count — which
- * preserves both bounds with the errors summed.
+ * preserves both bounds with the errors summed. Summed errors are
+ * clamped to the entry's count after every merge, so the
+ * `count - error` lower bound is always >= 0 even after arbitrarily
+ * deep merge trees (error <= count is a class invariant).
  */
 class HeavyHitters
 {
@@ -40,7 +43,11 @@ class HeavyHitters
     {
         std::uint64_t key = 0;
         double count = 0.0;
-        /** Upper bound on overestimation of `count`. */
+        /**
+         * Upper bound on overestimation of `count`; always <= count,
+         * so `count - error` is a usable non-negative lower bound on
+         * the key's true weight.
+         */
         double error = 0.0;
     };
 
@@ -76,6 +83,9 @@ class HeavyHitters
         double count = 0.0;
         double error = 0.0;
     };
+
+    /** Restore the error <= count invariant after a merge. */
+    void clampErrors();
 
     std::size_t capacity_;
     double total_ = 0.0;

@@ -65,7 +65,10 @@ class KllSketch
     /**
      * Estimated quantile: the smallest retained value whose cumulative
      * weight reaches q * count(). AIWC_CHECKs q in [0, 1]; NaN on an
-     * empty sketch. q = 0 / q = 1 return the exact tracked min / max.
+     * empty sketch (the stats::EmpiricalCdf::quantile convention, so
+     * degenerate sketches render the same way batch CDFs do). q = 0 /
+     * q = 1 return the exact tracked min / max; on a single-item
+     * sketch every level returns that item exactly.
      */
     double quantile(double q) const;
 
@@ -86,8 +89,11 @@ class KllSketch
 
     /**
      * Conservative worst-case additive rank error as a fraction of
-     * count(): H / k over the current H levels. The streaming-vs-batch
-     * equivalence tests assert against this bound.
+     * count(): H / k over the current H levels, and exactly 0.0 while
+     * no compaction has happened — an uncompacted sketch (including
+     * the empty and single-item cases) retains every sample, so rank
+     * queries are exact and the bound must not pretend otherwise. The
+     * streaming-vs-batch equivalence tests assert against this bound.
      */
     double epsilonBound() const;
 

@@ -17,6 +17,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -59,11 +60,26 @@ struct StreamOptions
  * independent of how many records flow through; sketchBytes() reports
  * the current footprint and is exported as the aiwc.sketch.bytes
  * gauge at snapshot time.
+ *
+ * Synchronization contract: ingest(), merge(), snapshot(), rows(),
+ * and sketchBytes() serialize on an internal mutex, so one pipeline
+ * may be fed and queried from different threads concurrently — the
+ * serving pattern aiwc::svc relies on. A snapshot observes a state
+ * with whole records applied, never a torn one. The lock is per
+ * pipeline and uncontended in the parallelReduce shard fan-out (each
+ * shard owns a private copy), so the deterministic-parallelism hot
+ * path pays only an uncontended acquire. The accessor methods below
+ * the snapshot section (serviceTime() etc.) return references into
+ * the live state and are for single-threaded harness use only.
  */
 class StreamPipeline
 {
   public:
     explicit StreamPipeline(StreamOptions options = {});
+
+    /** Copies lock @p other, so a concurrently-fed source is safe. */
+    StreamPipeline(const StreamPipeline &other);
+    StreamPipeline &operator=(const StreamPipeline &other);
 
     /** Fold one record into every analyzer. */
     void ingest(const core::JobRecord &rec);
@@ -78,11 +94,13 @@ class StreamPipeline
      * Render the current state as a SnapshotReport. Const — a
      * snapshot never perturbs the stream state, which the determinism
      * harness checks by digesting snapshots mid- and post-stream.
+     * Safe to call while another thread is ingesting: the internal
+     * mutex guarantees the rendered state sits on a record boundary.
      */
     SnapshotReport snapshot() const;
 
     /** Records ingested so far. */
-    std::uint64_t rows() const { return rows_; }
+    std::uint64_t rows() const;
 
     /** Current sketch + per-user-table footprint, bytes. */
     std::size_t sketchBytes() const;
@@ -109,6 +127,18 @@ class StreamPipeline
     }
 
   private:
+    /** Member-wise copy with @p other's lock already held. */
+    StreamPipeline(const StreamPipeline &other,
+                   const std::lock_guard<std::mutex> &other_lock);
+
+    /** Unlocked bodies shared by the locking public entry points. */
+    std::size_t sketchBytesLocked() const;
+
+    /**
+     * Serializes ingest/merge/snapshot (see class comment). mutable:
+     * snapshot() is const yet must exclude concurrent mutation.
+     */
+    mutable std::mutex mutex_;
     StreamOptions options_;
     std::uint64_t rows_ = 0;
     std::uint64_t gpu_jobs_ = 0;
@@ -130,5 +160,19 @@ class StreamPipeline
  */
 StreamPipeline ingestParallel(std::span<const core::JobRecord> records,
                               const StreamOptions &options = {});
+
+/**
+ * The shard-merge snapshot path: fold the shard pipelines into a fresh
+ * accumulator **in shard-index order** (the proven-deterministic merge
+ * order) and render that. All shards must share identical options
+ * (AIWC_CHECK via merge), and @p shards must be non-empty.
+ *
+ * Each shard is copied under its own lock, so the view of any single
+ * shard is consistent even while that shard is still being fed;
+ * cross-shard consistency (every shard at the same stream position)
+ * requires the caller to quiesce ingestion first, which is what
+ * aiwc::svc's per-tenant drain lock provides.
+ */
+SnapshotReport snapshotShards(std::span<const StreamPipeline> shards);
 
 } // namespace aiwc::stream

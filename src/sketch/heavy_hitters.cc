@@ -54,8 +54,10 @@ HeavyHitters::merge(const HeavyHitters &other)
             it->second.error += cell.error;
         }
     }
-    if (entries_.size() <= capacity_)
+    if (entries_.size() <= capacity_) {
+        clampErrors();
         return;
+    }
     // Misra-Gries shrink: subtract the (capacity+1)-th largest count
     // from every entry and drop those that hit zero or below; the
     // subtracted mass moves into the survivors' error bounds.
@@ -74,6 +76,22 @@ HeavyHitters::merge(const HeavyHitters &other)
             it->second.error += threshold;
             ++it;
         }
+    }
+    clampErrors();
+}
+
+void
+HeavyHitters::clampErrors()
+{
+    // Repeated merges sum the per-shard error allowances, so after a
+    // deep merge tree `error` can exceed `count` — which would make
+    // the count - error lower bound negative, a vacuous (and, for
+    // consumers that subtract it, actively wrong) guarantee. A true
+    // weight is never negative, so error > count carries no extra
+    // information: clamp it and keep the bound meaningful.
+    for (auto &[key, cell] : entries_) {
+        if (cell.error > cell.count)
+            cell.error = cell.count;
     }
 }
 

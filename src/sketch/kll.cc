@@ -174,6 +174,11 @@ KllSketch::max() const
 double
 KllSketch::epsilonBound() const
 {
+    // No compaction yet: every sample is retained at weight 1, so
+    // rank queries are exact. This covers the empty and single-item
+    // sketches, whose error would otherwise be reported as 1/k.
+    if (compactions_ == 0)
+        return 0.0;
     const double levels = static_cast<double>(std::max<std::size_t>(
         levels_.size(), 1));
     return levels / static_cast<double>(k_);

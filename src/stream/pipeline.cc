@@ -79,9 +79,43 @@ StreamPipeline::StreamPipeline(StreamOptions options)
                "snapshot needs at least two quantile levels");
 }
 
+StreamPipeline::StreamPipeline(const StreamPipeline &other)
+    : StreamPipeline(other, std::lock_guard<std::mutex>(other.mutex_))
+{
+}
+
+StreamPipeline::StreamPipeline(const StreamPipeline &other,
+                               const std::lock_guard<std::mutex> &)
+    : options_(other.options_), rows_(other.rows_),
+      gpu_jobs_(other.gpu_jobs_), cpu_jobs_(other.cpu_jobs_),
+      service_time_(other.service_time_),
+      utilization_(other.utilization_), power_(other.power_),
+      user_behavior_(other.user_behavior_), exemplars_(other.exemplars_)
+{
+}
+
+StreamPipeline &
+StreamPipeline::operator=(const StreamPipeline &other)
+{
+    if (this == &other)
+        return *this;
+    std::scoped_lock lock(mutex_, other.mutex_);
+    options_ = other.options_;
+    rows_ = other.rows_;
+    gpu_jobs_ = other.gpu_jobs_;
+    cpu_jobs_ = other.cpu_jobs_;
+    service_time_ = other.service_time_;
+    utilization_ = other.utilization_;
+    power_ = other.power_;
+    user_behavior_ = other.user_behavior_;
+    exemplars_ = other.exemplars_;
+    return *this;
+}
+
 void
 StreamPipeline::ingest(const core::JobRecord &rec)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     ++rows_;
     rowsCounter().add(1);
     if (rec.isGpuJob()) {
@@ -101,6 +135,8 @@ StreamPipeline::ingest(const core::JobRecord &rec)
 void
 StreamPipeline::merge(const StreamPipeline &other)
 {
+    AIWC_CHECK(this != &other, "pipeline cannot merge with itself");
+    std::scoped_lock lock(mutex_, other.mutex_);
     AIWC_CHECK(options_ == other.options_,
                "pipeline merge requires identical stream options");
     mergesCounter().add(1);
@@ -118,14 +154,16 @@ SnapshotReport
 StreamPipeline::snapshot() const
 {
     obs::ScopedTimer timer(snapshotNsHistogram(), "stream.snapshot");
+    std::lock_guard<std::mutex> lock(mutex_);
     snapshotsCounter().add(1);
-    sketchBytesGauge().set(static_cast<std::int64_t>(sketchBytes()));
+    sketchBytesGauge().set(
+        static_cast<std::int64_t>(sketchBytesLocked()));
 
     SnapshotReport report;
     report.rows = rows_;
     report.gpu_jobs = gpu_jobs_;
     report.cpu_jobs = cpu_jobs_;
-    report.sketch_bytes = sketchBytes();
+    report.sketch_bytes = sketchBytesLocked();
 
     const int points = options_.snapshot_points;
     report.gpu_runtime_min =
@@ -174,8 +212,22 @@ StreamPipeline::snapshot() const
     return report;
 }
 
+std::uint64_t
+StreamPipeline::rows() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rows_;
+}
+
 std::size_t
 StreamPipeline::sketchBytes() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sketchBytesLocked();
+}
+
+std::size_t
+StreamPipeline::sketchBytesLocked() const
 {
     return service_time_.bytes() + utilization_.bytes() +
            power_.bytes() + user_behavior_.bytes() + exemplars_.bytes();
@@ -194,6 +246,21 @@ ingestParallel(std::span<const core::JobRecord> records,
         [](StreamPipeline &into, StreamPipeline &&from) {
             into.merge(from);
         });
+}
+
+SnapshotReport
+snapshotShards(std::span<const StreamPipeline> shards)
+{
+    AIWC_CHECK(!shards.empty(),
+               "shard-merge snapshot needs at least one shard");
+    obs::TraceSpan span("stream.snapshot_shards");
+    // Fold in shard-index order: the same merge order parallelReduce
+    // uses, so the combined state — and every rendered figure — is a
+    // pure function of the per-shard states.
+    StreamPipeline combined(shards.front().options());
+    for (const StreamPipeline &shard : shards)
+        combined.merge(shard);
+    return combined.snapshot();
 }
 
 } // namespace aiwc::stream

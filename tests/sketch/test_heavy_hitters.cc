@@ -110,6 +110,44 @@ TEST(HeavyHitters, MergeShrinksBackToCapacity)
     EXPECT_GE(top[0].count + top[0].error, 40.0 - 1e-12);
 }
 
+TEST(HeavyHitters, ErrorNeverExceedsCountAfterDeepMergeTrees)
+{
+    // Regression: merge used to sum the per-shard error allowances
+    // without bound, so after a deep merge tree (every level forcing a
+    // Misra-Gries shrink) `count - error` could go negative — a
+    // vacuous lower bound that consumers subtracting it would render
+    // as negative weight. Build a 16-leaf binary merge tree over
+    // overflowing sketches and assert the invariant at every level.
+    constexpr std::size_t capacity = 4;
+    auto leaf = [&](std::uint64_t base) {
+        HeavyHitters s(capacity);
+        // 3 * capacity distinct keys: every leaf already churns.
+        for (std::uint64_t k = 0; k < 3 * capacity; ++k)
+            s.add(base + k, 1.0 + static_cast<double>(k % 5));
+        return s;
+    };
+    std::vector<HeavyHitters> level;
+    for (std::uint64_t i = 0; i < 16; ++i)
+        level.push_back(leaf(i * 100));
+    while (level.size() > 1) {
+        std::vector<HeavyHitters> next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+            level[i].merge(level[i + 1]);
+            for (const auto &e : level[i].topK(capacity)) {
+                EXPECT_LE(e.error, e.count)
+                    << "key " << e.key << " at width " << level.size();
+                EXPECT_GE(e.count - e.error, 0.0);
+            }
+            next.push_back(std::move(level[i]));
+        }
+        level = std::move(next);
+    }
+    // The surviving root still accounts for the full stream weight.
+    EXPECT_DOUBLE_EQ(level.front().totalWeight(),
+                     16.0 * (1.0 + 2.0 + 3.0 + 4.0 + 5.0 + 1.0 +
+                             2.0 + 3.0 + 4.0 + 5.0 + 1.0 + 2.0));
+}
+
 TEST(HeavyHitters, ContractsOnCapacityAndMergeGeometry)
 {
     ScopedCheckFailHandler guard;

@@ -51,6 +51,40 @@ TEST(Kll, EmptySketchHasNoQuantiles)
     EXPECT_TRUE(std::isnan(s.max()));
 }
 
+TEST(Kll, EmptyAndSingleItemContractIsPinnedDown)
+{
+    // Regression: epsilonBound()/quantile() used to be undefined on
+    // degenerate sketches. Contract now: an uncompacted sketch is
+    // exact (bound 0), the empty sketch answers NaN like
+    // EmpiricalCdf::quantile, and a single-item sketch returns its
+    // item at every level.
+    const KllSketch empty;
+    EXPECT_DOUBLE_EQ(empty.epsilonBound(), 0.0);
+    EXPECT_TRUE(std::isnan(empty.quantile(0.0)));
+    EXPECT_TRUE(std::isnan(empty.quantile(0.5)));
+    EXPECT_TRUE(std::isnan(empty.quantile(1.0)));
+
+    KllSketch one;
+    one.add(42.0);
+    EXPECT_DOUBLE_EQ(one.epsilonBound(), 0.0);
+    for (double q : {0.0, 0.25, 0.5, 0.75, 1.0})
+        EXPECT_DOUBLE_EQ(one.quantile(q), 42.0) << "q = " << q;
+    EXPECT_DOUBLE_EQ(one.cdf(41.0), 0.0);
+    EXPECT_DOUBLE_EQ(one.cdf(42.0), 1.0);
+}
+
+TEST(Kll, EpsilonBoundTurnsOnWithTheFirstCompaction)
+{
+    KllSketch s(8, 3);
+    for (int i = 0; i < 7; ++i)
+        s.add(static_cast<double>(i));
+    EXPECT_EQ(s.compactions(), 0u);
+    EXPECT_DOUBLE_EQ(s.epsilonBound(), 0.0);  // still exact
+    s.add(7.0);                               // triggers a compaction
+    EXPECT_GT(s.compactions(), 0u);
+    EXPECT_GT(s.epsilonBound(), 0.0);
+}
+
 TEST(Kll, QuantileLevelContract)
 {
     ScopedCheckFailHandler guard;

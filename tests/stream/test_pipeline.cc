@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
 #include <vector>
+
+#include "aiwc/common/parallel.hh"
 
 #include "../core/record_builder.hh"
 
@@ -54,7 +57,10 @@ TEST(StreamPipeline, SnapshotRendersEveryFigure)
     EXPECT_FALSE(snap.user_avg_runtime_min.empty());
     EXPECT_FALSE(snap.top_users_by_gpu_hours.empty());
     EXPECT_GT(snap.median_jobs_per_user, 0.0);
-    EXPECT_GT(snap.epsilon, 0.0);
+    // 60 records never trip a k=256 compactor, so the sketches are
+    // exact and the advertised rank-error bound must be exactly zero
+    // (the KllSketch::epsilonBound degenerate-sketch contract).
+    EXPECT_DOUBLE_EQ(snap.epsilon, 0.0);
     EXPECT_GT(snap.sketch_bytes, 0u);
 
     // All 50 GPU jobs fit below the compactor threshold, so the
@@ -127,6 +133,41 @@ TEST(StreamPipeline, MemoryStaysBoundedAsTheStreamGrows)
     EXPECT_EQ(p.rows(), 50000u);
     // 100x the records, bounded growth (a few extra KLL levels).
     EXPECT_LE(p.sketchBytes(), at_500 * 3);
+}
+
+TEST(StreamPipeline, SnapshotWhileIngestingIsRaceFreeAndConsistent)
+{
+    // Regression for the snapshot()-during-ingest() data race: the
+    // two now serialize on the pipeline's internal mutex, so this
+    // test is clean under the debug-tsan preset (test_stream carries
+    // the tsan CTest label) and every mid-stream snapshot observes a
+    // record-boundary state. A torn state would show up as internally
+    // inconsistent population counts.
+    constexpr int records = 4000;
+    StreamPipeline p;
+    std::atomic<bool> done{false};
+    ThreadPool writer(1);
+    writer.submit([&] {
+        for (int i = 0; i < records; ++i)
+            p.ingest(gpuRecord(static_cast<JobId>(i),
+                               static_cast<UserId>(i % 16),
+                               60.0 + i % 977));
+        done.store(true, std::memory_order_release);
+    });
+    std::uint64_t snapshots = 0;
+    while (!done.load(std::memory_order_acquire)) {
+        const auto snap = p.snapshot();
+        ++snapshots;
+        EXPECT_LE(snap.rows, static_cast<std::uint64_t>(records));
+        // Every ingested record was a GPU job over the debris cut, so
+        // a consistent snapshot counts each row in exactly one bucket.
+        EXPECT_EQ(snap.gpu_jobs + snap.cpu_jobs, snap.rows);
+        EXPECT_LE(snap.users, 16u);
+    }
+    const auto final_snap = p.snapshot();
+    EXPECT_EQ(final_snap.rows, static_cast<std::uint64_t>(records));
+    EXPECT_EQ(final_snap.gpu_jobs, static_cast<std::uint64_t>(records));
+    EXPECT_GE(snapshots, 1u);
 }
 
 TEST(StreamPipeline, ParallelIngestMatchesSerialBelowCompaction)
