@@ -7,7 +7,11 @@
 
 #include "bench_common.hh"
 
+#include <sstream>
+
+#include "aiwc/core/csv_loader.hh"
 #include "aiwc/core/timeline_analyzer.hh"
+#include "aiwc/fmt/trace.hh"
 #include "aiwc/telemetry/monitoring_load.hh"
 
 namespace
@@ -87,6 +91,19 @@ printFigure(std::ostream &os)
        << "peak GPUs busy: "
        << formatNumber(timeline.peak_gpus_busy, 0) << " of "
        << result.cluster_nodes * 2 << "\n\n";
+
+    // On-disk footprint of the two interchange formats for this study.
+    const auto trace_bytes = fmt::encodeTrace(result.dataset);
+    std::stringstream csv;
+    result.dataset.writeCsv(csv);
+    const std::size_t csv_bytes = csv.str().size();
+    os << "== binary trace vs CSV ==\n"
+       << "binary trace: " << trace_bytes.size() / 1024 << " KiB, CSV: "
+       << csv_bytes / 1024 << " KiB ("
+       << formatNumber(static_cast<double>(csv_bytes) /
+                           static_cast<double>(trace_bytes.size()),
+                       2)
+       << "x)\n\n";
 }
 
 void
@@ -103,7 +120,9 @@ BM_FullSynthesis(benchmark::State &state)
         options.seed += 1;
     }
 }
-BENCHMARK(BM_FullSynthesis)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FullSynthesis)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
 
 void
 BM_SynthesisNoTelemetry(benchmark::State &state)
@@ -120,7 +139,9 @@ BM_SynthesisNoTelemetry(benchmark::State &state)
         options.seed += 1;
     }
 }
-BENCHMARK(BM_SynthesisNoTelemetry)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SynthesisNoTelemetry)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(10);
 
 void
 BM_SynthesisNoScheduler(benchmark::State &state)
@@ -137,7 +158,54 @@ BM_SynthesisNoScheduler(benchmark::State &state)
         options.seed += 1;
     }
 }
-BENCHMARK(BM_SynthesisNoScheduler)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SynthesisNoScheduler)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
+
+// Import-path comparison: the binary trace format against the CSV
+// parser it replaces as the hot load path.
+
+void
+BM_TraceEncode(benchmark::State &state)
+{
+    const auto &ds = bench::dataset();
+    for (auto _ : state) {
+        const auto bytes = fmt::encodeTrace(ds);
+        benchmark::DoNotOptimize(bytes.data());
+    }
+}
+BENCHMARK(BM_TraceEncode)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(40);
+
+void
+BM_TraceDecode(benchmark::State &state)
+{
+    const auto bytes = fmt::encodeTrace(bench::dataset());
+    for (auto _ : state) {
+        auto loaded = fmt::decodeTrace(bytes);
+        benchmark::DoNotOptimize(loaded.dataset.size());
+    }
+}
+BENCHMARK(BM_TraceDecode)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(40);
+
+void
+BM_CsvParse(benchmark::State &state)
+{
+    std::stringstream csv;
+    bench::dataset().writeCsv(csv);
+    const std::string text = csv.str();
+    for (auto _ : state) {
+        std::istringstream is(text);
+        auto ds = core::loadDatasetCsv(is);
+        benchmark::DoNotOptimize(ds.size());
+    }
+}
+BENCHMARK(BM_CsvParse)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(40);
 
 } // namespace
 

@@ -59,7 +59,9 @@ BM_UtilizationAnalysis(benchmark::State &state)
         benchmark::DoNotOptimize(report);
     }
 }
-BENCHMARK(BM_UtilizationAnalysis)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_UtilizationAnalysis)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(200);
 
 } // namespace
 

@@ -54,7 +54,9 @@ BM_SpearmanTable(benchmark::State &state)
         benchmark::DoNotOptimize(report);
     }
 }
-BENCHMARK(BM_SpearmanTable)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SpearmanTable)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(200);
 
 } // namespace
 

@@ -14,6 +14,10 @@ Comparison rules:
     slower) AND at least one side is --min-ms or more (default 5 ms) —
     entries that are tiny on both sides are too noisy to gate on, but
     a tiny entry blowing up past the floor still counts.
+  * An entry present only in the candidate is a NEW verdict: listed in
+    the table, never gated (even under --strict), so a PR that adds a
+    bench does not have to record its baseline in the same change. An
+    entry present only in the baseline is a MISSING warning.
   * Deterministic work counters from the metrics snapshot (names ending
     in `.rows`, plus sim.events_fired / workload.jobs_generated) must
     match exactly when both reports used the same scale+seed: a
@@ -55,6 +59,12 @@ DETERMINISTIC_COUNTERS = {
     "aiwc.stream.merges",
     "aiwc.stream.snapshots",
     "aiwc.sketch.compactions",
+    # Binary trace format: encode/decode/reject totals are exact-match
+    # material for any fixed input set (the round-trip CI job runs a
+    # fixed synth seed through the converter).
+    "aiwc.fmt.traces_encoded",
+    "aiwc.fmt.traces_decoded",
+    "aiwc.fmt.decode_rejects",
 }
 
 SCHEMA = "aiwc-bench-report-v1"
@@ -168,12 +178,28 @@ def main():
     base_entries = {e["name"]: e for e in base.get("entries", [])}
     cand_entries = {e["name"]: e for e in cand.get("entries", [])}
 
-    regressions, improvements, warnings = [], [], []
-    width = max((len(n) for n in base_entries), default=10)
+    regressions, improvements, new_entries, warnings = [], [], [], []
+    all_names = sorted(set(base_entries) | set(cand_entries))
+    width = max((len(n) for n in all_names), default=10)
     print(f"\n{'entry':<{width}}  {'base ms':>10}  {'cand ms':>10}  ratio")
-    for name in sorted(base_entries):
+    for name in all_names:
         if name not in cand_entries:
+            # MISSING: the baseline timed it but the candidate did not.
+            # A silently dropped bench would freeze its baseline entry
+            # forever, so this is warning material.
+            b = base_entries[name]["wall_ms"]
+            print(f"{name:<{width}}  {b:>10.2f}  {'-':>10}      -  MISSING")
             warnings.append(f"entry '{name}' missing from candidate")
+            continue
+        if name not in base_entries:
+            # NEW: the candidate timed it but the baseline predates it.
+            # Distinct verdict from MISSING-BASELINE, and never a gate
+            # (even under --strict): a PR that adds a bench must not be
+            # forced to record its own baseline in the same change. The
+            # next baseline refresh picks the entry up.
+            c = cand_entries[name]["wall_ms"]
+            print(f"{name:<{width}}  {'-':>10}  {c:>10.2f}      -  NEW")
+            new_entries.append(name)
             continue
         b = base_entries[name]["wall_ms"]
         c = cand_entries[name]["wall_ms"]
@@ -187,8 +213,13 @@ def main():
             verdict = "  improved"
             improvements.append(name)
         print(f"{name:<{width}}  {b:>10.2f}  {c:>10.2f}  {ratio:>5.2f}{verdict}")
-    for name in sorted(set(cand_entries) - set(base_entries)):
-        warnings.append(f"entry '{name}' is new (no baseline)")
+    if new_entries:
+        print(
+            f"note: {len(new_entries)} new entr"
+            f"{'y' if len(new_entries) == 1 else 'ies'} without a "
+            "baseline (not gated); refresh the baseline to start "
+            "tracking them"
+        )
 
     for name, b, c in compare_counters(base, cand):
         warnings.append(
@@ -201,8 +232,8 @@ def main():
         print(f"warning: {message}")
     print(
         f"{len(regressions)} regression(s), {len(improvements)} "
-        f"improvement(s), {len(warnings)} warning(s) "
-        f"[threshold {args.threshold}x, min {args.min_ms} ms]"
+        f"improvement(s), {len(new_entries)} new, {len(warnings)} "
+        f"warning(s) [threshold {args.threshold}x, min {args.min_ms} ms]"
     )
     if regressions and not args.warn_only:
         return 1

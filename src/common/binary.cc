@@ -1,0 +1,37 @@
+#include "aiwc/common/binary.hh"
+
+#include <array>
+
+namespace aiwc
+{
+
+namespace
+{
+
+constexpr std::array<std::uint32_t, 256>
+makeCrcTable()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit)
+            c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr std::array<std::uint32_t, 256> crc_table = makeCrcTable();
+
+} // namespace
+
+std::uint32_t
+crc32(std::span<const std::uint8_t> bytes)
+{
+    std::uint32_t crc = 0xffffffffu;
+    for (std::uint8_t b : bytes)
+        crc = crc_table[(crc ^ b) & 0xffu] ^ (crc >> 8);
+    return crc ^ 0xffffffffu;
+}
+
+} // namespace aiwc

@@ -50,30 +50,32 @@ BottleneckReport
 BottleneckAnalyzer::analyze(const Dataset &dataset) const
 {
     BottleneckReport report;
-    const auto jobs = dataset.gpuJobs();
-    obs::AnalyzerScope scope("bottleneck", jobs.size());
-    report.jobs = jobs.size();
-    if (jobs.empty())
+    const ColumnTable &cols = dataset.columns();
+    const auto idx = dataset.gpuJobIndices();
+    obs::AnalyzerScope scope("bottleneck", idx.size());
+    report.jobs = idx.size();
+    if (idx.empty())
         return report;
 
-    // Saturation counts are integer-valued doubles, so shard-order
-    // addition is exact and thread-count invariant.
+    // Columnar pass: five contiguous max-utilization columns, indexed
+    // through the filtered rows. Saturation counts are integer-valued
+    // doubles, so shard-order addition is exact and thread-count
+    // invariant.
+    std::array<std::span<const double>, 5> max_util;
+    for (std::size_t i = 0; i < bottleneck_resources.size(); ++i)
+        max_util[i] = cols.maxUtil(bottleneck_resources[i]);
     struct Counts
     {
         std::array<double, 5> single{};
         std::array<double, 10> pairs{};
     };
     const Counts counts = parallelReduce(
-        globalPool(), jobs.size(), Counts{},
+        globalPool(), idx.size(), Counts{},
         [&](Counts &acc, std::size_t k) {
-            const JobRecord *job = jobs[k];
+            const std::uint32_t r = idx[k];
             std::array<bool, 5> hit{};
-            for (std::size_t i = 0; i < bottleneck_resources.size();
-                 ++i) {
-                hit[i] =
-                    job->maxUtilization(bottleneck_resources[i]) >=
-                    threshold_;
-            }
+            for (std::size_t i = 0; i < max_util.size(); ++i)
+                hit[i] = max_util[i][r] >= threshold_;
             for (std::size_t i = 0; i < hit.size(); ++i) {
                 if (!hit[i])
                     continue;
@@ -94,7 +96,7 @@ BottleneckAnalyzer::analyze(const Dataset &dataset) const
               report.single.begin());
     std::copy(counts.pairs.begin(), counts.pairs.end(),
               report.pairs.begin());
-    const auto n = static_cast<double>(jobs.size());
+    const auto n = static_cast<double>(idx.size());
     for (auto &s : report.single)
         s /= n;
     for (auto &p : report.pairs)

@@ -1,7 +1,5 @@
 #include "aiwc/core/dataset.hh"
 
-#include <unordered_set>
-
 #include "aiwc/common/csv.hh"
 #include "aiwc/common/parallel.hh"
 #include "aiwc/common/table.hh"
@@ -26,12 +24,48 @@ appendShard(RecordPtrs &into, RecordPtrs &&from)
 Dataset::Dataset(std::vector<JobRecord> records)
     : records_(std::move(records))
 {
+    for (const JobRecord &r : records_)
+        cols_.append(r);
 }
 
 void
 Dataset::add(JobRecord record)
 {
+    cols_.append(record);
     records_.push_back(std::move(record));
+}
+
+std::vector<std::uint32_t>
+Dataset::gpuJobIndices(Seconds min_runtime) const
+{
+    using Indices = std::vector<std::uint32_t>;
+    const std::span<const std::int32_t> gpus = cols_.gpus();
+    const std::span<const double> runtime = cols_.runtimeS();
+    return parallelReduce(
+        globalPool(), cols_.rows(), Indices{},
+        [&](Indices &acc, std::size_t i) {
+            if (gpus[i] > 0 && runtime[i] >= min_runtime)
+                acc.push_back(static_cast<std::uint32_t>(i));
+        },
+        [](Indices &into, Indices &&from) {
+            into.insert(into.end(), from.begin(), from.end());
+        });
+}
+
+std::vector<std::uint32_t>
+Dataset::cpuJobIndices() const
+{
+    using Indices = std::vector<std::uint32_t>;
+    const std::span<const std::int32_t> gpus = cols_.gpus();
+    return parallelReduce(
+        globalPool(), cols_.rows(), Indices{},
+        [&](Indices &acc, std::size_t i) {
+            if (gpus[i] <= 0)
+                acc.push_back(static_cast<std::uint32_t>(i));
+        },
+        [](Indices &into, Indices &&from) {
+            into.insert(into.end(), from.begin(), from.end());
+        });
 }
 
 std::vector<std::span<const JobRecord>>
@@ -49,27 +83,23 @@ Dataset::shards() const
 std::vector<const JobRecord *>
 Dataset::gpuJobs(Seconds min_runtime) const
 {
-    return parallelReduce(
-        globalPool(), records_.size(), RecordPtrs{},
-        [&](RecordPtrs &acc, std::size_t i) {
-            const JobRecord &r = records_[i];
-            if (r.isGpuJob() && r.runTime() >= min_runtime)
-                acc.push_back(&r);
-        },
-        appendShard);
+    // Filter on the columns (two contiguous arrays instead of a
+    // record walk), then materialize the row view for callers.
+    const auto idx = gpuJobIndices(min_runtime);
+    RecordPtrs out(idx.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        out[i] = &records_[idx[i]];
+    return out;
 }
 
 std::vector<const JobRecord *>
 Dataset::cpuJobs() const
 {
-    return parallelReduce(
-        globalPool(), records_.size(), RecordPtrs{},
-        [&](RecordPtrs &acc, std::size_t i) {
-            const JobRecord &r = records_[i];
-            if (!r.isGpuJob())
-                acc.push_back(&r);
-        },
-        appendShard);
+    const auto idx = cpuJobIndices();
+    RecordPtrs out(idx.size());
+    for (std::size_t i = 0; i < idx.size(); ++i)
+        out[i] = &records_[idx[i]];
+    return out;
 }
 
 std::vector<const JobRecord *>
@@ -109,30 +139,21 @@ Dataset::gpuJobsByUser(Seconds min_runtime) const
 std::size_t
 Dataset::uniqueUsers() const
 {
-    using Users = std::unordered_set<UserId>;
-    // Param names deliberately differ from the ordered merges above:
-    // aiwc-lint tracks unordered declarations by name, and only .size()
-    // of this set is ever observed.
-    return parallelReduce(
-               globalPool(), records_.size(), Users{},
-               [&](Users &acc, std::size_t i) {
-                   acc.insert(records_[i].user);
-               },
-               [](Users &all, Users &&shard) {
-                   all.insert(shard.begin(), shard.end());
-               })
-        .size();
+    // The interned user table has already deduplicated on append.
+    return cols_.users().size();
 }
 
 double
 Dataset::totalGpuHours(Seconds min_runtime) const
 {
+    const std::span<const std::int32_t> gpus = cols_.gpus();
+    const std::span<const double> runtime = cols_.runtimeS();
+    const std::span<const double> hours = cols_.gpuHours();
     return parallelReduce(
-        globalPool(), records_.size(), 0.0,
+        globalPool(), cols_.rows(), 0.0,
         [&](double &acc, std::size_t i) {
-            const JobRecord &r = records_[i];
-            if (r.isGpuJob() && r.runTime() >= min_runtime)
-                acc += r.gpuHours();
+            if (gpus[i] > 0 && runtime[i] >= min_runtime)
+                acc += hours[i];
         },
         [](double &into, double &&from) { into += from; });
 }

@@ -1,0 +1,61 @@
+#include "aiwc/core/id_table.hh"
+
+#include "aiwc/base/check.hh"
+#include "aiwc/common/types.hh"
+
+namespace aiwc::core
+{
+
+std::uint32_t
+IdTable::intern(std::uint32_t raw)
+{
+    const auto it = dense_of_.find(raw);
+    if (it != dense_of_.end())
+        return it->second;
+    const auto dense = static_cast<std::uint32_t>(raw_ids_.size());
+    AIWC_CHECK(dense != invalid_id, "id table full");
+    raw_ids_.push_back(raw);
+    dense_of_.emplace(raw, dense);
+    return dense;
+}
+
+std::uint32_t
+IdTable::denseOf(std::uint32_t raw) const
+{
+    const auto it = dense_of_.find(raw);
+    return it == dense_of_.end() ? invalid_id : it->second;
+}
+
+std::uint32_t
+IdTable::rawOf(std::uint32_t dense) const
+{
+    AIWC_CHECK(dense < raw_ids_.size(), "dense id ", dense,
+               " out of range (", raw_ids_.size(), " interned)");
+    return raw_ids_[dense];
+}
+
+std::vector<std::uint32_t>
+IdTable::mergeFrom(const IdTable &other)
+{
+    std::vector<std::uint32_t> remap;
+    remap.reserve(other.raw_ids_.size());
+    for (const std::uint32_t raw : other.raw_ids_)
+        remap.push_back(intern(raw));
+    return remap;
+}
+
+IdTable
+IdTable::fromRawIds(std::span<const std::uint32_t> raw_ids)
+{
+    IdTable table;
+    for (const std::uint32_t raw : raw_ids) {
+        const std::uint32_t before =
+            static_cast<std::uint32_t>(table.size());
+        const std::uint32_t dense = table.intern(raw);
+        AIWC_CHECK(dense == before, "duplicate raw id ", raw,
+                   " in dense id table");
+    }
+    return table;
+}
+
+} // namespace aiwc::core

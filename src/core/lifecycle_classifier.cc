@@ -3,18 +3,24 @@
 namespace aiwc::core
 {
 
-Lifecycle
-LifecycleClassifier::classify(const JobRecord &job) const
+namespace
 {
-    switch (job.terminal) {
+
+/**
+ * Terminal state -> lifecycle class, as a branch-free lookup usable
+ * over the raw terminal column. Kept in lockstep with classify()'s
+ * switch below (which documents the mapping).
+ */
+constexpr Lifecycle
+classifyTerminal(TerminalState terminal)
+{
+    switch (terminal) {
       case TerminalState::Completed:
         return Lifecycle::Mature;
       case TerminalState::Cancelled:
         return Lifecycle::Exploratory;
       case TerminalState::Failed:
       case TerminalState::NodeFailure:
-        // Hardware losses are <0.5% of jobs (Sec. II); like the paper,
-        // we fold them into the failed/development bucket.
         return Lifecycle::Development;
       case TerminalState::TimedOut:
         return Lifecycle::Ide;
@@ -22,29 +28,61 @@ LifecycleClassifier::classify(const JobRecord &job) const
     return Lifecycle::Mature;
 }
 
+/** classifyTerminal over every valid raw terminal value, for u8 rows. */
+constexpr std::array<Lifecycle, num_terminal_states>
+makeTerminalTable()
+{
+    std::array<Lifecycle, num_terminal_states> table{};
+    for (int t = 0; t < num_terminal_states; ++t)
+        table[static_cast<std::size_t>(t)] =
+            classifyTerminal(static_cast<TerminalState>(t));
+    return table;
+}
+
+constexpr auto terminal_table = makeTerminalTable();
+
+} // namespace
+
+Lifecycle
+LifecycleClassifier::classify(const JobRecord &job) const
+{
+    // Hardware losses are <0.5% of jobs (Sec. II); like the paper,
+    // classifyTerminal folds them into the failed/development bucket.
+    return classifyTerminal(job.terminal);
+}
+
 std::array<double, num_lifecycles>
 LifecycleClassifier::jobMix(const Dataset &dataset) const
 {
+    // Count straight off the terminal column: one byte load and one
+    // table lookup per filtered row.
     std::array<double, num_lifecycles> mix{};
-    const auto jobs = dataset.gpuJobs();
-    if (jobs.empty())
+    const auto idx = dataset.gpuJobIndices();
+    if (idx.empty())
         return mix;
-    for (const JobRecord *job : jobs)
-        mix[static_cast<std::size_t>(classify(*job))] += 1.0;
+    const std::span<const std::uint8_t> terminal =
+        dataset.columns().terminals();
+    for (const std::uint32_t r : idx)
+        mix[static_cast<std::size_t>(terminal_table[terminal[r]])] += 1.0;
     for (auto &m : mix)
-        m /= static_cast<double>(jobs.size());
+        m /= static_cast<double>(idx.size());
     return mix;
 }
 
 std::array<double, num_lifecycles>
 LifecycleClassifier::gpuHourMix(const Dataset &dataset) const
 {
+    // Serial accumulation in row order, matching the row walk's
+    // summation order bit-for-bit.
     std::array<double, num_lifecycles> mix{};
     double total = 0.0;
-    for (const JobRecord *job : dataset.gpuJobs()) {
-        const double hours = job->gpuHours();
-        mix[static_cast<std::size_t>(classify(*job))] += hours;
-        total += hours;
+    const ColumnTable &cols = dataset.columns();
+    const std::span<const std::uint8_t> terminal = cols.terminals();
+    const std::span<const double> hours = cols.gpuHours();
+    for (const std::uint32_t r : dataset.gpuJobIndices()) {
+        mix[static_cast<std::size_t>(terminal_table[terminal[r]])] +=
+            hours[r];
+        total += hours[r];
     }
     if (total > 0.0) {
         for (auto &m : mix)
@@ -56,14 +94,18 @@ LifecycleClassifier::gpuHourMix(const Dataset &dataset) const
 double
 LifecycleClassifier::accuracyAgainstTruth(const Dataset &dataset) const
 {
-    const auto jobs = dataset.gpuJobs();
-    if (jobs.empty())
+    const auto idx = dataset.gpuJobIndices();
+    if (idx.empty())
         return 1.0;
+    const ColumnTable &cols = dataset.columns();
+    const std::span<const std::uint8_t> terminal = cols.terminals();
+    const std::span<const std::uint8_t> truth = cols.trueClasses();
     std::size_t agree = 0;
-    for (const JobRecord *job : jobs)
-        if (classify(*job) == job->true_class)
+    for (const std::uint32_t r : idx)
+        if (static_cast<std::uint8_t>(terminal_table[terminal[r]]) ==
+            truth[r])
             ++agree;
-    return static_cast<double>(agree) / static_cast<double>(jobs.size());
+    return static_cast<double>(agree) / static_cast<double>(idx.size());
 }
 
 } // namespace aiwc::core

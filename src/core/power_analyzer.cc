@@ -1,43 +1,25 @@
 #include "aiwc/core/power_analyzer.hh"
 
-#include "aiwc/common/parallel.hh"
 #include "aiwc/obs/trace.hh"
+#include "aiwc/stats/kernels.hh"
 
 namespace aiwc::core
 {
 
-namespace
-{
-
-/** Per-shard accumulator of the avg/max per-job power series. */
-struct PowerSeries
-{
-    std::vector<double> avg, mx;
-};
-
-} // namespace
-
 PowerReport
 PowerAnalyzer::analyze(const Dataset &dataset) const
 {
-    const auto jobs = dataset.gpuJobs();
-    obs::AnalyzerScope scope("power", jobs.size());
-    auto series = parallelReduce(
-        globalPool(), jobs.size(), PowerSeries{},
-        [&](PowerSeries &acc, std::size_t i) {
-            acc.avg.push_back(jobs[i]->meanPowerWatts());
-            acc.mx.push_back(jobs[i]->maxPowerWatts());
-        },
-        [](PowerSeries &into, PowerSeries &&from) {
-            into.avg.insert(into.avg.end(), from.avg.begin(),
-                            from.avg.end());
-            into.mx.insert(into.mx.end(), from.mx.begin(),
-                           from.mx.end());
-        });
+    // meanPowerWatts/maxPowerWatts are the Power utilization columns,
+    // so both series are plain columnar gathers.
+    const ColumnTable &cols = dataset.columns();
+    const auto idx = dataset.gpuJobIndices();
+    obs::AnalyzerScope scope("power", idx.size());
 
     PowerReport report;
-    report.avg_watts = stats::EmpiricalCdf(std::move(series.avg));
-    report.max_watts = stats::EmpiricalCdf(std::move(series.mx));
+    report.avg_watts = stats::EmpiricalCdf(
+        stats::gather(cols.meanUtil(Resource::Power), idx));
+    report.max_watts = stats::EmpiricalCdf(
+        stats::gather(cols.maxUtil(Resource::Power), idx));
 
     for (double cap : caps_) {
         PowerCapImpact impact;

@@ -2,6 +2,7 @@
 
 #include "aiwc/common/parallel.hh"
 #include "aiwc/obs/trace.hh"
+#include "aiwc/stats/kernels.hh"
 
 namespace aiwc::core
 {
@@ -9,38 +10,25 @@ namespace aiwc::core
 namespace
 {
 
-/** Per-shard accumulator of one population's service-time series. */
-struct ServiceSeries
+/**
+ * wait / service share in percent, slot-addressed like the gather
+ * kernels: out[i] = 100 * wait[r] / (end[r] - submit[r]) for r =
+ * idx[i], guarding zero service time. The arithmetic mirrors
+ * JobRecord::waitTime / serviceTime exactly.
+ */
+std::vector<double>
+waitSharePct(const ColumnTable &cols, std::span<const std::uint32_t> idx)
 {
-    std::vector<double> runtime_min, wait_s, wait_pct;
-};
-
-/** Fold one job's runtime/wait/wait-share into the accumulator. */
-void
-foldJob(ServiceSeries &acc, const JobRecord *job)
-{
-    acc.runtime_min.push_back(job->runTime() / 60.0);
-    acc.wait_s.push_back(job->waitTime());
-    const double service = job->serviceTime();
-    acc.wait_pct.push_back(
-        service > 0.0 ? 100.0 * job->waitTime() / service : 0.0);
-}
-
-ServiceSeries
-collect(const std::vector<const JobRecord *> &jobs)
-{
-    return parallelReduce(
-        globalPool(), jobs.size(), ServiceSeries{},
-        [&](ServiceSeries &acc, std::size_t i) { foldJob(acc, jobs[i]); },
-        [](ServiceSeries &into, ServiceSeries &&from) {
-            auto concat = [](std::vector<double> &dst,
-                             std::vector<double> &src) {
-                dst.insert(dst.end(), src.begin(), src.end());
-            };
-            concat(into.runtime_min, from.runtime_min);
-            concat(into.wait_s, from.wait_s);
-            concat(into.wait_pct, from.wait_pct);
-        });
+    const std::span<const double> wait = cols.waitS();
+    const std::span<const double> submit = cols.submitTime();
+    const std::span<const double> end = cols.endTime();
+    std::vector<double> out(idx.size());
+    parallelFor(globalPool(), idx.size(), [&](std::size_t i) {
+        const std::uint32_t r = idx[i];
+        const double service = end[r] - submit[r];
+        out[i] = service > 0.0 ? 100.0 * wait[r] / service : 0.0;
+    });
+    return out;
 }
 
 } // namespace
@@ -49,18 +37,19 @@ ServiceTimeReport
 ServiceTimeAnalyzer::analyze(const Dataset &dataset) const
 {
     obs::AnalyzerScope scope("service_time", dataset.size());
-    ServiceSeries gpu = collect(dataset.gpuJobs());
-    ServiceSeries cpu = collect(dataset.cpuJobs());
+    const ColumnTable &cols = dataset.columns();
+    const auto gpu = dataset.gpuJobIndices();
+    const auto cpu = dataset.cpuJobIndices();
 
     ServiceTimeReport report;
     report.gpu_runtime_min =
-        stats::EmpiricalCdf(std::move(gpu.runtime_min));
+        stats::EmpiricalCdf(stats::gatherDivided(cols.runtimeS(), gpu, 60.0));
     report.cpu_runtime_min =
-        stats::EmpiricalCdf(std::move(cpu.runtime_min));
-    report.gpu_wait_s = stats::EmpiricalCdf(std::move(gpu.wait_s));
-    report.cpu_wait_s = stats::EmpiricalCdf(std::move(cpu.wait_s));
-    report.gpu_wait_pct = stats::EmpiricalCdf(std::move(gpu.wait_pct));
-    report.cpu_wait_pct = stats::EmpiricalCdf(std::move(cpu.wait_pct));
+        stats::EmpiricalCdf(stats::gatherDivided(cols.runtimeS(), cpu, 60.0));
+    report.gpu_wait_s = stats::EmpiricalCdf(stats::gather(cols.waitS(), gpu));
+    report.cpu_wait_s = stats::EmpiricalCdf(stats::gather(cols.waitS(), cpu));
+    report.gpu_wait_pct = stats::EmpiricalCdf(waitSharePct(cols, gpu));
+    report.cpu_wait_pct = stats::EmpiricalCdf(waitSharePct(cols, cpu));
     return report;
 }
 

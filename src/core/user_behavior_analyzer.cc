@@ -1,10 +1,13 @@
 #include "aiwc/core/user_behavior_analyzer.hh"
 
+#include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "aiwc/common/parallel.hh"
 #include "aiwc/obs/trace.hh"
 #include "aiwc/stats/descriptive.hh"
+#include "aiwc/stats/kernels.hh"
 #include "aiwc/stats/share_curve.hh"
 
 namespace aiwc::core
@@ -13,41 +16,60 @@ namespace aiwc::core
 std::vector<UserSummary>
 UserBehaviorAnalyzer::summarize(const Dataset &dataset) const
 {
-    // Each user's summary depends only on that user's jobs, so the
-    // per-user pass fans out with every user writing its own slot —
-    // the output order is the map's user-id order either way.
-    const auto by_user = dataset.gpuJobsByUser();
-    std::vector<const std::pair<const UserId,
-                                std::vector<const JobRecord *>> *>
-        users;
-    users.reserve(by_user.size());
-    for (const auto &entry : by_user)
-        users.push_back(&entry);
+    // Bucket the filtered rows by interned user index — one counting
+    // sort instead of a per-shard map merge — then fan the per-user
+    // summaries out with every user writing its own slot. The stable
+    // partition keeps each user's jobs in record order, exactly like
+    // the old map-of-vectors.
+    const ColumnTable &cols = dataset.columns();
+    const auto idx = dataset.gpuJobIndices();
+    const std::size_t n_users = cols.users().size();
+    const auto part =
+        stats::partitionByKey(idx, cols.userIndex(), n_users);
 
-    std::vector<UserSummary> out(users.size());
-    parallelFor(globalPool(), users.size(), [&](std::size_t u) {
-        const UserId user = users[u]->first;
-        const std::vector<const JobRecord *> &jobs = users[u]->second;
+    // The report is ordered by ascending user id (the old std::map
+    // order); the id table is in first-appearance order, so sort the
+    // dense indices by raw id, keeping only users with filtered jobs.
+    std::vector<std::pair<UserId, std::uint32_t>> order;
+    order.reserve(n_users);
+    for (std::uint32_t d = 0; d < n_users; ++d)
+        if (part.offsets[d + 1] > part.offsets[d])
+            order.emplace_back(cols.users().rawOf(d), d);
+    std::sort(order.begin(), order.end());
+
+    const std::span<const double> runtime = cols.runtimeS();
+    const std::span<const double> hours = cols.gpuHours();
+    const std::span<const double> sm_col = cols.meanUtil(Resource::Sm);
+    const std::span<const double> membw_col =
+        cols.meanUtil(Resource::MemoryBw);
+    const std::span<const double> memsize_col =
+        cols.meanUtil(Resource::MemorySize);
+
+    std::vector<UserSummary> out(order.size());
+    parallelFor(globalPool(), order.size(), [&](std::size_t u) {
+        const auto [user, dense] = order[u];
+        const std::span<const std::uint32_t> rows =
+            std::span<const std::uint32_t>(part.rows).subspan(
+                part.offsets[dense],
+                part.offsets[dense + 1] - part.offsets[dense]);
         UserSummary s;
         s.user = user;
-        s.jobs = jobs.size();
+        s.jobs = rows.size();
 
         std::vector<double> rt, sm, membw, memsize;
-        rt.reserve(jobs.size());
-        for (const JobRecord *job : jobs) {
-            rt.push_back(job->runTime() / 60.0);
-            sm.push_back(100.0 * job->meanUtilization(Resource::Sm));
-            membw.push_back(100.0 *
-                            job->meanUtilization(Resource::MemoryBw));
-            memsize.push_back(
-                100.0 * job->meanUtilization(Resource::MemorySize));
-            s.gpu_hours += job->gpuHours();
+        rt.reserve(rows.size());
+        for (const std::uint32_t r : rows) {
+            rt.push_back(runtime[r] / 60.0);
+            sm.push_back(100.0 * sm_col[r]);
+            membw.push_back(100.0 * membw_col[r]);
+            memsize.push_back(100.0 * memsize_col[r]);
+            s.gpu_hours += hours[r];
         }
         s.avg_runtime_min = stats::mean(rt);
         s.avg_sm_pct = stats::mean(sm);
         s.avg_membw_pct = stats::mean(membw);
         s.avg_memsize_pct = stats::mean(memsize);
-        if (jobs.size() >= min_jobs_for_cov_) {
+        if (rows.size() >= min_jobs_for_cov_) {
             s.runtime_cov_pct = stats::covPercent(rt);
             s.sm_cov_pct = stats::covPercent(sm);
             s.membw_cov_pct = stats::covPercent(membw);
@@ -61,7 +83,8 @@ UserBehaviorAnalyzer::summarize(const Dataset &dataset) const
 UserBehaviorReport
 UserBehaviorAnalyzer::analyze(const Dataset &dataset) const
 {
-    obs::AnalyzerScope scope("user_behavior", dataset.gpuJobs().size());
+    obs::AnalyzerScope scope("user_behavior",
+                             dataset.gpuJobIndices().size());
     UserBehaviorReport report;
     report.users = summarize(dataset);
 

@@ -1,8 +1,8 @@
 #include "aiwc/core/utilization_analyzer.hh"
 
 #include "aiwc/base/logging.hh"
-#include "aiwc/common/parallel.hh"
 #include "aiwc/obs/trace.hh"
+#include "aiwc/stats/kernels.hh"
 
 namespace aiwc::core
 {
@@ -27,107 +27,54 @@ UtilizationReport::byResource(Resource r) const
     panic("power has no utilization CDF; use PowerAnalyzer");
 }
 
-namespace
-{
-
-/** Per-shard accumulator of the five per-job mean-utilization series. */
-struct UtilizationSeries
-{
-    std::vector<double> sm, membw, memsize, tx, rx;
-};
-
-void
-concat(std::vector<double> &into, std::vector<double> &from)
-{
-    into.insert(into.end(), from.begin(), from.end());
-}
-
-} // namespace
-
 UtilizationReport
 UtilizationAnalyzer::analyze(const Dataset &dataset) const
 {
-    const auto jobs = dataset.gpuJobs();
-    obs::AnalyzerScope scope("utilization", jobs.size());
-    auto series = parallelReduce(
-        globalPool(), jobs.size(), UtilizationSeries{},
-        [&](UtilizationSeries &acc, std::size_t i) {
-            const JobRecord *job = jobs[i];
-            acc.sm.push_back(100.0 * job->meanUtilization(Resource::Sm));
-            acc.membw.push_back(
-                100.0 * job->meanUtilization(Resource::MemoryBw));
-            acc.memsize.push_back(
-                100.0 * job->meanUtilization(Resource::MemorySize));
-            acc.tx.push_back(100.0 *
-                             job->meanUtilization(Resource::PcieTx));
-            acc.rx.push_back(100.0 *
-                             job->meanUtilization(Resource::PcieRx));
-        },
-        [](UtilizationSeries &into, UtilizationSeries &&from) {
-            concat(into.sm, from.sm);
-            concat(into.membw, from.membw);
-            concat(into.memsize, from.memsize);
-            concat(into.tx, from.tx);
-            concat(into.rx, from.rx);
-        });
+    // One columnar gather per resource: contiguous reads through the
+    // filtered row indices, scaled to percent exactly as the row walk
+    // did (100.0 * mean).
+    const ColumnTable &cols = dataset.columns();
+    const auto idx = dataset.gpuJobIndices();
+    obs::AnalyzerScope scope("utilization", idx.size());
+    auto pct = [&](Resource r) {
+        return stats::gatherScaled(cols.meanUtil(r), idx, 100.0);
+    };
     UtilizationReport report;
-    report.sm_pct = stats::EmpiricalCdf(std::move(series.sm));
-    report.membw_pct = stats::EmpiricalCdf(std::move(series.membw));
-    report.memsize_pct = stats::EmpiricalCdf(std::move(series.memsize));
-    report.pcie_tx_pct = stats::EmpiricalCdf(std::move(series.tx));
-    report.pcie_rx_pct = stats::EmpiricalCdf(std::move(series.rx));
+    report.sm_pct = stats::EmpiricalCdf(pct(Resource::Sm));
+    report.membw_pct = stats::EmpiricalCdf(pct(Resource::MemoryBw));
+    report.memsize_pct = stats::EmpiricalCdf(pct(Resource::MemorySize));
+    report.pcie_tx_pct = stats::EmpiricalCdf(pct(Resource::PcieTx));
+    report.pcie_rx_pct = stats::EmpiricalCdf(pct(Resource::PcieRx));
     return report;
 }
-
-namespace
-{
-
-/** Per-shard accumulator of the by-interface breakdown. */
-struct InterfaceSeries
-{
-    std::array<std::vector<double>, num_interfaces> sm, membw;
-    std::array<double, num_interfaces> counts{};
-    double total = 0.0;
-};
-
-} // namespace
 
 InterfaceUtilization
 UtilizationAnalyzer::analyzeByInterface(const Dataset &dataset) const
 {
-    const auto jobs = dataset.gpuJobs();
-    obs::AnalyzerScope scope("utilization_by_interface", jobs.size());
-    auto acc = parallelReduce(
-        globalPool(), jobs.size(), InterfaceSeries{},
-        [&](InterfaceSeries &a, std::size_t j) {
-            const JobRecord *job = jobs[j];
-            const auto i = static_cast<std::size_t>(job->interface);
-            a.sm[i].push_back(100.0 *
-                              job->meanUtilization(Resource::Sm));
-            a.membw[i].push_back(
-                100.0 * job->meanUtilization(Resource::MemoryBw));
-            a.counts[i] += 1.0;
-            a.total += 1.0;
-        },
-        [](InterfaceSeries &into, InterfaceSeries &&from) {
-            for (std::size_t i = 0;
-                 i < static_cast<std::size_t>(num_interfaces); ++i) {
-                concat(into.sm[i], from.sm[i]);
-                concat(into.membw[i], from.membw[i]);
-                into.counts[i] += from.counts[i];
-            }
-            into.total += from.total;
-        });
-    auto &sm = acc.sm;
-    auto &membw = acc.membw;
-    auto &counts = acc.counts;
-    const double total = acc.total;
+    const ColumnTable &cols = dataset.columns();
+    const auto idx = dataset.gpuJobIndices();
+    obs::AnalyzerScope scope("utilization_by_interface", idx.size());
+
+    // Split the filtered rows by interface (stable, so each bucket
+    // stays in record order), then gather each bucket's series.
+    const std::span<const std::uint8_t> iface = cols.interfaces();
+    std::array<std::vector<std::uint32_t>, num_interfaces> by_iface;
+    for (const std::uint32_t r : idx)
+        by_iface[iface[r]].push_back(r);
+
+    const double total = static_cast<double>(idx.size());
     InterfaceUtilization out;
     for (int i = 0; i < num_interfaces; ++i) {
-        const auto idx = static_cast<std::size_t>(i);
-        out.sm[idx] = stats::BoxStats::from(std::move(sm[idx]));
-        out.membw[idx] = stats::BoxStats::from(std::move(membw[idx]));
-        out.job_fraction[idx] = total > 0.0 ? counts[idx] / total : 0.0;
+        const auto k = static_cast<std::size_t>(i);
+        out.sm[k] = stats::BoxStats::from(
+            stats::gatherScaled(cols.meanUtil(Resource::Sm),
+                                by_iface[k], 100.0));
+        out.membw[k] = stats::BoxStats::from(
+            stats::gatherScaled(cols.meanUtil(Resource::MemoryBw),
+                                by_iface[k], 100.0));
+        out.job_fraction[k] =
+            total > 0.0 ? static_cast<double>(by_iface[k].size()) / total
+                        : 0.0;
     }
     return out;
 }

@@ -1,0 +1,133 @@
+#include "aiwc/fmt/mmap_file.hh"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define AIWC_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define AIWC_HAVE_MMAP 0
+#endif
+
+namespace aiwc::fmt
+{
+
+MmapFile::~MmapFile()
+{
+    reset();
+}
+
+MmapFile::MmapFile(MmapFile &&other) noexcept
+{
+    *this = std::move(other);
+}
+
+MmapFile &
+MmapFile::operator=(MmapFile &&other) noexcept
+{
+    if (this == &other)
+        return *this;
+    reset();
+    bytes_ = other.bytes_;
+    map_addr_ = other.map_addr_;
+    map_len_ = other.map_len_;
+    owned_ = std::move(other.owned_);
+    valid_ = other.valid_;
+    error_ = std::move(other.error_);
+    other.map_addr_ = nullptr;
+    other.map_len_ = 0;
+    other.bytes_ = {};
+    other.valid_ = false;
+    // The owned buffer may have moved; re-point the span when the
+    // fallback path was in use.
+    if (map_addr_ == nullptr && !owned_.empty())
+        bytes_ = owned_;
+    return *this;
+}
+
+void
+MmapFile::reset() noexcept
+{
+#if AIWC_HAVE_MMAP
+    if (map_addr_ != nullptr)
+        ::munmap(map_addr_, map_len_);
+#endif
+    map_addr_ = nullptr;
+    map_len_ = 0;
+    owned_.clear();
+    bytes_ = {};
+    valid_ = false;
+}
+
+namespace
+{
+
+/** Whole-file read fallback (and the non-POSIX path). */
+bool
+readAll(const std::string &path, std::vector<std::uint8_t> &out,
+        std::string &error)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        error = path + ": " + std::strerror(errno);
+        return false;
+    }
+    std::uint8_t buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        out.insert(out.end(), buf, buf + n);
+    const bool ok = std::ferror(f) == 0;
+    if (!ok)
+        error = path + ": read error";
+    std::fclose(f);
+    return ok;
+}
+
+} // namespace
+
+MmapFile
+MmapFile::open(const std::string &path)
+{
+    MmapFile file;
+#if AIWC_HAVE_MMAP
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+        file.error_ = path + ": " + std::strerror(errno);
+        return file;
+    }
+    struct stat st{};
+    if (::fstat(fd, &st) != 0 || !S_ISREG(st.st_mode)) {
+        file.error_ = path + ": not a regular file";
+        ::close(fd);
+        return file;
+    }
+    const auto len = static_cast<std::size_t>(st.st_size);
+    if (len == 0) {
+        ::close(fd);
+        file.valid_ = true;  // empty file, empty span
+        return file;
+    }
+    void *addr = ::mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    ::close(fd);  // the mapping keeps its own reference
+    if (addr != MAP_FAILED) {
+        file.map_addr_ = addr;
+        file.map_len_ = len;
+        file.bytes_ = {static_cast<const std::uint8_t *>(addr), len};
+        file.valid_ = true;
+        return file;
+    }
+#endif
+    if (!readAll(path, file.owned_, file.error_))
+        return file;
+    file.bytes_ = file.owned_;
+    file.valid_ = true;
+    return file;
+}
+
+} // namespace aiwc::fmt

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Shared binary (de)serialization primitives: little-endian byte
+ * writer, bounds-checked byte reader, and CRC-32 (IEEE 802.3).
+ *
+ * Two subsystems speak binary: the service wire format
+ * (aiwc/svc/frame.hh) and the on-disk trace format
+ * (aiwc/fmt/trace.hh). Both sit at a trust boundary where raw bytes
+ * become typed records, so they share one discipline, implemented
+ * here once: writers are append-only and infallible; readers never
+ * read past the buffer and never abort — a failed read trips a sticky
+ * `failed` flag the caller checks once per structural unit, so
+ * truncated or hostile input degrades into a rejection verdict, not
+ * UB. All integers are little-endian on the wire and on disk;
+ * doubles travel as their IEEE-754 bit patterns, so values round-trip
+ * bit-exactly.
+ */
+
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aiwc
+{
+
+/** Little-endian append-only byte sink. */
+class ByteWriter
+{
+  public:
+    explicit ByteWriter(std::vector<std::uint8_t> &out) : out_(out) {}
+
+    void
+    u8(std::uint8_t v)
+    {
+        out_.push_back(v);
+    }
+
+    void
+    u16(std::uint16_t v)
+    {
+        out_.push_back(static_cast<std::uint8_t>(v));
+        out_.push_back(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        for (int i = 0; i < 4; ++i)
+            out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        for (int i = 0; i < 8; ++i)
+            out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+
+    void
+    f64(double v)
+    {
+        u64(std::bit_cast<std::uint64_t>(v));
+    }
+
+  private:
+    std::vector<std::uint8_t> &out_;
+};
+
+/**
+ * Bounds-checked little-endian reader: every getter returns a value
+ * and trips `failed` instead of reading past the end. Callers check
+ * ok() once per structural unit, so a truncated payload degrades into
+ * a single rejection verdict rather than UB.
+ */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::span<const std::uint8_t> data)
+        : data_(data)
+    {
+    }
+
+    bool ok() const { return !failed_; }
+    std::size_t remaining() const { return data_.size() - pos_; }
+    bool atEnd() const { return pos_ == data_.size(); }
+
+    std::uint8_t
+    u8()
+    {
+        if (remaining() < 1) {
+            failed_ = true;
+            return 0;
+        }
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    u16()
+    {
+        return static_cast<std::uint16_t>(fixed(2));
+    }
+
+    std::uint32_t
+    u32()
+    {
+        return static_cast<std::uint32_t>(fixed(4));
+    }
+
+    std::uint64_t u64() { return fixed(8); }
+
+    double
+    f64()
+    {
+        return std::bit_cast<double>(fixed(8));
+    }
+
+  private:
+    std::uint64_t
+    fixed(std::size_t bytes)
+    {
+        if (remaining() < bytes) {
+            failed_ = true;
+            pos_ = data_.size();
+            return 0;
+        }
+        std::uint64_t v = 0;
+        for (std::size_t i = 0; i < bytes; ++i)
+            v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+        pos_ += bytes;
+        return v;
+    }
+
+    std::span<const std::uint8_t> data_;
+    std::size_t pos_ = 0;
+    bool failed_ = false;
+};
+
+/** CRC-32 (IEEE 802.3 polynomial) over a byte span. */
+std::uint32_t crc32(std::span<const std::uint8_t> bytes);
+
+} // namespace aiwc

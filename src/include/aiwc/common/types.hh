@@ -85,6 +85,9 @@ enum class TerminalState : std::uint8_t
     NodeFailure,  //!< hardware failure (<0.5% of jobs per Sec. II)
 };
 
+/** Number of TerminalState values, for array-of-enum indexing. */
+inline constexpr int num_terminal_states = 5;
+
 /** Human-readable names, aligned with the enum order above. */
 const char *toString(Interface i);
 const char *toString(Lifecycle c);

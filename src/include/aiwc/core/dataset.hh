@@ -10,18 +10,30 @@
 
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <ostream>
 #include <span>
 #include <vector>
 
+#include "aiwc/core/columns.hh"
 #include "aiwc/core/job_record.hh"
 
 namespace aiwc::core
 {
 
-/** The collection of job records for one study period. */
+/**
+ * The collection of job records for one study period.
+ *
+ * Storage is dual-layout: the row vector (records()) remains the API
+ * for callers that walk whole records, while a struct-of-arrays
+ * ColumnTable (columns()) mirrors every scalar field for the
+ * analyzers' columnar kernels. Both views are kept in lockstep by
+ * add(); filters hand out row indices (gpuJobIndices) that address
+ * either view, so migrated and unmigrated callers see the same rows
+ * in the same order.
+ */
 class Dataset
 {
   public:
@@ -33,6 +45,20 @@ class Dataset
     const std::vector<JobRecord> &records() const { return records_; }
     std::size_t size() const { return records_.size(); }
     bool empty() const { return records_.empty(); }
+
+    /** The struct-of-arrays view (always in sync with records()). */
+    const ColumnTable &columns() const { return cols_; }
+
+    /**
+     * Row indices of GPU jobs with runtime >= min_runtime (the
+     * paper's filter), in record order. The columnar analog of
+     * gpuJobs(): index either view with the result.
+     */
+    std::vector<std::uint32_t>
+    gpuJobIndices(Seconds min_runtime = 30.0) const;
+
+    /** Row indices of CPU-only jobs, in record order. */
+    std::vector<std::uint32_t> cpuJobIndices() const;
 
     /**
      * Deterministic contiguous shard views over all records, in record
@@ -73,6 +99,7 @@ class Dataset
 
   private:
     std::vector<JobRecord> records_;
+    ColumnTable cols_;
 };
 
 } // namespace aiwc::core

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Interned identifier table: a bijection between sparse 32-bit raw
+ * ids (user ids, job-type keys) and dense indices assigned in first-
+ * appearance order.
+ *
+ * The columnar Dataset stores a dense index per row instead of the
+ * raw id, so per-user aggregations become array indexing instead of
+ * map lookups, and the on-disk trace format ships one small id table
+ * plus a u32 column. Dense ids are deterministic: they depend only on
+ * the order rows were appended, never on hash iteration order, so the
+ * same trace always interns to the same table. Merging two tables
+ * (shard merges) preserves every dense id already assigned in the
+ * receiving table and appends the donor's unseen raw ids in the
+ * donor's dense order — ids are stable under merge.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace aiwc::core
+{
+
+/** Insertion-ordered intern table for 32-bit identifiers. */
+class IdTable
+{
+  public:
+    /**
+     * Dense id of @p raw, interning it if unseen. The first distinct
+     * raw id gets dense id 0, the second 1, and so on.
+     */
+    std::uint32_t intern(std::uint32_t raw);
+
+    /** Dense id of @p raw, or invalid_id when never interned. */
+    std::uint32_t denseOf(std::uint32_t raw) const;
+
+    /** Raw id behind dense id @p dense (AIWC_CHECK: in range). */
+    std::uint32_t rawOf(std::uint32_t dense) const;
+
+    /** Number of distinct interned ids. */
+    std::size_t size() const { return raw_ids_.size(); }
+
+    bool empty() const { return raw_ids_.empty(); }
+
+    /** The dense -> raw mapping, in dense-id order. */
+    std::span<const std::uint32_t> rawIds() const { return raw_ids_; }
+
+    /**
+     * Union-merge: intern every id of @p other (in other's dense
+     * order) into this table. Existing dense ids in this table are
+     * untouched; other's unseen ids append. @return the remap vector
+     * m with m[other_dense] == this_dense for every id of other.
+     */
+    std::vector<std::uint32_t> mergeFrom(const IdTable &other);
+
+    /**
+     * Rebuild a table from a dense -> raw vector (the on-disk
+     * representation). Duplicate raw ids make the table ill-formed;
+     * the caller must validate untrusted input first (the fmt reader
+     * does) — here a duplicate is an AIWC_CHECK violation.
+     */
+    static IdTable fromRawIds(std::span<const std::uint32_t> raw_ids);
+
+  private:
+    std::vector<std::uint32_t> raw_ids_;  //!< dense -> raw
+    // Point lookups only — never iterated, so hash order is
+    // unobservable and determinism is preserved.
+    std::unordered_map<std::uint32_t, std::uint32_t> dense_of_;
+};
+
+} // namespace aiwc::core

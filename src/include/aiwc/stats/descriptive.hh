@@ -76,6 +76,34 @@ class RunningSummary
 {
   public:
     /**
+     * The raw accumulator state, exposed for bit-exact
+     * (de)serialization: the binary trace format (aiwc/fmt) stores
+     * these five values verbatim so a summary loaded from disk is
+     * indistinguishable — to the last ULP of mean() and stddev() —
+     * from the one that was written, whatever its provenance
+     * (sample-accumulated or moment-reconstructed).
+     */
+    struct RawState
+    {
+        std::size_t count = 0;
+        double min = 0.0;
+        double max = 0.0;
+        double sum = 0.0;
+        double sum_sq = 0.0;
+    };
+
+    /** Snapshot the internal accumulators. */
+    RawState rawState() const;
+
+    /**
+     * Rebuild a summary from a rawState() snapshot. The state must be
+     * internally consistent (AIWC_CHECK: finite fields, min <= max
+     * when count > 0); untrusted bytes must be validated by the
+     * caller before reaching this — see fmt's reader.
+     */
+    static RunningSummary fromRawState(const RawState &state);
+
+    /**
      * Reconstruct a summary from already-computed moments — used when
      * loading a dataset from CSV, where only the per-job statistics
      * (not the samples) survive.

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Branch-light columnar kernels: gathers from a column through a row
+ * index vector, fanned across the thread pool with slot-addressed
+ * writes.
+ *
+ * These are the building blocks of the analyzers' hot paths. Each
+ * kernel writes output slot i from input slot idx[i] — no shared
+ * accumulator, no merge step — so the result is bit-identical at any
+ * thread count by construction, and the inner loop is a contiguous
+ * read/scale/store the compiler can vectorize. The scale/divide
+ * variants apply exactly the arithmetic the row-oriented analyzers
+ * used (`x * s` vs `x / d` round differently, so both exist).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aiwc::stats
+{
+
+/** out[i] = col[idx[i]]. */
+std::vector<double> gather(std::span<const double> col,
+                           std::span<const std::uint32_t> idx);
+
+/** out[i] = scale * col[idx[i]]. */
+std::vector<double> gatherScaled(std::span<const double> col,
+                                 std::span<const std::uint32_t> idx,
+                                 double scale);
+
+/** out[i] = col[idx[i]] / divisor. */
+std::vector<double> gatherDivided(std::span<const double> col,
+                                  std::span<const std::uint32_t> idx,
+                                  double divisor);
+
+/**
+ * Stable bucket partition of @p idx by a small dense key: bucket k
+ * receives, in idx order, every row r of idx with key[r] == k.
+ * @param key per-row dense keys (key[r] < buckets, AIWC_CHECK);
+ *     indexed by the *values* in idx, like the gather kernels.
+ * @param buckets number of distinct keys.
+ * @return {bucket_rows, offsets}: bucket k spans
+ *     bucket_rows[offsets[k] .. offsets[k + 1]].
+ *
+ * This is the columnar replacement for a per-user map: one counting
+ * pass, one prefix sum, one scatter — O(rows + buckets), no
+ * comparisons, deterministic in idx order.
+ */
+struct BucketPartition
+{
+    std::vector<std::uint32_t> rows;     //!< idx reordered by bucket
+    std::vector<std::uint32_t> offsets;  //!< buckets + 1 fence posts
+};
+
+BucketPartition partitionByKey(std::span<const std::uint32_t> idx,
+                               std::span<const std::uint32_t> key,
+                               std::size_t buckets);
+
+} // namespace aiwc::stats

@@ -127,23 +127,29 @@ tTestPValue(double t, double df)
 std::vector<double>
 averageRanks(std::span<const double> xs)
 {
+    // Columnar rank transform: sort (value, index) pairs so the hot
+    // comparisons run over a contiguous key array instead of gathering
+    // through an index permutation, then sweep tie groups once. Ties
+    // all carry the same key, so the unstable sort's ordering within a
+    // group cannot affect the averaged rank.
     const std::size_t n = xs.size();
-    std::vector<std::size_t> order(n);
-    std::iota(order.begin(), order.end(), std::size_t{0});
-    std::sort(order.begin(), order.end(),
-              [&](std::size_t a, std::size_t b) { return xs[a] < xs[b]; });
+    std::vector<std::pair<double, std::uint32_t>> keyed(n);
+    for (std::size_t i = 0; i < n; ++i)
+        keyed[i] = {xs[i], static_cast<std::uint32_t>(i)};
+    std::sort(keyed.begin(), keyed.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
 
     std::vector<double> ranks(n, 0.0);
     std::size_t i = 0;
     while (i < n) {
         std::size_t j = i;
-        while (j + 1 < n && xs[order[j + 1]] == xs[order[i]])
+        while (j + 1 < n && keyed[j + 1].first == keyed[i].first)
             ++j;
         // Average 1-based rank across the tie group [i, j].
         const double avg = (static_cast<double>(i) +
                             static_cast<double>(j)) / 2.0 + 1.0;
         for (std::size_t k = i; k <= j; ++k)
-            ranks[order[k]] = avg;
+            ranks[keyed[k].second] = avg;
         i = j + 1;
     }
     return ranks;

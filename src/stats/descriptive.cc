@@ -108,6 +108,38 @@ BoxStats::from(std::vector<double> xs)
     return b;
 }
 
+RunningSummary::RawState
+RunningSummary::rawState() const
+{
+    RawState state;
+    state.count = n_;
+    if (n_ == 0)
+        return state;  // min_/max_ are the +-inf sentinels; hide them
+    state.min = min_;
+    state.max = max_;
+    state.sum = sum_;
+    state.sum_sq = sum_sq_;
+    return state;
+}
+
+RunningSummary
+RunningSummary::fromRawState(const RawState &state)
+{
+    RunningSummary s;
+    if (state.count == 0)
+        return s;
+    AIWC_CHECK(std::isfinite(state.min) && std::isfinite(state.max) &&
+                   std::isfinite(state.sum) &&
+                   std::isfinite(state.sum_sq) && state.min <= state.max,
+               "inconsistent RunningSummary raw state");
+    s.n_ = state.count;
+    s.min_ = state.min;
+    s.max_ = state.max;
+    s.sum_ = state.sum;
+    s.sum_sq_ = state.sum_sq;
+    return s;
+}
+
 RunningSummary
 RunningSummary::fromMoments(std::size_t count, double min, double mean,
                             double max, double stddev)

@@ -1,0 +1,60 @@
+#include "aiwc/stats/kernels.hh"
+
+#include "aiwc/base/check.hh"
+#include "aiwc/common/parallel.hh"
+
+namespace aiwc::stats
+{
+
+std::vector<double>
+gather(std::span<const double> col, std::span<const std::uint32_t> idx)
+{
+    std::vector<double> out(idx.size());
+    parallelFor(globalPool(), idx.size(),
+                [&](std::size_t i) { out[i] = col[idx[i]]; });
+    return out;
+}
+
+std::vector<double>
+gatherScaled(std::span<const double> col,
+             std::span<const std::uint32_t> idx, double scale)
+{
+    std::vector<double> out(idx.size());
+    parallelFor(globalPool(), idx.size(),
+                [&](std::size_t i) { out[i] = scale * col[idx[i]]; });
+    return out;
+}
+
+std::vector<double>
+gatherDivided(std::span<const double> col,
+              std::span<const std::uint32_t> idx, double divisor)
+{
+    std::vector<double> out(idx.size());
+    parallelFor(globalPool(), idx.size(),
+                [&](std::size_t i) { out[i] = col[idx[i]] / divisor; });
+    return out;
+}
+
+BucketPartition
+partitionByKey(std::span<const std::uint32_t> idx,
+               std::span<const std::uint32_t> key, std::size_t buckets)
+{
+    BucketPartition out;
+    out.offsets.assign(buckets + 1, 0);
+    for (const std::uint32_t r : idx) {
+        AIWC_CHECK(key[r] < buckets, "partition key ", key[r],
+                   " out of range (", buckets, " buckets)");
+        ++out.offsets[key[r] + 1];
+    }
+    for (std::size_t k = 1; k <= buckets; ++k)
+        out.offsets[k] += out.offsets[k - 1];
+
+    out.rows.resize(idx.size());
+    std::vector<std::uint32_t> cursor(out.offsets.begin(),
+                                      out.offsets.end() - 1);
+    for (const std::uint32_t r : idx)
+        out.rows[cursor[key[r]]++] = r;
+    return out;
+}
+
+} // namespace aiwc::stats

@@ -1,10 +1,9 @@
 #include "aiwc/svc/frame.hh"
 
-#include <array>
-#include <bit>
 #include <cmath>
 
 #include "aiwc/base/check.hh"
+#include "aiwc/common/binary.hh"
 #include "aiwc/obs/metrics.hh"
 
 namespace aiwc::svc
@@ -46,133 +45,6 @@ constexpr std::size_t gpu_summary_bytes = 6 * (8 + 4 * 8);
 
 /** Sanity ceiling on GPUs per job (the study tops out at 16). */
 constexpr std::size_t max_gpus_per_record = 1024;
-
-constexpr std::array<std::uint32_t, 256>
-makeCrcTable()
-{
-    std::array<std::uint32_t, 256> table{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-        std::uint32_t c = i;
-        for (int bit = 0; bit < 8; ++bit)
-            c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
-        table[i] = c;
-    }
-    return table;
-}
-
-constexpr std::array<std::uint32_t, 256> crc_table = makeCrcTable();
-
-/** Little-endian append-only byte sink. */
-class ByteWriter
-{
-  public:
-    explicit ByteWriter(std::vector<std::uint8_t> &out) : out_(out) {}
-
-    void
-    u8(std::uint8_t v)
-    {
-        out_.push_back(v);
-    }
-
-    void
-    u16(std::uint16_t v)
-    {
-        out_.push_back(static_cast<std::uint8_t>(v));
-        out_.push_back(static_cast<std::uint8_t>(v >> 8));
-    }
-
-    void
-    u32(std::uint32_t v)
-    {
-        for (int i = 0; i < 4; ++i)
-            out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-    }
-
-    void
-    u64(std::uint64_t v)
-    {
-        for (int i = 0; i < 8; ++i)
-            out_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
-    }
-
-    void
-    f64(double v)
-    {
-        u64(std::bit_cast<std::uint64_t>(v));
-    }
-
-  private:
-    std::vector<std::uint8_t> &out_;
-};
-
-/**
- * Bounds-checked little-endian reader: every getter returns a value
- * and trips `failed` instead of reading past the end. Callers check
- * ok() once per structural unit, so a truncated payload degrades into
- * a single Malformed verdict rather than UB.
- */
-class ByteReader
-{
-  public:
-    explicit ByteReader(std::span<const std::uint8_t> data)
-        : data_(data)
-    {
-    }
-
-    bool ok() const { return !failed_; }
-    std::size_t remaining() const { return data_.size() - pos_; }
-    bool atEnd() const { return pos_ == data_.size(); }
-
-    std::uint8_t
-    u8()
-    {
-        if (remaining() < 1) {
-            failed_ = true;
-            return 0;
-        }
-        return data_[pos_++];
-    }
-
-    std::uint16_t
-    u16()
-    {
-        return static_cast<std::uint16_t>(fixed(2));
-    }
-
-    std::uint32_t
-    u32()
-    {
-        return static_cast<std::uint32_t>(fixed(4));
-    }
-
-    std::uint64_t u64() { return fixed(8); }
-
-    double
-    f64()
-    {
-        return std::bit_cast<double>(fixed(8));
-    }
-
-  private:
-    std::uint64_t
-    fixed(std::size_t bytes)
-    {
-        if (remaining() < bytes) {
-            failed_ = true;
-            pos_ = data_.size();
-            return 0;
-        }
-        std::uint64_t v = 0;
-        for (std::size_t i = 0; i < bytes; ++i)
-            v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
-        pos_ += bytes;
-        return v;
-    }
-
-    std::span<const std::uint8_t> data_;
-    std::size_t pos_ = 0;
-    bool failed_ = false;
-};
 
 void
 writeSummary(ByteWriter &w, const stats::RunningSummary &s)
@@ -287,7 +159,7 @@ readRecord(ByteReader &r, core::JobRecord &rec)
     // Enum-range and numeric sanity: every rejected condition here
     // would otherwise surface later as a contract abort or a poisoned
     // sketch (the KLL rejects NaN samples with a DCHECK).
-    if (interface >= num_interfaces || terminal > 4 ||
+    if (interface >= num_interfaces || terminal >= num_terminal_states ||
         true_class >= num_lifecycles || has_timeseries > 1)
         return false;
     if (!std::isfinite(rec.submit_time) ||
@@ -375,10 +247,9 @@ toString(DecodeStatus status)
 std::uint32_t
 crc32(std::span<const std::uint8_t> bytes)
 {
-    std::uint32_t crc = 0xffffffffu;
-    for (std::uint8_t b : bytes)
-        crc = crc_table[(crc ^ b) & 0xffu] ^ (crc >> 8);
-    return crc ^ 0xffffffffu;
+    // The wire format's checksum is the shared CRC-32 implementation;
+    // this alias keeps the svc public API stable.
+    return aiwc::crc32(bytes);
 }
 
 std::vector<std::uint8_t>

@@ -20,6 +20,8 @@
 #include "aiwc/common/parallel.hh"
 #include "aiwc/obs/trace.hh"
 #include "aiwc/core/bottleneck_analyzer.hh"
+#include "aiwc/core/csv_loader.hh"
+#include "aiwc/fmt/trace.hh"
 #include "aiwc/core/correlation_analyzer.hh"
 #include "aiwc/core/lifecycle_analyzer.hh"
 #include "aiwc/core/power_analyzer.hh"
@@ -276,6 +278,42 @@ TEST(Determinism, StreamSnapshotIsThreadCountInvariant)
 
     EXPECT_EQ(serial.rows, trace.dataset.size());
     EXPECT_EQ(snapshotDigest(serial), snapshotDigest(threaded));
+}
+
+TEST(Determinism, BinaryTraceMatchesCsvAcrossThreadCounts)
+{
+    // The trace-format guarantee: a Dataset loaded from the binary
+    // trace must drive every analyzer to byte-identical output vs the
+    // CSV-parsed dataset it encodes, at any thread count. Raw
+    // accumulator serialization (not derived moments) is what makes
+    // this exact rather than epsilon-close.
+    const auto trace = synthesize(1234);
+    std::stringstream csv;
+    trace.dataset.writeCsv(csv);
+    const core::Dataset from_csv = core::loadDatasetCsv(csv);
+    ASSERT_GT(from_csv.size(), 0u);
+
+    const auto encoded = fmt::encodeTrace(from_csv);
+    auto loaded = fmt::decodeTrace(encoded);
+    ASSERT_TRUE(loaded.ok()) << loaded.error;
+    ASSERT_EQ(loaded.dataset.size(), from_csv.size());
+    EXPECT_EQ(fmt::contentDigest(from_csv),
+              fmt::contentDigest(loaded.dataset));
+    EXPECT_EQ(completionDigest(from_csv),
+              completionDigest(loaded.dataset));
+
+    const int before = globalThreadCount();
+    setGlobalThreadCount(1);
+    const auto csv_serial = analysisDigest(from_csv);
+    const auto bin_serial = analysisDigest(loaded.dataset);
+    setGlobalThreadCount(8);
+    const auto csv_threaded = analysisDigest(from_csv);
+    const auto bin_threaded = analysisDigest(loaded.dataset);
+    setGlobalThreadCount(before);
+
+    EXPECT_EQ(csv_serial, bin_serial);
+    EXPECT_EQ(csv_threaded, bin_threaded);
+    EXPECT_EQ(csv_serial, csv_threaded);
 }
 
 TEST(Determinism, SynthesisIsThreadCountInvariant)

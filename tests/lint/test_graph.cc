@@ -125,6 +125,26 @@ TEST(LintGraph, LayerSpecParsesAndMapsLongestPrefix)
     EXPECT_EQ(spec.unconstrained.count("tests"), 1u);
 }
 
+TEST(LintGraph, LayerSpecMapsTraceFormatDirectories)
+{
+    // The fmt module splits across src/include/aiwc/fmt and src/fmt
+    // like every library module, while the aiwc-trace CLI lives under
+    // tools/ — both shapes must resolve by longest prefix.
+    const char spec_text[] =
+        "module base src/include/aiwc/base src/base\n"
+        "allow base\n"
+        "module fmt src/include/aiwc/fmt src/fmt\n"
+        "allow fmt base\n"
+        "module trace tools/aiwc-trace\n"
+        "allow trace base fmt\n";
+    LayerSpec spec;
+    std::string err;
+    ASSERT_TRUE(LayerSpec::parse(spec_text, spec, err)) << err;
+    EXPECT_EQ(spec.moduleOf("src/fmt/trace.cc"), "fmt");
+    EXPECT_EQ(spec.moduleOf("src/include/aiwc/fmt/mmap_file.hh"), "fmt");
+    EXPECT_EQ(spec.moduleOf("tools/aiwc-trace/main.cc"), "trace");
+}
+
 TEST(LintGraph, LayerSpecRejectsMalformedSpecs)
 {
     LayerSpec spec;

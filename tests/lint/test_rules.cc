@@ -251,6 +251,23 @@ TEST(LintRules, MetricNameCoversStreamingDirectories)
     EXPECT_EQ(countRule(bad, "metric-name"), 1);
 }
 
+TEST(LintRules, MetricNameCoversTraceFormatDirectory)
+{
+    // aiwc::fmt registers the trace encode/decode/reject counters; the
+    // naming law applies in src/fmt like everywhere else under src/.
+    const auto good = lintSource(
+        "src/fmt/trace.cc",
+        "r.counter(\"aiwc.fmt.traces_encoded\");\n"
+        "r.counter(\"aiwc.fmt.traces_decoded\");\n"
+        "r.counter(\"aiwc.fmt.decode_rejects\");\n");
+    EXPECT_EQ(countRule(good, "metric-name"), 0);
+
+    const auto bad = lintSource(
+        "src/fmt/trace.cc",
+        "r.counter(\"fmt.decode_rejects\");\n");  // missing aiwc.
+    EXPECT_EQ(countRule(bad, "metric-name"), 1);
+}
+
 TEST(LintRules, MetricNameScopedToSrc)
 {
     // Registry mechanics tests use arbitrary names on purpose.

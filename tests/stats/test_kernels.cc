@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Columnar kernel tests: gathers must equal the serial loop
+ * bit-for-bit at every thread count (slot-addressed writes make this
+ * structural, but the contract deserves a direct check), and
+ * partitionByKey must be a stable bucket sort.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "aiwc/common/parallel.hh"
+#include "aiwc/stats/kernels.hh"
+
+namespace aiwc::stats
+{
+namespace
+{
+
+std::vector<double>
+column(std::size_t n)
+{
+    std::vector<double> col(n);
+    for (std::size_t i = 0; i < n; ++i)
+        col[i] = 0.37 * static_cast<double>(i) + 0.001;
+    return col;
+}
+
+std::vector<std::uint32_t>
+everyOther(std::size_t n)
+{
+    std::vector<std::uint32_t> idx;
+    for (std::size_t i = 0; i < n; i += 2)
+        idx.push_back(static_cast<std::uint32_t>(i));
+    return idx;
+}
+
+TEST(Kernels, GatherMatchesSerialLoopAtAnyThreadCount)
+{
+    const auto col = column(1000);
+    const auto idx = everyOther(1000);
+    std::vector<double> expect_plain(idx.size());
+    std::vector<double> expect_scaled(idx.size());
+    std::vector<double> expect_divided(idx.size());
+    for (std::size_t i = 0; i < idx.size(); ++i) {
+        expect_plain[i] = col[idx[i]];
+        expect_scaled[i] = 100.0 * col[idx[i]];
+        expect_divided[i] = col[idx[i]] / 60.0;
+    }
+
+    const int before = globalThreadCount();
+    for (const int threads : {1, 3, 8}) {
+        setGlobalThreadCount(threads);
+        EXPECT_EQ(gather(col, idx), expect_plain);
+        EXPECT_EQ(gatherScaled(col, idx, 100.0), expect_scaled);
+        EXPECT_EQ(gatherDivided(col, idx, 60.0), expect_divided);
+    }
+    setGlobalThreadCount(before);
+}
+
+TEST(Kernels, ScaleAndDivideAreDistinctRoundings)
+{
+    // 100.0 * x and x / 0.01 are different operations with different
+    // roundings; the kernels exist separately for exactly this reason.
+    const std::vector<double> col = {0.07};
+    const std::vector<std::uint32_t> idx = {0};
+    EXPECT_EQ(gatherScaled(col, idx, 100.0)[0], 100.0 * 0.07);
+    EXPECT_EQ(gatherDivided(col, idx, 60.0)[0], 0.07 / 60.0);
+}
+
+TEST(Kernels, GatherEmptyIndex)
+{
+    const auto col = column(10);
+    EXPECT_TRUE(gather(col, {}).empty());
+    EXPECT_TRUE(gatherScaled(col, {}, 2.0).empty());
+}
+
+TEST(Kernels, PartitionByKeyIsAStableBucketSort)
+{
+    // Rows 0..7, keys cycling 2,0,1: each bucket must list its rows in
+    // idx order.
+    const std::vector<std::uint32_t> idx = {0, 1, 2, 3, 4, 5, 6, 7};
+    const std::vector<std::uint32_t> key = {2, 0, 1, 2, 0, 1, 2, 0};
+    const BucketPartition part = partitionByKey(idx, key, 3);
+
+    ASSERT_EQ(part.offsets.size(), 4u);
+    EXPECT_EQ(part.offsets[0], 0u);
+    ASSERT_EQ(part.rows.size(), idx.size());
+
+    const std::vector<std::uint32_t> bucket0 = {1, 4, 7};
+    const std::vector<std::uint32_t> bucket1 = {2, 5};
+    const std::vector<std::uint32_t> bucket2 = {0, 3, 6};
+    auto bucket = [&](std::size_t k) {
+        return std::vector<std::uint32_t>(
+            part.rows.begin() + part.offsets[k],
+            part.rows.begin() + part.offsets[k + 1]);
+    };
+    EXPECT_EQ(bucket(0), bucket0);
+    EXPECT_EQ(bucket(1), bucket1);
+    EXPECT_EQ(bucket(2), bucket2);
+}
+
+TEST(Kernels, PartitionByKeyHandlesFilteredIndices)
+{
+    // idx need not be contiguous — it is typically the filtered GPU
+    // row set; key is indexed by row value, not by idx position.
+    const std::vector<std::uint32_t> idx = {5, 1, 3};
+    const std::vector<std::uint32_t> key = {9, 0, 9, 1, 9, 0};
+    const BucketPartition part = partitionByKey(idx, key, 2);
+    const std::vector<std::uint32_t> bucket0 = {5, 1};
+    const std::vector<std::uint32_t> bucket1 = {3};
+    EXPECT_EQ(std::vector<std::uint32_t>(
+                  part.rows.begin() + part.offsets[0],
+                  part.rows.begin() + part.offsets[1]),
+              bucket0);
+    EXPECT_EQ(std::vector<std::uint32_t>(
+                  part.rows.begin() + part.offsets[1],
+                  part.rows.begin() + part.offsets[2]),
+              bucket1);
+}
+
+TEST(Kernels, PartitionByKeyEmpty)
+{
+    const BucketPartition part = partitionByKey({}, {}, 4);
+    EXPECT_TRUE(part.rows.empty());
+    ASSERT_EQ(part.offsets.size(), 5u);
+    for (const std::uint32_t off : part.offsets)
+        EXPECT_EQ(off, 0u);
+}
+
+} // namespace
+} // namespace aiwc::stats
