@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# aiwc-lint timing guard: full-tree cold and warm runs against the
+# checked-in budget. The lock-set and lock-order layers (v3) must not
+# quietly erode the "fast enough to run on every save" property the
+# incremental cache bought in v2, so this script *warns* — never fails
+# — when either run exceeds 2x the recorded v2 numbers (cold 0.06 s,
+# warm 0.02 s on the CI runner class). Treat a warning as a prompt to
+# profile, not a gate: wall time on shared runners is noisy.
+#
+# Usage:
+#   scripts/lint_bench.sh [--build-dir DIR]
+#
+# Prints one line per run (cold = empty cache, warm = second run over
+# the same cache) plus a LINT-BENCH-WARN line when over budget.
+# Always exits 0 unless the tool itself cannot be built or run.
+set -u
+
+cd "$(dirname "$0")/.."
+
+build_dir=build
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --build-dir) shift; build_dir=$1 ;;
+        *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+# 2x the v2 baseline (PR 6: cold 0.06 s, warm 0.02 s), in milliseconds.
+cold_budget_ms=120
+warm_budget_ms=40
+
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+    echo "lint-bench: configuring $build_dir"
+    cmake -B "$build_dir" -S . >/dev/null || exit 2
+fi
+cmake --build "$build_dir" --target aiwc-lint >/dev/null || exit 2
+lint="$build_dir/tools/aiwc-lint/aiwc-lint"
+
+cache=$(mktemp -t aiwc-lint-bench-cache.XXXXXX)
+trap 'rm -f "$cache"' EXIT
+rm -f "$cache"
+
+# Millisecond wall clock for one full-tree run; findings don't matter
+# here (exit 1 is fine), only an internal error (exit 2) aborts.
+run_ms() {
+    local t0 t1 rc
+    t0=$(date +%s%N)
+    "$lint" --cache "$cache" >/dev/null 2>&1
+    rc=$?
+    t1=$(date +%s%N)
+    if [ "$rc" -eq 2 ]; then
+        echo "lint-bench: aiwc-lint internal error" >&2
+        exit 2
+    fi
+    echo $(( (t1 - t0) / 1000000 ))
+}
+
+cold_ms=$(run_ms)   # cache file absent: every file analyzed
+warm_ms=$(run_ms)   # second run: everything served from the cache
+
+echo "lint-bench: cold ${cold_ms} ms (budget ${cold_budget_ms} ms)"
+echo "lint-bench: warm ${warm_ms} ms (budget ${warm_budget_ms} ms)"
+
+if [ "$cold_ms" -gt "$cold_budget_ms" ]; then
+    echo "LINT-BENCH-WARN: cold run ${cold_ms} ms exceeds 2x the v2" \
+         "baseline (${cold_budget_ms} ms) — profile before it ratchets"
+fi
+if [ "$warm_ms" -gt "$warm_budget_ms" ]; then
+    echo "LINT-BENCH-WARN: warm run ${warm_ms} ms exceeds 2x the v2" \
+         "baseline (${warm_budget_ms} ms) — the cache path regressed"
+fi
+exit 0

@@ -16,9 +16,9 @@ namespace
 thread_local bool worker_thread = false;
 
 // aiwc-lint: allow(mutable-global) -- guards the lazy global pool below
-std::mutex global_pool_mutex;
+Mutex global_pool_mutex;
 // aiwc-lint: allow(mutable-global) -- the sanctioned pool singleton; geometry fixed by config, mutex-guarded, shard merges stay index-ordered
-std::unique_ptr<ThreadPool> global_pool;
+std::unique_ptr<ThreadPool> global_pool AIWC_GUARDED_BY(global_pool_mutex);
 
 } // namespace
 
@@ -37,7 +37,7 @@ ThreadPool::ThreadPool(int threads) : threads_(threads)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stop_ = true;
     }
     cv_.notify_all();
@@ -50,7 +50,7 @@ ThreadPool::submit(std::function<void()> task)
 {
     AIWC_DCHECK(task != nullptr, "null task submitted to thread pool");
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         AIWC_CHECK(!stop_, "submit() on a stopping thread pool");
         queue_.push_back(std::move(task));
     }
@@ -64,9 +64,12 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock,
-                     [this] { return stop_ || !queue_.empty(); });
+            MutexLock lock(mutex_);
+            // Explicit predicate loop (not a wait-with-predicate
+            // lambda): the thread-safety analysis checks the guarded
+            // reads, and spurious wakeups re-test the same condition.
+            while (!stop_ && queue_.empty())
+                cv_.wait(mutex_);
             if (queue_.empty())
                 return;  // stop_ set and the queue is drained
             task = std::move(queue_.front());
@@ -111,7 +114,7 @@ defaultThreadCount()
 ThreadPool &
 globalPool()
 {
-    std::lock_guard<std::mutex> lock(global_pool_mutex);
+    MutexLock lock(global_pool_mutex);
     if (!global_pool)
         global_pool = std::make_unique<ThreadPool>(defaultThreadCount());
     return *global_pool;
@@ -122,7 +125,7 @@ setGlobalThreadCount(int threads)
 {
     AIWC_CHECK(threads >= 1, "global thread count must be >= 1, got ",
                threads);
-    std::lock_guard<std::mutex> lock(global_pool_mutex);
+    MutexLock lock(global_pool_mutex);
     if (global_pool && global_pool->threads() == threads)
         return;
     global_pool.reset();  // join the old workers before rebuilding

@@ -27,16 +27,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
+#include "aiwc/base/mutex.hh"
+#include "aiwc/base/thread_annotations.hh"
 #include "aiwc/obs/trace.hh"
 
 namespace aiwc
@@ -78,10 +78,10 @@ class ThreadPool
 
     int threads_;
     std::vector<std::thread> workers_;
-    std::deque<std::function<void()>> queue_;
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    bool stop_ = false;
+    Mutex mutex_;
+    CondVar cv_;
+    std::deque<std::function<void()>> queue_ AIWC_GUARDED_BY(mutex_);
+    bool stop_ AIWC_GUARDED_BY(mutex_) = false;
     /** Workers currently inside a task (pool-occupancy metric). */
     std::atomic<int> active_{0};
 };
@@ -153,7 +153,7 @@ class TaskGroup
     void
     done()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         if (--remaining_ == 0)
             cv_.notify_all();
     }
@@ -161,14 +161,17 @@ class TaskGroup
     void
     wait()
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_.wait(lock, [this] { return remaining_ == 0; });
+        MutexLock lock(mutex_);
+        // Explicit predicate re-check loop: the thread-safety analysis
+        // sees the guarded read, and spurious wakeups stay harmless.
+        while (remaining_ != 0)
+            cv_.wait(mutex_);
     }
 
   private:
-    std::mutex mutex_;
-    std::condition_variable cv_;
-    std::size_t remaining_;
+    Mutex mutex_;
+    CondVar cv_;
+    std::size_t remaining_ AIWC_GUARDED_BY(mutex_);
 };
 
 /**

@@ -33,9 +33,11 @@
 #include <iosfwd>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "aiwc/base/mutex.hh"
+#include "aiwc/base/thread_annotations.hh"
 
 namespace aiwc::obs
 {
@@ -213,8 +215,8 @@ class MetricsRegistry
 
     Entry &lookup(const std::string &name, Kind kind);
 
-    mutable std::mutex mutex_;
-    std::map<std::string, Entry> metrics_;
+    mutable Mutex mutex_;
+    std::map<std::string, Entry> metrics_ AIWC_GUARDED_BY(mutex_);
 };
 
 } // namespace aiwc::obs

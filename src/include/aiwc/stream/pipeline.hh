@@ -17,10 +17,11 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "aiwc/base/mutex.hh"
+#include "aiwc/base/thread_annotations.hh"
 #include "aiwc/common/types.hh"
 #include "aiwc/core/job_record.hh"
 #include "aiwc/sketch/reservoir.hh"
@@ -108,47 +109,67 @@ class StreamPipeline
     const StreamOptions &options() const { return options_; }
 
     // Per-figure analyzers, exposed for the equivalence harnesses.
-    const StreamingServiceTime &serviceTime() const
+    // Invariant: these lock-free reads are sanctioned for the
+    // single-threaded harness only — the caller owns the pipeline and
+    // no ingest/merge/snapshot runs concurrently (class comment), so
+    // the guarded state cannot be torn. Concurrent readers must go
+    // through snapshot().
+    const StreamingServiceTime &
+    serviceTime() const AIWC_NO_THREAD_SAFETY_ANALYSIS
     {
+        // aiwc-lint: allow(guarded-field) -- single-threaded harness accessor; caller quiesces the pipeline (see invariant above)
         return service_time_;
     }
-    const StreamingUtilization &utilization() const
+    const StreamingUtilization &
+    utilization() const AIWC_NO_THREAD_SAFETY_ANALYSIS
     {
+        // aiwc-lint: allow(guarded-field) -- single-threaded harness accessor; caller quiesces the pipeline (see invariant above)
         return utilization_;
     }
-    const StreamingPower &power() const { return power_; }
-    const StreamingUserBehavior &userBehavior() const
+    const StreamingPower &
+    power() const AIWC_NO_THREAD_SAFETY_ANALYSIS
     {
+        // aiwc-lint: allow(guarded-field) -- single-threaded harness accessor; caller quiesces the pipeline (see invariant above)
+        return power_;
+    }
+    const StreamingUserBehavior &
+    userBehavior() const AIWC_NO_THREAD_SAFETY_ANALYSIS
+    {
+        // aiwc-lint: allow(guarded-field) -- single-threaded harness accessor; caller quiesces the pipeline (see invariant above)
         return user_behavior_;
     }
-    const sketch::ReservoirSample &exemplars() const
+    const sketch::ReservoirSample &
+    exemplars() const AIWC_NO_THREAD_SAFETY_ANALYSIS
     {
+        // aiwc-lint: allow(guarded-field) -- single-threaded harness accessor; caller quiesces the pipeline (see invariant above)
         return exemplars_;
     }
 
   private:
     /** Member-wise copy with @p other's lock already held. */
     StreamPipeline(const StreamPipeline &other,
-                   const std::lock_guard<std::mutex> &other_lock);
+                   const MutexLock &other_lock)
+        AIWC_REQUIRES(other.mutex_);
 
-    /** Unlocked bodies shared by the locking public entry points. */
-    std::size_t sketchBytesLocked() const;
+    /** Unlocked body shared by the locking public entry points. */
+    std::size_t sketchBytesLocked() const AIWC_REQUIRES(mutex_);
 
     /**
      * Serializes ingest/merge/snapshot (see class comment). mutable:
      * snapshot() is const yet must exclude concurrent mutation.
      */
-    mutable std::mutex mutex_;
+    mutable Mutex mutex_;
+    /** Immutable after construction; operator= holds both locks. */
     StreamOptions options_;
-    std::uint64_t rows_ = 0;
-    std::uint64_t gpu_jobs_ = 0;
-    std::uint64_t cpu_jobs_ = 0;
-    StreamingServiceTime service_time_;
-    StreamingUtilization utilization_;
-    StreamingPower power_;
-    StreamingUserBehavior user_behavior_;
+    std::uint64_t rows_ AIWC_GUARDED_BY(mutex_) = 0;
+    std::uint64_t gpu_jobs_ AIWC_GUARDED_BY(mutex_) = 0;
+    std::uint64_t cpu_jobs_ AIWC_GUARDED_BY(mutex_) = 0;
+    StreamingServiceTime service_time_ AIWC_GUARDED_BY(mutex_);
+    StreamingUtilization utilization_ AIWC_GUARDED_BY(mutex_);
+    StreamingPower power_ AIWC_GUARDED_BY(mutex_);
+    StreamingUserBehavior user_behavior_ AIWC_GUARDED_BY(mutex_);
     /** Exemplar GPU-job runtimes (minutes), keyed by job id. */
-    sketch::ReservoirSample exemplars_;
+    sketch::ReservoirSample exemplars_ AIWC_GUARDED_BY(mutex_);
 };
 
 /**

@@ -35,10 +35,11 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "aiwc/base/mutex.hh"
+#include "aiwc/base/thread_annotations.hh"
 #include "aiwc/core/job_record.hh"
 #include "aiwc/stream/pipeline.hh"
 #include "aiwc/svc/frame.hh"
@@ -161,11 +162,19 @@ class Service
         explicit Tenant(const ServiceOptions &options);
 
         /** Guards everything below; see file-comment lock order. */
-        mutable std::mutex mutex;
-        std::deque<std::vector<core::JobRecord>> queue;
-        std::size_t queued_records = 0;
-        std::uint64_t ingested = 0;
-        std::vector<stream::StreamPipeline> shards;
+        mutable Mutex mutex;
+        std::deque<std::vector<core::JobRecord>> queue
+            AIWC_GUARDED_BY(mutex);
+        std::size_t queued_records AIWC_GUARDED_BY(mutex) = 0;
+        std::uint64_t ingested AIWC_GUARDED_BY(mutex) = 0;
+        /**
+         * The vector's geometry is fixed at construction; the guarded
+         * state is the shard *elements*, which additionally serialize
+         * on their own pipeline mutexes (lock order: tenant before
+         * pipeline, tools/aiwc-lint/locks.txt).
+         */
+        std::vector<stream::StreamPipeline> shards
+            AIWC_GUARDED_BY(mutex);
     };
 
     /** Find-or-create; returns a pointer stable for the Service's life. */
@@ -173,9 +182,10 @@ class Service
     const Tenant *findTenant(std::uint64_t id) const;
 
     ServiceOptions options_;
-    mutable std::mutex registry_mutex_;
+    mutable Mutex registry_mutex_;
     /** std::map: tenant iteration order must be deterministic. */
-    std::map<std::uint64_t, std::unique_ptr<Tenant>> tenants_;
+    std::map<std::uint64_t, std::unique_ptr<Tenant>> tenants_
+        AIWC_GUARDED_BY(registry_mutex_);
 };
 
 } // namespace aiwc::svc

@@ -82,7 +82,7 @@ MetricsRegistry::Entry &
 MetricsRegistry::lookup(const std::string &name, Kind kind)
 {
     AIWC_CHECK(!name.empty(), "metric needs a name");
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     auto [it, inserted] = metrics_.try_emplace(name);
     Entry &entry = it->second;
     if (inserted) {
@@ -126,7 +126,7 @@ MetricsRegistry::histogram(const std::string &name)
 std::vector<MetricSample>
 MetricsRegistry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<MetricSample> samples;
     samples.reserve(metrics_.size());
     for (const auto &[name, entry] : metrics_) {
@@ -197,7 +197,7 @@ MetricsRegistry::writeJson(std::ostream &os) const
 void
 MetricsRegistry::resetValues()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (auto &[name, entry] : metrics_) {
         switch (entry.kind) {
           case Kind::Counter: entry.counter->reset(); break;

@@ -12,6 +12,8 @@
 #include <vector>
 
 #include "aiwc/base/logging.hh"
+#include "aiwc/base/mutex.hh"
+#include "aiwc/base/thread_annotations.hh"
 
 namespace aiwc::obs
 {
@@ -36,8 +38,10 @@ struct TraceEvent
  */
 struct ThreadBuffer
 {
-    std::mutex mutex;
-    std::vector<TraceEvent> events;
+    Mutex mutex;
+    std::vector<TraceEvent> events AIWC_GUARDED_BY(mutex);
+    // Written once under the collector's registry mutex before the
+    // buffer pointer escapes to its owning thread; immutable after.
     std::uint32_t tid = 0;
 };
 
@@ -56,7 +60,7 @@ class TraceCollector
     {
         thread_local ThreadBuffer *buffer = nullptr;
         if (buffer == nullptr) {
-            std::lock_guard<std::mutex> lock(mutex_);
+            MutexLock lock(mutex_);
             auto owned = std::make_unique<ThreadBuffer>();
             owned->tid = static_cast<std::uint32_t>(buffers_.size());
             buffer = owned.get();
@@ -68,10 +72,10 @@ class TraceCollector
     std::vector<TraceEvent>
     collect() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         std::vector<TraceEvent> all;
         for (const auto &buffer : buffers_) {
-            std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+            MutexLock buffer_lock(buffer->mutex);
             all.insert(all.end(), buffer->events.begin(),
                        buffer->events.end());
         }
@@ -81,9 +85,9 @@ class TraceCollector
     void
     clear()
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         for (const auto &buffer : buffers_) {
-            std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+            MutexLock buffer_lock(buffer->mutex);
             buffer->events.clear();
         }
     }
@@ -91,18 +95,19 @@ class TraceCollector
     std::size_t
     eventCount() const
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         std::size_t n = 0;
         for (const auto &buffer : buffers_) {
-            std::lock_guard<std::mutex> buffer_lock(buffer->mutex);
+            MutexLock buffer_lock(buffer->mutex);
             n += buffer->events.size();
         }
         return n;
     }
 
   private:
-    mutable std::mutex mutex_;
-    std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+    mutable Mutex mutex_;
+    std::vector<std::unique_ptr<ThreadBuffer>> buffers_
+        AIWC_GUARDED_BY(mutex_);
 };
 
 // aiwc-lint: allow(mutable-global) -- trace arm/disarm flag; obs/ is observability-only and barred from influencing results
@@ -253,7 +258,7 @@ void
 recordSpan(std::string name, std::uint64_t start_ns, std::uint64_t dur_ns)
 {
     ThreadBuffer &buffer = TraceCollector::instance().local();
-    std::lock_guard<std::mutex> lock(buffer.mutex);
+    MutexLock lock(buffer.mutex);
     buffer.events.push_back(
         TraceEvent{std::move(name), start_ns, dur_ns, buffer.tid});
 }

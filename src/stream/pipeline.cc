@@ -79,13 +79,19 @@ StreamPipeline::StreamPipeline(StreamOptions options)
                "snapshot needs at least two quantile levels");
 }
 
+// The delegating copy constructor pins @p other with a temporary
+// MutexLock that lives until the target constructor returns; the
+// analysis cannot track a scoped capability held by a temporary, so
+// the handoff is exempted and the REQUIRES contract sits on the
+// lock-token constructor instead.
 StreamPipeline::StreamPipeline(const StreamPipeline &other)
-    : StreamPipeline(other, std::lock_guard<std::mutex>(other.mutex_))
+    AIWC_NO_THREAD_SAFETY_ANALYSIS
+    : StreamPipeline(other, MutexLock(other.mutex_))
 {
 }
 
 StreamPipeline::StreamPipeline(const StreamPipeline &other,
-                               const std::lock_guard<std::mutex> &)
+                               const MutexLock &)
     : options_(other.options_), rows_(other.rows_),
       gpu_jobs_(other.gpu_jobs_), cpu_jobs_(other.cpu_jobs_),
       service_time_(other.service_time_),
@@ -99,7 +105,7 @@ StreamPipeline::operator=(const StreamPipeline &other)
 {
     if (this == &other)
         return *this;
-    std::scoped_lock lock(mutex_, other.mutex_);
+    MutexLock2 lock(mutex_, other.mutex_);
     options_ = other.options_;
     rows_ = other.rows_;
     gpu_jobs_ = other.gpu_jobs_;
@@ -115,7 +121,7 @@ StreamPipeline::operator=(const StreamPipeline &other)
 void
 StreamPipeline::ingest(const core::JobRecord &rec)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++rows_;
     rowsCounter().add(1);
     if (rec.isGpuJob()) {
@@ -136,7 +142,7 @@ void
 StreamPipeline::merge(const StreamPipeline &other)
 {
     AIWC_CHECK(this != &other, "pipeline cannot merge with itself");
-    std::scoped_lock lock(mutex_, other.mutex_);
+    MutexLock2 lock(mutex_, other.mutex_);
     AIWC_CHECK(options_ == other.options_,
                "pipeline merge requires identical stream options");
     mergesCounter().add(1);
@@ -154,7 +160,7 @@ SnapshotReport
 StreamPipeline::snapshot() const
 {
     obs::ScopedTimer timer(snapshotNsHistogram(), "stream.snapshot");
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     snapshotsCounter().add(1);
     sketchBytesGauge().set(
         static_cast<std::int64_t>(sketchBytesLocked()));
@@ -215,14 +221,14 @@ StreamPipeline::snapshot() const
 std::uint64_t
 StreamPipeline::rows() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return rows_;
 }
 
 std::size_t
 StreamPipeline::sketchBytes() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return sketchBytesLocked();
 }
 

@@ -120,7 +120,7 @@ Service::enqueueBatch(std::uint64_t tenant_id,
                       std::vector<core::JobRecord> &&batch)
 {
     Tenant &tenant = tenantFor(tenant_id);
-    std::lock_guard<std::mutex> lock(tenant.mutex);
+    MutexLock lock(tenant.mutex);
     // An empty queue always admits: a batch larger than the whole
     // budget must still be able to make progress eventually.
     if (tenant.queued_records > 0 &&
@@ -145,7 +145,7 @@ Service::drain()
     // before the fan-out (lock order: registry before tenant).
     std::vector<Tenant *> tenants;
     {
-        std::lock_guard<std::mutex> lock(registry_mutex_);
+        MutexLock lock(registry_mutex_);
         tenants.reserve(tenants_.size());
         for (const auto &[id, tenant] : tenants_)
             tenants.push_back(tenant.get());
@@ -153,13 +153,13 @@ Service::drain()
     std::atomic<std::size_t> total{0};
     parallelFor(globalPool(), tenants.size(), [&](std::size_t i) {
         Tenant &tenant = *tenants[i];
-        const std::size_t shard_count = tenant.shards.size();
         for (;;) {
             // One batch per lock hold: snapshots interleave at batch
             // boundaries instead of waiting out the whole backlog.
-            std::lock_guard<std::mutex> lock(tenant.mutex);
+            MutexLock lock(tenant.mutex);
             if (tenant.queue.empty())
                 break;
+            const std::size_t shard_count = tenant.shards.size();
             std::vector<core::JobRecord> batch =
                 std::move(tenant.queue.front());
             tenant.queue.pop_front();
@@ -187,7 +187,7 @@ Service::snapshot(std::uint64_t tenant_id) const
     const Tenant *tenant = findTenant(tenant_id);
     AIWC_CHECK(tenant != nullptr, "snapshot of unknown tenant ",
                tenant_id, "; probe with hasTenant() first");
-    std::lock_guard<std::mutex> lock(tenant->mutex);
+    MutexLock lock(tenant->mutex);
     snapshotsCounter().add(1);
     return stream::snapshotShards(tenant->shards);
 }
@@ -201,7 +201,7 @@ Service::hasTenant(std::uint64_t tenant_id) const
 std::vector<std::uint64_t>
 Service::tenantIds() const
 {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     std::vector<std::uint64_t> ids;
     ids.reserve(tenants_.size());
     for (const auto &[id, tenant] : tenants_)
@@ -215,7 +215,7 @@ Service::queuedRecords(std::uint64_t tenant_id) const
     const Tenant *tenant = findTenant(tenant_id);
     if (tenant == nullptr)
         return 0;
-    std::lock_guard<std::mutex> lock(tenant->mutex);
+    MutexLock lock(tenant->mutex);
     return tenant->queued_records;
 }
 
@@ -225,7 +225,7 @@ Service::ingestedRecords(std::uint64_t tenant_id) const
     const Tenant *tenant = findTenant(tenant_id);
     if (tenant == nullptr)
         return 0;
-    std::lock_guard<std::mutex> lock(tenant->mutex);
+    MutexLock lock(tenant->mutex);
     return tenant->ingested;
 }
 
@@ -234,14 +234,14 @@ Service::sketchBytes() const
 {
     std::vector<const Tenant *> tenants;
     {
-        std::lock_guard<std::mutex> lock(registry_mutex_);
+        MutexLock lock(registry_mutex_);
         tenants.reserve(tenants_.size());
         for (const auto &[id, tenant] : tenants_)
             tenants.push_back(tenant.get());
     }
     std::size_t bytes = 0;
     for (const Tenant *tenant : tenants) {
-        std::lock_guard<std::mutex> lock(tenant->mutex);
+        MutexLock lock(tenant->mutex);
         for (const stream::StreamPipeline &shard : tenant->shards)
             bytes += shard.sketchBytes();
     }
@@ -251,7 +251,7 @@ Service::sketchBytes() const
 Service::Tenant &
 Service::tenantFor(std::uint64_t id)
 {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     auto it = tenants_.find(id);
     if (it == tenants_.end()) {
         it = tenants_
@@ -265,7 +265,7 @@ Service::tenantFor(std::uint64_t id)
 const Service::Tenant *
 Service::findTenant(std::uint64_t id) const
 {
-    std::lock_guard<std::mutex> lock(registry_mutex_);
+    MutexLock lock(registry_mutex_);
     const auto it = tenants_.find(id);
     return it == tenants_.end() ? nullptr : it->second.get();
 }

@@ -1,0 +1,560 @@
+// Lock-model fixtures for the v3 concurrency rules: the lock-set
+// analysis behind lock-discipline's guard tracking (defer/adopt/early
+// unlock), guarded-field, requires-lock, the per-file lock-order edge
+// contribution, the locks.txt spec parser, and the whole-program
+// cycle check with its witness path. If an injected out-of-order
+// acquisition stops producing a lock-order-cycle, the CI gate is
+// decorative — this suite is what catches it.
+
+#include "locks.hh"
+
+#include <algorithm>
+#include <gtest/gtest.h>
+
+#include "analysis.hh"
+#include "rules.hh"
+
+namespace aiwc::lint
+{
+namespace
+{
+
+int
+countRule(const std::vector<Finding> &fs, const std::string &rule)
+{
+    return static_cast<int>(
+        std::count_if(fs.begin(), fs.end(),
+                      [&](const Finding &f) { return f.rule == rule; }));
+}
+
+const Finding *
+findRule(const std::vector<Finding> &fs, const std::string &rule)
+{
+    for (const Finding &f : fs)
+        if (f.rule == rule)
+            return &f;
+    return nullptr;
+}
+
+// --- guarded-field ---------------------------------------------------------
+
+TEST(LintLocks, GuardedFieldFlagsUnlockedAccessOnly)
+{
+    const auto fs = lintSource(
+        "src/core/x.cc",
+        "class Table {\n"
+        " public:\n"
+        "  int size() const { return n_; }\n"
+        "  void bump() {\n"
+        "    std::lock_guard<std::mutex> lock(mutex_);\n"
+        "    ++n_;\n"
+        "  }\n"
+        " private:\n"
+        "  mutable std::mutex mutex_;\n"
+        "  int n_ AIWC_GUARDED_BY(mutex_);\n"
+        "};\n");
+    EXPECT_EQ(countRule(fs, "guarded-field"), 1);
+    const Finding *f = findRule(fs, "guarded-field");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->line, 3);
+    EXPECT_NE(f->message.find("'n_'"), std::string::npos);
+    EXPECT_NE(f->message.find("'mutex_'"), std::string::npos);
+}
+
+TEST(LintLocks, GuardedFieldExemptsConstructorsAndDestructors)
+{
+    const auto fs = lintSource(
+        "src/core/x.cc",
+        "class Table {\n"
+        " public:\n"
+        "  Table() { n_ = 1; }\n"
+        "  ~Table() { n_ = 0; }\n"
+        " private:\n"
+        "  std::mutex mutex_;\n"
+        "  int n_ AIWC_GUARDED_BY(mutex_);\n"
+        "};\n");
+    EXPECT_EQ(countRule(fs, "guarded-field"), 0);
+}
+
+TEST(LintLocks, GuardedFieldHonorsSuppressions)
+{
+    const auto fs = lintSource(
+        "src/core/x.cc",
+        "class Table {\n"
+        " public:\n"
+        "  // aiwc-lint: allow(guarded-field) -- single-threaded "
+        "harness accessor\n"
+        "  int size() const { return n_; }\n"
+        " private:\n"
+        "  std::mutex mutex_;\n"
+        "  int n_ AIWC_GUARDED_BY(mutex_);\n"
+        "};\n");
+    EXPECT_EQ(countRule(fs, "guarded-field"), 0);
+}
+
+TEST(LintLocks, GuardedFieldSeesEarlyUnlock)
+{
+    // g.unlock() drops the lock-set mid-scope: the second access is
+    // unprotected even though the guard object is still alive.
+    const auto fs = lintSource(
+        "src/core/x.cc",
+        "class Table {\n"
+        "  void f() {\n"
+        "    std::unique_lock<std::mutex> g(mutex_);\n"
+        "    ++n_;\n"
+        "    g.unlock();\n"
+        "    ++n_;\n"
+        "  }\n"
+        "  std::mutex mutex_;\n"
+        "  int n_ AIWC_GUARDED_BY(mutex_);\n"
+        "};\n");
+    EXPECT_EQ(countRule(fs, "guarded-field"), 1);
+    const Finding *f = findRule(fs, "guarded-field");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->line, 6);
+}
+
+// --- requires-lock ---------------------------------------------------------
+
+TEST(LintLocks, RequiresLockFlagsUnheldCallee)
+{
+    const auto fs = lintSource(
+        "src/core/x.cc",
+        "class T {\n"
+        "  void flushLocked() AIWC_REQUIRES(mutex_);\n"
+        "  void bad() { flushLocked(); }\n"
+        "  void good() {\n"
+        "    std::lock_guard<std::mutex> l(mutex_);\n"
+        "    flushLocked();\n"
+        "  }\n"
+        "  std::mutex mutex_;\n"
+        "};\n");
+    EXPECT_EQ(countRule(fs, "requires-lock"), 1);
+    const Finding *f = findRule(fs, "requires-lock");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->line, 3);
+    EXPECT_NE(f->message.find("AIWC_REQUIRES"), std::string::npos);
+}
+
+TEST(LintLocks, ExcludesFlagsHeldCallee)
+{
+    const auto fs = lintSource(
+        "src/core/x.cc",
+        "class T {\n"
+        "  void reenter() AIWC_EXCLUDES(mutex_);\n"
+        "  void bad() {\n"
+        "    std::lock_guard<std::mutex> l(mutex_);\n"
+        "    reenter();\n"
+        "  }\n"
+        "  void good() { reenter(); }\n"
+        "  std::mutex mutex_;\n"
+        "};\n");
+    EXPECT_EQ(countRule(fs, "requires-lock"), 1);
+    const Finding *f = findRule(fs, "requires-lock");
+    ASSERT_NE(f, nullptr);
+    EXPECT_NE(f->message.find("self-deadlock"), std::string::npos);
+}
+
+TEST(LintLocks, RequiresLockResolvesThroughCompanionHeader)
+{
+    // The annotation lives on the declaration in the module header;
+    // the out-of-line definitions must still see it.
+    const std::string companion =
+        "class T {\n"
+        "  void flushLocked() AIWC_REQUIRES(mutex_);\n"
+        "  void tick();\n"
+        "  std::mutex mutex_;\n"
+        "  int n_ AIWC_GUARDED_BY(mutex_);\n"
+        "};\n";
+    const auto fs = lintSource("src/core/x.cc",
+                               "void T::flushLocked() { ++n_; }\n"
+                               "void T::tick() { flushLocked(); }\n",
+                               &companion);
+    // flushLocked()'s own body is clean: REQUIRES seeds its lock-set.
+    EXPECT_EQ(countRule(fs, "guarded-field"), 0);
+    // tick() calls it without the lock.
+    EXPECT_EQ(countRule(fs, "requires-lock"), 1);
+    const Finding *f = findRule(fs, "requires-lock");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->line, 2);
+}
+
+// --- lock-discipline: guard-state tracking ---------------------------------
+
+TEST(LintLocks, DeferredGuardNeverLockedIsFlagged)
+{
+    const auto fs = lintSource(
+        "src/core/x.cc",
+        "void f() {\n"
+        "  std::unique_lock<std::mutex> g(m_, std::defer_lock);\n"
+        "}\n");
+    EXPECT_EQ(countRule(fs, "lock-discipline"), 1);
+    const Finding *f = findRule(fs, "lock-discipline");
+    ASSERT_NE(f, nullptr);
+    EXPECT_NE(f->message.find("defer_lock"), std::string::npos);
+}
+
+TEST(LintLocks, DeferredGuardLockedLaterIsClean)
+{
+    const auto fs = lintSource(
+        "src/core/x.cc",
+        "void f() {\n"
+        "  std::unique_lock<std::mutex> g(m_, std::defer_lock);\n"
+        "  g.lock();\n"
+        "  g.unlock();\n"
+        "}\n");
+    EXPECT_EQ(countRule(fs, "lock-discipline"), 0);
+}
+
+TEST(LintLocks, DoubleLockOnGuardIsFlagged)
+{
+    const auto fs = lintSource("src/core/x.cc",
+                               "void f() {\n"
+                               "  std::unique_lock<std::mutex> g(m_);\n"
+                               "  g.lock();\n"
+                               "}\n");
+    EXPECT_EQ(countRule(fs, "lock-discipline"), 1);
+    const Finding *f = findRule(fs, "lock-discipline");
+    ASSERT_NE(f, nullptr);
+    EXPECT_NE(f->message.find("double lock"), std::string::npos);
+}
+
+TEST(LintLocks, UnlockOnReleasedGuardIsFlagged)
+{
+    const auto fs = lintSource("src/core/x.cc",
+                               "void f() {\n"
+                               "  std::unique_lock<std::mutex> g(m_);\n"
+                               "  g.unlock();\n"
+                               "  g.unlock();\n"
+                               "}\n");
+    EXPECT_EQ(countRule(fs, "lock-discipline"), 1);
+    const Finding *f = findRule(fs, "lock-discipline");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->line, 4);
+}
+
+TEST(LintLocks, AdoptLockAfterStdLockIsClean)
+{
+    // The std::lock + adopt_lock idiom: std::lock is a free function
+    // (not a manual member call), and adopting guards neither
+    // re-acquire nor contribute nesting edges.
+    const auto fs = lintSource(
+        "src/core/x.cc",
+        "void f() {\n"
+        "  std::lock(a_, b_);\n"
+        "  std::lock_guard<std::mutex> ga(a_, std::adopt_lock);\n"
+        "  std::lock_guard<std::mutex> gb(b_, std::adopt_lock);\n"
+        "}\n");
+    EXPECT_EQ(countRule(fs, "lock-discipline"), 0);
+}
+
+TEST(LintLocks, ManualMutexCallsStayFlagged)
+{
+    // The v2 contract: manual calls on non-guard receivers are still
+    // lock-discipline findings in src/.
+    const auto fs = lintSource("src/core/x.cc",
+                               "void f() {\n"
+                               "  mutex_.lock();\n"
+                               "  mutex_.unlock();\n"
+                               "}\n");
+    EXPECT_EQ(countRule(fs, "lock-discipline"), 2);
+}
+
+// --- lock-order edges ------------------------------------------------------
+
+FileAnalysis
+analyze(const std::string &path, const std::string &content)
+{
+    return analyzeSource(path, content);
+}
+
+TEST(LintLocks, NestedGuardsEmitAnObservedEdge)
+{
+    const auto fa = analyze("src/core/x.cc",
+                            "class Pair {\n"
+                            "  void both() {\n"
+                            "    std::lock_guard<std::mutex> l1(ma_);\n"
+                            "    std::lock_guard<std::mutex> l2(mb_);\n"
+                            "  }\n"
+                            "  std::mutex ma_;\n"
+                            "  std::mutex mb_;\n"
+                            "};\n");
+    ASSERT_EQ(fa.lock_edges.size(), 1u);
+    EXPECT_EQ(fa.lock_edges[0].from, "Pair::ma_");
+    EXPECT_EQ(fa.lock_edges[0].to, "Pair::mb_");
+    EXPECT_EQ(fa.lock_edges[0].line, 4);
+    EXPECT_FALSE(fa.lock_edges[0].declared);
+}
+
+TEST(LintLocks, AcquiredBeforeEmitsADeclaredEdge)
+{
+    const auto fa = analyze(
+        "src/core/x.cc",
+        "class Pair {\n"
+        "  std::mutex ma_ AIWC_ACQUIRED_BEFORE(mb_);\n"
+        "  std::mutex mb_;\n"
+        "};\n");
+    ASSERT_EQ(fa.lock_edges.size(), 1u);
+    EXPECT_EQ(fa.lock_edges[0].from, "Pair::ma_");
+    EXPECT_EQ(fa.lock_edges[0].to, "Pair::mb_");
+    EXPECT_TRUE(fa.lock_edges[0].declared);
+}
+
+TEST(LintLocks, RequiresSeedsAcquisitionEdges)
+{
+    // Holding ma_ by contract, acquiring mb_ inside is an observed
+    // ma_ -> mb_ nesting even with no guard for ma_ in this body.
+    const auto fa = analyze("src/core/x.cc",
+                            "class Pair {\n"
+                            "  void inner() AIWC_REQUIRES(ma_) {\n"
+                            "    std::lock_guard<std::mutex> l(mb_);\n"
+                            "  }\n"
+                            "  std::mutex ma_;\n"
+                            "  std::mutex mb_;\n"
+                            "};\n");
+    ASSERT_EQ(fa.lock_edges.size(), 1u);
+    EXPECT_EQ(fa.lock_edges[0].from, "Pair::ma_");
+    EXPECT_EQ(fa.lock_edges[0].to, "Pair::mb_");
+}
+
+TEST(LintLocks, MutexLock2SameClassPairEmitsNoEdge)
+{
+    // Two-instance operations (merge, operator=) acquire both locks
+    // atomically; a same-node self-edge would be a false cycle.
+    const auto fa = analyze("src/core/x.cc",
+                            "class P {\n"
+                            "  void m(P &o) {\n"
+                            "    MutexLock2 l(mu_, o.mu_);\n"
+                            "  }\n"
+                            "  aiwc::Mutex mu_;\n"
+                            "};\n");
+    EXPECT_TRUE(fa.lock_edges.empty());
+}
+
+TEST(LintLocks, UnresolvableLocksEmitNothing)
+{
+    // A lock that matches no known mutex field is skipped, not guessed.
+    const auto fa = analyze("src/core/x.cc",
+                            "void f() {\n"
+                            "  std::lock_guard<std::mutex> a(global_mu);\n"
+                            "  std::lock_guard<std::mutex> b(other_mu);\n"
+                            "}\n");
+    EXPECT_TRUE(fa.lock_edges.empty());
+}
+
+// --- locks.txt spec --------------------------------------------------------
+
+TEST(LintLocks, LockSpecParsesAliasesAndOrders)
+{
+    LockSpec spec;
+    std::string error;
+    ASSERT_TRUE(LockSpec::parse("# comment\n"
+                                "lock a Pair::ma_\n"
+                                "lock b Pair::mb_\n"
+                                "\n"
+                                "order a b\n",
+                                spec, error))
+        << error;
+    EXPECT_EQ(spec.locks.size(), 2u);
+    EXPECT_EQ(spec.locks.at("a"), "Pair::ma_");
+    ASSERT_EQ(spec.orders.size(), 1u);
+    EXPECT_EQ(spec.orders[0].from, "Pair::ma_");
+    EXPECT_EQ(spec.orders[0].to, "Pair::mb_");
+    EXPECT_EQ(spec.orders[0].line, 5);
+}
+
+TEST(LintLocks, LockSpecRejectsMalformedSpecs)
+{
+    LockSpec spec;
+    std::string error;
+    // order with an undeclared alias
+    EXPECT_FALSE(LockSpec::parse("lock a X::m\norder a b\n", spec, error));
+    EXPECT_NE(error.find("locks.txt:2"), std::string::npos);
+    // node without Class:: qualification
+    EXPECT_FALSE(LockSpec::parse("lock a just_a_name\n", spec, error));
+    // duplicate alias
+    EXPECT_FALSE(
+        LockSpec::parse("lock a X::m\nlock a Y::m\n", spec, error));
+    // self-loop
+    EXPECT_FALSE(
+        LockSpec::parse("lock a X::m\norder a a\n", spec, error));
+    // unknown directive
+    EXPECT_FALSE(LockSpec::parse("mutex a X::m\n", spec, error));
+}
+
+// --- whole-program cycle check ---------------------------------------------
+
+TEST(LintLocks, ObservedCycleIsReportedWithWitnessPath)
+{
+    const auto a = analyze("src/core/a.cc",
+                           "class Pair {\n"
+                           "  void fwd() {\n"
+                           "    std::lock_guard<std::mutex> l1(ma_);\n"
+                           "    std::lock_guard<std::mutex> l2(mb_);\n"
+                           "  }\n"
+                           "  std::mutex ma_;\n"
+                           "  std::mutex mb_;\n"
+                           "};\n");
+    const auto b = analyze("src/core/b.cc",
+                           "class Pair {\n"
+                           "  void rev() {\n"
+                           "    std::lock_guard<std::mutex> l1(mb_);\n"
+                           "    std::lock_guard<std::mutex> l2(ma_);\n"
+                           "  }\n"
+                           "  std::mutex ma_;\n"
+                           "  std::mutex mb_;\n"
+                           "};\n");
+    std::vector<const FileAnalysis *> records{&a, &b};
+    std::vector<Finding> out;
+    checkLockOrder(records, nullptr, "tools/aiwc-lint/locks.txt", out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].rule, "lock-order-cycle");
+    // The witness names both hops with their provenance and anchors at
+    // an observed acquisition site.
+    EXPECT_NE(out[0].message.find("Pair::ma_ -> Pair::mb_"),
+              std::string::npos);
+    EXPECT_NE(out[0].message.find("Pair::mb_ -> Pair::ma_"),
+              std::string::npos);
+    EXPECT_NE(out[0].message.find("observed src/core/a.cc:4"),
+              std::string::npos);
+    EXPECT_NE(out[0].message.find("observed src/core/b.cc:4"),
+              std::string::npos);
+    EXPECT_TRUE(out[0].file == "src/core/a.cc" ||
+                out[0].file == "src/core/b.cc");
+}
+
+TEST(LintLocks, ObservedEdgeAgainstDeclaredOrderClosesACycle)
+{
+    const auto a = analyze("src/core/a.cc",
+                           "class Pair {\n"
+                           "  void fwd() {\n"
+                           "    std::lock_guard<std::mutex> l1(ma_);\n"
+                           "    std::lock_guard<std::mutex> l2(mb_);\n"
+                           "  }\n"
+                           "  std::mutex ma_;\n"
+                           "  std::mutex mb_;\n"
+                           "};\n");
+    LockSpec spec;
+    std::string error;
+    ASSERT_TRUE(LockSpec::parse("lock a Pair::ma_\n"
+                                "lock b Pair::mb_\n"
+                                "order b a\n",
+                                spec, error))
+        << error;
+    std::vector<const FileAnalysis *> records{&a};
+    std::vector<Finding> out;
+    checkLockOrder(records, &spec, "tools/aiwc-lint/locks.txt", out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].rule, "lock-order-cycle");
+    // Anchored at the observed half, citing the declared half.
+    EXPECT_EQ(out[0].file, "src/core/a.cc");
+    EXPECT_EQ(out[0].line, 4);
+    EXPECT_NE(out[0].message.find("declared tools/aiwc-lint/locks.txt:3"),
+              std::string::npos);
+}
+
+TEST(LintLocks, ConsistentOrderIsClean)
+{
+    const auto a = analyze("src/core/a.cc",
+                           "class Pair {\n"
+                           "  void fwd() {\n"
+                           "    std::lock_guard<std::mutex> l1(ma_);\n"
+                           "    std::lock_guard<std::mutex> l2(mb_);\n"
+                           "  }\n"
+                           "  std::mutex ma_;\n"
+                           "  std::mutex mb_;\n"
+                           "};\n");
+    LockSpec spec;
+    std::string error;
+    ASSERT_TRUE(LockSpec::parse("lock a Pair::ma_\n"
+                                "lock b Pair::mb_\n"
+                                "order a b\n",
+                                spec, error))
+        << error;
+    std::vector<const FileAnalysis *> records{&a};
+    std::vector<Finding> out;
+    checkLockOrder(records, &spec, "tools/aiwc-lint/locks.txt", out);
+    EXPECT_TRUE(out.empty());
+}
+
+// --- the full pipeline -----------------------------------------------------
+
+TEST(LintLocks, ProjectPipelineReportsInjectedInversion)
+{
+    // End-to-end acceptance: an out-of-order acquisition injected into
+    // a tree linted with a spec comes back as a lock-order-cycle.
+    std::vector<SourceFile> files;
+    SourceFile sf;
+    sf.path = "src/core/inverted.cc";
+    sf.content = "class Pair {\n"
+                 "  void rev() {\n"
+                 "    std::lock_guard<std::mutex> l1(mb_);\n"
+                 "    std::lock_guard<std::mutex> l2(ma_);\n"
+                 "  }\n"
+                 "  std::mutex ma_;\n"
+                 "  std::mutex mb_;\n"
+                 "};\n";
+    files.push_back(sf);
+    ProjectOptions options;
+    options.locks_text = "lock a Pair::ma_\n"
+                         "lock b Pair::mb_\n"
+                         "order a b\n";
+    const auto res = analyzeProject(files, options, nullptr);
+    ASSERT_TRUE(res.error.empty()) << res.error;
+    EXPECT_EQ(countRule(res.findings, "lock-order-cycle"), 1);
+    const Finding *f = findRule(res.findings, "lock-order-cycle");
+    ASSERT_NE(f, nullptr);
+    EXPECT_EQ(f->file, "src/core/inverted.cc");
+}
+
+TEST(LintLocks, ProjectPipelineRejectsBadSpec)
+{
+    std::vector<SourceFile> files;
+    SourceFile sf;
+    sf.path = "src/core/x.cc";
+    sf.content = "int x = 0;\n";
+    files.push_back(sf);
+    ProjectOptions options;
+    options.locks_text = "order a b\n";
+    const auto res = analyzeProject(files, options, nullptr);
+    EXPECT_FALSE(res.error.empty());
+}
+
+TEST(LintLocks, CacheRoundTripsLockEdges)
+{
+    AnalysisCache cache;
+    FileAnalysis fa = analyze("src/core/x.cc",
+                              "class Pair {\n"
+                              "  void both() {\n"
+                              "    std::lock_guard<std::mutex> l1(ma_);\n"
+                              "    std::lock_guard<std::mutex> l2(mb_);\n"
+                              "  }\n"
+                              "  std::mutex ma_;\n"
+                              "  std::mutex mb_;\n"
+                              "};\n");
+    ASSERT_EQ(fa.lock_edges.size(), 1u);
+    const std::uint64_t hash = fa.hash;
+    cache.store(std::move(fa));
+
+    AnalysisCache reloaded;
+    ASSERT_TRUE(reloaded.load(cache.serialize()));
+    const FileAnalysis *hit = reloaded.lookup("src/core/x.cc", hash);
+    ASSERT_NE(hit, nullptr);
+    ASSERT_EQ(hit->lock_edges.size(), 1u);
+    EXPECT_EQ(hit->lock_edges[0].from, "Pair::ma_");
+    EXPECT_EQ(hit->lock_edges[0].to, "Pair::mb_");
+    EXPECT_EQ(hit->lock_edges[0].line, 4);
+    EXPECT_FALSE(hit->lock_edges[0].declared);
+}
+
+TEST(LintLocks, OldCacheVersionIsRejected)
+{
+    // The v2 header must discard the whole cache: v2 records carry no
+    // lock edges, and serving them would silently drop order checking.
+    AnalysisCache cache;
+    EXPECT_FALSE(cache.load("aiwc-lint-cache 2\n"));
+    EXPECT_EQ(cache.size(), 0u);
+}
+
+} // namespace
+} // namespace aiwc::lint

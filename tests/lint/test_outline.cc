@@ -61,9 +61,12 @@ TEST(LintOutline, TemplatedClassAndOutOfLineMember)
     const Decl *ring = find(o, "Ring");
     ASSERT_NE(ring, nullptr);
     EXPECT_EQ(ring->kind, DeclKind::Type);
-    // The member variable inside the class body must NOT surface as a
-    // namespace-scope variable.
-    EXPECT_EQ(find(o, "slots_"), nullptr);
+    // The member variable surfaces as a Field owned by the class, not
+    // as a namespace-scope variable (declaredNames skips members).
+    const Decl *slots = find(o, "slots_");
+    ASSERT_NE(slots, nullptr);
+    EXPECT_EQ(slots->kind, DeclKind::Field);
+    EXPECT_EQ(slots->owner, "Ring");
 
     const Decl *bump = find(o, "bump");
     ASSERT_NE(bump, nullptr);
@@ -141,7 +144,60 @@ TEST(LintOutline, StructWithTrailingInstance)
     const Decl *inst = find(o, "config");
     ASSERT_NE(inst, nullptr);
     EXPECT_EQ(inst->kind, DeclKind::Variable);
-    EXPECT_EQ(find(o, "level"), nullptr);
+    const Decl *level = find(o, "level");
+    ASSERT_NE(level, nullptr);
+    EXPECT_EQ(level->kind, DeclKind::Field);
+    EXPECT_EQ(level->owner, "Config");
+}
+
+TEST(LintOutline, ThreadAnnotationsAreCaptured)
+{
+    const auto o = parse(
+        "class Registry {\n"
+        "  void flushLocked() AIWC_REQUIRES(mutex_);\n"
+        "  void render() const AIWC_EXCLUDES(mutex_);\n"
+        "  std::mutex mutex_ AIWC_ACQUIRED_BEFORE(inner_.mutex_);\n"
+        "  std::mutex other_;\n"
+        "  int count_ AIWC_GUARDED_BY(mutex_) = 0;\n"
+        "};\n");
+    const Decl *flush = find(o, "flushLocked");
+    ASSERT_NE(flush, nullptr);
+    EXPECT_EQ(flush->kind, DeclKind::Function);
+    EXPECT_EQ(flush->owner, "Registry");
+    ASSERT_EQ(flush->requires_locks.size(), 1u);
+    EXPECT_EQ(flush->requires_locks[0], "mutex_");
+
+    const Decl *render = find(o, "render");
+    ASSERT_NE(render, nullptr);
+    ASSERT_EQ(render->excludes_locks.size(), 1u);
+    EXPECT_EQ(render->excludes_locks[0], "mutex_");
+
+    const Decl *mutex = find(o, "mutex_");
+    ASSERT_NE(mutex, nullptr);
+    EXPECT_EQ(mutex->kind, DeclKind::Field);
+    EXPECT_EQ(mutex->type_name, "mutex");
+    ASSERT_EQ(mutex->acquired_before.size(), 1u);
+    EXPECT_EQ(mutex->acquired_before[0], "inner_.mutex_");
+
+    const Decl *count = find(o, "count_");
+    ASSERT_NE(count, nullptr);
+    EXPECT_EQ(count->guarded_by, "mutex_");
+    EXPECT_TRUE(count->has_initializer);
+
+    EXPECT_TRUE(find(o, "other_")->guarded_by.empty());
+}
+
+TEST(LintOutline, MemberFunctionBodiesAreIndexed)
+{
+    const auto o = parse("class C {\n"
+                         "  int get() const { return v_; }\n"
+                         "  int v_ = 0;\n"
+                         "};\n");
+    const Decl *get = find(o, "get");
+    ASSERT_NE(get, nullptr);
+    EXPECT_EQ(get->owner, "C");
+    EXPECT_GE(get->body_begin, 0);
+    EXPECT_GT(get->body_end, get->body_begin);
 }
 
 TEST(LintOutline, DeclaredNamesDedupeAndSkipNamespaces)

@@ -231,5 +231,44 @@ TEST(Service, SnapshotWhileDrainingObservesBatchBoundaries)
               static_cast<std::uint64_t>(batches * per_batch));
 }
 
+TEST(Service, ConcurrentDrainsConserveEveryRecord)
+{
+    // Regression for the drain() shard-count read that sat outside the
+    // tenant mutex (caught by the AIWC_GUARDED_BY annotations): two
+    // drains racing a feeder must route every record exactly once,
+    // with all tenant state — queue, counters, shard geometry — only
+    // touched under the tenant lock. tsan is the oracle.
+    constexpr int batches = 30;
+    constexpr int per_batch = 40;
+    Service svc;
+    std::atomic<bool> done{false};
+    {
+        ThreadPool feeder(1);
+        ThreadPool drainer(1);
+        drainer.submit([&] {
+            while (!done.load(std::memory_order_acquire))
+                svc.drain();
+        });
+        feeder.submit([&] {
+            for (int b = 0; b < batches; ++b) {
+                while (svc.enqueueBatch(
+                           3,
+                           tenantBatch(3, per_batch, b * per_batch)) !=
+                       Admission::Accepted) {
+                }
+            }
+            done.store(true, std::memory_order_release);
+        });
+        while (!done.load(std::memory_order_acquire))
+            svc.drain();  // three-way race: feeder, drainer, and here
+    }  // both pools drain and join
+    svc.drain();
+    EXPECT_EQ(svc.queuedRecords(3), 0u);
+    EXPECT_EQ(svc.ingestedRecords(3),
+              static_cast<std::uint64_t>(batches * per_batch));
+    EXPECT_EQ(svc.snapshot(3).rows,
+              static_cast<std::uint64_t>(batches * per_batch));
+}
+
 } // namespace
 } // namespace aiwc::svc

@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <sstream>
 
+#include "locks.hh"
+
 namespace aiwc::lint
 {
 
@@ -17,7 +19,7 @@ namespace
  * restore on the tool binary's hash, which subsumes this, but local
  * runs only have this line.)
  */
-const char kCacheHeader[] = "aiwc-lint-cache 2";
+const char kCacheHeader[] = "aiwc-lint-cache 3";
 
 /** FNV-1a continuation: mix `more` into an existing hash. */
 std::uint64_t
@@ -322,6 +324,13 @@ AnalysisCache::load(const std::string &text)
                 e.angled = angled != 0;
                 cur.includes.push_back(std::move(e));
             }
+        } else if (tag == "le") {
+            const std::vector<std::string> f = splitTabs(line, 5);
+            int declared = 0;
+            ok = f.size() == 5 && parseInt(f[1], declared) &&
+                 parseInt(f[2], n);
+            if (ok)
+                cur.lock_edges.push_back({f[3], f[4], n, declared != 0});
         } else if (tag == "d") {
             cur.declared = splitWords(splitTabs(line, 2)[1]);
         } else if (tag == "u") {
@@ -354,6 +363,9 @@ AnalysisCache::serialize() const
         for (const IncludeEdge &e : rec.includes)
             os << "i\t" << e.line << "\t" << (e.angled ? 1 : 0) << "\t"
                << e.spelled << "\n";
+        for (const LockEdge &e : rec.lock_edges)
+            os << "le\t" << (e.declared ? 1 : 0) << "\t" << e.line << "\t"
+               << e.from << "\t" << e.to << "\n";
         if (!rec.declared.empty())
             os << "d\t" << joinWords(rec.declared) << "\n";
         if (!rec.used.empty())
@@ -433,9 +445,37 @@ analyzeProject(const std::vector<SourceFile> &files,
     checkCycles(graph, cross);
     checkUnusedIncludes(records, cross);
 
+    // The whole-program lock-order graph: every record's edges plus
+    // the locks.txt spec when one is configured.
+    {
+        LockSpec lock_spec;
+        const LockSpec *spec = nullptr;
+        if (!options.locks_text.empty()) {
+            std::string err;
+            if (!LockSpec::parse(options.locks_text, lock_spec, err)) {
+                res.error = err;
+                return res;
+            }
+            spec = &lock_spec;
+        }
+        std::vector<const FileAnalysis *> recs;
+        recs.reserve(records.size());
+        for (const auto &[path, rec] : records)
+            recs.push_back(&rec);
+        checkLockOrder(recs, spec, options.locks_path, cross);
+    }
+
+    // Findings anchored at the spec file (a cycle made of declared
+    // edges only) have no record to scope or suppress through; they
+    // are reported unconditionally below.
     std::map<std::string, std::vector<Finding>> cross_by_file;
-    for (Finding &f : cross)
-        cross_by_file[f.file].push_back(std::move(f));
+    std::vector<Finding> spec_anchored;
+    for (Finding &f : cross) {
+        if (records.count(f.file) > 0)
+            cross_by_file[f.file].push_back(std::move(f));
+        else
+            spec_anchored.push_back(std::move(f));
+    }
 
     // Reporting scope: everything, or the changed set's reverse
     // include-closure when one was given.
@@ -464,6 +504,8 @@ analyzeProject(const std::vector<SourceFile> &files,
             for (const Finding &f : extra->second)
                 keep(f);
     }
+    for (Finding &f : spec_anchored)
+        res.findings.push_back(std::move(f));
     std::sort(res.findings.begin(), res.findings.end());
     return res;
 }
@@ -517,7 +559,7 @@ renderSarif(const std::vector<Finding> &findings)
           "      \"tool\": {\n"
           "        \"driver\": {\n"
           "          \"name\": \"aiwc-lint\",\n"
-          "          \"version\": \"2.0.0\",\n"
+          "          \"version\": \"3.0.0\",\n"
           "          \"informationUri\": "
           "\"https://example.invalid/aiwc/CONTRIBUTING.md\",\n"
           "          \"rules\": [";

@@ -70,6 +70,13 @@ struct ProjectOptions {
     /** layers.txt text; empty skips layering (not an error). */
     std::string layers_text;
     /**
+     * locks.txt text; empty runs the lock-order check over observed
+     * edges only (a spec adds the declared edges to the graph).
+     */
+    std::string locks_text;
+    /** Display path for spec-anchored lock-order findings. */
+    std::string locks_path = "tools/aiwc-lint/locks.txt";
+    /**
      * Repo-relative changed files. When non-empty, reporting is
      * restricted to their reverse include-closure — analysis still
      * covers the whole tree so graph rules stay sound.

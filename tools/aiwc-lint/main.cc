@@ -3,7 +3,8 @@
  * aiwc-lint command line driver.
  *
  *   aiwc-lint [--json] [--sarif FILE] [--cache FILE] [--changed PATH]...
- *             [--layers FILE] [--root DIR] [--list-rules] [paths...]
+ *             [--layers FILE] [--locks FILE] [--root DIR] [--list-rules]
+ *             [paths...]
  *
  * With no paths, lints src/, tests/, bench/, and tools/ under the root
  * (default: the current directory). The whole tree is always analyzed
@@ -39,10 +40,12 @@ usage(std::ostream &os)
 {
     os << "usage: aiwc-lint [--json] [--sarif FILE] [--cache FILE]\n"
           "                 [--changed PATH]... [--layers FILE]\n"
-          "                 [--root DIR] [--list-rules] [paths...]\n"
+          "                 [--locks FILE] [--root DIR] [--list-rules]\n"
+          "                 [paths...]\n"
           "Self-hosted static analysis for the aiwc tree: enforces the\n"
-          "determinism, contract, threading, metric-naming, header, and\n"
-          "module-layering invariants documented in CONTRIBUTING.md.\n"
+          "determinism, contract, threading, locking, metric-naming,\n"
+          "header, and module-layering invariants documented in\n"
+          "CONTRIBUTING.md.\n"
           "Default paths: src tests bench tools (relative to --root).\n"
           "  --sarif FILE    also write a SARIF 2.1.0 report to FILE\n"
           "  --cache FILE    reuse/update the incremental analysis cache\n"
@@ -50,6 +53,8 @@ usage(std::ostream &os)
           "                  (repeatable; analysis still covers the tree)\n"
           "  --layers FILE   module DAG spec (default:\n"
           "                  <root>/tools/aiwc-lint/layers.txt)\n"
+          "  --locks FILE    lock-order spec (default:\n"
+          "                  <root>/tools/aiwc-lint/locks.txt)\n"
           "Exit codes: 0 clean, 1 findings, 2 usage/IO error.\n";
 }
 
@@ -120,6 +125,8 @@ main(int argc, char **argv)
     fs::path cache_path;
     fs::path layers_path;
     bool layers_explicit = false;
+    fs::path locks_path;
+    bool locks_explicit = false;
     std::vector<std::string> changed;
     std::vector<std::string> paths;
 
@@ -156,6 +163,12 @@ main(int argc, char **argv)
                 return kExitUsage;
             layers_path = v;
             layers_explicit = true;
+        } else if (arg == "--locks") {
+            const char *v = value("a spec file");
+            if (v == nullptr)
+                return kExitUsage;
+            locks_path = v;
+            locks_explicit = true;
         } else if (arg == "--changed") {
             const char *v = value("a path");
             if (v == nullptr)
@@ -180,6 +193,8 @@ main(int argc, char **argv)
         paths = {"src", "tests", "bench", "tools"};
     if (layers_path.empty())
         layers_path = root / "tools" / "aiwc-lint" / "layers.txt";
+    if (locks_path.empty())
+        locks_path = root / "tools" / "aiwc-lint" / "locks.txt";
 
     std::vector<fs::path> files;
     for (const std::string &p : paths) {
@@ -235,6 +250,19 @@ main(int argc, char **argv)
         }
         // Default spec missing: layering simply does not apply (the
         // linter stays usable on trees that have not adopted it).
+    }
+    {
+        std::string locks_text;
+        if (readFile(locks_path, locks_text)) {
+            options.locks_text = std::move(locks_text);
+            options.locks_path = normalize(locks_path, root);
+        } else if (locks_explicit) {
+            std::cerr << "aiwc-lint: cannot read locks spec " << locks_path
+                      << "\n";
+            return kExitUsage;
+        }
+        // Missing default locks.txt: the lock-order check still runs
+        // over observed acquisition edges alone.
     }
     for (const std::string &c : changed)
         options.changed.insert(normalize(fs::path(c), root));

@@ -95,10 +95,115 @@ skipStatement(const std::vector<Token> &ts, std::size_t i)
     return i;
 }
 
+/**
+ * ts[i] == ":" after a constructor's parameter list: skip the member
+ * initializer list (each item is a possibly qualified name followed by
+ * a parenthesized or braced initializer) and return the index of the
+ * body '{' — or wherever scanning stopped on unexpected input.
+ */
+std::size_t
+skipCtorInit(const std::vector<Token> &ts, std::size_t i)
+{
+    ++i;  // ':'
+    while (i < ts.size()) {
+        while (i < ts.size() &&
+               (ts[i].kind == TokenKind::Identifier || isPunct(ts, i, "::")))
+            ++i;
+        if (isPunct(ts, i, "<")) {
+            i = skipAngles(ts, i);
+            continue;  // templated base class name
+        }
+        if (isPunct(ts, i, "("))
+            i = skipParens(ts, i);
+        else if (isPunct(ts, i, "{"))
+            i = skipBraces(ts, i);
+        else
+            return i;
+        if (isPunct(ts, i, ",")) {
+            ++i;
+            continue;
+        }
+        return i;  // the body '{' (or ';' on malformed input)
+    }
+    return i;
+}
+
+// ---------------------------------------------------------------------------
+// v3: capability annotation capture. The lock-set pass reads the macro
+// vocabulary of aiwc/base/thread_annotations.hh straight from the token
+// stream, so annotated code needs no compiler involvement to be checked.
+
+struct AnnotationCapture {
+    std::string guarded_by;
+    std::vector<std::string> acquired_before;
+    std::vector<std::string> requires_locks;
+    std::vector<std::string> excludes_locks;
+};
+
+bool
+isAnnotationMacro(const std::string &s)
+{
+    return s == "AIWC_GUARDED_BY" || s == "AIWC_PT_GUARDED_BY" ||
+           s == "AIWC_ACQUIRED_BEFORE" || s == "AIWC_REQUIRES" ||
+           s == "AIWC_EXCLUDES";
+}
+
+/**
+ * ts[i] is an annotation macro name with ts[i + 1] == "(": record its
+ * comma-separated arguments (each joined to one string, e.g.
+ * "other.mutex_") into `cap` and return the index past the ')'.
+ */
+std::size_t
+parseAnnotation(const std::vector<Token> &ts, std::size_t i,
+                AnnotationCapture &cap)
+{
+    const std::string macro = ts[i].text;
+    const std::size_t end = skipParens(ts, i + 1);
+    std::vector<std::string> args;
+    std::string cur;
+    int depth = 0;
+    for (std::size_t k = i + 2; k + 1 < end; ++k) {
+        const Token &t = ts[k];
+        if (t.kind == TokenKind::Comment || t.kind == TokenKind::PpDirective)
+            continue;
+        if (t.kind == TokenKind::Punct) {
+            if (t.text == "(" || t.text == "[" || t.text == "<") {
+                ++depth;
+            } else if (t.text == ")" || t.text == "]" || t.text == ">") {
+                --depth;
+            } else if (t.text == "," && depth == 0) {
+                if (!cur.empty())
+                    args.push_back(cur);
+                cur.clear();
+                continue;
+            }
+        }
+        cur += t.text;
+    }
+    if (!cur.empty())
+        args.push_back(cur);
+
+    if (macro == "AIWC_GUARDED_BY" || macro == "AIWC_PT_GUARDED_BY") {
+        if (!args.empty())
+            cap.guarded_by = args[0];
+    } else if (macro == "AIWC_ACQUIRED_BEFORE") {
+        cap.acquired_before.insert(cap.acquired_before.end(), args.begin(),
+                                   args.end());
+    } else if (macro == "AIWC_REQUIRES") {
+        cap.requires_locks.insert(cap.requires_locks.end(), args.begin(),
+                                  args.end());
+    } else {
+        cap.excludes_locks.insert(cap.excludes_locks.end(), args.begin(),
+                                  args.end());
+    }
+    return end;
+}
+
 struct Parser {
     const std::vector<Token> &ts;
     Outline &out;
-    std::vector<std::string> ns;  //!< enclosing namespace names
+    std::vector<std::string> ns;      //!< enclosing namespace + class names
+    std::vector<std::string> owners;  //!< enclosing class names only
 
     std::string
     qualify(const std::string &name) const
@@ -112,15 +217,38 @@ struct Parser {
     }
 
     void
-    record(DeclKind kind, const std::string &name, int line,
-           const Decl *flags = nullptr)
+    recordDecl(DeclKind kind, const std::string &name, int line, Decl d)
     {
-        Decl d = flags ? *flags : Decl{};
         d.kind = kind;
         d.name = name;
         d.qualified = qualify(name);
         d.line = line;
+        if (d.owner.empty() && !owners.empty())
+            d.owner = owners.back();
         out.decls.push_back(std::move(d));
+    }
+
+    void
+    record(DeclKind kind, const std::string &name, int line,
+           const Decl *flags = nullptr)
+    {
+        recordDecl(kind, name, line, flags ? *flags : Decl{});
+    }
+
+    /**
+     * Out-of-line member declarators: when the declared name at
+     * ts[name_idx] is written `Type::name` (or `Type::~name`), the
+     * qualifier is the owning class.
+     */
+    void
+    ownerFromDeclarator(Decl &d, std::size_t name_idx) const
+    {
+        std::size_t k = name_idx;
+        if (k >= 1 && isPunct(ts, k - 1, "~"))
+            --k;
+        if (k >= 2 && isPunct(ts, k - 1, "::") &&
+            ts[k - 2].kind == TokenKind::Identifier)
+            d.owner = ts[k - 2].text;
     }
 
     /** Parse declarations until '}' or end of stream; returns index past. */
@@ -276,6 +404,15 @@ struct Parser {
         }
         while (isPunct(ts, i, "[") && isPunct(ts, i + 1, "["))
             i = skipAttribute(ts, i);
+        // Capability annotations sit between the class-key and the name:
+        // `class AIWC_CAPABILITY("mutex") Mutex { ... }`.
+        while (i < ts.size() && ts[i].kind == TokenKind::Identifier &&
+               (ts[i].text == "AIWC_CAPABILITY" ||
+                ts[i].text == "AIWC_SCOPED_CAPABILITY")) {
+            ++i;
+            if (isPunct(ts, i, "("))
+                i = skipParens(ts, i);
+        }
 
         std::string name;
         int line = i < ts.size() ? ts[i].line : 0;
@@ -305,20 +442,96 @@ struct Parser {
             record(DeclKind::Type, name, line);
         if (is_enum && !scoped_enum)
             parseEnumerators(i);
+        if (!is_enum && !name.empty()) {
+            // Descend into the class body: member fields, their
+            // annotations, and inline method bodies feed the lock-set
+            // pass. skipBraces below stays the authoritative advance,
+            // so a confused member scan cannot derail the outer walk.
+            owners.push_back(name);
+            ns.push_back(name);
+            parseMembers(i + 1);
+            ns.pop_back();
+            owners.pop_back();
+        }
         i = skipBraces(ts, i);
         // `struct X { ... } instance;` — the trailing declarator is a
-        // namespace-scope variable.
+        // namespace-scope variable (a member field inside a class).
         while (i < ts.size() && !isPunct(ts, i, ";")) {
             if (ts[i].kind == TokenKind::Identifier &&
                 !isIdent(ts, i, "const")) {
                 Decl flags;
                 flags.has_initializer = true;
-                record(DeclKind::Variable, ts[i].text, ts[i].line, &flags);
+                flags.type_name = name;
+                record(owners.empty() ? DeclKind::Variable : DeclKind::Field,
+                       ts[i].text, ts[i].line, &flags);
                 return skipStatement(ts, i);
             }
             ++i;
         }
         return i < ts.size() ? i + 1 : i;
+    }
+
+    /**
+     * Class body: declarations until the matching '}' (which the
+     * caller skips). Mirrors parseScope with member-only syntax added:
+     * access specifiers, constructors/destructors, bit-fields, and
+     * trailing capability annotations.
+     */
+    void
+    parseMembers(std::size_t i)
+    {
+        while (i < ts.size()) {
+            const Token &t = ts[i];
+            if (t.kind == TokenKind::Comment ||
+                t.kind == TokenKind::PpDirective) {
+                ++i;
+                continue;
+            }
+            if (isPunct(ts, i, "}"))
+                return;
+            if (isPunct(ts, i, ";")) {
+                ++i;
+                continue;
+            }
+            if (isPunct(ts, i, "[") && isPunct(ts, i + 1, "[")) {
+                i = skipAttribute(ts, i);
+                continue;
+            }
+            if (isPunct(ts, i, "~")) {  // destructor
+                i = parseDeclaration(i, /*member=*/true);
+                continue;
+            }
+            if (t.kind != TokenKind::Identifier) {
+                ++i;  // stray punctuation; resynchronize
+                continue;
+            }
+            if ((t.text == "public" || t.text == "private" ||
+                 t.text == "protected") &&
+                isPunct(ts, i + 1, ":")) {
+                i += 2;
+                continue;
+            }
+            if (t.text == "using" || t.text == "typedef") {
+                i = parseAlias(i);
+                continue;
+            }
+            if (t.text == "template") {
+                ++i;
+                if (isPunct(ts, i, "<"))
+                    i = skipAngles(ts, i);
+                continue;  // the templated member parses normally
+            }
+            if (t.text == "class" || t.text == "struct" ||
+                t.text == "union" || t.text == "enum") {
+                i = parseType(i);
+                continue;
+            }
+            if (t.text == "static_assert" || t.text == "friend") {
+                i = skipStatement(ts, i);
+                continue;
+            }
+            i = parseDeclaration(i, /*member=*/true);
+        }
     }
 
     /** ts[open] == "{" of an unscoped enum body: record enumerators. */
@@ -347,17 +560,29 @@ struct Parser {
     /**
      * Generic declaration: qualifiers, a type, a declarator. Stops at
      * the first of '(' (function or parenthesized declarator), '=' /
-     * '{' / '[' / ';' (variable). Good enough for namespace scope; not
-     * a grammar.
+     * '{' / '[' / ';' (variable / field). `member` switches the
+     * variable kind to Field and enables destructor ('~') and
+     * bit-field (':') declarators. Capability annotation macros are
+     * captured wherever they appear and never become the declared
+     * name. Good enough for scope outlines; not a grammar.
      */
     std::size_t
-    parseDeclaration(std::size_t i)
+    parseDeclaration(std::size_t i, bool member = false)
     {
         Decl flags;
+        AnnotationCapture cap;
         std::string name;
+        std::string prev_ident;  // the type identifier before the name
         int line = ts[i].line;
+        std::size_t name_idx = 0;
         bool saw_ident = false;
         bool paren_declarator = false;  // name came from `( * name )`
+        bool dtor = false;
+
+        if (member && isPunct(ts, i, "~")) {
+            dtor = true;
+            ++i;
+        }
 
         while (i < ts.size()) {
             const Token &t = ts[i];
@@ -367,6 +592,10 @@ struct Parser {
                 continue;
             }
             if (t.kind == TokenKind::Identifier) {
+                if (isAnnotationMacro(t.text) && isPunct(ts, i + 1, "(")) {
+                    i = parseAnnotation(ts, i, cap);
+                    continue;
+                }
                 if (t.text == "const") {
                     flags.is_const = true;
                 } else if (t.text == "constexpr" || t.text == "constinit" ||
@@ -381,16 +610,20 @@ struct Parser {
                 } else if (t.text == "inline") {
                     flags.is_inline = true;
                 } else if (t.text == "operator") {
+                    prev_ident = name;
                     name = "operator";
                     line = t.line;
+                    name_idx = i;
                     saw_ident = true;
                     // Skip the operator symbol up to its '(' parameter
                     // list so `operator<` does not open an angle scan.
                     while (i + 1 < ts.size() && !isPunct(ts, i + 1, "("))
                         ++i;
                 } else {
+                    prev_ident = name;
                     name = t.text;
                     line = t.line;
+                    name_idx = i;
                     saw_ident = true;
                 }
                 ++i;
@@ -399,6 +632,11 @@ struct Parser {
             if (isPunct(ts, i, "::")) {
                 // Qualified declarator (out-of-line member): keep the
                 // chain, the final identifier is the declared name.
+                ++i;
+                continue;
+            }
+            if (member && isPunct(ts, i, "~")) {
+                dtor = true;  // `inline ~X()` — destructor after qualifiers
                 ++i;
                 continue;
             }
@@ -424,8 +662,10 @@ struct Parser {
                 if (j > i + 1 && j < ts.size() &&
                     ts[j].kind == TokenKind::Identifier &&
                     isPunct(ts, j + 1, ")")) {
+                    prev_ident = name;
                     name = ts[j].text;
                     line = ts[j].line;
+                    name_idx = j;
                     saw_ident = true;
                     paren_declarator = true;
                     i = skipParens(ts, i);
@@ -440,23 +680,72 @@ struct Parser {
                 }
                 if (!saw_ident)
                     return skipStatement(ts, i);  // unparsable; resync
-                record(DeclKind::Function, name, line, &flags);
                 i = skipParens(ts, i);
-                // Trailing specifiers, then either a body or ';'.
-                while (i < ts.size() && !isPunct(ts, i, "{") &&
-                       !isPunct(ts, i, ";") && !isPunct(ts, i, "="))
+                // Trailing specifiers and annotations, an optional
+                // constructor initializer list, then a body or ';'.
+                while (i < ts.size()) {
+                    const Token &tt = ts[i];
+                    if (tt.kind == TokenKind::Comment ||
+                        tt.kind == TokenKind::PpDirective) {
+                        ++i;
+                        continue;
+                    }
+                    if (tt.kind == TokenKind::Identifier &&
+                        isAnnotationMacro(tt.text) &&
+                        isPunct(ts, i + 1, "(")) {
+                        i = parseAnnotation(ts, i, cap);
+                        continue;
+                    }
+                    if (isPunct(ts, i, "(")) {  // noexcept(...) etc.
+                        i = skipParens(ts, i);
+                        continue;
+                    }
+                    if (isPunct(ts, i, "<")) {
+                        i = skipAngles(ts, i);
+                        continue;
+                    }
+                    if (isPunct(ts, i, ":")) {
+                        i = skipCtorInit(ts, i);
+                        continue;
+                    }
+                    if (isPunct(ts, i, "{") || isPunct(ts, i, ";") ||
+                        isPunct(ts, i, "="))
+                        break;
                     ++i;
-                if (isPunct(ts, i, "{"))
-                    return skipBraces(ts, i);
+                }
+                Decl d = flags;
+                d.type_name = prev_ident;
+                d.requires_locks = cap.requires_locks;
+                d.excludes_locks = cap.excludes_locks;
+                if (!member)
+                    ownerFromDeclarator(d, name_idx);
+                if (dtor)
+                    name = "~" + name;
+                if (isPunct(ts, i, "{")) {
+                    d.body_begin = static_cast<int>(i);
+                    const std::size_t past = skipBraces(ts, i);
+                    d.body_end = static_cast<int>(past) - 1;
+                    recordDecl(DeclKind::Function, name, line, std::move(d));
+                    return past;
+                }
+                recordDecl(DeclKind::Function, name, line, std::move(d));
                 return skipStatement(ts, i);
             }
             if (isPunct(ts, i, "=") || isPunct(ts, i, "{") ||
-                isPunct(ts, i, "[") || isPunct(ts, i, ";")) {
+                isPunct(ts, i, "[") || isPunct(ts, i, ";") ||
+                (member && isPunct(ts, i, ":"))) {
                 if (!saw_ident)
                     return skipStatement(ts, i);
-                flags.has_initializer =
+                Decl d = flags;
+                d.has_initializer =
                     isPunct(ts, i, "=") || isPunct(ts, i, "{");
-                record(DeclKind::Variable, name, line, &flags);
+                d.type_name = prev_ident;
+                d.guarded_by = cap.guarded_by;
+                d.acquired_before = cap.acquired_before;
+                if (!member)
+                    ownerFromDeclarator(d, name_idx);
+                recordDecl(member ? DeclKind::Field : DeclKind::Variable,
+                           name, line, std::move(d));
                 return skipStatement(ts, i);
             }
             ++i;  // punctuation we do not model (",", "...", etc.)
@@ -510,6 +799,8 @@ declaredNames(const Outline &o)
     for (const Decl &d : o.decls) {
         if (d.kind == DeclKind::Namespace)
             continue;  // sharing a namespace is not using the header
+        if (!d.owner.empty())
+            continue;  // members are reachable only through their class
         if (!d.name.empty())
             names.insert(d.name);
     }

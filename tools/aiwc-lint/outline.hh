@@ -4,11 +4,13 @@
  *
  * A recursive descent over the lexer's token stream that recovers the
  * *shape* of a translation unit — namespace nesting, class/struct/enum
- * scopes, function signatures, and namespace-scope variable
- * declarations — without attempting expressions, overload resolution,
- * or templates beyond skipping their parameter lists. The rules built
- * on it (mutable-global, unused-include's symbol index) only need
- * names, scopes, and a handful of declaration qualifiers.
+ * scopes, function signatures, namespace-scope variable declarations,
+ * and (v3) class member fields with their concurrency annotations and
+ * function body token ranges — without attempting expressions,
+ * overload resolution, or templates beyond skipping their parameter
+ * lists. The rules built on it (mutable-global, unused-include's
+ * symbol index, the lock-set pass) only need names, scopes,
+ * annotations, and a handful of declaration qualifiers.
  *
  * Like the rule engine it is a deliberate heuristic: on input it does
  * not understand it skips forward to the next ';' or balanced '}' and
@@ -32,6 +34,7 @@ enum class DeclKind {
     Enumerator, //!< one enumerator of an unscoped enum
     Function,   //!< function or out-of-line member definition/declaration
     Variable,   //!< namespace-scope variable definition or declaration
+    Field,      //!< class member variable (v3: lock-set analysis input)
     Alias,      //!< `using X = ...` or `typedef ... X` at namespace scope
     Macro,      //!< object- or function-like #define
 };
@@ -50,6 +53,22 @@ struct Decl {
     bool is_extern = false;     //!< extern without an initializer
     bool is_inline = false;
     bool has_initializer = false;
+
+    // v3 concurrency-model capture (Field / Function only).
+    /** Unqualified enclosing class name: set for members declared in a
+     *  class body and for out-of-line `Type::member` definitions. */
+    std::string owner;
+    /** Last type identifier before the declarator (e.g. "Mutex" for
+     *  `mutable aiwc::Mutex mu_;`) — how the lock pass spots mutexes. */
+    std::string type_name;
+    std::string guarded_by;  //!< AIWC_GUARDED_BY / AIWC_PT_GUARDED_BY arg
+    std::vector<std::string> acquired_before;  //!< AIWC_ACQUIRED_BEFORE args
+    std::vector<std::string> requires_locks;   //!< AIWC_REQUIRES args
+    std::vector<std::string> excludes_locks;   //!< AIWC_EXCLUDES args
+    /** Token indices of a function definition's '{' and its matching
+     *  '}' in the stream given to parseOutline; -1 when bodyless. */
+    int body_begin = -1;
+    int body_end = -1;
 };
 
 struct Outline {
@@ -67,6 +86,8 @@ Outline parseOutline(const std::vector<Token> &tokens);
  * Names an includer could plausibly reference: every top-level type,
  * function, alias, enumerator, macro, and variable name declared in
  * `o`, deduplicated and sorted. The unused-include symbol index.
+ * Class members (owner != "") are excluded — they are only reachable
+ * through their class's name, which is already indexed.
  */
 std::vector<std::string> declaredNames(const Outline &o);
 

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "lexer.hh"
+#include "locks.hh"
 #include "outline.hh"
 
 namespace aiwc::lint
@@ -582,46 +583,13 @@ ruleMutableGlobal(const std::string &path, const Outline &outline,
 }
 
 // ---------------------------------------------------------------------------
-// R7 · lock-discipline
+// R7 · lock-discipline / guarded-field / requires-lock
 //
-// Manual .lock()/.unlock() member calls are how deadlocks and
-// exception-path leaks enter a codebase; mutexes are held via
-// lock_guard / scoped_lock / unique_lock construction only. Matching
-// requires a member-access token ('.' or '->') directly before the
-// name, so `std::unique_lock<std::mutex> lock(m_)` — a declaration
-// whose preceding token is '>' closing the template args — never
-// fires.
-
-bool
-isMemberCallOf(const std::vector<Token> &ts, std::size_t i)
-{
-    if (i == 0 || !isPunct(ts, i + 1, "("))
-        return false;
-    if (isPunct(ts, i - 1, "."))
-        return true;
-    return isPunct(ts, i - 1, ">") && i >= 2 && isPunct(ts, i - 2, "-");
-}
-
-void
-ruleLockDiscipline(const std::string &path, const std::vector<Token> &ts,
-                   std::vector<Finding> &out)
-{
-    for (std::size_t i = 0; i < ts.size(); ++i) {
-        if (ts[i].kind != TokenKind::Identifier)
-            continue;
-        if (ts[i].text != "lock" && ts[i].text != "unlock" &&
-            ts[i].text != "try_lock")
-            continue;
-        if (!isMemberCallOf(ts, i))
-            continue;
-        out.push_back(
-            {path, ts[i].line, "lock-discipline",
-             "manual ." + ts[i].text +
-                 "() risks leaking the mutex on every early return and "
-                 "exception path; hold locks via std::lock_guard / "
-                 "std::scoped_lock / std::unique_lock construction"});
-    }
-}
+// The v3 lock-set pass in locks.cc owns all three: it tracks RAII
+// guard scopes (including std::defer_lock / adopt_lock and explicit
+// .lock()/.unlock() on guard objects), flags manual mutex calls, and
+// checks the AIWC_GUARDED_BY / AIWC_REQUIRES / AIWC_EXCLUDES model
+// captured by the outline parser. See locks.hh.
 
 // ---------------------------------------------------------------------------
 // R8 · float-reduce-order
@@ -820,11 +788,12 @@ const std::vector<std::string> &
 knownRules()
 {
     static const std::vector<std::string> rules = {
-        "bad-suppression",   "contract-abort",     "contract-assert",
-        "det-random",        "det-unordered-iter", "float-reduce-order",
-        "header-pragma-once", "header-using-ns",   "include-cycle",
-        "layer-violation",   "lock-discipline",    "metric-name",
-        "mutable-global",    "thread-raw",         "unused-include",
+        "bad-suppression",    "contract-abort",  "contract-assert",
+        "det-random",         "det-unordered-iter", "float-reduce-order",
+        "guarded-field",      "header-pragma-once", "header-using-ns",
+        "include-cycle",      "layer-violation", "lock-discipline",
+        "lock-order-cycle",   "metric-name",     "mutable-global",
+        "requires-lock",      "thread-raw",      "unused-include",
     };
     return rules;
 }
@@ -845,6 +814,8 @@ ruleDescription(const std::string &rule)
          "Never iterate unordered containers where order can reach output."},
         {"float-reduce-order",
          "Floating-point reductions must have a pinned combination order."},
+        {"guarded-field",
+         "AIWC_GUARDED_BY members are only touched with their mutex held."},
         {"header-pragma-once",
          "Public headers open with #pragma once."},
         {"header-using-ns",
@@ -855,10 +826,16 @@ ruleDescription(const std::string &rule)
          "Includes must respect the module DAG in tools/aiwc-lint/layers.txt."},
         {"lock-discipline",
          "Mutexes are held via RAII guards, never manual lock()/unlock()."},
+        {"lock-order-cycle",
+         "The whole-program lock-acquisition graph must stay acyclic "
+         "(tools/aiwc-lint/locks.txt)."},
         {"metric-name",
          "Metric names match aiwc.<layer>.<thing> (lower_snake segments)."},
         {"mutable-global",
          "No mutable namespace-scope state in src/."},
+        {"requires-lock",
+         "AIWC_REQUIRES callees need the lock held; AIWC_EXCLUDES callees "
+         "need it free."},
         {"thread-raw",
          "All concurrency goes through the deterministic pool."},
         {"unused-include",
@@ -916,9 +893,21 @@ analyzeSource(const std::string &path, const std::string &content,
         ruleMetricName(path, code, fa.findings);
 
         ruleMutableGlobal(path, outline, fa.findings);
-        ruleLockDiscipline(path, code, fa.findings);
         if (!floatReduceExempt(path))
             ruleFloatReduceOrder(path, code, fa.findings);
+    }
+
+    // The lock-set pass runs everywhere (the annotation model is only
+    // visible where the macros are used, so it is silent elsewhere);
+    // the manual-call discipline is project law for src/ only.
+    {
+        Outline companion_outline;
+        if (companion_header != nullptr)
+            companion_outline = parseOutline(lex(*companion_header));
+        analyzeLocks(path, tokens, outline,
+                     companion_header != nullptr ? &companion_outline
+                                                 : nullptr,
+                     underSrc(path), fa.findings, fa.lock_edges);
     }
 
     if (!isParallelModule(path))

@@ -40,6 +40,18 @@
  *  - unused-include      a project header none of whose declared names
  *                        appear in the including file (IWYU-lite)
  *
+ * v3 adds the static concurrency model (see locks.hh and
+ * aiwc/base/thread_annotations.hh):
+ *
+ *  - guarded-field       an AIWC_GUARDED_BY member read/written without
+ *                        its mutex in the function's lock-set
+ *  - requires-lock       a call to an AIWC_REQUIRES function without
+ *                        the lock held (or an AIWC_EXCLUDES function
+ *                        with it held — self-deadlock)
+ *  - lock-order-cycle    a cycle in the whole-program lock-acquisition
+ *                        graph (observed nestings + ACQUIRED_BEFORE +
+ *                        the tools/aiwc-lint/locks.txt spec)
+ *
  * Suppression syntax, checked by the engine itself:
  *
  *     // aiwc-lint: allow(<rule>[, <rule>...]) -- <reason>
@@ -89,6 +101,23 @@ struct Finding {
     }
 };
 
+/**
+ * One observed or declared lock-acquisition ordering: while `from` was
+ * held, `to` was acquired (observed in a function body), or the code
+ * declared `from` before `to` via AIWC_ACQUIRED_BEFORE. Nodes are
+ * "Class::field" names resolved against the file + companion outlines;
+ * acquisitions whose mutex cannot be resolved to a unique field emit
+ * no edge (the analysis only asserts what it can name). The
+ * whole-program lock-order graph (locks.cc) merges these with the
+ * locks.txt spec and reports cycles.
+ */
+struct LockEdge {
+    std::string from;
+    std::string to;
+    int line = 0;          //!< acquisition site (or annotation line)
+    bool declared = false; //!< AIWC_ACQUIRED_BEFORE, not an observation
+};
+
 /** Names of all rules, sorted — the vocabulary `allow(...)` accepts. */
 const std::vector<std::string> &knownRules();
 
@@ -111,6 +140,7 @@ struct FileAnalysis {
     std::vector<IncludeEdge> includes;  //!< resolved = "" until resolve
     std::vector<std::string> declared;  //!< top-level names, sorted unique
     std::vector<std::string> used;      //!< identifiers seen, sorted unique
+    std::vector<LockEdge> lock_edges;   //!< lock-order graph contribution
     bool declares_operator = false;  //!< header defines operators (IWYU-exempt)
 };
 
