@@ -17,7 +17,11 @@ Comparison rules:
   * An entry present only in the candidate is a NEW verdict: listed in
     the table, never gated (even under --strict), so a PR that adds a
     bench does not have to record its baseline in the same change. An
-    entry present only in the baseline is a MISSING warning.
+    entry present only in the baseline is a STALE verdict: the baseline
+    still gates on a bench the candidate no longer runs, so the gate is
+    partly fiction. STALE is warn-only by default (a bench removal can
+    soft-land) but exits 2 under --strict — CI must not let a dropped
+    bench keep its frozen baseline entry forever.
   * Deterministic work counters from the metrics snapshot (names ending
     in `.rows`, plus sim.events_fired / workload.jobs_generated) must
     match exactly when both reports used the same scale+seed: a
@@ -32,8 +36,8 @@ Comparison rules:
     can refuse to silently skip the gate forever.
 
 Exit status: 1 when any wall-time regression was found and --warn-only
-was not given; 2 when the baseline is missing and --strict was given;
-0 otherwise.
+was not given; 2 when --strict was given and either the baseline file
+is missing or a STALE entry was found; 0 otherwise.
 """
 
 import argparse
@@ -65,6 +69,17 @@ DETERMINISTIC_COUNTERS = {
     "aiwc.fmt.traces_encoded",
     "aiwc.fmt.traces_decoded",
     "aiwc.fmt.decode_rejects",
+    # Scenario sweeps: cell count and every per-cell tally are a pure
+    # function of (spec, scale, seed) — the engine is serial per cell
+    # and the runner's parallelism only reorders disjoint writes.
+    "aiwc.scenario.cells",
+    "aiwc.scenario.tasks",
+    "aiwc.scenario.migrations",
+    "aiwc.scenario.wakes",
+    "aiwc.scenario.sla_violations",
+    "aiwc.scenario.sweeps",
+    "aiwc.scenario.scn_parses",
+    "aiwc.scenario.scn_diagnostics",
 }
 
 SCHEMA = "aiwc-bench-report-v1"
@@ -130,8 +145,9 @@ def main():
     parser.add_argument(
         "--strict",
         action="store_true",
-        help="exit 2 when the baseline file is missing instead of "
-        "warning (a skipped comparison must not look like a pass)",
+        help="exit 2 on a missing baseline file or a STALE entry "
+        "instead of warning (a skipped or partly-fictional comparison "
+        "must not look like a pass)",
     )
     args = parser.parse_args()
     if args.threshold <= 1.0:
@@ -178,18 +194,29 @@ def main():
     base_entries = {e["name"]: e for e in base.get("entries", [])}
     cand_entries = {e["name"]: e for e in cand.get("entries", [])}
 
-    regressions, improvements, new_entries, warnings = [], [], [], []
+    regressions, improvements, new_entries, stale_entries, warnings = (
+        [],
+        [],
+        [],
+        [],
+        [],
+    )
     all_names = sorted(set(base_entries) | set(cand_entries))
     width = max((len(n) for n in all_names), default=10)
     print(f"\n{'entry':<{width}}  {'base ms':>10}  {'cand ms':>10}  ratio")
     for name in all_names:
         if name not in cand_entries:
-            # MISSING: the baseline timed it but the candidate did not.
-            # A silently dropped bench would freeze its baseline entry
-            # forever, so this is warning material.
+            # STALE: the baseline timed it but the candidate did not. A
+            # silently dropped bench would freeze its baseline entry
+            # forever, so this warns by default and gates under
+            # --strict; prune the entry from the baseline to clear it.
             b = base_entries[name]["wall_ms"]
-            print(f"{name:<{width}}  {b:>10.2f}  {'-':>10}      -  MISSING")
-            warnings.append(f"entry '{name}' missing from candidate")
+            print(f"{name:<{width}}  {b:>10.2f}  {'-':>10}      -  STALE")
+            stale_entries.append(name)
+            warnings.append(
+                f"entry '{name}' is STALE: present only in the "
+                "baseline; the candidate no longer runs it"
+            )
             continue
         if name not in base_entries:
             # NEW: the candidate timed it but the baseline predates it.
@@ -220,6 +247,13 @@ def main():
             "baseline (not gated); refresh the baseline to start "
             "tracking them"
         )
+    if stale_entries:
+        print(
+            f"note: {len(stale_entries)} stale entr"
+            f"{'y' if len(stale_entries) == 1 else 'ies'} only in the "
+            "baseline; prune the baseline (or restore the bench) to "
+            "clear the verdict"
+        )
 
     for name, b, c in compare_counters(base, cand):
         warnings.append(
@@ -232,13 +266,17 @@ def main():
         print(f"warning: {message}")
     print(
         f"{len(regressions)} regression(s), {len(improvements)} "
-        f"improvement(s), {len(new_entries)} new, {len(warnings)} "
+        f"improvement(s), {len(new_entries)} new, "
+        f"{len(stale_entries)} stale, {len(warnings)} "
         f"warning(s) [threshold {args.threshold}x, min {args.min_ms} ms]"
     )
     if regressions and not args.warn_only:
         return 1
     if regressions:
         print("warn-only mode: exiting 0 despite regressions")
+    if stale_entries and args.strict:
+        print("strict mode: exiting 2 for stale baseline entries")
+        return 2
     return 0
 
 

@@ -113,5 +113,43 @@ inline constexpr int num_resources = 6;
 
 const char *toString(Resource r);
 
+/**
+ * Service-level-agreement class of a job or task. Latency-sensitive
+ * work must start (and finish) promptly; batch work tolerates queueing
+ * up to a multiple of its expected runtime; scavenger work runs on
+ * leftover capacity with no completion guarantee at all. The scenario
+ * engine scores SLA violations per class, and the scheduler can
+ * optionally boost priority by class (off by default).
+ */
+enum class SlaClass : std::uint8_t
+{
+    LatencySensitive,
+    Batch,
+    Scavenger,
+};
+
+/** Number of SlaClass values, for array-of-enum indexing. */
+inline constexpr int num_sla_classes = 3;
+
+/**
+ * Coarse task-type taxonomy used by heterogeneous scenario mixes, after
+ * the cloudsim-eec vocabulary: web serving, AI training/inference,
+ * crypto-style batch compute, stream processing, and classic HPC.
+ */
+enum class TaskType : std::uint8_t
+{
+    Web,
+    Ai,
+    Crypto,
+    Stream,
+    Hpc,
+};
+
+/** Number of TaskType values, for array-of-enum indexing. */
+inline constexpr int num_task_types = 5;
+
+const char *toString(SlaClass c);
+const char *toString(TaskType t);
+
 } // namespace aiwc
 

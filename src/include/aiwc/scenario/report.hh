@@ -1,0 +1,73 @@
+/**
+ * @file
+ * The energy-vs-SLA frontier report: every sweep cell's outcome plus
+ * the Pareto frontier over (joules, SLA-violation rate), rendered as
+ * deterministic JSON (`aiwc-scenario-frontier-v1`) and as a TextTable.
+ *
+ * Byte determinism is part of the contract: numbers are emitted in
+ * shortest-round-trip form, cells in sweep order, and nothing
+ * order-dependent (maps, timestamps, pointers) reaches the output —
+ * the determinism harness diffs these bytes across thread counts and
+ * input formats.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "aiwc/scenario/engine.hh"
+
+namespace aiwc::scenario
+{
+
+/**
+ * Planner overlay: what the existing aiwc::opportunity planners say
+ * about this cell's GPU-accelerated slice (power capping headroom,
+ * co-location savings, multi-tier cost relief). computed is false when
+ * the cell had too few GPU records to analyze.
+ */
+struct PlannerOverlay
+{
+    bool computed = false;
+    double power_cap_throughput_gain = 0.0;
+    double colocation_gpu_hours_saved = 0.0;
+    double multi_tier_cost_saving = 0.0;
+};
+
+/** One sweep cell: a (machine class, task mix, policy) combination. */
+struct CellResult
+{
+    std::string machine_class;
+    std::string task_mix;
+    std::string policy;
+    CellStats stats;
+    PlannerOverlay overlay;
+};
+
+struct FrontierReport
+{
+    std::string scenario;
+    std::uint64_t seed = 0;
+    std::vector<CellResult> cells;      //!< sweep order
+    std::vector<std::size_t> frontier;  //!< Pareto-minimal cell indices
+
+    /** Render the aiwc-scenario-frontier-v1 JSON document. */
+    void writeJson(std::ostream &os) const;
+    std::string toJson() const;
+
+    /** Render the human-readable frontier table. */
+    void printTable(std::ostream &os) const;
+};
+
+/**
+ * Compute the Pareto frontier over (joules, violation_rate), both
+ * minimized: a cell survives when no other cell is at least as good on
+ * both axes and strictly better on one. Ties keep the earliest cell.
+ * Indices come back sorted by joules, then by cell index.
+ */
+std::vector<std::size_t> paretoFrontier(const std::vector<CellResult> &cells);
+
+} // namespace aiwc::scenario

@@ -1,0 +1,161 @@
+#include "aiwc/scenario/policy.hh"
+
+namespace aiwc::scenario
+{
+
+namespace
+{
+
+/** Can this task ever run on a machine of this class? */
+bool
+classFits(const MachineClassSpec &cls, const Task &task)
+{
+    return task.cores <= cls.cores && task.memory_gb <= cls.memory_gb &&
+           task.gpus <= cls.gpus;
+}
+
+bool
+fitsNow(const Machine &m, const Task &task, int p_state)
+{
+    return m.canFit(demandFor(task, p_state));
+}
+
+} // namespace
+
+Demand
+demandFor(const Task &task, int p_state)
+{
+    Demand d;
+    d.cores = task.cores;
+    d.memory_gb = task.memory_gb;
+    d.gpus = task.gpus;
+    d.p_state = p_state;
+    return d;
+}
+
+Placement
+GreedyPackPolicy::place(const Fleet &fleet, const Task &task) const
+{
+    // First fit among awake machines, then the first sleeping machine
+    // that could host the task (the engine pays the wake).
+    for (const Machine &m : fleet.machines)
+        if (m.awake() && fitsNow(m, task, 0))
+            return {static_cast<int>(m.id()), 0};
+    for (const Machine &m : fleet.machines)
+        if (!m.awake() && !m.waking() && classFits(m.cls(), task))
+            return {static_cast<int>(m.id()), 0};
+    return {};
+}
+
+int
+GreedyPackPolicy::idleSleepState(const Machine &machine) const
+{
+    return machine.cls().deepestSleep();
+}
+
+Placement
+LoadBalancePolicy::place(const Fleet &fleet, const Task &task) const
+{
+    int best = -1;
+    double best_util = 2.0;
+    for (const Machine &m : fleet.machines) {
+        if (!m.awake() || !fitsNow(m, task, 0))
+            continue;
+        const double util = m.utilization();
+        if (util < best_util) {
+            best_util = util;
+            best = static_cast<int>(m.id());
+        }
+    }
+    if (best >= 0)
+        return {best, 0};
+    // Everything awake is full; fall back to waking the first machine
+    // that could host the task (load-balance fleets rarely sleep, but
+    // a wedge-free policy must always make progress when possible).
+    for (const Machine &m : fleet.machines)
+        if (!m.awake() && !m.waking() && classFits(m.cls(), task))
+            return {static_cast<int>(m.id()), 0};
+    return {};
+}
+
+Placement
+EnergyFirstPolicy::place(const Fleet &fleet, const Task &task) const
+{
+    // Batch work drops one P-state, scavenger work runs at the deepest;
+    // the SLA factor absorbs the slowdown while per-core watts fall.
+    auto p_for = [&](const Machine &m) {
+        const int deepest =
+            static_cast<int>(m.cls().p_state_watts.size()) - 1;
+        switch (task.sla) {
+          case SlaClass::LatencySensitive: return 0;
+          case SlaClass::Batch: return deepest < 1 ? deepest : 1;
+          case SlaClass::Scavenger: return deepest;
+        }
+        return 0;
+    };
+    // Prefer awake ISA-matched machines, then any awake fit, then wake.
+    for (const Machine &m : fleet.machines)
+        if (m.awake() && m.cls().cpu == task.preferred_isa &&
+            fitsNow(m, task, p_for(m)))
+            return {static_cast<int>(m.id()), p_for(m)};
+    for (const Machine &m : fleet.machines)
+        if (m.awake() && fitsNow(m, task, p_for(m)))
+            return {static_cast<int>(m.id()), p_for(m)};
+    for (const Machine &m : fleet.machines)
+        if (!m.awake() && !m.waking() && classFits(m.cls(), task))
+            return {static_cast<int>(m.id()), p_for(m)};
+    return {};
+}
+
+int
+EnergyFirstPolicy::idleSleepState(const Machine &machine) const
+{
+    return machine.cls().deepestSleep();
+}
+
+std::vector<Migration>
+EnergyFirstPolicy::consolidate(const Fleet &fleet,
+                               const std::vector<RunningView> &running) const
+{
+    // Drain machines running below the threshold onto busier awake
+    // machines, in task-id order so the plan is deterministic. Track
+    // headroom locally: the engine re-validates, but proposing a
+    // consistent plan avoids half-applied passes.
+    std::vector<Migration> plan;
+    std::vector<int> extra_cores(fleet.machines.size(), 0);
+    std::vector<double> extra_mem(fleet.machines.size(), 0.0);
+    std::vector<int> extra_gpus(fleet.machines.size(), 0);
+    for (const RunningView &rv : running) {
+        if (rv.machine < 0 ||
+            static_cast<std::size_t>(rv.machine) >= fleet.machines.size())
+            continue;
+        const Machine &src = fleet.machines[static_cast<std::size_t>(
+            rv.machine)];
+        if (!src.awake() || src.utilization() >= drain_below_)
+            continue;
+        // Nearly-done tasks are not worth the migration cost.
+        if (rv.remaining_fraction < 0.25)
+            continue;
+        for (const Machine &dst : fleet.machines) {
+            const std::size_t di = dst.id();
+            if (static_cast<int>(di) == rv.machine || !dst.awake())
+                continue;
+            if (dst.utilization() <= src.utilization())
+                continue;
+            Demand d = rv.demand;
+            d.cores += extra_cores[di];
+            d.memory_gb += extra_mem[di];
+            d.gpus += extra_gpus[di];
+            if (!dst.canFit(d))
+                continue;
+            plan.push_back({rv.task_id, static_cast<int>(di)});
+            extra_cores[di] += rv.demand.cores;
+            extra_mem[di] += rv.demand.memory_gb;
+            extra_gpus[di] += rv.demand.gpus;
+            break;
+        }
+    }
+    return plan;
+}
+
+} // namespace aiwc::scenario

@@ -1,0 +1,186 @@
+#include "aiwc/scenario/report.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <sstream>
+
+#include "aiwc/common/table.hh"
+
+namespace aiwc::scenario
+{
+
+namespace
+{
+
+/** Shortest decimal form that round-trips to the same double. */
+std::string
+jsonNumber(double v)
+{
+    if (v != v)
+        return "0";  // NaN never reaches a report, but stay total
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    for (int precision = 1; precision < 17; ++precision) {
+        char shorter[32];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+        if (std::atof(shorter) == v)
+            return shorter;
+    }
+    return buf;
+}
+
+/** Escape the few characters that can appear in class/mix names. */
+std::string
+jsonString(const std::string &s)
+{
+    std::string out = "\"";
+    for (char c : s) {
+        if (c == '"' || c == '\\')
+            out.push_back('\\');
+        if (static_cast<unsigned char>(c) >= 0x20)
+            out.push_back(c);
+    }
+    out.push_back('"');
+    return out;
+}
+
+/** Snake-case JSON keys for the SLA-class wait blocks. */
+const char *const sla_keys[num_sla_classes] = {
+    "latency_sensitive",
+    "batch",
+    "scavenger",
+};
+
+void
+writeWaits(std::ostream &os, const CellStats &stats)
+{
+    os << "\"waits\":{";
+    for (int c = 0; c < num_sla_classes; ++c) {
+        const WaitQuantiles &w = stats.waits[static_cast<std::size_t>(c)];
+        if (c > 0)
+            os << ',';
+        os << '"' << sla_keys[c] << "\":{\"tasks\":" << w.tasks
+           << ",\"p50\":" << jsonNumber(w.p50)
+           << ",\"p95\":" << jsonNumber(w.p95)
+           << ",\"p99\":" << jsonNumber(w.p99) << '}';
+    }
+    os << '}';
+}
+
+void
+writeCell(std::ostream &os, const CellResult &cell)
+{
+    const CellStats &s = cell.stats;
+    os << "{\"machine_class\":" << jsonString(cell.machine_class)
+       << ",\"task_mix\":" << jsonString(cell.task_mix)
+       << ",\"policy\":" << jsonString(cell.policy)
+       << ",\"tasks\":" << s.tasks << ",\"finished\":" << s.finished
+       << ",\"dropped\":" << s.dropped
+       << ",\"migrations\":" << s.migrations << ",\"wakes\":" << s.wakes
+       << ",\"sla_violations\":" << s.sla_violations
+       << ",\"violation_rate\":" << jsonNumber(s.violation_rate)
+       << ",\"joules\":" << jsonNumber(s.joules)
+       << ",\"kwh\":" << jsonNumber(s.joules / 3.6e6)
+       << ",\"makespan_s\":" << jsonNumber(s.makespan)
+       << ",\"mean_utilization\":" << jsonNumber(s.mean_utilization)
+       << ',';
+    writeWaits(os, s);
+    os << ",\"overlay\":{\"computed\":"
+       << (cell.overlay.computed ? "true" : "false")
+       << ",\"power_cap_throughput_gain\":"
+       << jsonNumber(cell.overlay.power_cap_throughput_gain)
+       << ",\"colocation_gpu_hours_saved\":"
+       << jsonNumber(cell.overlay.colocation_gpu_hours_saved)
+       << ",\"multi_tier_cost_saving\":"
+       << jsonNumber(cell.overlay.multi_tier_cost_saving) << "}}";
+}
+
+} // namespace
+
+std::vector<std::size_t>
+paretoFrontier(const std::vector<CellResult> &cells)
+{
+    std::vector<std::size_t> frontier;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const CellStats &a = cells[i].stats;
+        bool dominated = false;
+        for (std::size_t j = 0; j < cells.size() && !dominated; ++j) {
+            if (j == i)
+                continue;
+            const CellStats &b = cells[j].stats;
+            const bool no_worse = b.joules <= a.joules &&
+                                  b.violation_rate <= a.violation_rate;
+            const bool better = b.joules < a.joules ||
+                                b.violation_rate < a.violation_rate;
+            if (no_worse && better)
+                dominated = true;
+            // Exact ties keep only the earliest cell.
+            if (j < i && b.joules == a.joules &&
+                b.violation_rate == a.violation_rate)
+                dominated = true;
+        }
+        if (!dominated)
+            frontier.push_back(i);
+    }
+    std::sort(frontier.begin(), frontier.end(),
+              [&cells](std::size_t a, std::size_t b) {
+                  if (cells[a].stats.joules != cells[b].stats.joules)
+                      return cells[a].stats.joules < cells[b].stats.joules;
+                  return a < b;
+              });
+    return frontier;
+}
+
+void
+FrontierReport::writeJson(std::ostream &os) const
+{
+    os << "{\"schema\":\"aiwc-scenario-frontier-v1\",\"scenario\":"
+       << jsonString(scenario) << ",\"seed\":" << seed << ",\"cells\":[";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (i > 0)
+            os << ',';
+        writeCell(os, cells[i]);
+    }
+    os << "],\"frontier\":[";
+    for (std::size_t i = 0; i < frontier.size(); ++i) {
+        if (i > 0)
+            os << ',';
+        os << frontier[i];
+    }
+    os << "]}";
+}
+
+std::string
+FrontierReport::toJson() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+void
+FrontierReport::printTable(std::ostream &os) const
+{
+    TextTable table({"Machine class", "Task mix", "Policy", "kWh",
+                     "SLA viol %", "p95 wait (lat)", "Util %", "Frontier"});
+    std::vector<bool> on_frontier(cells.size(), false);
+    for (std::size_t idx : frontier)
+        if (idx < cells.size())
+            on_frontier[idx] = true;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const CellResult &cell = cells[i];
+        const WaitQuantiles &lat = cell.stats.waits[static_cast<std::size_t>(
+            SlaClass::LatencySensitive)];
+        table.addRow({cell.machine_class, cell.task_mix, cell.policy,
+                      formatNumber(cell.stats.joules / 3.6e6, 3),
+                      formatNumber(cell.stats.violation_rate * 100.0, 2),
+                      formatNumber(lat.p95, 1) + " s",
+                      formatNumber(cell.stats.mean_utilization * 100.0, 1),
+                      on_frontier[i] ? "*" : ""});
+    }
+    table.print(os);
+}
+
+} // namespace aiwc::scenario

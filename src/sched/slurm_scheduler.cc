@@ -189,6 +189,9 @@ SlurmScheduler::priorityKey(const Job &job) const
     Seconds key =
         job.request.submit_time -
         options_.gpu_priority_boost * static_cast<double>(job.request.gpus);
+    // SLA seniority (zero by default): latency-sensitive classes can
+    // buy virtual queue age, scavenger classes can give it back.
+    key -= options_.sla_boost[static_cast<std::size_t>(job.request.sla)];
     if (options_.fairshare) {
         // Heavy recent consumers age backwards: one decayed GPU-hour
         // costs fairshare_weight seconds of seniority.

@@ -6,26 +6,66 @@
 namespace aiwc::sim
 {
 
+namespace
+{
+
+/**
+ * The machine-class catalog. Row 0 is the Table-I Supercloud node;
+ * row 1 is the cheaper "economy" exploration tier (same chassis,
+ * slower 16 GB GPUs) that economyGpuSpec() has always described.
+ */
+constexpr MachineSpec machine_spec_table[] = {
+    // name, nodes, sockets, cores/socket, HT, RAM GB, GPUs,
+    //     GPU model, GPU GB, TDP W, idle W, rel speed,
+    //     SSD TB, HDD TB, shared SSD TB
+    {"Supercloud", 224, 2, 20, 2, 384.0, 2,
+     "Nvidia Volta V100", 32.0, 300.0, 25.0, 1.0,
+     1.0, 3.8, 873.0},
+    {"EconomySupercloud", 224, 2, 20, 2, 384.0, 2,
+     "EconomyTier", 16.0, 160.0, 15.0, 0.5,
+     1.0, 3.8, 873.0},
+};
+
+} // namespace
+
+const MachineSpec *
+machineSpecTable()
+{
+    return machine_spec_table;
+}
+
+std::size_t
+machineSpecCount()
+{
+    return sizeof(machine_spec_table) / sizeof(machine_spec_table[0]);
+}
+
+ClusterSpec
+clusterSpecFrom(const MachineSpec &machine)
+{
+    ClusterSpec spec;
+    spec.name = machine.name;
+    spec.nodes = machine.nodes;
+    spec.node.sockets = machine.sockets;
+    spec.node.cores_per_socket = machine.cores_per_socket;
+    spec.node.hyperthreads_per_core = machine.hyperthreads_per_core;
+    spec.node.ram_gb = machine.ram_gb;
+    spec.node.gpus = machine.gpus;
+    spec.node.gpu.model = machine.gpu_model;
+    spec.node.gpu.memory_gb = machine.gpu_memory_gb;
+    spec.node.gpu.tdp_watts = machine.gpu_tdp_watts;
+    spec.node.gpu.idle_watts = machine.gpu_idle_watts;
+    spec.node.gpu.relative_speed = machine.gpu_relative_speed;
+    spec.node.local_ssd_tb = machine.local_ssd_tb;
+    spec.node.local_hdd_tb = machine.local_hdd_tb;
+    spec.shared_ssd_tb = machine.shared_ssd_tb;
+    return spec;
+}
+
 ClusterSpec
 supercloudSpec()
 {
-    ClusterSpec spec;
-    spec.name = "Supercloud";
-    spec.nodes = 224;
-    spec.node.sockets = 2;
-    spec.node.cores_per_socket = 20;
-    spec.node.hyperthreads_per_core = 2;
-    spec.node.ram_gb = 384.0;
-    spec.node.gpus = 2;
-    spec.node.gpu.model = "Nvidia Volta V100";
-    spec.node.gpu.memory_gb = 32.0;
-    spec.node.gpu.tdp_watts = 300.0;
-    spec.node.gpu.idle_watts = 25.0;
-    spec.node.gpu.relative_speed = 1.0;
-    spec.node.local_ssd_tb = 1.0;
-    spec.node.local_hdd_tb = 3.8;
-    spec.shared_ssd_tb = 873.0;
-    return spec;
+    return clusterSpecFrom(machine_spec_table[0]);
 }
 
 ClusterSpec

@@ -26,6 +26,7 @@
 #include "aiwc/core/lifecycle_analyzer.hh"
 #include "aiwc/core/power_analyzer.hh"
 #include "aiwc/core/service_time_analyzer.hh"
+#include "aiwc/scenario/runner.hh"
 #include "aiwc/core/user_behavior_analyzer.hh"
 #include "aiwc/core/utilization_analyzer.hh"
 #include "aiwc/stream/pipeline.hh"
@@ -314,6 +315,57 @@ TEST(Determinism, BinaryTraceMatchesCsvAcrossThreadCounts)
     EXPECT_EQ(csv_serial, bin_serial);
     EXPECT_EQ(csv_threaded, bin_threaded);
     EXPECT_EQ(csv_serial, csv_threaded);
+}
+
+/** A small sweep over the default mixes with every built-in policy. */
+std::string
+sweepJson(const core::Dataset &dataset)
+{
+    scenario::ScenarioSpec spec;
+    scenario::MachineClassSpec cls;
+    cls.name = "det-node";
+    cls.count = 4;
+    cls.cores = 96;
+    cls.memory_gb = 384.0;
+    cls.gpus = 2;
+    spec.machines = {cls};
+    scenario::SweepOptions options;
+    options.seed = 2022;
+    const scenario::ScenarioRunner runner(spec, options);
+    const scenario::GreedyPackPolicy greedy;
+    const scenario::LoadBalancePolicy balance;
+    const scenario::EnergyFirstPolicy energy;
+    const std::vector<const scenario::SchedulingPolicy *> policies{
+        &greedy, &balance, &energy};
+    return runner.sweep(dataset, scenario::defaultTaskMixes(), policies)
+        .toJson();
+}
+
+TEST(Determinism, ScenarioSweepIsThreadCountInvariant)
+{
+    // The scenario sweep rides parallelFor with disjoint per-cell
+    // writes: the frontier report must be byte-identical at any thread
+    // count, and identical whether the dataset arrived via CSV or the
+    // binary trace — task typing is keyed on record content, never on
+    // load order or source format.
+    const auto trace = synthesize(1234);
+    std::stringstream csv;
+    trace.dataset.writeCsv(csv);
+    const core::Dataset from_csv = core::loadDatasetCsv(csv);
+    ASSERT_GT(from_csv.size(), 0u);
+    auto from_binary = fmt::decodeTrace(fmt::encodeTrace(from_csv));
+    ASSERT_TRUE(from_binary.ok()) << from_binary.error;
+
+    const int before = globalThreadCount();
+    setGlobalThreadCount(1);
+    const std::string csv_serial = sweepJson(from_csv);
+    setGlobalThreadCount(8);
+    const std::string csv_threaded = sweepJson(from_csv);
+    const std::string bin_threaded = sweepJson(from_binary.dataset);
+    setGlobalThreadCount(before);
+
+    EXPECT_EQ(csv_serial, csv_threaded);
+    EXPECT_EQ(csv_threaded, bin_threaded);
 }
 
 TEST(Determinism, SynthesisIsThreadCountInvariant)
